@@ -1,0 +1,88 @@
+//! Figure 8 — Execution times of non-speculative, speculative first
+//! execution, and rollback + re-execution, as a function of the number of
+//! shared-memory accesses.
+//!
+//! Paper setup: operations with ~800 µs (T1) and ~1 µs (T2) of computation
+//! plus 1–1000 shared-memory accesses. Expected shape: a constant overhead
+//! per access; rollback + re-execution costs about the same as the first
+//! execution (the paper's "rollback is fast" claim).
+
+use std::time::{Duration, Instant};
+
+use streammine_bench::{banner, median_us, row};
+use streammine_operators::busy_work;
+use streammine_stm::{Serial, StmRuntime, TArray};
+
+const REPS: usize = 40;
+
+fn bench_case(compute: Duration, accesses: usize) -> (f64, f64, f64) {
+    // Non-speculative baseline: plain vector, no STM.
+    let mut plain = vec![0i64; accesses.max(1)];
+    let mut nonspec = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        busy_work(compute);
+        for slot in plain.iter_mut() {
+            *slot += 1;
+        }
+        nonspec.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+
+    // Speculative: first execution, then revoke + re-execute.
+    let mut first = Vec::with_capacity(REPS);
+    let mut reexec = Vec::with_capacity(REPS);
+    let rt = StmRuntime::new();
+    let arr = TArray::new(&rt, accesses.max(1), 0i64);
+    for rep in 0..REPS {
+        let serial = Serial(rep as u64);
+        let body = |txn: &mut streammine_stm::Txn<'_>| {
+            busy_work(compute);
+            for k in 0..accesses {
+                arr.update(txn, k, |v| v + 1)?;
+            }
+            Ok(())
+        };
+        let t = Instant::now();
+        let (h, ()) = rt.execute(serial, body).expect("not shut down");
+        first.push(t.elapsed().as_secs_f64() * 1e6);
+        // Roll the open transaction back and re-execute it.
+        h.revoke();
+        let t = Instant::now();
+        rt.reexecute(&h, body).expect("reexecute");
+        reexec.push(t.elapsed().as_secs_f64() * 1e6);
+        h.authorize();
+        h.wait_committed();
+    }
+    (median_us(&nonspec), median_us(&first), median_us(&reexec))
+}
+
+fn main() {
+    banner("Figure 8", "execution time vs shared-memory accesses (T1≈800us, T2≈1us compute)");
+    row(&[
+        "accesses".into(),
+        "T1 non-spec".into(),
+        "T1 spec 1st".into(),
+        "T1 rollback+re-exec".into(),
+        "T2 non-spec".into(),
+        "T2 spec 1st".into(),
+        "T2 rollback+re-exec".into(),
+        "(median us)".into(),
+    ]);
+    let t1 = Duration::from_micros(800);
+    let t2 = Duration::from_micros(1);
+    for accesses in [1usize, 10, 100, 1000] {
+        let (n1, f1, r1) = bench_case(t1, accesses);
+        let (n2, f2, r2) = bench_case(t2, accesses);
+        row(&[
+            format!("{accesses}"),
+            format!("{n1:.1}"),
+            format!("{f1:.1}"),
+            format!("{r1:.1}"),
+            format!("{n2:.1}"),
+            format!("{f2:.1}"),
+            format!("{r2:.1}"),
+            String::new(),
+        ]);
+    }
+    println!("(paper: constant overhead per access; re-execution ≈ first execution)");
+}

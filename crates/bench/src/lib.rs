@@ -1,0 +1,162 @@
+//! Shared harness utilities for the figure-regeneration benchmarks.
+//!
+//! Every bench target prints the same rows/series its paper figure plots.
+//! Absolute values differ from the 2009 Sun T1000 testbed; the *shapes*
+//! (who wins, scaling trends, crossovers) are the reproduction target and
+//! are recorded in `EXPERIMENTS.md`.
+
+use std::time::{Duration, Instant};
+
+use streammine_common::stats::summarize;
+use streammine_core::{
+    GraphBuilder, LoggingConfig, OperatorConfig, Running, SinkId, SourceId,
+};
+use streammine_net::LinkConfig;
+use streammine_operators::StampedRelay;
+use streammine_storage::disk::DiskSpec;
+
+/// Prints a figure header.
+pub fn banner(figure: &str, caption: &str) {
+    println!("\n=== {figure} — {caption} ===");
+}
+
+/// Prints one row of a result table.
+pub fn row(cols: &[String]) {
+    println!("{}", cols.join("\t"));
+}
+
+/// Mean of a sample set in milliseconds (input µs).
+pub fn mean_ms(samples_us: &[f64]) -> f64 {
+    if samples_us.is_empty() {
+        return f64::NAN;
+    }
+    samples_us.iter().sum::<f64>() / samples_us.len() as f64 / 1e3
+}
+
+/// Median of a sample set in microseconds.
+pub fn median_us(samples_us: &[f64]) -> f64 {
+    let mut v = samples_us.to_vec();
+    summarize(&mut v).p50_us
+}
+
+/// Builds a linear pipeline of `depth` [`StampedRelay`] operators, each
+/// logging one decision per event on the given disks — the Figure 2/3
+/// workload ("for each event processed, the component needs to log a
+/// 64-bit value as decision").
+pub fn relay_pipeline(
+    depth: usize,
+    speculative: bool,
+    disks: Vec<DiskSpec>,
+) -> (Running, SourceId, SinkId) {
+    relay_pipeline_with_links(depth, speculative, disks, LinkConfig::instant())
+}
+
+/// [`relay_pipeline`] over links with a propagation-delay model — the
+/// "real distributed scenario" the paper discusses under Figure 3.
+pub fn relay_pipeline_with_links(
+    depth: usize,
+    speculative: bool,
+    disks: Vec<DiskSpec>,
+    links: LinkConfig,
+) -> (Running, SourceId, SinkId) {
+    assert!(depth >= 1);
+    let mut b = GraphBuilder::new().with_links(links);
+    let mut prev = None;
+    let mut first = None;
+    for _ in 0..depth {
+        let logging = LoggingConfig { disks: disks.clone() };
+        let cfg = if speculative {
+            OperatorConfig::speculative(logging)
+        } else {
+            OperatorConfig::logged(logging)
+        };
+        let op = b.add_operator(StampedRelay::new(), cfg);
+        if let Some(p) = prev {
+            b.connect(p, op).expect("valid edge");
+        } else {
+            first = Some(op);
+        }
+        prev = Some(op);
+    }
+    let src = b.source_into(first.expect("nonempty pipeline")).expect("source");
+    let sink = b.sink_from(prev.expect("nonempty pipeline")).expect("sink");
+    (b.build().expect("valid graph").start(), src, sink)
+}
+
+/// Pushes `count` integer events with a fixed inter-arrival gap and waits
+/// until all are final; returns per-event final latencies (µs).
+pub fn drive_and_measure(
+    running: &Running,
+    src: SourceId,
+    sink: SinkId,
+    count: u64,
+    gap: Duration,
+    timeout: Duration,
+) -> Vec<f64> {
+    for i in 0..count {
+        running.source(src).push(streammine_common::event::Value::Int(i as i64));
+        if !gap.is_zero() {
+            std::thread::sleep(gap);
+        }
+    }
+    assert!(
+        running.sink(sink).wait_final(count as usize, timeout),
+        "timed out: {}/{count} final",
+        running.sink(sink).final_count()
+    );
+    running.sink(sink).final_latencies_us()
+}
+
+/// Drives events at a constant target rate for a duration; returns
+/// `(final_latencies_us, achieved_input_rate, output_rate)`.
+pub fn drive_at_rate(
+    running: &Running,
+    src: SourceId,
+    sink: SinkId,
+    rate_ev_per_s: f64,
+    run_for: Duration,
+    drain_timeout: Duration,
+) -> (Vec<f64>, f64, f64) {
+    let gap = Duration::from_secs_f64(1.0 / rate_ev_per_s);
+    let start = Instant::now();
+    let mut pushed: u64 = 0;
+    while start.elapsed() < run_for {
+        running.source(src).push(streammine_common::event::Value::Int(pushed as i64));
+        pushed += 1;
+        let due = start + gap.mul_f64(pushed as f64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+    }
+    let input_elapsed = start.elapsed().as_secs_f64();
+    let drained = running.sink(sink).wait_final(pushed as usize, drain_timeout);
+    let total_elapsed = start.elapsed().as_secs_f64();
+    let finals = running.sink(sink).final_count() as f64;
+    if !drained {
+        eprintln!("  (saturated: {} of {pushed} drained)", finals as u64);
+    }
+    let lat = running.sink(sink).final_latencies_us();
+    (lat, pushed as f64 / input_elapsed, finals / total_elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_pipeline_smoke() {
+        let (running, src, sink) =
+            relay_pipeline(2, true, vec![DiskSpec::simulated(Duration::from_micros(200))]);
+        let lat = drive_and_measure(&running, src, sink, 5, Duration::ZERO, Duration::from_secs(10));
+        assert_eq!(lat.len(), 5);
+        running.shutdown();
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean_ms(&[1000.0, 3000.0]), 2.0);
+        assert_eq!(median_us(&[1.0, 2.0, 3.0]), 2.0);
+        assert!(mean_ms(&[]).is_nan());
+    }
+}

@@ -1,0 +1,79 @@
+//! Framework-wide error type.
+
+use std::fmt;
+
+use crate::codec::DecodeError;
+use crate::ids::OperatorId;
+
+/// Convenience alias used across StreamMine crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the StreamMine runtime and its substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Serialization/deserialization failure.
+    Codec(String),
+    /// A graph was structurally invalid (cycle, dangling edge, bad config).
+    InvalidGraph(String),
+    /// An operator was addressed that does not exist.
+    UnknownOperator(OperatorId),
+    /// A channel or link was disconnected unexpectedly.
+    Disconnected(String),
+    /// The storage substrate failed or was shut down.
+    Storage(String),
+    /// Recovery could not complete (e.g. missing checkpoint or log suffix).
+    Recovery(String),
+    /// A configuration value was out of range.
+    Config(String),
+    /// The runtime was used after shutdown.
+    Shutdown,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Codec(msg) => write!(f, "codec error: {msg}"),
+            Error::InvalidGraph(msg) => write!(f, "invalid graph: {msg}"),
+            Error::UnknownOperator(id) => write!(f, "unknown operator {id}"),
+            Error::Disconnected(what) => write!(f, "disconnected: {what}"),
+            Error::Storage(msg) => write!(f, "storage error: {msg}"),
+            Error::Recovery(msg) => write!(f, "recovery error: {msg}"),
+            Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Shutdown => write!(f, "runtime already shut down"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DecodeError> for Error {
+    fn from(err: DecodeError) -> Self {
+        Error::Codec(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_lowercase_and_specific() {
+        let e = Error::InvalidGraph("cycle through op3".into());
+        assert_eq!(e.to_string(), "invalid graph: cycle through op3");
+        let e = Error::UnknownOperator(OperatorId::new(4));
+        assert!(e.to_string().contains("op4"));
+    }
+
+    #[test]
+    fn decode_error_converts() {
+        let e: Error = DecodeError::InvalidUtf8.into();
+        assert!(matches!(e, Error::Codec(_)));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

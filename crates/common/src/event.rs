@@ -1,0 +1,452 @@
+//! The StreamMine event model.
+//!
+//! An [`Event`] is the unit of data flowing through an operator graph. Every
+//! event carries:
+//!
+//! * an [`EventId`] — `(creating operator, sequence number)`, stable across
+//!   re-emissions;
+//! * a `version` — bumped each time a *speculative* event is re-emitted with
+//!   different content after a rollback (§3.1 of the paper: `E₁′`, `E₁″`);
+//! * a logical `timestamp` in microseconds;
+//! * a `speculative` flag — a speculative event may later be revoked or
+//!   replaced, a *final* event never changes (§2.3);
+//! * a typed [`Value`] payload.
+
+use std::fmt;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use crate::ids::EventId;
+
+/// Microseconds since an arbitrary epoch; the logical event time.
+pub type Timestamp = u64;
+
+/// Returns the current wall-clock time as a [`Timestamp`].
+pub fn wallclock_micros() -> Timestamp {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// Dynamically typed event payload.
+///
+/// ESP operators in the paper are plain C functions over untyped buffers; in
+/// Rust we model payloads as a small algebraic value type so the operator
+/// library (filters, aggregations, joins, sketches) can be written once and
+/// composed freely.
+///
+/// ```
+/// use streammine_common::event::Value;
+/// let v = Value::Record(vec![Value::from(1i64), Value::from("sym")]);
+/// assert_eq!(v.field(1).and_then(Value::as_str), Some("sym"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value.
+    Null,
+    /// Signed 64-bit integer.
+    Int(i64),
+    /// IEEE-754 double.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string.
+    Str(String),
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// Ordered tuple of values (a record / row).
+    Record(Vec<Value>),
+}
+
+impl Value {
+    /// Returns the integer if this is a `Value::Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float if this is a `Value::Float` (or an exact `Int`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if this is a `Value::Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a `Value::Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the bytes if this is a `Value::Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns field `i` if this is a `Value::Record`.
+    pub fn field(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Record(fields) => fields.get(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the record fields if this is a `Value::Record`.
+    pub fn fields(&self) -> Option<&[Value]> {
+        match self {
+            Value::Record(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// A stable 64-bit hash of the value, used for routing and sketching.
+    pub fn stable_hash(&self) -> u64 {
+        // FNV-1a over the encoded form: deterministic across processes,
+        // unlike `std::collections::hash_map::DefaultHasher`.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        let bytes = self.encode_to_vec();
+        let mut h = OFFSET;
+        for b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "0x{}", b.iter().map(|x| format!("{x:02x}")).collect::<String>()),
+            Value::Record(fields) => {
+                write!(f, "(")?;
+                for (i, v) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Record(v)
+    }
+}
+
+impl Encode for Value {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Value::Null => enc.put_u8(0),
+            Value::Int(v) => {
+                enc.put_u8(1);
+                enc.put_i64(*v);
+            }
+            Value::Float(v) => {
+                enc.put_u8(2);
+                enc.put_f64(*v);
+            }
+            Value::Bool(v) => {
+                enc.put_u8(3);
+                enc.put_u8(u8::from(*v));
+            }
+            Value::Str(s) => {
+                enc.put_u8(4);
+                enc.put_bytes(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                enc.put_u8(5);
+                enc.put_bytes(b);
+            }
+            Value::Record(fields) => {
+                enc.put_u8(6);
+                enc.put_u64(fields.len() as u64);
+                for v in fields {
+                    v.encode(enc);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for Value {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match dec.get_u8()? {
+            0 => Value::Null,
+            1 => Value::Int(dec.get_i64()?),
+            2 => Value::Float(dec.get_f64()?),
+            3 => Value::Bool(dec.get_u8()? != 0),
+            4 => Value::Str(String::from_utf8(dec.get_bytes()?).map_err(|_| DecodeError::InvalidUtf8)?),
+            5 => Value::Bytes(dec.get_bytes()?),
+            6 => {
+                let len = dec.get_len()?;
+                let mut fields = Vec::with_capacity(len.min(1024));
+                for _ in 0..len {
+                    fields.push(Value::decode(dec)?);
+                }
+                Value::Record(fields)
+            }
+            tag => return Err(DecodeError::InvalidTag { type_name: "Value", tag }),
+        })
+    }
+}
+
+/// A data event flowing through the graph.
+///
+/// Equality compares full content (id, version, timestamp, speculative flag
+/// and payload), which is what the precise-recovery tests rely on: a precise
+/// recovery must reproduce *identical* events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Stable identity (creating operator + sequence number).
+    pub id: EventId,
+    /// Re-emission version; 0 for the first emission. A speculative event
+    /// whose content changed after rollback is re-sent with `version + 1`.
+    pub version: u32,
+    /// Logical event time in microseconds.
+    pub timestamp: Timestamp,
+    /// `true` while the event may still be revoked or replaced.
+    pub speculative: bool,
+    /// The payload.
+    pub payload: Value,
+}
+
+impl Event {
+    /// Creates a *final* event with version 0.
+    pub fn new(id: EventId, timestamp: Timestamp, payload: Value) -> Self {
+        Event { id, version: 0, timestamp, speculative: false, payload }
+    }
+
+    /// Creates a *speculative* event with version 0.
+    pub fn speculative(id: EventId, timestamp: Timestamp, payload: Value) -> Self {
+        Event { id, version: 0, timestamp, speculative: true, payload }
+    }
+
+    /// Returns `true` if the event is final (will never change).
+    pub fn is_final(&self) -> bool {
+        !self.speculative
+    }
+
+    /// Returns a copy marked final, keeping id/version/content.
+    ///
+    /// Used when an upstream speculation is confirmed: the confirmation
+    /// refers to `(id, version)` and flips only the flag.
+    pub fn finalized(&self) -> Event {
+        let mut ev = self.clone();
+        ev.speculative = false;
+        ev
+    }
+
+    /// Returns a re-emission of this event with new content and a bumped
+    /// version, still speculative.
+    pub fn reissue(&self, payload: Value) -> Event {
+        Event {
+            id: self.id,
+            version: self.version + 1,
+            timestamp: self.timestamp,
+            speculative: true,
+            payload,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}v{}{} @{} {}",
+            self.id,
+            self.version,
+            if self.speculative { "?" } else { "" },
+            self.timestamp,
+            self.payload
+        )
+    }
+}
+
+impl Encode for Event {
+    fn encode(&self, enc: &mut Encoder) {
+        self.id.encode(enc);
+        enc.put_u32(self.version);
+        enc.put_u64(self.timestamp);
+        enc.put_u8(u8::from(self.speculative));
+        self.payload.encode(enc);
+    }
+}
+
+impl Decode for Event {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Event {
+            id: EventId::decode(dec)?,
+            version: dec.get_u32()?,
+            timestamp: dec.get_u64()?,
+            speculative: dec.get_u8()? != 0,
+            payload: Value::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::roundtrip;
+    use crate::ids::OperatorId;
+
+    fn id(seq: u64) -> EventId {
+        EventId::new(OperatorId::new(1), seq)
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::from(5i64).as_i64(), Some(5));
+        assert_eq!(Value::from(5i64).as_f64(), Some(5.0));
+        assert_eq!(Value::from(2.5f64).as_f64(), Some(2.5));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(vec![1u8, 2]).as_bytes(), Some(&[1u8, 2][..]));
+        assert_eq!(Value::Null.as_i64(), None);
+        let rec = Value::Record(vec![Value::Int(1), Value::Str("a".into())]);
+        assert_eq!(rec.field(0), Some(&Value::Int(1)));
+        assert_eq!(rec.field(2), None);
+        assert_eq!(rec.fields().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn value_roundtrips_through_codec() {
+        let values = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Float(6.5),
+            Value::Bool(true),
+            Value::Str("hello".into()),
+            Value::Bytes(vec![0, 255, 128]),
+            Value::Record(vec![Value::Int(1), Value::Record(vec![Value::Null])]),
+        ];
+        for v in values {
+            assert_eq!(roundtrip(&v).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_discriminating() {
+        let a = Value::from("abc").stable_hash();
+        let b = Value::from("abc").stable_hash();
+        let c = Value::from("abd").stable_hash();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Int and Float with the same bits must not collide via tagging.
+        assert_ne!(Value::Int(0).stable_hash(), Value::Float(0.0).stable_hash());
+    }
+
+    #[test]
+    fn event_finality_transitions() {
+        let ev = Event::speculative(id(0), 100, Value::Int(1));
+        assert!(!ev.is_final());
+        let fin = ev.finalized();
+        assert!(fin.is_final());
+        assert_eq!(fin.id, ev.id);
+        assert_eq!(fin.version, ev.version);
+        assert_eq!(fin.payload, ev.payload);
+    }
+
+    #[test]
+    fn reissue_bumps_version_and_stays_speculative() {
+        let ev = Event::speculative(id(3), 50, Value::Int(1));
+        let re = ev.reissue(Value::Int(2));
+        assert_eq!(re.id, ev.id);
+        assert_eq!(re.version, 1);
+        assert!(re.speculative);
+        assert_eq!(re.payload, Value::Int(2));
+        assert_eq!(re.timestamp, ev.timestamp);
+    }
+
+    #[test]
+    fn event_roundtrips_through_codec() {
+        let ev = Event {
+            id: id(9),
+            version: 3,
+            timestamp: 1_000_000,
+            speculative: true,
+            payload: Value::Record(vec![Value::Int(5), Value::Str("x".into())]),
+        };
+        assert_eq!(roundtrip(&ev).unwrap(), ev);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let ev = Event::speculative(id(2), 7, Value::Int(1));
+        let s = ev.to_string();
+        assert!(s.contains("op1#2"));
+        assert!(s.contains('?'));
+    }
+}

@@ -1,0 +1,140 @@
+//! Newtype identifiers used throughout StreamMine.
+
+use std::fmt;
+
+use crate::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+
+/// Identifies an operator instance in a processing graph.
+///
+/// Operator ids are assigned by the graph builder and are unique within a
+/// running [`Graph`]. They are embedded in every [`EventId`] so that events
+/// can be traced back to the operator that emitted them.
+///
+/// ```
+/// use streammine_common::ids::OperatorId;
+/// let a = OperatorId::new(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(a.to_string(), "op3");
+/// ```
+///
+/// [`Graph`]: https://docs.rs/streammine-core
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OperatorId(u32);
+
+impl OperatorId {
+    /// Creates an operator id from its graph index.
+    pub const fn new(index: u32) -> Self {
+        OperatorId(index)
+    }
+
+    /// Returns the graph index backing this id.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for OperatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+impl From<u32> for OperatorId {
+    fn from(index: u32) -> Self {
+        OperatorId(index)
+    }
+}
+
+/// Globally unique event identity: the operator that *created* the event and
+/// a per-operator sequence number.
+///
+/// Identity is stable across speculation: when a speculative event is
+/// re-emitted after a rollback the id stays the same and only the event's
+/// `version` changes, which is what lets downstream operators substitute the
+/// new payload for the old one. During recovery, re-emitted *final* events
+/// keep both id and content, so duplicates can be suppressed by id alone —
+/// this is the "silently dropped" duplicate rule of the paper (§2.2).
+///
+/// ```
+/// use streammine_common::ids::{EventId, OperatorId};
+/// let id = EventId::new(OperatorId::new(1), 9);
+/// assert_eq!(id.to_string(), "op1#9");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId {
+    /// Operator that created (not merely forwarded) the event.
+    pub source: OperatorId,
+    /// Sequence number local to `source`, starting at zero.
+    pub seq: u64,
+}
+
+impl EventId {
+    /// Creates an event id.
+    pub const fn new(source: OperatorId, seq: u64) -> Self {
+        EventId { source, seq }
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.source, self.seq)
+    }
+}
+
+impl Encode for OperatorId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.0);
+    }
+}
+
+impl Decode for OperatorId {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(OperatorId(dec.get_u32()?))
+    }
+}
+
+impl Encode for EventId {
+    fn encode(&self, enc: &mut Encoder) {
+        self.source.encode(enc);
+        enc.put_u64(self.seq);
+    }
+}
+
+impl Decode for EventId {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(EventId {
+            source: OperatorId::decode(dec)?,
+            seq: dec.get_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::roundtrip;
+
+    #[test]
+    fn operator_id_display_and_index() {
+        let id = OperatorId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id}"), "op7");
+        assert_eq!(OperatorId::from(7u32), id);
+    }
+
+    #[test]
+    fn event_id_ordering_is_source_then_seq() {
+        let a = EventId::new(OperatorId::new(0), 5);
+        let b = EventId::new(OperatorId::new(1), 0);
+        let c = EventId::new(OperatorId::new(1), 1);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn ids_roundtrip_through_codec() {
+        let id = EventId::new(OperatorId::new(3), u64::MAX - 1);
+        assert_eq!(roundtrip(&id).unwrap(), id);
+        let op = OperatorId::new(u32::MAX);
+        assert_eq!(roundtrip(&op).unwrap(), op);
+    }
+}

@@ -1,0 +1,190 @@
+//! A minimal fixed-size thread pool.
+//!
+//! Operator runtimes use this for optimistic parallelization: the coordinator
+//! submits one closure per in-flight transaction. The pool is deliberately
+//! simple — a bounded crossbeam channel feeding N workers — because task
+//! granularity in StreamMine is coarse (one event's processing).
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{Receiver, Sender};
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size worker pool.
+///
+/// Dropping the pool shuts it down and joins all workers; tasks already
+/// queued still run ([`ThreadPool::shutdown`] does the same explicitly).
+///
+/// ```
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+/// use streammine_common::pool::ThreadPool;
+///
+/// let pool = ThreadPool::new("demo", 4);
+/// let counter = Arc::new(AtomicU32::new(0));
+/// for _ in 0..16 {
+///     let c = counter.clone();
+///     pool.execute(move || { c.fetch_add(1, Ordering::SeqCst); });
+/// }
+/// pool.shutdown();
+/// assert_eq!(counter.load(Ordering::SeqCst), 16);
+/// ```
+pub struct ThreadPool {
+    sender: Option<Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.workers.len())
+            .field("in_flight", &self.in_flight.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool of `size` workers whose threads are named
+    /// `"{name}-{i}"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(name: &str, size: usize) -> Self {
+        assert!(size > 0, "thread pool size must be positive");
+        let (sender, receiver): (Sender<Task>, Receiver<Task>) = crossbeam_channel::unbounded();
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let workers = (0..size)
+            .map(|i| {
+                let rx = receiver.clone();
+                let busy = in_flight.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            task();
+                            busy.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool { sender: Some(sender), workers, in_flight }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Tasks submitted but not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Submits a task for execution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`ThreadPool::shutdown`].
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, task: F) {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        self.sender
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(task))
+            .expect("pool workers exited early");
+    }
+
+    /// Shuts the pool down, waiting for queued tasks to finish.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        drop(self.sender.take());
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_all_tasks_before_shutdown() {
+        let pool = ThreadPool::new("t", 3);
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..50 {
+            let c = counter.clone();
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn tasks_actually_run_in_parallel() {
+        let pool = ThreadPool::new("par", 4);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..4 {
+            let b = barrier.clone();
+            let c = counter.clone();
+            pool.execute(move || {
+                // Deadlocks unless 4 tasks run concurrently.
+                b.wait();
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn in_flight_drains_to_zero() {
+        let pool = ThreadPool::new("d", 2);
+        for _ in 0..8 {
+            pool.execute(|| std::thread::sleep(Duration::from_millis(1)));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let counter = Arc::new(AtomicU32::new(0));
+        {
+            let pool = ThreadPool::new("drop", 2);
+            for _ in 0..10 {
+                let c = counter.clone();
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread pool size must be positive")]
+    fn zero_size_panics() {
+        let _ = ThreadPool::new("bad", 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Deterministic, seedable random number generation.
+//!
+//! Two distinct uses share this module:
+//!
+//! * **Workload generation** — benchmarks must be repeatable, so every
+//!   synthetic stream is driven by a seeded [`DetRng`].
+//! * **Operator non-determinism** — when an operator draws a random number
+//!   (e.g. the `Split` operator's routing decision), the draw is a
+//!   *determinant* that must be logged for precise recovery. The runtime
+//!   intercepts draws through the operator context; [`DetRng`] is the
+//!   underlying generator.
+//!
+//! The implementation is `splitmix64` followed by `xoshiro256**`, both public
+//! domain algorithms, so we avoid pulling `rand` into the runtime's public
+//! API (it remains a dev-dependency for tests).
+
+use crate::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+
+/// A small, fast, deterministic RNG (xoshiro256**).
+///
+/// ```
+/// use streammine_common::rng::DetRng;
+/// let mut a = DetRng::seed_from(42);
+/// let mut b = DetRng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng { s }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire's multiply-shift rejection method.
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0,1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// A sample from Exp(λ) where `mean = 1/λ`, used for Poisson arrivals.
+    pub fn next_exponential(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.next_f64(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// Zipf-distributed value in `[0, n)` with exponent `s`, via rejection
+    /// inversion. Used by the sketch workloads (frequent-item streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn next_zipf(&mut self, n: u64, s: f64) -> u64 {
+        assert!(n > 0, "n must be positive");
+        if n == 1 {
+            return 0;
+        }
+        // Simple inverse-CDF over the truncated harmonic sum; fine for the
+        // modest n used in workloads (the cost is O(n) once, amortized via
+        // caching in the workload generator, but we keep this self-contained
+        // and O(n) per draw only for small n).
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+        }
+        let target = self.next_f64() * total;
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            if acc >= target {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    /// Forks an independent generator (seeded by this one).
+    pub fn fork(&mut self) -> DetRng {
+        DetRng::seed_from(self.next_u64())
+    }
+}
+
+impl Encode for DetRng {
+    fn encode(&self, enc: &mut Encoder) {
+        for w in self.s {
+            enc.put_u64(w);
+        }
+    }
+}
+
+impl Decode for DetRng {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = dec.get_u64()?;
+        }
+        Ok(DetRng { s })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::roundtrip;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DetRng::seed_from(7);
+        let mut b = DetRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seed_different_sequence() {
+        let mut a = DetRng::seed_from(1);
+        let mut b = DetRng::seed_from(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = DetRng::seed_from(3);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        DetRng::seed_from(0).next_below(0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = DetRng::seed_from(5);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_f64_is_roughly_uniform() {
+        let mut rng = DetRng::seed_from(11);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn exponential_has_requested_mean() {
+        let mut rng = DetRng::seed_from(13);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.next_exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean {mean} too far from 4.0");
+    }
+
+    #[test]
+    fn zipf_favors_small_values() {
+        let mut rng = DetRng::seed_from(17);
+        let mut counts = [0u32; 8];
+        for _ in 0..4000 {
+            counts[rng.next_zipf(8, 1.2) as usize] += 1;
+        }
+        assert!(counts[0] > counts[3]);
+        assert!(counts[0] > counts[7] * 3);
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut a = DetRng::seed_from(21);
+        let mut f = a.fork();
+        assert_ne!(a.next_u64(), f.next_u64());
+    }
+
+    #[test]
+    fn rng_state_roundtrips_through_codec() {
+        let mut rng = DetRng::seed_from(9);
+        rng.next_u64();
+        let mut restored = roundtrip(&rng).unwrap();
+        assert_eq!(restored.next_u64(), rng.clone().next_u64());
+    }
+}

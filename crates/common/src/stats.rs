@@ -1,0 +1,310 @@
+//! Latency and throughput recorders for the benchmark harness.
+//!
+//! The paper reports end-to-end latency distributions (Figures 2, 3, 6),
+//! time series of latency (Figure 4), and rates (Figures 5, 7). This module
+//! provides the small set of aggregations those plots need, with no external
+//! dependencies.
+
+use std::fmt;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Summary statistics over a set of duration samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum, in microseconds.
+    pub min_us: f64,
+    /// Arithmetic mean, in microseconds.
+    pub mean_us: f64,
+    /// Median (p50), in microseconds.
+    pub p50_us: f64,
+    /// 95th percentile, in microseconds.
+    pub p95_us: f64,
+    /// 99th percentile, in microseconds.
+    pub p99_us: f64,
+    /// Maximum, in microseconds.
+    pub max_us: f64,
+}
+
+impl Summary {
+    /// An all-zero summary, returned for empty recorders.
+    pub const EMPTY: Summary = Summary {
+        count: 0,
+        min_us: 0.0,
+        mean_us: 0.0,
+        p50_us: 0.0,
+        p95_us: 0.0,
+        p99_us: 0.0,
+        max_us: 0.0,
+    };
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={:.1}us mean={:.1}us p50={:.1}us p95={:.1}us p99={:.1}us max={:.1}us",
+            self.count, self.min_us, self.mean_us, self.p50_us, self.p95_us, self.p99_us, self.max_us
+        )
+    }
+}
+
+/// Thread-safe recorder of latency samples.
+///
+/// ```
+/// use std::time::Duration;
+/// use streammine_common::stats::LatencyRecorder;
+///
+/// let rec = LatencyRecorder::new();
+/// rec.record(Duration::from_micros(100));
+/// rec.record(Duration::from_micros(300));
+/// let s = rec.summary();
+/// assert_eq!(s.count, 2);
+/// assert_eq!(s.mean_us, 200.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    samples: Mutex<Vec<f64>>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, d: Duration) {
+        self.samples.lock().push(d.as_secs_f64() * 1e6);
+    }
+
+    /// Records a raw microsecond sample.
+    pub fn record_micros(&self, us: f64) {
+        self.samples.lock().push(us);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.lock().is_empty()
+    }
+
+    /// Clears all samples.
+    pub fn reset(&self) {
+        self.samples.lock().clear();
+    }
+
+    /// Computes summary statistics over the samples recorded so far.
+    pub fn summary(&self) -> Summary {
+        let mut samples = self.samples.lock().clone();
+        summarize(&mut samples)
+    }
+
+    /// Takes the raw samples, leaving the recorder empty.
+    pub fn take_samples(&self) -> Vec<f64> {
+        std::mem::take(&mut *self.samples.lock())
+    }
+}
+
+/// Computes a [`Summary`] from raw microsecond samples (sorts in place).
+pub fn summarize(samples: &mut [f64]) -> Summary {
+    if samples.is_empty() {
+        return Summary::EMPTY;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
+    let count = samples.len();
+    let sum: f64 = samples.iter().sum();
+    let pct = |q: f64| -> f64 {
+        let idx = ((count as f64 - 1.0) * q).round() as usize;
+        samples[idx]
+    };
+    Summary {
+        count,
+        min_us: samples[0],
+        mean_us: sum / count as f64,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        max_us: samples[count - 1],
+    }
+}
+
+/// A time-bucketed series: samples are grouped into fixed windows so the
+/// harness can print "latency over time" curves (Figure 4) or rates.
+#[derive(Debug)]
+pub struct TimeSeries {
+    bucket_us: u64,
+    buckets: Mutex<Vec<(f64, usize)>>, // (sum, count) per bucket
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn new(bucket: Duration) -> Self {
+        let bucket_us = bucket.as_micros() as u64;
+        assert!(bucket_us > 0, "bucket width must be positive");
+        TimeSeries { bucket_us, buckets: Mutex::new(Vec::new()) }
+    }
+
+    /// Records `value` at time `at_us` (microseconds since the run start).
+    pub fn record(&self, at_us: u64, value: f64) {
+        let idx = (at_us / self.bucket_us) as usize;
+        let mut buckets = self.buckets.lock();
+        if buckets.len() <= idx {
+            buckets.resize(idx + 1, (0.0, 0));
+        }
+        buckets[idx].0 += value;
+        buckets[idx].1 += 1;
+    }
+
+    /// Returns `(bucket_start_seconds, mean_value)` rows; empty buckets are
+    /// skipped.
+    pub fn mean_rows(&self) -> Vec<(f64, f64)> {
+        let buckets = self.buckets.lock();
+        buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, n))| *n > 0)
+            .map(|(i, (sum, n))| {
+                let t = (i as u64 * self.bucket_us) as f64 / 1e6;
+                (t, sum / *n as f64)
+            })
+            .collect()
+    }
+
+    /// Returns `(bucket_start_seconds, count_per_second)` rows — a rate
+    /// series.
+    pub fn rate_rows(&self) -> Vec<(f64, f64)> {
+        let buckets = self.buckets.lock();
+        let width_s = self.bucket_us as f64 / 1e6;
+        buckets
+            .iter()
+            .enumerate()
+            .map(|(i, (_, n))| {
+                let t = (i as u64 * self.bucket_us) as f64 / 1e6;
+                (t, *n as f64 / width_s)
+            })
+            .collect()
+    }
+}
+
+/// Simple monotonically increasing counter with snapshot support.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: std::sync::atomic::AtomicU64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let rec = LatencyRecorder::new();
+        assert!(rec.is_empty());
+        assert_eq!(rec.summary(), Summary::EMPTY);
+    }
+
+    #[test]
+    fn summary_statistics_are_correct() {
+        let rec = LatencyRecorder::new();
+        for us in [100u64, 200, 300, 400, 500] {
+            rec.record(Duration::from_micros(us));
+        }
+        let s = rec.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min_us, 100.0);
+        assert_eq!(s.max_us, 500.0);
+        assert_eq!(s.mean_us, 300.0);
+        assert_eq!(s.p50_us, 300.0);
+    }
+
+    #[test]
+    fn percentiles_pick_high_tail() {
+        let mut samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = summarize(&mut samples);
+        assert_eq!(s.p95_us, 95.0);
+        assert_eq!(s.p99_us, 98.0 + 1.0); // round((99)*0.99)=98 -> samples[98]=99
+    }
+
+    #[test]
+    fn reset_and_take_clear_samples() {
+        let rec = LatencyRecorder::new();
+        rec.record_micros(5.0);
+        assert_eq!(rec.len(), 1);
+        rec.reset();
+        assert!(rec.is_empty());
+        rec.record_micros(7.0);
+        let taken = rec.take_samples();
+        assert_eq!(taken, vec![7.0]);
+        assert!(rec.is_empty());
+    }
+
+    #[test]
+    fn time_series_buckets_means() {
+        let ts = TimeSeries::new(Duration::from_secs(1));
+        ts.record(100_000, 10.0);
+        ts.record(900_000, 30.0);
+        ts.record(1_500_000, 100.0);
+        let rows = ts.mean_rows();
+        assert_eq!(rows, vec![(0.0, 20.0), (1.0, 100.0)]);
+    }
+
+    #[test]
+    fn time_series_rates() {
+        let ts = TimeSeries::new(Duration::from_millis(500));
+        for i in 0..10 {
+            ts.record(i * 100_000, 1.0); // 10 events over 1s
+        }
+        let rows = ts.rate_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1, 10.0); // 5 events / 0.5 s
+        assert_eq!(rows[1].1, 10.0);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn zero_bucket_panics() {
+        let _ = TimeSeries::new(Duration::from_secs(0));
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests: the wire codec round-trips arbitrary values, and
+//! decoding never panics on arbitrary bytes.
+
+use proptest::prelude::*;
+use streammine_common::codec::{decode_from_slice, encode_to_vec, roundtrip};
+use streammine_common::event::{Event, Value};
+use streammine_common::ids::{EventId, OperatorId};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN breaks PartialEq-based roundtrip checks.
+        (-1e15f64..1e15).prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        ".{0,24}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(Value::Record)
+    })
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (any::<u32>(), any::<u64>(), any::<u32>(), any::<u64>(), any::<bool>(), value_strategy()).prop_map(
+        |(op, seq, version, ts, speculative, payload)| Event {
+            id: EventId::new(OperatorId::new(op), seq),
+            version,
+            timestamp: ts,
+            speculative,
+            payload,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn value_roundtrips(v in value_strategy()) {
+        prop_assert_eq!(roundtrip(&v).unwrap(), v);
+    }
+
+    #[test]
+    fn event_roundtrips(e in event_strategy()) {
+        prop_assert_eq!(roundtrip(&e).unwrap(), e);
+    }
+
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Must return Ok or Err, never panic or over-allocate.
+        let _ = decode_from_slice::<Value>(&bytes);
+        let _ = decode_from_slice::<Event>(&bytes);
+        let _ = decode_from_slice::<Vec<u64>>(&bytes);
+        let _ = decode_from_slice::<String>(&bytes);
+    }
+
+    #[test]
+    fn truncated_encodings_error_cleanly(v in value_strategy(), cut in 0usize..64) {
+        let bytes = encode_to_vec(&v);
+        if cut < bytes.len() {
+            // A strict prefix must never decode successfully to the same
+            // value AND must not panic.
+            let _ = decode_from_slice::<Value>(&bytes[..bytes.len() - cut - 1]);
+        }
+    }
+
+    #[test]
+    fn stable_hash_is_pure(v in value_strategy()) {
+        prop_assert_eq!(v.stable_hash(), v.clone().stable_hash());
+    }
+}

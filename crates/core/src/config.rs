@@ -1,0 +1,173 @@
+//! Per-operator configuration.
+
+use std::time::Duration;
+
+use streammine_common::error::{Error, Result};
+use streammine_storage::disk::DiskSpec;
+use streammine_stm::StmConfig;
+
+/// Determinant-logging configuration of one operator.
+#[derive(Debug, Clone)]
+pub struct LoggingConfig {
+    /// One storage point per spec (the paper's `N` disks / `Sim X`
+    /// configurations); the log runs one writer thread per point plus the
+    /// shared collector queue (§2.4).
+    pub disks: Vec<DiskSpec>,
+}
+
+impl LoggingConfig {
+    /// A single simulated disk with the given stable-write latency.
+    pub fn simulated(write_latency: Duration) -> Self {
+        LoggingConfig { disks: vec![DiskSpec::simulated(write_latency)] }
+    }
+
+    /// `n` simulated disks with the given latency each.
+    pub fn simulated_n(n: usize, write_latency: Duration) -> Self {
+        LoggingConfig { disks: vec![DiskSpec::simulated(write_latency); n] }
+    }
+}
+
+/// Configuration of one operator instance (§2.3: "each operator can be
+/// configured as being speculative or not").
+#[derive(Debug, Clone)]
+pub struct OperatorConfig {
+    /// Speculative mode: events are emitted before logs stabilize, tagged
+    /// speculative, and finalized later; processing runs under STM control.
+    pub speculative: bool,
+    /// Worker threads for optimistic parallelization (only meaningful in
+    /// speculative mode; `1` = process events one at a time).
+    pub threads: usize,
+    /// Determinant logging; `None` for fully deterministic operators that
+    /// need no log (§1: stateless/stateful deterministic cases).
+    pub logging: Option<LoggingConfig>,
+    /// Checkpoint the operator state every this many processed events;
+    /// `None` disables checkpointing (upstreams then retain all output).
+    pub checkpoint_every: Option<u64>,
+    /// STM tuning (speculative mode).
+    pub stm: StmConfig,
+}
+
+impl Default for OperatorConfig {
+    fn default() -> Self {
+        OperatorConfig {
+            speculative: false,
+            threads: 1,
+            logging: None,
+            checkpoint_every: None,
+            stm: StmConfig::default(),
+        }
+    }
+}
+
+impl OperatorConfig {
+    /// Non-speculative operator without logging (deterministic).
+    pub fn plain() -> Self {
+        Self::default()
+    }
+
+    /// Non-speculative operator that logs determinants on `disks` and only
+    /// forwards events once the log is stable (the classic approach whose
+    /// latency the paper attacks).
+    pub fn logged(logging: LoggingConfig) -> Self {
+        OperatorConfig { logging: Some(logging), ..Self::default() }
+    }
+
+    /// Speculative operator: emits speculative events immediately and
+    /// finalizes them when logs stabilize and dependencies commit.
+    pub fn speculative(logging: LoggingConfig) -> Self {
+        OperatorConfig { speculative: true, logging: Some(logging), ..Self::default() }
+    }
+
+    /// Speculative operator without determinant logging (deterministic but
+    /// consuming speculative inputs).
+    pub fn speculative_unlogged() -> Self {
+        OperatorConfig { speculative: true, ..Self::default() }
+    }
+
+    /// Sets the optimistic-parallelization worker count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the checkpoint interval (events).
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, events: u64) -> Self {
+        self.checkpoint_every = Some(events);
+        self
+    }
+
+    /// Sets the STM configuration.
+    #[must_use]
+    pub fn with_stm(mut self, stm: StmConfig) -> Self {
+        self.stm = stm;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] when thread counts or logging setups are invalid.
+    pub fn validate(&self) -> Result<()> {
+        if self.threads == 0 {
+            return Err(Error::Config("threads must be at least 1".into()));
+        }
+        if self.threads > 1 && !self.speculative {
+            return Err(Error::Config(
+                "optimistic parallelization (threads > 1) requires speculative mode".into(),
+            ));
+        }
+        if let Some(log) = &self.logging {
+            if log.disks.is_empty() {
+                return Err(Error::Config("logging configured with zero storage points".into()));
+            }
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err(Error::Config("checkpoint interval must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        OperatorConfig::plain().validate().unwrap();
+        OperatorConfig::logged(LoggingConfig::simulated(Duration::from_millis(5)))
+            .validate()
+            .unwrap();
+        OperatorConfig::speculative(LoggingConfig::simulated_n(3, Duration::from_millis(10)))
+            .with_threads(4)
+            .with_checkpoint_every(100)
+            .validate()
+            .unwrap();
+        OperatorConfig::speculative_unlogged().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let c = OperatorConfig { threads: 0, ..OperatorConfig::plain() };
+        assert!(matches!(c.validate(), Err(Error::Config(_))));
+
+        let c = OperatorConfig { threads: 4, ..OperatorConfig::plain() };
+        assert!(matches!(c.validate(), Err(Error::Config(_))));
+
+        let c = OperatorConfig::logged(LoggingConfig { disks: vec![] });
+        assert!(matches!(c.validate(), Err(Error::Config(_))));
+
+        let c = OperatorConfig::plain().with_checkpoint_every(0);
+        assert!(matches!(c.validate(), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn simulated_n_builds_n_disks() {
+        let lc = LoggingConfig::simulated_n(3, Duration::from_millis(5));
+        assert_eq!(lc.disks.len(), 3);
+        assert_eq!(lc.disks[0].write_latency, Duration::from_millis(5));
+    }
+}

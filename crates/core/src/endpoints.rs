@@ -1,0 +1,437 @@
+//! Graph endpoints: external sources and observing sinks.
+//!
+//! Sources model the paper's *Publisher* components: they inject events
+//! into the graph from outside (workload generators, test drivers). Sinks
+//! model *Consumer* components: they record arrivals, track speculative →
+//! final upgrades, and compute the latency series the evaluation plots.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use streammine_common::clock::SharedClock;
+use streammine_common::event::{Event, Timestamp, Value};
+use streammine_common::ids::{EventId, OperatorId};
+use streammine_net::{LinkReceiver, LinkSender};
+
+use crate::message::{Control, Message};
+
+/// Injects events into the graph from outside.
+///
+/// Events are stamped with the source's clock at push time, which is what
+/// end-to-end latency is measured against. The source retains sent events
+/// for replay (the paper's "log messages at the source components", §1) and
+/// answers downstream replay requests on a background responder thread.
+pub struct SourceHandle {
+    id: OperatorId,
+    tx: LinkSender<Message>,
+    clock: SharedClock,
+    next_seq: AtomicU64,
+    _responder: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for SourceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SourceHandle")
+            .field("id", &self.id)
+            .field("sent", &self.next_seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SourceHandle {
+    pub(crate) fn new(
+        id: OperatorId,
+        tx: LinkSender<Message>,
+        ctrl_rx: LinkReceiver<Control>,
+        clock: SharedClock,
+    ) -> Self {
+        let responder = {
+            let tx = tx.clone();
+            std::thread::Builder::new()
+                .name(format!("source-{}-ctrl", id))
+                .spawn(move || {
+                    while let Ok((_seq, ctrl)) = ctrl_rx.recv() {
+                        match ctrl {
+                            Control::ReplayRequest { from } => tx.replay_from(from),
+                            Control::Ack { upto } => tx.ack_upto(upto),
+                            _ => {}
+                        }
+                    }
+                })
+                .ok()
+        };
+        SourceHandle { id, tx, clock, next_seq: AtomicU64::new(0), _responder: responder }
+    }
+
+    /// The operator id under which this source's events are identified.
+    pub fn id(&self) -> OperatorId {
+        self.id
+    }
+
+    /// Pushes a final event; returns its id.
+    pub fn push(&self, payload: Value) -> EventId {
+        self.push_inner(payload, false)
+    }
+
+    /// Pushes a *speculative* event (the upstream-subgraph-speculates
+    /// scenario of §3.1); finalize later with [`SourceHandle::finalize`].
+    pub fn push_speculative(&self, payload: Value) -> EventId {
+        self.push_inner(payload, true)
+    }
+
+    fn push_inner(&self, payload: Value, speculative: bool) -> EventId {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let id = EventId::new(self.id, seq);
+        let event = Event {
+            id,
+            version: 0,
+            timestamp: self.clock.now_micros(),
+            speculative,
+            payload,
+        };
+        let _ = self.tx.send(Message::Data(event));
+        id
+    }
+
+    /// Replaces a previously pushed speculative event with new content
+    /// (bumped version), as when `E1′` becomes `E1″` in §3.1.
+    pub fn revise(&self, id: EventId, version: u32, payload: Value) {
+        let event = Event {
+            id,
+            version,
+            timestamp: self.clock.now_micros(),
+            speculative: true,
+            payload,
+        };
+        let _ = self.tx.send(Message::Data(event));
+    }
+
+    /// Finalizes a previously pushed speculative event.
+    pub fn finalize(&self, id: EventId, version: u32) {
+        let _ = self.tx.send(Message::Control(Control::Finalize { id, version }));
+    }
+
+    /// Revokes a previously pushed speculative event.
+    pub fn revoke(&self, id: EventId) {
+        let _ = self.tx.send(Message::Control(Control::Revoke { id }));
+    }
+
+    /// Signals end of stream.
+    pub fn eof(&self) {
+        let _ = self.tx.send(Message::Control(Control::Eof));
+    }
+
+    /// Number of events pushed so far.
+    pub fn pushed(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+}
+
+/// What a sink recorded about one event id.
+#[derive(Debug, Clone)]
+pub struct SinkRecord {
+    /// Latest content received.
+    pub event: Event,
+    /// Sink-clock time of the first (possibly speculative) arrival.
+    pub first_arrival_us: Timestamp,
+    /// Sink-clock time at which the event became final (direct final
+    /// arrival or a later finalize), if it did.
+    pub final_at_us: Option<Timestamp>,
+    /// Number of distinct versions observed.
+    pub versions_seen: u32,
+}
+
+#[derive(Default)]
+struct SinkState {
+    records: HashMap<EventId, SinkRecord>,
+    final_order: Vec<EventId>,
+    revoked: Vec<EventId>,
+}
+
+/// Observes a graph edge, recording arrivals and finalizations.
+pub struct SinkHandle {
+    clock: SharedClock,
+    state: Arc<Mutex<SinkState>>,
+    cv: Arc<Condvar>,
+    eof: Arc<AtomicU64>,
+    _collector: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("SinkHandle")
+            .field("events", &state.records.len())
+            .field("final", &state.final_order.len())
+            .finish()
+    }
+}
+
+impl SinkHandle {
+    pub(crate) fn new(rx: LinkReceiver<Message>, ctrl_tx: LinkSender<Control>, clock: SharedClock) -> Self {
+        let state: Arc<Mutex<SinkState>> = Arc::new(Mutex::new(SinkState::default()));
+        let cv = Arc::new(Condvar::new());
+        let eof = Arc::new(AtomicU64::new(0));
+        let collector = {
+            let state = state.clone();
+            let cv = cv.clone();
+            let clock = clock.clone();
+            let eof = eof.clone();
+            std::thread::Builder::new()
+                .name("sink-collector".into())
+                .spawn(move || {
+                    let _ctrl_tx = ctrl_tx; // kept alive for future ack support
+                    while let Ok((_seq, msg)) = rx.recv() {
+                        let now = clock.now_micros();
+                        let mut s = state.lock();
+                        match msg {
+                            Message::Data(event) => {
+                                let id = event.id;
+                                let is_final = event.is_final();
+                                let entry = s.records.entry(id).or_insert_with(|| SinkRecord {
+                                    event: event.clone(),
+                                    first_arrival_us: now,
+                                    final_at_us: None,
+                                    versions_seen: 0,
+                                });
+                                if event.version >= entry.event.version {
+                                    if event.version > entry.event.version {
+                                        entry.versions_seen += 1;
+                                    }
+                                    entry.event = event;
+                                }
+                                entry.versions_seen = entry.versions_seen.max(1);
+                                if is_final && entry.final_at_us.is_none() {
+                                    entry.final_at_us = Some(now);
+                                    entry.event.speculative = false;
+                                    s.final_order.push(id);
+                                }
+                            }
+                            Message::Control(Control::Finalize { id, version }) => {
+                                if let Some(entry) = s.records.get_mut(&id) {
+                                    if entry.event.version == version && entry.final_at_us.is_none() {
+                                        entry.final_at_us = Some(now);
+                                        entry.event.speculative = false;
+                                        s.final_order.push(id);
+                                    }
+                                }
+                            }
+                            Message::Control(Control::Revoke { id }) => {
+                                s.records.remove(&id);
+                                s.revoked.push(id);
+                            }
+                            Message::Control(Control::Eof) => {
+                                eof.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Message::Control(_) => {}
+                        }
+                        drop(s);
+                        cv.notify_all();
+                    }
+                })
+                .ok()
+        };
+        SinkHandle { clock, state, cv, eof, _collector: collector }
+    }
+
+    /// Number of events that reached final state.
+    pub fn final_count(&self) -> usize {
+        self.state.lock().final_order.len()
+    }
+
+    /// Number of events seen at all (speculative or final).
+    pub fn seen_count(&self) -> usize {
+        self.state.lock().records.len()
+    }
+
+    /// Ids revoked by the upstream.
+    pub fn revoked(&self) -> Vec<EventId> {
+        self.state.lock().revoked.clone()
+    }
+
+    /// Blocks until at least `n` events are final (or the timeout expires);
+    /// returns whether the target was reached.
+    pub fn wait_final(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut s = self.state.lock();
+        while s.final_order.len() < n {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.cv.wait_for(&mut s, deadline - now);
+        }
+        true
+    }
+
+    /// The final events in finalization order.
+    pub fn final_events(&self) -> Vec<Event> {
+        let s = self.state.lock();
+        s.final_order.iter().filter_map(|id| s.records.get(id)).map(|r| r.event.clone()).collect()
+    }
+
+    /// The final events sorted by id (stable across arrival order), for
+    /// output-equivalence assertions in recovery tests.
+    pub fn final_events_by_id(&self) -> Vec<Event> {
+        let mut events = self.final_events();
+        events.sort_by_key(|e| (e.id, e.version));
+        events
+    }
+
+    /// Latency from event timestamp (source push) to *final* arrival, per
+    /// finalized event, in microseconds.
+    pub fn final_latencies_us(&self) -> Vec<f64> {
+        let s = self.state.lock();
+        s.final_order
+            .iter()
+            .filter_map(|id| s.records.get(id))
+            .filter_map(|r| r.final_at_us.map(|f| f.saturating_sub(r.event.timestamp) as f64))
+            .collect()
+    }
+
+    /// Latency from event timestamp to *first* (speculative or final)
+    /// arrival, in microseconds — the "permitted to output speculative
+    /// results" scenario at the end of §4.
+    pub fn first_arrival_latencies_us(&self) -> Vec<f64> {
+        let s = self.state.lock();
+        let mut v: Vec<f64> = s
+            .records
+            .values()
+            .map(|r| r.first_arrival_us.saturating_sub(r.event.timestamp) as f64)
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        v
+    }
+
+    /// All records (diagnostics).
+    pub fn records(&self) -> Vec<SinkRecord> {
+        self.state.lock().records.values().cloned().collect()
+    }
+
+    /// Whether EOF arrived.
+    pub fn saw_eof(&self) -> bool {
+        self.eof.load(Ordering::SeqCst) > 0
+    }
+
+    /// The sink's clock (useful for computing rates).
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammine_common::clock::{shared, SystemClock};
+    use streammine_net::{link, LinkConfig};
+
+    fn setup() -> (SourceHandle, SinkHandle) {
+        let clock: SharedClock = shared(SystemClock::new());
+        let (data_tx, data_rx) = link::<Message>(LinkConfig::instant());
+        let (src_ctrl_tx, src_ctrl_rx) = link::<Control>(LinkConfig::instant());
+        let (sink_ctrl_tx, _sink_ctrl_rx) = link::<Control>(LinkConfig::instant());
+        let source = SourceHandle::new(OperatorId::new(0), data_tx, src_ctrl_rx, clock.clone());
+        let sink = SinkHandle::new(data_rx, sink_ctrl_tx, clock);
+        let _ = src_ctrl_tx;
+        (source, sink)
+    }
+
+    #[test]
+    fn final_events_flow_through() {
+        let (source, sink) = setup();
+        source.push(Value::Int(1));
+        source.push(Value::Int(2));
+        assert!(sink.wait_final(2, Duration::from_secs(2)));
+        let events = sink.final_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].payload, Value::Int(1));
+        assert!(!sink.final_latencies_us().is_empty());
+    }
+
+    #[test]
+    fn speculative_event_finalizes_later() {
+        let (source, sink) = setup();
+        let id = source.push_speculative(Value::Int(7));
+        // Arrives speculative: seen but not final.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while sink.seen_count() < 1 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(sink.seen_count(), 1);
+        assert_eq!(sink.final_count(), 0);
+        source.finalize(id, 0);
+        assert!(sink.wait_final(1, Duration::from_secs(2)));
+        assert_eq!(sink.final_events()[0].payload, Value::Int(7));
+    }
+
+    #[test]
+    fn revision_updates_content_before_finalize() {
+        let (source, sink) = setup();
+        let id = source.push_speculative(Value::Int(1));
+        source.revise(id, 1, Value::Int(2));
+        source.finalize(id, 1);
+        assert!(sink.wait_final(1, Duration::from_secs(2)));
+        let ev = &sink.final_events()[0];
+        assert_eq!(ev.payload, Value::Int(2));
+        assert_eq!(ev.version, 1);
+    }
+
+    #[test]
+    fn finalize_of_stale_version_is_ignored() {
+        let (source, sink) = setup();
+        let id = source.push_speculative(Value::Int(1));
+        source.revise(id, 1, Value::Int(2));
+        source.finalize(id, 0); // stale
+        assert!(!sink.wait_final(1, Duration::from_millis(100)));
+        source.finalize(id, 1);
+        assert!(sink.wait_final(1, Duration::from_secs(2)));
+    }
+
+    #[test]
+    fn revoke_removes_event() {
+        let (source, sink) = setup();
+        let id = source.push_speculative(Value::Int(1));
+        source.revoke(id);
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while sink.revoked().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(sink.revoked(), vec![id]);
+        assert_eq!(sink.seen_count(), 0);
+    }
+
+    #[test]
+    fn eof_propagates() {
+        let (source, sink) = setup();
+        source.eof();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while !sink.saw_eof() && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(sink.saw_eof());
+    }
+
+    #[test]
+    fn source_replays_on_request() {
+        let clock: SharedClock = shared(SystemClock::new());
+        let (data_tx, data_rx) = link::<Message>(LinkConfig::instant());
+        let (ctrl_tx, ctrl_rx) = link::<Control>(LinkConfig::instant());
+        let source = SourceHandle::new(OperatorId::new(0), data_tx, ctrl_rx, clock);
+        source.push(Value::Int(1));
+        source.push(Value::Int(2));
+        // Consume both, then ask for replay from 0 like a recovering node.
+        let a = data_rx.recv().unwrap();
+        let b = data_rx.recv().unwrap();
+        assert_eq!(a.0, 0);
+        assert_eq!(b.0, 1);
+        ctrl_tx.send(Control::ReplayRequest { from: 0 }).unwrap();
+        let a2 = data_rx.recv().unwrap();
+        assert_eq!(a2.0, 0, "replayed with original link sequence");
+        assert_eq!(source.pushed(), 2);
+    }
+}

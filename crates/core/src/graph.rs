@@ -1,0 +1,484 @@
+//! Graph construction and runtime control.
+//!
+//! A [`GraphBuilder`] assembles an acyclic operator graph with external
+//! sources and observing sinks, validates it, and [`Graph::start`]s it into
+//! a [`Running`] instance: one coordinator thread per operator, simulated
+//! links between them, plus crash / recovery control for fault-injection
+//! experiments.
+
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use streammine_common::clock::{shared, SharedClock, SystemClock};
+use streammine_common::error::{Error, Result};
+use streammine_common::ids::OperatorId;
+use streammine_net::{link, LinkConfig, LinkSender};
+use streammine_storage::checkpoint::CheckpointStore;
+use streammine_storage::disk::DiskSpec;
+use streammine_storage::log::StableLog;
+
+use crate::config::OperatorConfig;
+use crate::endpoints::{SinkHandle, SourceHandle};
+use crate::message::{Control, Message};
+use crate::node::{Node, NodeSeed};
+use crate::operator::Operator;
+use crate::plumbing::{pump_ctrl, pump_data, DownEdge, Intake, IntakeHandle, NodeCommand, UpEdge};
+
+/// Identifies an external source created by the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceId(pub usize);
+
+/// Identifies a sink created by the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkId(pub usize);
+
+struct OpSpec {
+    operator: Arc<dyn Operator>,
+    config: OperatorConfig,
+}
+
+/// Builder for operator graphs.
+///
+/// See the crate-level quickstart for a complete worked example.
+pub struct GraphBuilder {
+    ops: Vec<OpSpec>,
+    op_edges: Vec<(OperatorId, OperatorId)>,
+    sources: Vec<OperatorId>, // target operator of each source
+    sinks: Vec<OperatorId>,   // source operator of each sink
+    clock: SharedClock,
+    link_config: LinkConfig,
+}
+
+impl fmt::Debug for GraphBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GraphBuilder")
+            .field("operators", &self.ops.len())
+            .field("edges", &self.op_edges.len())
+            .field("sources", &self.sources.len())
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder with a system clock and zero-delay links.
+    pub fn new() -> Self {
+        GraphBuilder {
+            ops: Vec::new(),
+            op_edges: Vec::new(),
+            sources: Vec::new(),
+            sinks: Vec::new(),
+            clock: shared(SystemClock::new()),
+            link_config: LinkConfig::instant(),
+        }
+    }
+
+    /// Uses a custom clock for all components.
+    #[must_use]
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Uses a custom link delay model for all operator-to-operator links
+    /// (the LAN/WAN scenarios discussed under Figure 3).
+    #[must_use]
+    pub fn with_links(mut self, config: LinkConfig) -> Self {
+        self.link_config = config;
+        self
+    }
+
+    /// Adds an operator with its configuration; returns its id.
+    pub fn add_operator(&mut self, operator: impl Operator, config: OperatorConfig) -> OperatorId {
+        let id = OperatorId::new(self.ops.len() as u32);
+        self.ops.push(OpSpec { operator: Arc::new(operator), config });
+        id
+    }
+
+    fn check_op(&self, id: OperatorId) -> Result<()> {
+        if (id.index() as usize) < self.ops.len() {
+            Ok(())
+        } else {
+            Err(Error::UnknownOperator(id))
+        }
+    }
+
+    /// Connects operator `from`'s output to a new input port of `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownOperator`] for dangling ids; cycles are detected at
+    /// [`GraphBuilder::build`].
+    pub fn connect(&mut self, from: OperatorId, to: OperatorId) -> Result<()> {
+        self.check_op(from)?;
+        self.check_op(to)?;
+        if from == to {
+            return Err(Error::InvalidGraph(format!("self-loop on {from}")));
+        }
+        self.op_edges.push((from, to));
+        Ok(())
+    }
+
+    /// Creates an external source feeding a new input port of `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownOperator`] for dangling ids.
+    pub fn source_into(&mut self, to: OperatorId) -> Result<SourceId> {
+        self.check_op(to)?;
+        self.sources.push(to);
+        Ok(SourceId(self.sources.len() - 1))
+    }
+
+    /// Attaches a sink observing every output of `from`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownOperator`] for dangling ids.
+    pub fn sink_from(&mut self, from: OperatorId) -> Result<SinkId> {
+        self.check_op(from)?;
+        self.sinks.push(from);
+        Ok(SinkId(self.sinks.len() - 1))
+    }
+
+    /// Validates the graph and freezes it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidGraph`] for cycles or disconnected operators;
+    /// [`Error::Config`] for invalid operator configurations.
+    pub fn build(self) -> Result<Graph> {
+        for (i, spec) in self.ops.iter().enumerate() {
+            spec.config.validate().map_err(|e| {
+                Error::Config(format!("operator op{i} ({}): {e}", spec.operator.name()))
+            })?;
+        }
+        // Kahn's algorithm over operator-only edges: cycles are fatal
+        // (ESP graphs are acyclic by definition, §1).
+        let n = self.ops.len();
+        let mut indegree = vec![0usize; n];
+        for (_, to) in &self.op_edges {
+            indegree[to.index() as usize] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut visited = 0;
+        while let Some(i) = queue.pop() {
+            visited += 1;
+            for (from, to) in &self.op_edges {
+                if from.index() as usize == i {
+                    let t = to.index() as usize;
+                    indegree[t] -= 1;
+                    if indegree[t] == 0 {
+                        queue.push(t);
+                    }
+                }
+            }
+        }
+        if visited != n {
+            return Err(Error::InvalidGraph("cycle in operator graph".into()));
+        }
+        Ok(Graph { builder: self })
+    }
+}
+
+/// A validated, not-yet-running graph.
+pub struct Graph {
+    builder: GraphBuilder,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.builder.fmt(f)
+    }
+}
+
+struct NodePersist {
+    id: OperatorId,
+    operator: Arc<dyn Operator>,
+    config: OperatorConfig,
+    intake: IntakeHandle,
+    log: Option<StableLog>,
+    checkpoints: Option<Arc<CheckpointStore>>,
+    up_ctrl: Vec<LinkSender<Control>>,
+    down_data: Vec<LinkSender<Message>>,
+    _pumps: Vec<JoinHandle<()>>,
+    join: Mutex<Option<JoinHandle<()>>>,
+    rng_seed: u64,
+}
+
+impl NodePersist {
+    fn seed(&self, recovering: bool) -> NodeSeed {
+        NodeSeed {
+            id: self.id,
+            operator: self.operator.clone(),
+            config: self.config.clone(),
+            clock: shared_clock_placeholder(), // replaced by caller
+            intake: self.intake.clone(),
+            up: self.up_ctrl.iter().map(|c| UpEdge { ctrl_tx: c.clone(), _data_pump: None }).collect(),
+            down: self.down_data.iter().map(|d| DownEdge { data_tx: d.clone(), _ctrl_pump: None }).collect(),
+            log: self.log.clone(),
+            checkpoints: self.checkpoints.clone(),
+            rng_seed: self.rng_seed,
+            recovering,
+        }
+    }
+}
+
+fn shared_clock_placeholder() -> SharedClock {
+    shared(SystemClock::new())
+}
+
+impl Graph {
+    /// Wires the links, spawns all node threads and endpoint helpers.
+    pub fn start(self) -> Running {
+        let b = self.builder;
+        let clock = b.clock.clone();
+        let n = b.ops.len();
+
+        let intakes: Vec<IntakeHandle> = (0..n).map(|_| IntakeHandle::new()).collect();
+        let mut up_ctrl: Vec<Vec<LinkSender<Control>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut down_data: Vec<Vec<LinkSender<Message>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut pumps: Vec<Vec<JoinHandle<()>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut next_port: Vec<u32> = vec![0; n];
+        let mut next_out: Vec<u32> = vec![0; n];
+
+        // Operator-to-operator edges.
+        for (from, to) in &b.op_edges {
+            let f = from.index() as usize;
+            let t = to.index() as usize;
+            let (data_tx, data_rx) = link::<Message>(b.link_config.clone());
+            let (ctrl_tx, ctrl_rx) = link::<Control>(b.link_config.clone());
+            let port = next_port[t];
+            next_port[t] += 1;
+            let out = next_out[f];
+            next_out[f] += 1;
+            pumps[t].push(pump_data(port, data_rx, intakes[t].tx.clone()));
+            pumps[f].push(pump_ctrl(out, ctrl_rx, intakes[f].tx.clone()));
+            down_data[f].push(data_tx);
+            up_ctrl[t].push(ctrl_tx);
+        }
+
+        // External sources.
+        let mut sources = Vec::new();
+        for (i, to) in b.sources.iter().enumerate() {
+            let t = to.index() as usize;
+            let (data_tx, data_rx) = link::<Message>(b.link_config.clone());
+            let (ctrl_tx, ctrl_rx) = link::<Control>(b.link_config.clone());
+            let port = next_port[t];
+            next_port[t] += 1;
+            pumps[t].push(pump_data(port, data_rx, intakes[t].tx.clone()));
+            up_ctrl[t].push(ctrl_tx);
+            let source_id = OperatorId::new((n + i) as u32);
+            sources.push(SourceHandle::new(source_id, data_tx, ctrl_rx, clock.clone()));
+        }
+
+        // Sinks.
+        let mut sinks = Vec::new();
+        for from in &b.sinks {
+            let f = from.index() as usize;
+            let (data_tx, data_rx) = link::<Message>(b.link_config.clone());
+            let (ctrl_tx, ctrl_rx) = link::<Control>(b.link_config.clone());
+            let out = next_out[f];
+            next_out[f] += 1;
+            pumps[f].push(pump_ctrl(out, ctrl_rx, intakes[f].tx.clone()));
+            down_data[f].push(data_tx);
+            sinks.push(SinkHandle::new(data_rx, ctrl_tx, clock.clone()));
+        }
+
+        // Persistent per-node infrastructure + node threads.
+        let mut nodes = Vec::new();
+        for (i, spec) in b.ops.into_iter().enumerate() {
+            let log = spec.config.logging.as_ref().map(|lc| StableLog::new(lc.disks.clone()));
+            let checkpoints = spec
+                .config
+                .checkpoint_every
+                .map(|_| Arc::new(CheckpointStore::new(DiskSpec::simulated(Duration::ZERO))));
+            let persist = NodePersist {
+                id: OperatorId::new(i as u32),
+                operator: spec.operator,
+                config: spec.config,
+                intake: intakes[i].clone(),
+                log,
+                checkpoints,
+                up_ctrl: std::mem::take(&mut up_ctrl[i]),
+                down_data: std::mem::take(&mut down_data[i]),
+                _pumps: std::mem::take(&mut pumps[i]),
+                join: Mutex::new(None),
+                rng_seed: 0xABCD_0000 + i as u64,
+            };
+            let mut seed = persist.seed(false);
+            seed.clock = clock.clone();
+            *persist.join.lock() = Some(Node::start(seed));
+            nodes.push(persist);
+        }
+
+        Running { clock, nodes, sources, sinks }
+    }
+}
+
+/// A running graph: handles to sources, sinks and fault injection.
+pub struct Running {
+    clock: SharedClock,
+    nodes: Vec<NodePersist>,
+    sources: Vec<SourceHandle>,
+    sinks: Vec<SinkHandle>,
+}
+
+impl fmt::Debug for Running {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Running")
+            .field("operators", &self.nodes.len())
+            .field("sources", &self.sources.len())
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Running {
+    /// The graph's clock.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Handle to a source.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn source(&self, id: SourceId) -> &SourceHandle {
+        &self.sources[id.0]
+    }
+
+    /// Handle to a sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn sink(&self, id: SinkId) -> &SinkHandle {
+        &self.sinks[id.0]
+    }
+
+    /// The decision log of an operator (diagnostics / experiments).
+    pub fn operator_log(&self, op: OperatorId) -> Option<&StableLog> {
+        self.nodes.get(op.index() as usize).and_then(|n| n.log.as_ref())
+    }
+
+    /// Simulates a crash of `op`: the node thread stops and all volatile
+    /// state (operator state, in-flight transactions, queued messages) is
+    /// lost. Links, logs and checkpoints survive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown operator.
+    pub fn crash(&self, op: OperatorId) {
+        let node = &self.nodes[op.index() as usize];
+        let _ = node.intake.tx.send(Intake::Command(NodeCommand::Crash));
+        if let Some(join) = node.join.lock().take() {
+            let _ = join.join();
+        }
+        // In-flight intake messages die with the process.
+        while node.intake.rx.try_recv().is_ok() {}
+    }
+
+    /// Restarts a crashed operator: restores the latest checkpoint, replays
+    /// the stable log's determinants, and requests upstream replay — the
+    /// paper's precise recovery procedure (§2.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operator is still running.
+    pub fn recover(&self, op: OperatorId) {
+        let node = &self.nodes[op.index() as usize];
+        let mut join = node.join.lock();
+        assert!(join.is_none(), "recover() on a running operator {op}");
+        while node.intake.rx.try_recv().is_ok() {}
+        let mut seed = node.seed(true);
+        seed.clock = self.clock.clone();
+        *join = Some(Node::start(seed));
+    }
+
+    /// Stops all operators and waits for their threads.
+    pub fn shutdown(self) {
+        for node in &self.nodes {
+            let _ = node.intake.tx.send(Intake::Command(NodeCommand::Shutdown));
+        }
+        for node in &self.nodes {
+            if let Some(join) = node.join.lock().take() {
+                let _ = join.join();
+            }
+        }
+        for node in &self.nodes {
+            if let Some(log) = &node.log {
+                log.shutdown();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{OpCtx, Operator};
+    use streammine_common::event::Event;
+    use streammine_stm::StmAbort;
+
+    struct Passthrough;
+    impl Operator for Passthrough {
+        fn name(&self) -> &str {
+            "passthrough"
+        }
+        fn process(&self, ctx: &mut OpCtx<'_, '_>, event: &Event) -> std::result::Result<(), StmAbort> {
+            ctx.emit(event.payload.clone());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn builder_validates_unknown_ids_and_self_loops() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_operator(Passthrough, OperatorConfig::plain());
+        assert!(b.connect(a, OperatorId::new(9)).is_err());
+        assert!(b.connect(a, a).is_err());
+        assert!(b.source_into(OperatorId::new(9)).is_err());
+        assert!(b.sink_from(OperatorId::new(9)).is_err());
+    }
+
+    #[test]
+    fn builder_detects_cycles() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_operator(Passthrough, OperatorConfig::plain());
+        let c = b.add_operator(Passthrough, OperatorConfig::plain());
+        b.connect(a, c).unwrap();
+        b.connect(c, a).unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, Error::InvalidGraph(_)));
+    }
+
+    #[test]
+    fn builder_rejects_invalid_operator_config() {
+        let mut b = GraphBuilder::new();
+        let bad = OperatorConfig { threads: 3, ..OperatorConfig::plain() };
+        b.add_operator(Passthrough, bad);
+        assert!(matches!(b.build().unwrap_err(), Error::Config(_)));
+    }
+
+    #[test]
+    fn acyclic_graph_builds() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_operator(Passthrough, OperatorConfig::plain());
+        let c = b.add_operator(Passthrough, OperatorConfig::plain());
+        b.connect(a, c).unwrap();
+        b.source_into(a).unwrap();
+        b.sink_from(c).unwrap();
+        assert!(b.build().is_ok());
+    }
+}

@@ -1,0 +1,203 @@
+//! Messages exchanged between operators.
+//!
+//! Data events and control traffic share each link, mirroring the paper's
+//! protocol (§2.2, Figure 1): speculative data first, then finalize /
+//! revoke control messages once logs stabilize, acknowledgments for output
+//! buffer pruning, and replay requests during recovery.
+
+use std::fmt;
+
+use streammine_common::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use streammine_common::event::Event;
+use streammine_common::ids::EventId;
+
+/// Control messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Control {
+    /// A previously sent speculative event `(id, version)` is now final —
+    /// the sender's decision logs are stable and its transaction committed
+    /// (the paper's step iv / message 6→7).
+    Finalize {
+        /// Event identity.
+        id: EventId,
+        /// The version being finalized.
+        version: u32,
+    },
+    /// A previously sent speculative event will never be finalized (its
+    /// transaction was discarded); the receiver must roll back anything
+    /// that consumed it.
+    Revoke {
+        /// Event identity.
+        id: EventId,
+    },
+    /// The receiver has durably consumed everything below the given link
+    /// sequence; the sender may prune its output buffer (message 5).
+    Ack {
+        /// First link sequence still needed.
+        upto: u64,
+    },
+    /// A recovering receiver asks the sender to re-deliver retained
+    /// messages starting at the given link sequence.
+    ReplayRequest {
+        /// First link sequence to re-deliver.
+        from: u64,
+    },
+    /// No more data will be sent on this link.
+    Eof,
+}
+
+impl fmt::Display for Control {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Control::Finalize { id, version } => write!(f, "finalize {id} v{version}"),
+            Control::Revoke { id } => write!(f, "revoke {id}"),
+            Control::Ack { upto } => write!(f, "ack <{upto}"),
+            Control::ReplayRequest { from } => write!(f, "replay from {from}"),
+            Control::Eof => write!(f, "eof"),
+        }
+    }
+}
+
+/// A link message: data or control.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A data event (speculative or final).
+    Data(Event),
+    /// Protocol control traffic.
+    Control(Control),
+}
+
+impl Message {
+    /// Convenience accessor for the data payload.
+    pub fn as_event(&self) -> Option<&Event> {
+        match self {
+            Message::Data(e) => Some(e),
+            Message::Control(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Message::Data(e) => write!(f, "data {e}"),
+            Message::Control(c) => write!(f, "ctrl {c}"),
+        }
+    }
+}
+
+impl Encode for Control {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Control::Finalize { id, version } => {
+                enc.put_u8(0);
+                id.encode(enc);
+                enc.put_u32(*version);
+            }
+            Control::Revoke { id } => {
+                enc.put_u8(1);
+                id.encode(enc);
+            }
+            Control::Ack { upto } => {
+                enc.put_u8(2);
+                enc.put_u64(*upto);
+            }
+            Control::ReplayRequest { from } => {
+                enc.put_u8(3);
+                enc.put_u64(*from);
+            }
+            Control::Eof => enc.put_u8(4),
+        }
+    }
+}
+
+impl Decode for Control {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match dec.get_u8()? {
+            0 => Control::Finalize { id: EventId::decode(dec)?, version: dec.get_u32()? },
+            1 => Control::Revoke { id: EventId::decode(dec)? },
+            2 => Control::Ack { upto: dec.get_u64()? },
+            3 => Control::ReplayRequest { from: dec.get_u64()? },
+            4 => Control::Eof,
+            tag => return Err(DecodeError::InvalidTag { type_name: "Control", tag }),
+        })
+    }
+}
+
+impl Encode for Message {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Message::Data(e) => {
+                enc.put_u8(0);
+                e.encode(enc);
+            }
+            Message::Control(c) => {
+                enc.put_u8(1);
+                c.encode(enc);
+            }
+        }
+    }
+}
+
+impl Decode for Message {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match dec.get_u8()? {
+            0 => Message::Data(Event::decode(dec)?),
+            1 => Message::Control(Control::decode(dec)?),
+            tag => return Err(DecodeError::InvalidTag { type_name: "Message", tag }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammine_common::codec::roundtrip;
+    use streammine_common::event::Value;
+    use streammine_common::ids::OperatorId;
+
+    fn id() -> EventId {
+        EventId::new(OperatorId::new(2), 17)
+    }
+
+    #[test]
+    fn control_roundtrips() {
+        let cases = vec![
+            Control::Finalize { id: id(), version: 3 },
+            Control::Revoke { id: id() },
+            Control::Ack { upto: 99 },
+            Control::ReplayRequest { from: 7 },
+            Control::Eof,
+        ];
+        for c in cases {
+            assert_eq!(roundtrip(&c).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn message_roundtrips() {
+        let m = Message::Data(Event::speculative(id(), 5, Value::Int(9)));
+        assert_eq!(roundtrip(&m).unwrap(), m);
+        let m = Message::Control(Control::Eof);
+        assert_eq!(roundtrip(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn as_event_filters_control() {
+        let e = Event::new(id(), 1, Value::Null);
+        assert!(Message::Data(e).as_event().is_some());
+        assert!(Message::Control(Control::Eof).as_event().is_none());
+    }
+
+    #[test]
+    fn invalid_tag_rejected() {
+        let err = streammine_common::codec::decode_from_slice::<Message>(&[9]).unwrap_err();
+        assert!(matches!(err, DecodeError::InvalidTag { .. }));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(Control::Finalize { id: id(), version: 1 }.to_string().contains("finalize"));
+        assert!(Message::Control(Control::Eof).to_string().contains("eof"));
+    }
+}

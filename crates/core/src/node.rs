@@ -1,0 +1,992 @@
+//! The per-operator runtime (coordinator loop).
+//!
+//! One [`Node`] drives one operator instance: it merges inputs, assigns
+//! serials, runs the processing function (plainly or under STM control),
+//! logs determinants, emits speculative or final events, finalizes /
+//! revises / revokes them as speculation resolves, checkpoints state, and
+//! performs precise recovery after a crash.
+//!
+//! # The two execution modes (§2.3, §2.4)
+//!
+//! * **Non-speculative**: events are processed sequentially; outputs are
+//!   *held* until the event's decision record is stable on disk, then sent
+//!   as final. A speculative input event is parked until its finalize
+//!   arrives — a non-speculative operator only consumes and produces final
+//!   events.
+//! * **Speculative**: each event runs as an STM transaction; outputs are
+//!   sent immediately, tagged speculative when anything about them may
+//!   still change (speculative inputs, open dependencies, unstable log).
+//!   When the transaction commits — inputs final + log stable +
+//!   dependencies committed, in timestamp order — `Finalize` control
+//!   messages upgrade the outputs downstream. Rollbacks re-execute the
+//!   event and re-emit revised outputs under a bumped version.
+//!
+//! # Emission-ordering protocol (speculative mode)
+//!
+//! Attempts of one event may finish on different worker threads in any
+//! order, while the commit gate runs on yet another thread. Three rules
+//! keep the wire consistent:
+//!
+//! 1. **Generation-ordered diffs** — each attempt's outputs carry the STM
+//!    generation; diffs against the `sent` list apply monotonically, so a
+//!    straggling old attempt can never resurrect outputs a newer attempt
+//!    revised or revoked.
+//! 2. **Attempts-in-flight gate** — the commit gate only opens when no
+//!    attempt is scheduled or mid-emission, so a commit's finalizes always
+//!    follow the last data/revoke of the surviving generation.
+//! 3. **Finalize/diff mutual exclusion** — finalizes are sent under the
+//!    same `sent` lock the diffs use, with a `finalized` flag checked
+//!    inside it: nothing can revise an output after its finalize entered
+//!    the wire.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam_channel::Sender;
+use parking_lot::Mutex;
+use streammine_common::clock::SharedClock;
+use streammine_common::codec::{decode_from_slice, encode_to_vec};
+use streammine_common::event::{Event, Value};
+use streammine_common::ids::{EventId, OperatorId};
+use streammine_common::pool::ThreadPool;
+use streammine_common::rng::DetRng;
+use streammine_storage::checkpoint::CheckpointStore;
+use streammine_storage::log::{LogSeq, LogTicket, StableLog};
+use streammine_stm::{Serial, StmAbort, StmRuntime, TxnHandle, TxnId};
+
+use crate::config::OperatorConfig;
+use crate::determinant::{DecisionRecord, Determinant, ReplayCursor};
+use crate::message::{Control, Message};
+use crate::operator::{OpCtx, Operator, PortId, SetupCtx};
+use crate::plumbing::{DownEdge, Intake, IntakeHandle, NodeCommand, ReorderBuffer, UpEdge};
+use crate::state::{StateAccess, StateRegistry};
+
+/// Maximum outputs a single `process` call may emit (output event ids pack
+/// the emit index into the low bits of the sequence number).
+pub const MAX_OUTPUTS_PER_EVENT: u64 = 1 << 16;
+
+/// The current view of a pending event's input (revisions replace it).
+#[derive(Clone)]
+struct InputView {
+    version: u32,
+    payload: Value,
+    speculative: bool,
+}
+
+/// Tracking info for one in-flight speculative event.
+struct PendingTxn {
+    serial: u64,
+    input_id: EventId,
+    port: u32,
+    input_ts: u64,
+    input: Mutex<InputView>,
+    handle: TxnHandle,
+    /// `(generation, outputs, decisions)` captured by the latest
+    /// successful attempt; the generation orders diff application.
+    attempt: Mutex<Option<(u64, Vec<(Option<u32>, Value)>, DecisionRecord)>>,
+    /// Highest generation whose outputs were applied to `sent` (guarded by
+    /// the `sent` mutex's critical sections).
+    applied_gen: std::sync::atomic::AtomicU64,
+    /// Latest ticket guarding this event's decisions (replaced per attempt).
+    log_ticket: Mutex<Option<LogTicket>>,
+    /// Events as last sent downstream (by emit index), with their routing.
+    sent: Mutex<Vec<(Event, Option<u32>)>>,
+    /// True once every sent output is final (txn committed + finalizes sent).
+    finalized: AtomicBool,
+    /// Number of (re-)execution attempts scheduled but not yet fully
+    /// emitted. The commit gate stays closed while this is non-zero:
+    /// otherwise a commit's finalize can overtake the attempt's revised
+    /// outputs on the wire.
+    attempts_pending: std::sync::atomic::AtomicU64,
+}
+
+/// Output held by a non-speculative operator until its log is stable.
+struct HeldOutput {
+    ticket: LogTicket,
+    outputs: Vec<(Event, Option<u32>)>,
+    input_port: u32,
+}
+
+/// What a node remembers about an input event it fully processed.
+#[derive(Debug, Clone, Copy)]
+struct ProcessedInfo {
+    /// Final version of the input (kept for protocol diagnostics).
+    #[allow(dead_code)]
+    version: u32,
+}
+
+pub(crate) struct NodeSeed {
+    pub id: OperatorId,
+    pub operator: Arc<dyn Operator>,
+    pub config: OperatorConfig,
+    pub clock: SharedClock,
+    pub intake: IntakeHandle,
+    pub up: Vec<UpEdge>,
+    pub down: Vec<DownEdge>,
+    pub log: Option<StableLog>,
+    pub checkpoints: Option<Arc<CheckpointStore>>,
+    pub rng_seed: u64,
+    /// True when this node restarts after a crash (triggers replay).
+    pub recovering: bool,
+}
+
+/// The running state of one operator.
+pub(crate) struct Node {
+    id: OperatorId,
+    operator: Arc<dyn Operator>,
+    config: OperatorConfig,
+    clock: SharedClock,
+    intake: IntakeHandle,
+    up: Vec<UpEdge>,
+    down: Vec<DownEdge>,
+    log: Option<StableLog>,
+    checkpoints: Option<Arc<CheckpointStore>>,
+    registry: Arc<StateRegistry>,
+    stm: Option<StmRuntime>,
+    pool: Option<Arc<ThreadPool>>,
+    rng: Arc<Mutex<DetRng>>,
+
+    reorder: Vec<ReorderBuffer>,
+    /// Per-port queues of `(link_seq, event)` awaiting processing
+    /// (replay-order merge; the link seq feeds checkpoint positions).
+    port_queues: Vec<VecDeque<(u64, Event)>>,
+    /// Speculative inputs parked by a non-speculative operator.
+    parked: HashMap<EventId, (u32, Event)>,
+    replay: Option<ReplayCursor>,
+
+    next_serial: u64,
+    processed: HashMap<EventId, ProcessedInfo>,
+    pending: HashMap<EventId, Arc<PendingTxn>>,
+    pending_by_txn: HashMap<TxnId, EventId>,
+    pending_by_serial: HashMap<u64, EventId>,
+    hold_queue: VecDeque<(u64, HeldOutput)>,
+    events_since_checkpoint: u64,
+    eof_count: usize,
+    recovering: bool,
+    running: bool,
+}
+
+impl Node {
+    /// Builds a fresh node (initial start or post-crash restart) and runs
+    /// recovery if a checkpoint or log exists.
+    pub fn start(seed: NodeSeed) -> std::thread::JoinHandle<()> {
+        std::thread::Builder::new()
+            .name(format!("node-{}", seed.id))
+            .spawn(move || {
+                let id = seed.id;
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    let mut node = Node::build(seed);
+                    node.recover();
+                    node.run();
+                }));
+                if let Err(panic) = result {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| panic.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    eprintln!("[streammine] operator {id} coordinator panicked: {msg}");
+                }
+            })
+            .expect("spawn node thread")
+    }
+
+    fn build(seed: NodeSeed) -> Node {
+        let recovering = seed.recovering;
+        let _ = recovering;
+        let stm = seed.config.speculative.then(|| StmRuntime::with_config(seed.config.stm.clone()));
+        let mut registry = match &stm {
+            Some(rt) => StateRegistry::speculative(rt.clone()),
+            None => StateRegistry::plain(),
+        };
+        seed.operator.setup(&mut SetupCtx { registry: &mut registry });
+        if let Some(rt) = &stm {
+            let (abort_tx, abort_rx) = crossbeam_channel::unbounded::<TxnId>();
+            let (commit_tx, commit_rx) = crossbeam_channel::unbounded::<TxnId>();
+            rt.set_abort_sink(abort_tx);
+            rt.set_commit_sink(commit_tx);
+            // Forward STM notifications into the intake.
+            let intake = seed.intake.tx.clone();
+            std::thread::Builder::new()
+                .name(format!("stm-aborts-{}", seed.id))
+                .spawn(move || {
+                    while let Ok(id) = abort_rx.recv() {
+                        if intake.send(Intake::TxnAborted(id)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn abort pump");
+            let intake = seed.intake.tx.clone();
+            std::thread::Builder::new()
+                .name(format!("stm-commits-{}", seed.id))
+                .spawn(move || {
+                    while let Ok(id) = commit_rx.recv() {
+                        if intake.send(Intake::TxnCommitted(id)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn commit pump");
+        }
+        let pool = (seed.config.speculative && seed.config.threads > 1)
+            .then(|| Arc::new(ThreadPool::new(&format!("op{}-worker", seed.id.index()), seed.config.threads)));
+        let inputs = seed.up.len();
+        Node {
+            id: seed.id,
+            operator: seed.operator,
+            config: seed.config,
+            clock: seed.clock,
+            intake: seed.intake,
+            up: seed.up,
+            down: seed.down,
+            log: seed.log,
+            checkpoints: seed.checkpoints,
+            registry: Arc::new(registry),
+            stm,
+            pool,
+            rng: Arc::new(Mutex::new(DetRng::seed_from(seed.rng_seed))),
+            reorder: (0..inputs).map(|_| ReorderBuffer::new(0)).collect(),
+            port_queues: (0..inputs).map(|_| VecDeque::new()).collect(),
+            parked: HashMap::new(),
+            replay: None,
+            next_serial: 0,
+            processed: HashMap::new(),
+            pending: HashMap::new(),
+            pending_by_txn: HashMap::new(),
+            pending_by_serial: HashMap::new(),
+            hold_queue: VecDeque::new(),
+            events_since_checkpoint: 0,
+            eof_count: 0,
+            recovering,
+            running: true,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Recovery (§2.2): restore checkpoint, rebuild the determinant
+    // cursor from the stable log, ask upstreams to replay.
+    // -----------------------------------------------------------------
+
+    fn recover(&mut self) {
+        let mut from_positions: Vec<u64> = vec![0; self.up.len()];
+        let mut covered_serials: u64 = 0;
+        let mut covers_log = LogSeq(0);
+        if let Some(store) = &self.checkpoints {
+            if let Some(cp) = store.latest() {
+                self.registry.restore(&cp.state).expect("checkpoint restore failed");
+                from_positions = cp.input_positions.clone();
+                covered_serials = cp.events_processed;
+                covers_log = cp.covers_log;
+            }
+        }
+        self.next_serial = covered_serials;
+        for (port, rb) in self.reorder.iter_mut().enumerate() {
+            *rb = ReorderBuffer::new(from_positions[port]);
+        }
+        // Rebuild the determinant cursor from the stable log suffix.
+        if let Some(log) = &self.log {
+            let mut records = Vec::new();
+            let mut latest: HashMap<u64, DecisionRecord> = HashMap::new();
+            for (seq, group) in log.stable_groups() {
+                if seq < covers_log {
+                    continue;
+                }
+                for bytes in group {
+                    if let Ok(rec) = decode_from_slice::<DecisionRecord>(&bytes) {
+                        if rec.serial >= covered_serials {
+                            // Later attempts overwrite earlier ones.
+                            latest.insert(rec.serial, rec);
+                        }
+                    }
+                }
+            }
+            records.extend(latest.into_values());
+            if !records.is_empty() {
+                self.replay = Some(ReplayCursor::new(records));
+            }
+        }
+        // Ask every upstream for the suffix we have not durably covered.
+        if self.recovering {
+            for (port, edge) in self.up.iter().enumerate() {
+                let _ = edge.ctrl_tx.send(Control::ReplayRequest { from: from_positions[port] });
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Main loop
+    // -----------------------------------------------------------------
+
+    fn run(&mut self) {
+        while self.running {
+            let intake = match self.intake.rx.recv() {
+                Ok(i) => i,
+                Err(_) => break,
+            };
+            self.handle_intake(intake);
+            self.drain_ready_events();
+        }
+        self.operator.terminate();
+        if let Some(pool) = self.pool.take() {
+            if let Ok(pool) = Arc::try_unwrap(pool) {
+                pool.shutdown();
+            }
+        }
+    }
+
+    fn handle_intake(&mut self, intake: Intake) {
+        match intake {
+            Intake::Upstream { port, link_seq, msg } => {
+                let deliverable = self.reorder[port as usize].offer(link_seq, msg);
+                for (seq, msg) in deliverable {
+                    self.handle_upstream(port, seq, msg);
+                }
+            }
+            Intake::Downstream { out, ctrl } => self.handle_downstream(out, ctrl),
+            Intake::TxnCommitted(txn) => self.on_txn_committed(txn),
+            Intake::TxnAborted(txn) => self.on_txn_aborted(txn),
+            Intake::LogStable { serial } => self.on_log_stable(serial),
+            Intake::Command(NodeCommand::Shutdown) => {
+                self.running = false;
+            }
+            Intake::Command(NodeCommand::Crash) => {
+                // Simulated crash: just stop; all volatile state dies with
+                // this object. Links, log and checkpoints survive outside.
+                self.running = false;
+            }
+        }
+    }
+
+    fn handle_upstream(&mut self, port: u32, link_seq: u64, msg: Message) {
+        match msg {
+            Message::Data(event) => {
+                self.port_queues[port as usize].push_back((link_seq, event));
+            }
+            Message::Control(Control::Finalize { id, version }) => self.on_input_finalized(id, version),
+            Message::Control(Control::Revoke { id }) => self.on_input_revoked(id),
+            Message::Control(Control::Eof) => {
+                self.eof_count += 1;
+                if self.eof_count >= self.up.len() {
+                    for edge in &self.down {
+                        let _ = edge.data_tx.send(Message::Control(Control::Eof));
+                    }
+                }
+            }
+            Message::Control(other) => {
+                debug_assert!(false, "unexpected upstream control {other}");
+            }
+        }
+    }
+
+    fn handle_downstream(&mut self, out: u32, ctrl: Control) {
+        match ctrl {
+            Control::Ack { upto } => self.down[out as usize].data_tx.ack_upto(upto),
+            Control::ReplayRequest { from } => self.down[out as usize].data_tx.replay_from(from),
+            other => debug_assert!(false, "unexpected downstream control {other}"),
+        }
+    }
+
+    /// Pulls queued events into processing: during replay, in the logged
+    /// order; live, in arrival order.
+    fn drain_ready_events(&mut self) {
+        loop {
+            // Replay phase: the next event must come from the logged port.
+            if let Some(cursor) = &self.replay {
+                if cursor.is_done() {
+                    self.replay = None;
+                    continue;
+                }
+                let front_serial = cursor.next_serial().expect("cursor nonempty");
+                if front_serial != self.next_serial {
+                    // The event at next_serial consumed no determinants
+                    // (fully deterministic): reprocess it live. Without a
+                    // logged input choice this is only unambiguous for
+                    // single-input operators — multi-input operators must
+                    // enable logging for precise recovery.
+                    match (0..self.port_queues.len()).find(|&p| !self.port_queues[p].is_empty()) {
+                        Some(p) => {
+                            let (_seq, event) = self.port_queues[p].pop_front().expect("nonempty");
+                            self.accept_event(p as u32, event, None);
+                            continue;
+                        }
+                        None => return,
+                    }
+                }
+                // Find the logged input-choice; default port 0.
+                let record_port = self
+                    .replay
+                    .as_ref()
+                    .and_then(ReplayCursor::peek_input_choice)
+                    .unwrap_or(0);
+                if let Some((_seq, event)) = self.port_queues[record_port as usize].pop_front() {
+                    let record = self.replay.as_mut().expect("replaying").take(front_serial);
+                    self.accept_event(record_port, event, Some(record));
+                    continue;
+                }
+                return; // wait for the replayed event to arrive
+            }
+            // Live phase: take from any non-empty queue, lowest port first
+            // (the *choice* is logged, so any policy is legal; port order
+            // keeps tests deterministic).
+            let port = match (0..self.port_queues.len()).find(|&p| !self.port_queues[p].is_empty()) {
+                Some(p) => p,
+                None => return,
+            };
+            let (_seq, event) = self.port_queues[port].pop_front().expect("nonempty");
+            self.accept_event(port as u32, event, None);
+        }
+    }
+
+    /// Routes one data event into processing, handling duplicates,
+    /// revisions, and non-speculative parking.
+    fn accept_event(&mut self, port: u32, event: Event, replayed: Option<DecisionRecord>) {
+        // Revision of an in-flight speculative input?
+        if let Some(pending) = self.pending.get(&event.id).cloned() {
+            let current = pending.input.lock().version;
+            if event.version > current {
+                self.revise_pending(&pending, event);
+            }
+            return; // same or older version: duplicate, silently dropped
+        }
+        // Duplicate of an already processed event (recovery replay): a
+        // finalized event can never legally be revised, so drop outright.
+        if self.processed.contains_key(&event.id) {
+            return;
+        }
+        if !self.config.speculative {
+            if event.speculative {
+                // A non-speculative operator only consumes final events.
+                self.parked.insert(event.id, (port, event));
+                return;
+            }
+            self.process_nonspec(port, event, replayed);
+        } else {
+            self.process_spec(port, event, replayed);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Non-speculative path
+    // -----------------------------------------------------------------
+
+    fn process_nonspec(&mut self, port: u32, event: Event, replayed: Option<DecisionRecord>) {
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let replaying = replayed.is_some();
+        let mut decisions = DecisionRecord::new(serial);
+        if self.up.len() > 1 {
+            decisions.decisions.push(Determinant::InputChoice(port));
+        }
+        let mut replay_queue = None;
+        if let Some(rec) = replayed {
+            let mut q: VecDeque<Determinant> = rec.decisions.into();
+            // The input choice was consumed by the merge step.
+            if matches!(q.front(), Some(Determinant::InputChoice(_))) {
+                q.pop_front();
+            }
+            replay_queue = Some(q);
+        }
+        let mut ctx = OpCtx {
+            registry: &self.registry,
+            access: StateAccess::Plain,
+            outputs: Vec::new(),
+            decisions,
+            replay: replay_queue,
+            rng: &self.rng,
+            clock: &self.clock,
+            input_port: PortId(port),
+            input_ts: event.timestamp,
+        };
+        self.operator
+            .process(&mut ctx, &event)
+            .expect("plain-mode processing cannot abort");
+        let outputs = assign_output_ids(self.id, serial, event.timestamp, &ctx.outputs, false);
+        let decisions = std::mem::take(&mut ctx.decisions);
+        drop(ctx);
+
+        self.processed.insert(event.id, ProcessedInfo { version: event.version });
+        self.note_event_consumed(port);
+
+        match (&self.log, replaying) {
+            (Some(log), false) if !decisions.is_empty() => {
+                // Hold outputs until the decision record is stable (§2.4).
+                let ticket = log.append_batch(vec![encode_to_vec(&decisions)]);
+                let intake = self.intake.tx.clone();
+                let s = serial;
+                ticket.subscribe(move || {
+                    let _ = intake.send(Intake::LogStable { serial: s });
+                });
+                self.hold_queue.push_back((serial, HeldOutput { ticket, outputs, input_port: port }));
+            }
+            _ => {
+                // Deterministic (nothing logged) or replaying (decisions
+                // already stable): forward immediately.
+                self.send_outputs_final(outputs);
+            }
+        }
+        self.maybe_checkpoint();
+    }
+
+    fn on_log_stable(&mut self, serial: u64) {
+        // Non-speculative mode: flush the stable prefix in serial order
+        // (keeps FIFO downstream).
+        while let Some((_s, held)) = self.hold_queue.front() {
+            if !held.ticket.is_stable() {
+                break;
+            }
+            let (_s, held) = self.hold_queue.pop_front().expect("nonempty");
+            self.send_outputs_final(held.outputs);
+            let _ = held.input_port;
+        }
+        // Speculative mode: a stable log is one leg of the commit gate.
+        if let Some(id) = self.pending_by_serial.get(&serial).cloned() {
+            if let Some(pending) = self.pending.get(&id).cloned() {
+                self.maybe_authorize(&pending);
+            }
+        }
+        // A drained hold queue may unblock a deferred checkpoint.
+        self.maybe_checkpoint();
+    }
+
+    fn send_outputs_final(&mut self, outputs: Vec<(Event, Option<u32>)>) {
+        for (event, target) in outputs {
+            for (out, edge) in self.down.iter().enumerate() {
+                if target.map(|t| t as usize == out).unwrap_or(true) {
+                    let _ = edge.data_tx.send(Message::Data(event.clone()));
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Speculative path
+    // -----------------------------------------------------------------
+
+    fn process_spec(&mut self, port: u32, event: Event, replayed: Option<DecisionRecord>) {
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let stm = self.stm.as_ref().expect("speculative node has an stm");
+        let handle = stm.begin(Serial(serial));
+        let pending = Arc::new(PendingTxn {
+            serial,
+            input_id: event.id,
+            port,
+            input_ts: event.timestamp,
+            input: Mutex::new(InputView {
+                version: event.version,
+                payload: event.payload.clone(),
+                speculative: event.speculative,
+            }),
+            handle: handle.clone(),
+            attempt: Mutex::new(None),
+            applied_gen: std::sync::atomic::AtomicU64::new(0),
+            log_ticket: Mutex::new(None),
+            sent: Mutex::new(Vec::new()),
+            finalized: AtomicBool::new(false),
+            attempts_pending: std::sync::atomic::AtomicU64::new(0),
+        });
+        self.pending.insert(event.id, pending.clone());
+        self.pending_by_txn.insert(handle.id(), event.id);
+        self.pending_by_serial.insert(serial, event.id);
+        self.note_event_consumed(port);
+        self.spawn_attempt(pending, replayed);
+    }
+
+    /// Runs (or re-runs) the processing transaction for `pending`.
+    fn spawn_attempt(&self, pending: Arc<PendingTxn>, replayed: Option<DecisionRecord>) {
+        pending.attempts_pending.fetch_add(1, Ordering::SeqCst);
+        let stm = self.stm.as_ref().expect("speculative node").clone();
+        let operator = self.operator.clone();
+        let registry = self.registry.clone();
+        let rng = self.rng.clone();
+        let clock = self.clock.clone();
+        let multi_input = self.up.len() > 1;
+        let job = {
+            let pending = pending.clone();
+            move || {
+                let mut replay_queue = replayed.map(|rec| {
+                    let mut q: VecDeque<Determinant> = rec.decisions.into();
+                    if matches!(q.front(), Some(Determinant::InputChoice(_))) {
+                        q.pop_front();
+                    }
+                    q
+                });
+                let body = |txn: &mut streammine_stm::Txn<'_>| -> Result<(), StmAbort> {
+                    let view = pending.input.lock().clone();
+                    let event = Event {
+                        id: pending.input_id,
+                        version: view.version,
+                        timestamp: pending.input_ts,
+                        speculative: view.speculative,
+                        payload: view.payload,
+                    };
+                    let replaying_now = replay_queue.is_some();
+                    let generation = txn.generation();
+                    let mut decisions = DecisionRecord::new(pending.serial);
+                    // The engine's merge choice is a logged determinant for
+                    // multi-input operators (§1's union-order rule) — except
+                    // during replay, where it is already on disk.
+                    if multi_input && !replaying_now {
+                        decisions.decisions.push(Determinant::InputChoice(pending.port));
+                    }
+                    let mut ctx = OpCtx {
+                        registry: &registry,
+                        access: StateAccess::Txn(txn),
+                        outputs: Vec::new(),
+                        decisions,
+                        replay: replay_queue.take(),
+                        rng: &rng,
+                        clock: &clock,
+                        input_port: PortId(pending.port),
+                        input_ts: pending.input_ts,
+                    };
+                    operator.process(&mut ctx, &event)?;
+                    // Live draws re-draw on retry; the final attempt's
+                    // record is what gets logged and later replayed. The
+                    // generation tag orders diff application across
+                    // concurrently finishing attempts.
+                    *pending.attempt.lock() = Some((generation, ctx.outputs, ctx.decisions));
+                    Ok(())
+                };
+                stm.reexecute(&pending.handle, body)
+            }
+        };
+        // NOTE: dispatching/post-processing is finished by the caller via
+        // `finish_attempt`, which must run on the coordinator; workers send
+        // the result back through the intake only implicitly (publish →
+        // outputs are sent directly from the worker below).
+        let this_intake = self.intake.tx.clone();
+        let node_view = NodeSendView {
+            id: self.id,
+            down: self.down.iter().map(|d| d.data_tx.clone()).collect(),
+            log: self.log.clone(),
+            intake: this_intake,
+        };
+        let run = move || {
+            if job().is_ok() {
+                node_view.after_publish(&pending);
+            }
+            // Only after the attempt's outputs are fully on the wire may
+            // the commit gate re-open.
+            pending.attempts_pending.fetch_sub(1, Ordering::SeqCst);
+            maybe_authorize_pending(&pending);
+        };
+        match &self.pool {
+            Some(pool) => pool.execute(run),
+            None => run(),
+        }
+    }
+
+    fn revise_pending(&mut self, pending: &Arc<PendingTxn>, event: Event) {
+        // The input was replaced by a newer speculative version (§3.1,
+        // E1′ → E1″): revoke and re-execute with the new content.
+        {
+            let mut view = pending.input.lock();
+            view.version = event.version;
+            view.payload = event.payload;
+            view.speculative = event.speculative;
+        }
+        pending.handle.revoke();
+        self.spawn_attempt(pending.clone(), None);
+    }
+
+    fn on_input_finalized(&mut self, id: EventId, version: u32) {
+        if let Some((port, event)) = self.parked.remove(&id) {
+            // Non-speculative operator: the parked event is now final.
+            let mut event = event;
+            if event.version == version {
+                event.speculative = false;
+                self.accept_event(port, event, None);
+            }
+            return;
+        }
+        if let Some(pending) = self.pending.get(&id).cloned() {
+            let matches = {
+                let mut view = pending.input.lock();
+                if view.version == version {
+                    view.speculative = false;
+                    true
+                } else {
+                    false
+                }
+            };
+            if matches {
+                self.maybe_authorize(&pending);
+            }
+        }
+    }
+
+    fn on_input_revoked(&mut self, id: EventId) {
+        self.parked.remove(&id);
+        if let Some(pending) = self.pending.remove(&id) {
+            self.pending_by_txn.remove(&pending.handle.id());
+            self.pending_by_serial.remove(&pending.serial);
+            // Revoke our outputs downstream, then drop the transaction.
+            for (event, target) in pending.sent.lock().iter() {
+                for (out, edge) in self.down.iter().enumerate() {
+                    if target.map(|t| t as usize == out).unwrap_or(true) {
+                        let _ = edge.data_tx.send(Message::Control(Control::Revoke { id: event.id }));
+                    }
+                }
+            }
+            pending.handle.discard();
+        }
+    }
+
+    fn maybe_authorize(&self, pending: &Arc<PendingTxn>) {
+        maybe_authorize_pending(pending);
+    }
+
+    fn on_txn_committed(&mut self, txn: TxnId) {
+        let Some(id) = self.pending_by_txn.get(&txn).cloned() else { return };
+        let Some(pending) = self.pending.get(&id).cloned() else { return };
+        // Upgrade all sent outputs to final downstream. Holding the sent
+        // lock while sending orders these finalizes after every attempt's
+        // output diff and blocks any straggler diff from revising or
+        // revoking a finalized output afterwards (it observes `finalized`
+        // under the same lock).
+        {
+            let sent = pending.sent.lock();
+            pending.finalized.store(true, Ordering::Release);
+            for (event, target) in sent.iter() {
+                if event.speculative {
+                    for (out, edge) in self.down.iter().enumerate() {
+                        if target.map(|t| t as usize == out).unwrap_or(true) {
+                            let _ = edge
+                                .data_tx
+                                .send(Message::Control(Control::Finalize { id: event.id, version: event.version }));
+                        }
+                    }
+                }
+            }
+        }
+        let version = pending.input.lock().version;
+        self.processed.insert(id, ProcessedInfo { version });
+        self.pending.remove(&id);
+        self.pending_by_txn.remove(&txn);
+        self.pending_by_serial.remove(&pending.serial);
+        self.events_since_checkpoint += 1;
+        self.maybe_checkpoint();
+    }
+
+    fn on_txn_aborted(&mut self, txn: TxnId) {
+        let Some(id) = self.pending_by_txn.get(&txn).cloned() else { return };
+        let Some(pending) = self.pending.get(&id).cloned() else { return };
+        // Cascade abort: re-execute the event (§3: rollback + re-execution).
+        self.spawn_attempt(pending, None);
+    }
+
+    // -----------------------------------------------------------------
+    // Checkpointing
+    // -----------------------------------------------------------------
+
+    fn note_event_consumed(&mut self, _port: u32) {
+        if !self.config.speculative {
+            self.events_since_checkpoint += 1;
+        }
+    }
+
+    fn maybe_checkpoint(&mut self) {
+        let Some(interval) = self.config.checkpoint_every else { return };
+        if self.events_since_checkpoint < interval {
+            return;
+        }
+        // A checkpoint may only cover fully settled work: no in-flight
+        // transactions, no outputs still held for log stability, no parked
+        // speculative inputs. Otherwise the covered events' effects would
+        // be lost in a crash while replay skips them.
+        if !self.pending.is_empty() || !self.hold_queue.is_empty() || !self.parked.is_empty() {
+            return; // try again once in-flight work settles
+        }
+        let Some(store) = &self.checkpoints else { return };
+        // Positions = the link seq each upstream must replay from: the
+        // first *unprocessed* message — the queue front if data is parked,
+        // else the reorder buffer's delivery position.
+        let positions: Vec<u64> = self
+            .port_queues
+            .iter()
+            .zip(&self.reorder)
+            .map(|(q, r)| q.front().map(|(seq, _)| *seq).unwrap_or_else(|| r.next_seq()))
+            .collect();
+        let covers_log = LogSeq(self.log.as_ref().map(|l| l.appended()).unwrap_or(0));
+        store.save(covers_log, self.next_serial, positions.clone(), self.registry.snapshot());
+        if let Some(log) = &self.log {
+            log.truncate_below(covers_log);
+        }
+        for (port, edge) in self.up.iter().enumerate() {
+            let _ = edge.ctrl_tx.send(Control::Ack { upto: positions[port] });
+        }
+        self.events_since_checkpoint = 0;
+    }
+}
+
+/// The subset of node context a worker thread needs after a transaction
+/// publishes: assign output ids, send them, log decisions, arm the gate.
+struct NodeSendView {
+    id: OperatorId,
+    down: Vec<streammine_net::LinkSender<Message>>,
+    log: Option<StableLog>,
+    intake: Sender<Intake>,
+}
+
+impl NodeSendView {
+    fn after_publish(&self, pending: &Arc<PendingTxn>) {
+        let (generation, outputs, decisions) = match pending.attempt.lock().take() {
+            Some(x) => x,
+            None => return,
+        };
+        // First emissions are always speculative: even with final inputs, a
+        // stable-by-construction log and no *observed* dependencies, an
+        // earlier-serial transaction's re-execution can still invalidate
+        // this one before it commits (its conflict may not exist yet).
+        // Finality is only ever granted by the commit path, which under
+        // the configured commit order is precisely when nothing can change
+        // anymore. For gate-ready transactions the commit — and thus the
+        // finalize — follows within microseconds.
+        let must_log = !decisions.is_empty() && self.log.is_some();
+        let new_events =
+            assign_output_ids(self.id, pending.serial, pending.input_ts, &outputs, true);
+
+        // Diff against previously sent outputs (re-execution produces a
+        // revision; identical payloads need no resend).
+        {
+            let mut sent = pending.sent.lock();
+            if pending.finalized.load(Ordering::Acquire) {
+                // The transaction committed and its outputs were finalized;
+                // a straggling attempt must not touch the wire anymore.
+                return;
+            }
+            // Diffs must apply in generation order: a stale attempt's diff
+            // running after a newer one's would resurrect dead outputs.
+            if generation < pending.applied_gen.load(Ordering::Acquire) {
+                return;
+            }
+            pending.applied_gen.store(generation, Ordering::Release);
+            let mut to_send: Vec<(Message, Option<u32>)> = Vec::new();
+            for (k, (new_ev, target)) in new_events.iter().enumerate() {
+                match sent.get(k) {
+                    None => {
+                        sent.push((new_ev.clone(), *target));
+                        to_send.push((Message::Data(new_ev.clone()), *target));
+                    }
+                    Some((old, old_target)) if old.payload == new_ev.payload && old_target == target => {}
+                    Some((old, old_target)) => {
+                        // Content or routing changed: revoke on the old
+                        // route if the route moved, then send the revision.
+                        if old_target != target {
+                            to_send.push((Message::Control(Control::Revoke { id: old.id }), *old_target));
+                        }
+                        let revised = old.reissue(new_ev.payload.clone());
+                        sent[k] = (revised.clone(), *target);
+                        to_send.push((Message::Data(revised), *target));
+                    }
+                }
+            }
+            // Outputs that disappeared in the re-execution are revoked.
+            while sent.len() > new_events.len() {
+                let (gone, target) = sent.pop().expect("nonempty");
+                to_send.push((Message::Control(Control::Revoke { id: gone.id }), target));
+            }
+            for (msg, target) in to_send {
+                for (out, edge) in self.down.iter().enumerate() {
+                    if target.map(|t| t as usize == out).unwrap_or(true) {
+                        let _ = edge.send(msg.clone());
+                    }
+                }
+            }
+
+            // Log this attempt's decisions inside the same generation-
+            // guarded critical section: a stale attempt must never append
+            // its decisions after (or instead of) a newer attempt's —
+            // recovery replays the *last* record per serial, which must be
+            // the surviving generation's.
+            if must_log {
+                let log = self.log.as_ref().expect("must_log implies log");
+                let ticket = log.append_batch(vec![encode_to_vec(&decisions)]);
+                let intake = self.intake.clone();
+                let serial = pending.serial;
+                ticket.subscribe(move || {
+                    let _ = intake.send(Intake::LogStable { serial });
+                });
+                *pending.log_ticket.lock() = Some(ticket);
+            } else {
+                *pending.log_ticket.lock() = None;
+            }
+        }
+    }
+}
+
+/// Opens the commit gate when (and only when) every condition holds: the
+/// latest attempt's decision log is stable, the input event is final, and
+/// no attempt is mid-flight (its outputs must hit the wire before any
+/// finalize can).
+fn maybe_authorize_pending(pending: &Arc<PendingTxn>) {
+    if pending.attempts_pending.load(Ordering::SeqCst) != 0 {
+        return;
+    }
+    let log_ok = pending.log_ticket.lock().as_ref().map(|t| t.is_stable()).unwrap_or(true);
+    if log_ok && !pending.input.lock().speculative {
+        pending.handle.authorize();
+    }
+}
+
+/// Deterministically derives output event ids from the input serial: the
+/// k-th output of the event at `serial` is `op#(serial << 16 | k)`, which
+/// replays to the identical id after recovery.
+fn assign_output_ids(
+    op: OperatorId,
+    serial: u64,
+    ts: u64,
+    payloads: &[(Option<u32>, Value)],
+    speculative: bool,
+) -> Vec<(Event, Option<u32>)> {
+    assert!(
+        (payloads.len() as u64) < MAX_OUTPUTS_PER_EVENT,
+        "operator emitted too many outputs for one event"
+    );
+    payloads
+        .iter()
+        .enumerate()
+        .map(|(k, (target, p))| {
+            (
+                Event {
+                    id: EventId::new(op, (serial << 16) | k as u64),
+                    version: 0,
+                    timestamp: ts,
+                    speculative,
+                    payload: p.clone(),
+                },
+                *target,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_ids_are_deterministic_and_ordered() {
+        let op = OperatorId::new(3);
+        let payloads = vec![(None, Value::Int(1)), (Some(2), Value::Int(2))];
+        let a = assign_output_ids(op, 5, 99, &payloads, true);
+        let b = assign_output_ids(op, 5, 99, &payloads, true);
+        assert_eq!(a, b);
+        assert_eq!(a[0].0.id.seq, (5 << 16));
+        assert_eq!(a[1].0.id.seq, (5 << 16) | 1);
+        assert!(a[0].0.speculative);
+        assert_eq!(a[0].0.timestamp, 99);
+        assert_eq!(a[0].1, None);
+        assert_eq!(a[1].1, Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many outputs")]
+    fn too_many_outputs_panics() {
+        let payloads = vec![(None, Value::Null); MAX_OUTPUTS_PER_EVENT as usize];
+        let _ = assign_output_ids(OperatorId::new(0), 0, 0, &payloads, false);
+    }
+}

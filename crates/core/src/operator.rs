@@ -1,0 +1,354 @@
+//! The operator abstraction.
+//!
+//! An operator is specified by an optional setup method (state
+//! registration), a required processing method, and an optional termination
+//! method — mirroring §2.3. Crucially, *"the specification of an operator is
+//! independent of its configuration"*: the same `process` code runs
+//! speculatively under STM control or plainly, because all state access and
+//! all non-determinism go through the [`OpCtx`].
+//!
+//! `process` may be invoked concurrently (optimistic parallelization) and
+//! may be re-invoked for the same event (speculative rollback +
+//! re-execution), so it must not hold state outside the registry or perform
+//! non-idempotent external actions — the paper's "non-speculative external
+//! actions" restriction (§2.3).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use parking_lot::Mutex;
+use streammine_common::clock::SharedClock;
+use streammine_common::codec::{Decode, Encode};
+use streammine_common::event::{Event, Timestamp, Value};
+use streammine_common::rng::DetRng;
+use streammine_stm::StmAbort;
+
+use crate::determinant::{DecisionRecord, Determinant};
+use crate::state::{StateAccess, StateHandle, StateRegistry};
+
+/// Index of an input port of an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u32);
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+/// Context passed to [`Operator::setup`].
+#[derive(Debug)]
+pub struct SetupCtx<'a> {
+    pub(crate) registry: &'a mut StateRegistry,
+}
+
+impl SetupCtx<'_> {
+    /// Registers a state cell with an initial value. The engine checkpoints
+    /// and restores registered cells automatically.
+    pub fn state<T>(&mut self, init: T) -> StateHandle<T>
+    where
+        T: Clone + Encode + Decode + Send + Sync + 'static,
+    {
+        self.registry.register(init)
+    }
+}
+
+/// Context passed to [`Operator::process`] for one input event.
+pub struct OpCtx<'a, 'rt> {
+    pub(crate) registry: &'a StateRegistry,
+    pub(crate) access: StateAccess<'a, 'rt>,
+    pub(crate) outputs: Vec<(Option<u32>, Value)>,
+    pub(crate) decisions: DecisionRecord,
+    pub(crate) replay: Option<VecDeque<Determinant>>,
+    pub(crate) rng: &'a Mutex<DetRng>,
+    pub(crate) clock: &'a SharedClock,
+    pub(crate) input_port: PortId,
+    pub(crate) input_ts: Timestamp,
+}
+
+impl fmt::Debug for OpCtx<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpCtx")
+            .field("port", &self.input_port)
+            .field("outputs", &self.outputs.len())
+            .field("replaying", &self.replay.is_some())
+            .finish()
+    }
+}
+
+impl<'a, 'rt> OpCtx<'a, 'rt> {
+    /// Reads a state cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmAbort`] in speculative mode; the engine retries the
+    /// whole `process` call.
+    pub fn get<T>(&mut self, handle: StateHandle<T>) -> Result<std::sync::Arc<T>, StmAbort>
+    where
+        T: Clone + Encode + Decode + Send + Sync + 'static,
+    {
+        self.registry.read(handle, &mut self.access)
+    }
+
+    /// Writes a state cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmAbort`] in speculative mode.
+    pub fn set<T>(&mut self, handle: StateHandle<T>, value: T) -> Result<(), StmAbort>
+    where
+        T: Clone + Encode + Decode + Send + Sync + 'static,
+    {
+        self.registry.write(handle, &mut self.access, value)
+    }
+
+    /// Read-modify-write of a state cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmAbort`] in speculative mode.
+    pub fn update<T>(&mut self, handle: StateHandle<T>, f: impl FnOnce(&T) -> T) -> Result<(), StmAbort>
+    where
+        T: Clone + Encode + Decode + Send + Sync + 'static,
+    {
+        let old = self.get(handle)?;
+        self.set(handle, f(&old))
+    }
+
+    /// Emits an output event with the given payload to **all** downstream
+    /// edges. The engine assigns the event id (deterministically, from the
+    /// input's serial and the emit index) and the input's timestamp.
+    pub fn emit(&mut self, payload: Value) {
+        self.outputs.push((None, payload));
+    }
+
+    /// Emits an output event to a single downstream edge (by connection
+    /// order) — how a `Split` operator routes (§2.2). Out-of-range targets
+    /// are dropped by the engine.
+    pub fn emit_to(&mut self, output: u32, payload: Value) {
+        self.outputs.push((Some(output), payload));
+    }
+
+    /// Which input port the current event arrived on.
+    pub fn input_port(&self) -> PortId {
+        self.input_port
+    }
+
+    /// The current event's timestamp.
+    pub fn input_timestamp(&self) -> Timestamp {
+        self.input_ts
+    }
+
+    /// Draws a random 64-bit value. **This is a logged non-deterministic
+    /// decision**: recorded during live processing, replayed verbatim
+    /// during recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if replay diverges (the logged decision is of another kind) —
+    /// that indicates a non-deterministic `process` outside this API.
+    pub fn random_u64(&mut self) -> u64 {
+        if let Some(replay) = &mut self.replay {
+            match replay.pop_front() {
+                Some(Determinant::Random(v)) => return v,
+                other => panic!("replay divergence: expected Random, got {other:?}"),
+            }
+        }
+        let v = self.rng.lock().next_u64();
+        self.decisions.decisions.push(Determinant::Random(v));
+        v
+    }
+
+    /// Uniform random value in `[0, bound)`, logged like
+    /// [`OpCtx::random_u64`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0` or on replay divergence.
+    pub fn random_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Derive from one logged u64 so replay consumes exactly one record.
+        let x = self.random_u64();
+        ((u128::from(x) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Reads physical time in microseconds. **This is a logged
+    /// non-deterministic decision** (system-time windows etc., §1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on replay divergence.
+    pub fn now_micros(&mut self) -> Timestamp {
+        if let Some(replay) = &mut self.replay {
+            match replay.pop_front() {
+                Some(Determinant::Time(t)) => return t,
+                other => panic!("replay divergence: expected Time, got {other:?}"),
+            }
+        }
+        let t = self.clock.now_micros();
+        self.decisions.decisions.push(Determinant::Time(t));
+        t
+    }
+
+    /// Whether this call replays logged decisions (recovery).
+    pub fn is_replaying(&self) -> bool {
+        self.replay.is_some()
+    }
+}
+
+/// A stream processing operator.
+///
+/// Implementations hold only immutable configuration; all mutable state
+/// lives in cells registered during [`Operator::setup`], which is what lets
+/// the engine run the same code speculatively or plainly, checkpoint it,
+/// and re-execute it after rollbacks.
+pub trait Operator: Send + Sync + 'static {
+    /// Human-readable name for logs and reports.
+    fn name(&self) -> &str {
+        "operator"
+    }
+
+    /// Called once before processing starts; registers state cells.
+    fn setup(&self, ctx: &mut SetupCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Processes one input event; called for every event on any input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StmAbort`] when a speculative conflict requires rollback —
+    /// implementations simply propagate it with `?`.
+    fn process(&self, ctx: &mut OpCtx<'_, '_>, event: &Event) -> Result<(), StmAbort>;
+
+    /// Called once before shutdown.
+    fn terminate(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammine_common::clock::{shared, ManualClock};
+    use streammine_common::ids::{EventId, OperatorId};
+
+    fn test_ctx<'a>(
+        registry: &'a StateRegistry,
+        rng: &'a Mutex<DetRng>,
+        clock: &'a SharedClock,
+        replay: Option<VecDeque<Determinant>>,
+    ) -> OpCtx<'a, 'static> {
+        OpCtx {
+            registry,
+            access: StateAccess::Plain,
+            outputs: Vec::new(),
+            decisions: DecisionRecord::new(0),
+            replay,
+            rng,
+            clock,
+            input_port: PortId(0),
+            input_ts: 42,
+        }
+    }
+
+    #[test]
+    fn live_draws_are_recorded() {
+        let registry = StateRegistry::plain();
+        let rng = Mutex::new(DetRng::seed_from(1));
+        let clock: SharedClock = shared(ManualClock::new());
+        let mut ctx = test_ctx(&registry, &rng, &clock, None);
+        let r = ctx.random_u64();
+        let t = ctx.now_micros();
+        assert_eq!(ctx.decisions.decisions.len(), 2);
+        assert_eq!(ctx.decisions.decisions[0], Determinant::Random(r));
+        assert_eq!(ctx.decisions.decisions[1], Determinant::Time(t));
+        assert!(!ctx.is_replaying());
+    }
+
+    #[test]
+    fn replay_returns_logged_values_and_records_nothing() {
+        let registry = StateRegistry::plain();
+        let rng = Mutex::new(DetRng::seed_from(2));
+        let clock: SharedClock = shared(ManualClock::new());
+        let replay = VecDeque::from(vec![Determinant::Random(99), Determinant::Time(123)]);
+        let mut ctx = test_ctx(&registry, &rng, &clock, Some(replay));
+        assert!(ctx.is_replaying());
+        assert_eq!(ctx.random_u64(), 99);
+        assert_eq!(ctx.now_micros(), 123);
+        assert!(ctx.decisions.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "replay divergence")]
+    fn replay_divergence_panics() {
+        let registry = StateRegistry::plain();
+        let rng = Mutex::new(DetRng::seed_from(3));
+        let clock: SharedClock = shared(ManualClock::new());
+        let replay = VecDeque::from(vec![Determinant::Time(1)]);
+        let mut ctx = test_ctx(&registry, &rng, &clock, Some(replay));
+        let _ = ctx.random_u64();
+    }
+
+    #[test]
+    fn random_below_is_in_range_and_replayable() {
+        let registry = StateRegistry::plain();
+        let rng = Mutex::new(DetRng::seed_from(4));
+        let clock: SharedClock = shared(ManualClock::new());
+        let mut ctx = test_ctx(&registry, &rng, &clock, None);
+        let v = ctx.random_below(10);
+        assert!(v < 10);
+        // Replaying the logged record reproduces the same value.
+        let logged = ctx.decisions.decisions.clone();
+        let mut ctx2 = test_ctx(&registry, &rng, &clock, Some(logged.into()));
+        assert_eq!(ctx2.random_below(10), v);
+    }
+
+    #[test]
+    fn emit_collects_outputs_and_state_roundtrips() {
+        let mut registry = StateRegistry::plain();
+        let h = registry.register(5i64);
+        let rng = Mutex::new(DetRng::seed_from(5));
+        let clock: SharedClock = shared(ManualClock::new());
+        let mut ctx = test_ctx(&registry, &rng, &clock, None);
+        ctx.update(h, |v| v + 1).unwrap();
+        assert_eq!(*ctx.get(h).unwrap(), 6);
+        ctx.emit(Value::Int(1));
+        ctx.emit_to(1, Value::Int(2));
+        assert_eq!(ctx.outputs.len(), 2);
+        assert_eq!(ctx.outputs[0].0, None);
+        assert_eq!(ctx.outputs[1].0, Some(1));
+        assert_eq!(ctx.input_port(), PortId(0));
+        assert_eq!(ctx.input_timestamp(), 42);
+    }
+
+    #[test]
+    fn a_minimal_operator_compiles_and_runs() {
+        struct Doubler {
+            out: StateHandle<i64>,
+        }
+        // Handles are normally created in setup; for this unit test we
+        // create the registry by hand.
+        let mut registry = StateRegistry::plain();
+        let out = registry.register(0i64);
+        let op = Doubler { out };
+        impl Operator for Doubler {
+            fn name(&self) -> &str {
+                "doubler"
+            }
+            fn process(&self, ctx: &mut OpCtx<'_, '_>, event: &Event) -> Result<(), StmAbort> {
+                let v = event.payload.as_i64().unwrap_or(0);
+                ctx.set(self.out, v * 2)?;
+                ctx.emit(Value::Int(v * 2));
+                Ok(())
+            }
+        }
+        let rng = Mutex::new(DetRng::seed_from(6));
+        let clock: SharedClock = shared(ManualClock::new());
+        let mut ctx = test_ctx(&registry, &rng, &clock, None);
+        let ev = Event::new(EventId::new(OperatorId::new(0), 0), 1, Value::Int(21));
+        op.process(&mut ctx, &ev).unwrap();
+        assert_eq!(ctx.outputs, vec![(None, Value::Int(42))]);
+        assert_eq!(*ctx.get(op.out).unwrap(), 42);
+        assert_eq!(op.name(), "doubler");
+        op.terminate();
+    }
+}

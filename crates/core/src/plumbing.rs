@@ -1,0 +1,243 @@
+//! Node plumbing: link endpoints, intake merging, and per-link FIFO
+//! reordering.
+//!
+//! Each operator runs a single coordinator loop fed by one *intake*
+//! channel. Small forwarder threads pump every upstream data link and every
+//! downstream control link into the intake, so the coordinator can block on
+//! one receiver. The plumbing survives operator crashes — links, sequence
+//! counters and retained output buffers are exactly the state that lives
+//! *outside* the failed process in the paper's model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{Receiver, Sender};
+use streammine_net::{LinkReceiver, LinkSender};
+use streammine_stm::TxnId;
+
+use crate::message::{Control, Message};
+
+/// Messages arriving at a node's coordinator.
+#[derive(Debug)]
+pub(crate) enum Intake {
+    /// A message from the upstream on input port `port`, with its link
+    /// sequence number.
+    Upstream { port: u32, link_seq: u64, msg: Message },
+    /// A control message from the downstream on output `out`.
+    Downstream { out: u32, ctrl: Control },
+    /// The STM committed a transaction (speculative mode).
+    TxnCommitted(TxnId),
+    /// The STM cascade-aborted an open transaction (speculative mode).
+    TxnAborted(TxnId),
+    /// A decision-log ticket for `serial` became stable.
+    LogStable { serial: u64 },
+    /// Engine command.
+    Command(NodeCommand),
+}
+
+/// Commands the graph controller can send to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NodeCommand {
+    /// Simulate a crash: drop all volatile state and stop the loop.
+    Crash,
+    /// Stop cleanly after draining.
+    Shutdown,
+}
+
+/// The downstream-facing half of an edge at the sending node.
+pub(crate) struct DownEdge {
+    /// Data + finalize/revoke to the receiver.
+    pub data_tx: LinkSender<Message>,
+    /// Forwarder feeding the receiver's acknowledgments into our intake
+    /// (held only to keep the thread alive).
+    pub _ctrl_pump: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for DownEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DownEdge").finish()
+    }
+}
+
+/// The upstream-facing half of an edge at the receiving node.
+pub(crate) struct UpEdge {
+    /// Control back to the sender (acks, replay requests).
+    pub ctrl_tx: LinkSender<Control>,
+    /// Forwarder feeding the sender's data into our intake.
+    pub _data_pump: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for UpEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UpEdge").finish()
+    }
+}
+
+/// Spawns a forwarder pumping a data link into an intake channel.
+pub(crate) fn pump_data(
+    port: u32,
+    rx: LinkReceiver<Message>,
+    intake: Sender<Intake>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("pump-data-p{port}"))
+        .spawn(move || {
+            while let Ok((link_seq, msg)) = rx.recv() {
+                if intake.send(Intake::Upstream { port, link_seq, msg }).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn data pump")
+}
+
+/// Spawns a forwarder pumping a downstream control link into an intake.
+pub(crate) fn pump_ctrl(out: u32, rx: LinkReceiver<Control>, intake: Sender<Intake>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("pump-ctrl-o{out}"))
+        .spawn(move || {
+            while let Ok((_seq, ctrl)) = rx.recv() {
+                if intake.send(Intake::Downstream { out, ctrl }).is_err() {
+                    break;
+                }
+            }
+        })
+        .expect("spawn ctrl pump")
+}
+
+/// Per-input-port FIFO repair.
+///
+/// Replay after a crash re-delivers retained messages with their *original*
+/// link sequence numbers, and live messages sent in the meantime carry
+/// higher ones; both can interleave in the intake. The reorder buffer
+/// delivers messages strictly in link-sequence order starting from the
+/// recovery position, dropping anything older (already covered by the
+/// checkpoint).
+#[derive(Debug)]
+pub(crate) struct ReorderBuffer {
+    next: u64,
+    held: BTreeMap<u64, Message>,
+}
+
+impl ReorderBuffer {
+    /// Starts expecting sequence `next`.
+    pub fn new(next: u64) -> Self {
+        ReorderBuffer { next, held: BTreeMap::new() }
+    }
+
+    /// The next expected link sequence.
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+
+    /// Offers a message; returns every message now deliverable in order.
+    pub fn offer(&mut self, link_seq: u64, msg: Message) -> Vec<(u64, Message)> {
+        if link_seq < self.next {
+            return Vec::new(); // stale duplicate (pre-checkpoint or replayed twice)
+        }
+        self.held.insert(link_seq, msg);
+        let mut out = Vec::new();
+        while let Some(msg) = self.held.remove(&self.next) {
+            out.push((self.next, msg));
+            self.next += 1;
+        }
+        out
+    }
+
+    /// Messages parked waiting for a gap to fill.
+    #[cfg(test)]
+    pub fn held_len(&self) -> usize {
+        self.held.len()
+    }
+}
+
+/// The channel pair feeding a node's coordinator. Survives crashes.
+#[derive(Debug, Clone)]
+pub(crate) struct IntakeHandle {
+    pub tx: Sender<Intake>,
+    pub rx: Receiver<Intake>,
+}
+
+impl IntakeHandle {
+    pub fn new() -> Self {
+        let (tx, rx) = crossbeam_channel::unbounded();
+        IntakeHandle { tx, rx }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammine_common::event::{Event, Value};
+    use streammine_common::ids::{EventId, OperatorId};
+    use streammine_net::{link, LinkConfig};
+
+    fn msg(n: i64) -> Message {
+        Message::Data(Event::new(EventId::new(OperatorId::new(0), n as u64), 0, Value::Int(n)))
+    }
+
+    #[test]
+    fn reorder_buffer_delivers_in_order() {
+        let mut rb = ReorderBuffer::new(0);
+        assert!(rb.offer(1, msg(1)).is_empty());
+        assert_eq!(rb.held_len(), 1);
+        let out = rb.offer(0, msg(0));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 0);
+        assert_eq!(out[1].0, 1);
+        assert_eq!(rb.next_seq(), 2);
+    }
+
+    #[test]
+    fn reorder_buffer_drops_stale() {
+        let mut rb = ReorderBuffer::new(5);
+        assert!(rb.offer(3, msg(3)).is_empty());
+        assert_eq!(rb.held_len(), 0, "stale must be dropped, not held");
+        let out = rb.offer(5, msg(5));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn reorder_buffer_handles_duplicate_of_held() {
+        let mut rb = ReorderBuffer::new(0);
+        rb.offer(2, msg(2));
+        rb.offer(2, msg(2));
+        assert_eq!(rb.held_len(), 1);
+        let out = rb.offer(0, msg(0));
+        assert_eq!(out.len(), 1); // only seq 0; 1 still missing
+        let out = rb.offer(1, msg(1));
+        assert_eq!(out.len(), 2); // 1 and 2
+    }
+
+    #[test]
+    fn data_pump_forwards_with_port_tag() {
+        let (tx, rx) = link::<Message>(LinkConfig::instant());
+        let intake = IntakeHandle::new();
+        let _h = pump_data(3, rx, intake.tx.clone());
+        tx.send(msg(7)).unwrap();
+        match intake.rx.recv().unwrap() {
+            Intake::Upstream { port, link_seq, msg: Message::Data(e) } => {
+                assert_eq!(port, 3);
+                assert_eq!(link_seq, 0);
+                assert_eq!(e.payload, Value::Int(7));
+            }
+            other => panic!("unexpected intake {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ctrl_pump_forwards_with_out_tag() {
+        let (tx, rx) = link::<Control>(LinkConfig::instant());
+        let intake = IntakeHandle::new();
+        let _h = pump_ctrl(1, rx, intake.tx.clone());
+        tx.send(Control::Ack { upto: 9 }).unwrap();
+        match intake.rx.recv().unwrap() {
+            Intake::Downstream { out, ctrl: Control::Ack { upto } } => {
+                assert_eq!(out, 1);
+                assert_eq!(upto, 9);
+            }
+            other => panic!("unexpected intake {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! Simulated network links between operators.
+//!
+//! In the paper's testbed, operators are OS processes connected by TCP
+//! (§2.3); the evaluation notes that real network hops only add a
+//! roughly-constant latency to the curves (§4, discussion of Figure 3).
+//! This crate reproduces exactly the properties the protocols rely on:
+//!
+//! * **ordered, reliable delivery** while connected (TCP semantics);
+//! * configurable **propagation delay** with optional jitter (FIFO order is
+//!   preserved, as on a TCP stream);
+//! * **output-buffer retention**: every message gets a link sequence
+//!   number and is retained by the sender until acknowledged, so a
+//!   recovering downstream can request **replay from a sequence number**
+//!   (upstream backup, §2.2);
+//! * **failure injection**: a link can be severed and healed, and sends
+//!   while severed fail like writes on a broken socket.
+//!
+//! # Example
+//!
+//! ```
+//! use streammine_net::{link, LinkConfig};
+//!
+//! let (tx, rx) = link::<u32>(LinkConfig::instant());
+//! tx.send(7)?;
+//! tx.send(8)?;
+//! assert_eq!(rx.recv()?, (0, 7));
+//! assert_eq!(rx.recv()?, (1, 8));
+//! // Downstream crashed and recovered: replay everything retained.
+//! tx.replay_from(0);
+//! assert_eq!(rx.recv()?, (0, 7));
+//! # Ok::<(), streammine_net::LinkError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+use streammine_common::rng::DetRng;
+
+/// Errors surfaced by link operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkError {
+    /// The link is severed (failure injection) or the peer was dropped.
+    Disconnected,
+    /// `recv_timeout` elapsed without a message.
+    Timeout,
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Disconnected => write!(f, "link disconnected"),
+            LinkError::Timeout => write!(f, "receive timed out"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Propagation-delay model of a link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// One-way propagation delay added to each message.
+    pub delay: Duration,
+    /// Uniform jitter fraction on `delay` (FIFO order still preserved).
+    pub jitter: f64,
+    /// Seed for the jitter generator.
+    pub seed: u64,
+}
+
+impl LinkConfig {
+    /// Zero-delay link (operators co-located in one process).
+    pub fn instant() -> Self {
+        LinkConfig { delay: Duration::ZERO, jitter: 0.0, seed: 0 }
+    }
+
+    /// Typical LAN hop: 300 µs ± 20 %.
+    pub fn lan() -> Self {
+        LinkConfig { delay: Duration::from_micros(300), jitter: 0.2, seed: 0x1A4 }
+    }
+
+    /// Typical WAN hop: 20 ms ± 20 %.
+    pub fn wan() -> Self {
+        LinkConfig { delay: Duration::from_millis(20), jitter: 0.2, seed: 0x3A4 }
+    }
+
+    /// A fixed custom delay without jitter.
+    pub fn with_delay(delay: Duration) -> Self {
+        LinkConfig { delay, jitter: 0.0, seed: 0 }
+    }
+}
+
+struct LinkShared<T> {
+    severed: AtomicBool,
+    retained: Mutex<VecDeque<(u64, T)>>,
+}
+
+/// Sending half of a link.
+pub struct LinkSender<T> {
+    shared: Arc<LinkShared<T>>,
+    tx: Sender<(Instant, u64, T)>,
+    next_seq: Arc<AtomicU64>,
+    last_due: Arc<Mutex<Instant>>,
+    config: LinkConfig,
+    rng: Arc<Mutex<DetRng>>,
+}
+
+impl<T> Clone for LinkSender<T> {
+    fn clone(&self) -> Self {
+        LinkSender {
+            shared: self.shared.clone(),
+            tx: self.tx.clone(),
+            next_seq: self.next_seq.clone(),
+            last_due: self.last_due.clone(),
+            config: self.config.clone(),
+            rng: self.rng.clone(),
+        }
+    }
+}
+
+impl<T> fmt::Debug for LinkSender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LinkSender")
+            .field("next_seq", &self.next_seq.load(Ordering::Relaxed))
+            .field("severed", &self.shared.severed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Receiving half of a link.
+pub struct LinkReceiver<T> {
+    shared: Arc<LinkShared<T>>,
+    rx: Receiver<(Instant, u64, T)>,
+}
+
+impl<T> fmt::Debug for LinkReceiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LinkReceiver")
+            .field("severed", &self.shared.severed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Creates a link with the given delay model.
+pub fn link<T: Clone + Send + 'static>(config: LinkConfig) -> (LinkSender<T>, LinkReceiver<T>) {
+    let (tx, rx) = crossbeam_channel::unbounded();
+    let shared = Arc::new(LinkShared {
+        severed: AtomicBool::new(false),
+        retained: Mutex::new(VecDeque::new()),
+    });
+    let seed = config.seed;
+    (
+        LinkSender {
+            shared: shared.clone(),
+            tx,
+            next_seq: Arc::new(AtomicU64::new(0)),
+            last_due: Arc::new(Mutex::new(Instant::now())),
+            config,
+            rng: Arc::new(Mutex::new(DetRng::seed_from(seed))),
+        },
+        LinkReceiver { shared, rx },
+    )
+}
+
+impl<T: Clone + Send + 'static> LinkSender<T> {
+    fn due_time(&self) -> Instant {
+        let mut delay = self.config.delay.as_secs_f64();
+        if self.config.jitter > 0.0 {
+            let f = 1.0 + self.config.jitter * (2.0 * self.rng.lock().next_f64() - 1.0);
+            delay *= f;
+        }
+        let due = Instant::now() + Duration::from_secs_f64(delay.max(0.0));
+        // FIFO: a message never arrives before its predecessor.
+        let mut last = self.last_due.lock();
+        let due = due.max(*last);
+        *last = due;
+        due
+    }
+
+    /// Sends a message; returns its link sequence number.
+    ///
+    /// The message is retained for replay until acknowledged via
+    /// [`LinkSender::ack_upto`].
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Disconnected`] while the link is severed or the
+    /// receiver is gone.
+    pub fn send(&self, msg: T) -> Result<u64, LinkError> {
+        if self.shared.severed.load(Ordering::Acquire) {
+            return Err(LinkError::Disconnected);
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut retained = self.shared.retained.lock();
+            retained.push_back((seq, msg.clone()));
+        }
+        let due = self.due_time();
+        self.tx.send((due, seq, msg)).map_err(|_| LinkError::Disconnected)?;
+        Ok(seq)
+    }
+
+    /// Re-delivers every retained message with sequence `>= from`, in
+    /// order. Used when the downstream recovers from a crash.
+    pub fn replay_from(&self, from: u64) {
+        let to_replay: Vec<(u64, T)> = {
+            let retained = self.shared.retained.lock();
+            retained.iter().filter(|(s, _)| *s >= from).cloned().collect()
+        };
+        for (seq, msg) in to_replay {
+            let due = self.due_time();
+            let _ = self.tx.send((due, seq, msg));
+        }
+    }
+
+    /// Drops retained messages with sequence `< upto` — the downstream
+    /// confirmed it will never need them again (paper's control message 5).
+    pub fn ack_upto(&self, upto: u64) {
+        let mut retained = self.shared.retained.lock();
+        while retained.front().map(|(s, _)| *s < upto).unwrap_or(false) {
+            retained.pop_front();
+        }
+    }
+
+    /// Number of messages currently retained for replay.
+    pub fn retained_len(&self) -> usize {
+        self.shared.retained.lock().len()
+    }
+
+    /// Total messages ever sent.
+    pub fn sent(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Severs the link (failure injection): subsequent sends fail.
+    pub fn sever(&self) {
+        self.shared.severed.store(true, Ordering::Release);
+    }
+
+    /// Heals a severed link.
+    pub fn heal(&self) {
+        self.shared.severed.store(false, Ordering::Release);
+    }
+
+    /// Whether the link is currently severed.
+    pub fn is_severed(&self) -> bool {
+        self.shared.severed.load(Ordering::Acquire)
+    }
+}
+
+impl<T: Clone + Send + 'static> LinkReceiver<T> {
+    fn deliver(&self, due: Instant, seq: u64, msg: T) -> (u64, T) {
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        (seq, msg)
+    }
+
+    /// Blocks for the next message; returns `(link_seq, message)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Disconnected`] when every sender is gone.
+    pub fn recv(&self) -> Result<(u64, T), LinkError> {
+        let (due, seq, msg) = self.rx.recv().map_err(|_| LinkError::Disconnected)?;
+        Ok(self.deliver(due, seq, msg))
+    }
+
+    /// Non-blocking receive. `Ok(None)` when no message is queued (a taken
+    /// message still sleeps out its remaining propagation delay).
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Disconnected`] when every sender is gone.
+    pub fn try_recv(&self) -> Result<Option<(u64, T)>, LinkError> {
+        match self.rx.try_recv() {
+            Ok((due, seq, msg)) => Ok(Some(self.deliver(due, seq, msg))),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(LinkError::Disconnected),
+        }
+    }
+
+    /// Blocking receive with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError::Timeout`] on timeout, [`LinkError::Disconnected`] when
+    /// every sender is gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<(u64, T), LinkError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok((due, seq, msg)) => Ok(self.deliver(due, seq, msg)),
+            Err(RecvTimeoutError::Timeout) => Err(LinkError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(LinkError::Disconnected),
+        }
+    }
+
+    /// Drains and discards everything currently queued (crash simulation:
+    /// in-flight messages to a dead process are lost).
+    pub fn drain(&self) -> usize {
+        let mut n = 0;
+        while self.rx.try_recv().is_ok() {
+            n += 1;
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_delivery_with_sequence_numbers() {
+        let (tx, rx) = link::<u8>(LinkConfig::instant());
+        for i in 0..10 {
+            assert_eq!(tx.send(i).unwrap(), u64::from(i));
+        }
+        for i in 0..10u8 {
+            assert_eq!(rx.recv().unwrap(), (u64::from(i), i));
+        }
+    }
+
+    #[test]
+    fn delay_is_applied() {
+        let (tx, rx) = link::<u8>(LinkConfig::with_delay(Duration::from_millis(5)));
+        let start = Instant::now();
+        tx.send(1).unwrap();
+        let _ = rx.recv().unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn jittered_delay_preserves_fifo() {
+        let cfg = LinkConfig { delay: Duration::from_micros(500), jitter: 0.9, seed: 42 };
+        let (tx, rx) = link::<u32>(cfg);
+        for i in 0..50 {
+            tx.send(i).unwrap();
+        }
+        let mut prev = None;
+        for _ in 0..50 {
+            let (seq, _) = rx.recv().unwrap();
+            if let Some(p) = prev {
+                assert!(seq > p, "FIFO violated: {seq} after {p}");
+            }
+            prev = Some(seq);
+        }
+    }
+
+    #[test]
+    fn replay_redelivers_retained_suffix() {
+        let (tx, rx) = link::<u8>(LinkConfig::instant());
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        for _ in 0..5 {
+            rx.recv().unwrap();
+        }
+        tx.replay_from(2);
+        assert_eq!(rx.recv().unwrap(), (2, 2));
+        assert_eq!(rx.recv().unwrap(), (3, 3));
+        assert_eq!(rx.recv().unwrap(), (4, 4));
+    }
+
+    #[test]
+    fn ack_trims_retention() {
+        let (tx, _rx) = link::<u8>(LinkConfig::instant());
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(tx.retained_len(), 10);
+        tx.ack_upto(7);
+        assert_eq!(tx.retained_len(), 3);
+    }
+
+    #[test]
+    fn severed_link_rejects_sends_until_healed() {
+        let (tx, rx) = link::<u8>(LinkConfig::instant());
+        tx.send(1).unwrap();
+        tx.sever();
+        assert!(tx.is_severed());
+        assert_eq!(tx.send(2).unwrap_err(), LinkError::Disconnected);
+        tx.heal();
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv().unwrap().1, 1);
+        assert_eq!(rx.recv().unwrap().1, 3);
+    }
+
+    #[test]
+    fn try_recv_and_timeout() {
+        let (tx, rx) = link::<u8>(LinkConfig::instant());
+        assert_eq!(rx.try_recv().unwrap(), None);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)).unwrap_err(), LinkError::Timeout);
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), Some((0, 9)));
+    }
+
+    #[test]
+    fn disconnect_when_sender_dropped() {
+        let (tx, rx) = link::<u8>(LinkConfig::instant());
+        drop(tx);
+        assert_eq!(rx.recv().unwrap_err(), LinkError::Disconnected);
+    }
+
+    #[test]
+    fn drain_discards_queued_messages() {
+        let (tx, rx) = link::<u8>(LinkConfig::instant());
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.drain(), 4);
+        assert_eq!(rx.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn cloned_sender_shares_sequence_space() {
+        let (tx, rx) = link::<u8>(LinkConfig::instant());
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(tx.sent(), 2);
+        assert_eq!(rx.recv().unwrap(), (0, 1));
+        assert_eq!(rx.recv().unwrap(), (1, 2));
+    }
+}

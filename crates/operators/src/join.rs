@@ -1,0 +1,146 @@
+//! Symmetric hash join — the paper's example of a stateful AND
+//! non-deterministic operator (§1): results depend both on which events
+//! are waiting to be matched (state) and on arrival order across the two
+//! streams ("the first event from S2 that arrives will trigger the join").
+
+use streammine_common::event::{Event, Value};
+use streammine_core::{OpCtx, Operator, PortId, SetupCtx, StateHandle};
+use streammine_stm::StmAbort;
+
+use parking_lot::Mutex;
+
+type KeyFn = dyn Fn(&Value) -> u64 + Send + Sync;
+type Side = Vec<(u64, Value)>;
+
+/// Joins events from input port 0 (left) and port 1 (right) on a key.
+///
+/// Each arriving event is matched against all waiting events of the other
+/// side with the same key; every match emits `Record[left, right]`.
+/// Matched partners are consumed (one-shot join); unmatched events wait.
+pub struct Join {
+    key: Box<KeyFn>,
+    state: Mutex<Option<(StateHandle<Side>, StateHandle<Side>)>>,
+}
+
+impl Join {
+    /// Creates a join with the given key extractor.
+    pub fn new(key: impl Fn(&Value) -> u64 + Send + Sync + 'static) -> Self {
+        Join { key: Box::new(key), state: Mutex::new(None) }
+    }
+
+    /// Joins on the integer payload itself (convenience for tests).
+    pub fn on_int() -> Self {
+        Self::new(|v| v.as_i64().unwrap_or(0) as u64)
+    }
+}
+
+impl Operator for Join {
+    fn name(&self) -> &str {
+        "join"
+    }
+
+    fn setup(&self, ctx: &mut SetupCtx<'_>) {
+        *self.state.lock() = Some((ctx.state(Side::new()), ctx.state(Side::new())));
+    }
+
+    fn process(&self, ctx: &mut OpCtx<'_, '_>, event: &Event) -> Result<(), StmAbort> {
+        let (left_h, right_h) = self.state.lock().expect("setup ran");
+        let key = (self.key)(&event.payload);
+        let (mine, other, left_first) = match ctx.input_port() {
+            PortId(0) => (left_h, right_h, true),
+            _ => (right_h, left_h, false),
+        };
+        let mut waiting = (*ctx.get(other)?).clone();
+        if let Some(pos) = waiting.iter().position(|(k, _)| *k == key) {
+            let (_, partner) = waiting.remove(pos);
+            ctx.set(other, waiting)?;
+            let (l, r) = if left_first {
+                (event.payload.clone(), partner)
+            } else {
+                (partner, event.payload.clone())
+            };
+            ctx.emit(Value::Record(vec![l, r]));
+        } else {
+            let mut own = (*ctx.get(mine)?).clone();
+            own.push((key, event.payload.clone()));
+            ctx.set(mine, own)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use streammine_core::{GraphBuilder, OperatorConfig};
+
+    fn setup_join() -> (streammine_core::Running, streammine_core::SourceId, streammine_core::SourceId, streammine_core::SinkId)
+    {
+        let mut b = GraphBuilder::new();
+        let j = b.add_operator(Join::on_int(), OperatorConfig::plain());
+        let left = b.source_into(j).unwrap();
+        let right = b.source_into(j).unwrap();
+        let sink = b.sink_from(j).unwrap();
+        (b.build().unwrap().start(), left, right, sink)
+    }
+
+    #[test]
+    fn matching_events_join_once() {
+        let (running, left, right, sink) = setup_join();
+        running.source(left).push(Value::Int(7));
+        running.source(right).push(Value::Int(7));
+        assert!(running.sink(sink).wait_final(1, Duration::from_secs(5)));
+        let out = running.sink(sink).final_events();
+        assert_eq!(out[0].payload, Value::Record(vec![Value::Int(7), Value::Int(7)]));
+        running.shutdown();
+    }
+
+    #[test]
+    fn unmatched_events_wait() {
+        let (running, left, _right, sink) = setup_join();
+        running.source(left).push(Value::Int(1));
+        running.source(left).push(Value::Int(2));
+        assert!(!running.sink(sink).wait_final(1, Duration::from_millis(150)));
+        running.shutdown();
+    }
+
+    #[test]
+    fn first_arrival_wins_the_match() {
+        // Two right events with the same key: only one joins per left.
+        let (running, left, right, sink) = setup_join();
+        running.source(right).push(Value::Int(5));
+        running.source(right).push(Value::Int(5));
+        std::thread::sleep(Duration::from_millis(50));
+        running.source(left).push(Value::Int(5));
+        assert!(running.sink(sink).wait_final(1, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(running.sink(sink).final_count(), 1, "exactly one pair per match");
+        running.shutdown();
+    }
+
+    #[test]
+    fn join_output_order_left_right() {
+        // Right waits; left triggers; the output record must be [l, r]
+        // regardless of which side arrived first.
+        let mut b = GraphBuilder::new();
+        let j = b.add_operator(
+            Join::new(|v| v.field(0).and_then(Value::as_i64).unwrap_or(0) as u64),
+            OperatorConfig::plain(),
+        );
+        let left = b.source_into(j).unwrap();
+        let right = b.source_into(j).unwrap();
+        let sink = b.sink_from(j).unwrap();
+        let running = b.build().unwrap().start();
+        running.source(right).push(Value::Record(vec![Value::Int(3), Value::Str("r".into())]));
+        std::thread::sleep(Duration::from_millis(50));
+        running.source(left).push(Value::Record(vec![Value::Int(3), Value::Str("l".into())]));
+        assert!(running.sink(sink).wait_final(1, Duration::from_secs(5)));
+        let out = &running.sink(sink).final_events()[0].payload;
+        let l_side = out.field(0).and_then(|v| v.field(1)).and_then(Value::as_str);
+        let r_side = out.field(1).and_then(|v| v.field(1)).and_then(Value::as_str);
+        assert_eq!(l_side, Some("l"));
+        assert_eq!(r_side, Some("r"));
+        running.shutdown();
+    }
+}

@@ -1,0 +1,209 @@
+//! Random sampling — the paper's "usage of non-determinism in processing
+//! (e.g., Monte-Carlo simulations, which are based on random numbers)"
+//! class (§1). Every keep/drop decision is one logged determinant.
+
+use streammine_common::event::{Event, Value};
+use streammine_core::{OpCtx, Operator, SetupCtx, StateHandle};
+use streammine_stm::StmAbort;
+
+use parking_lot::Mutex;
+
+/// Bernoulli sampler: forwards each event with probability `p`; the coin
+/// flip is a logged non-deterministic decision, so recovery replays the
+/// exact same sample.
+pub struct Sample {
+    keep_per_2_32: u64,
+    kept: Mutex<Option<StateHandle<i64>>>,
+}
+
+impl Sample {
+    /// Creates a sampler keeping each event with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        Sample {
+            keep_per_2_32: (p * f64::from(u32::MAX)) as u64,
+            kept: Mutex::new(None),
+        }
+    }
+}
+
+impl Operator for Sample {
+    fn name(&self) -> &str {
+        "sample"
+    }
+
+    fn setup(&self, ctx: &mut SetupCtx<'_>) {
+        *self.kept.lock() = Some(ctx.state(0i64));
+    }
+
+    fn process(&self, ctx: &mut OpCtx<'_, '_>, event: &Event) -> Result<(), StmAbort> {
+        // One logged draw per event; compared against the keep threshold.
+        let coin = ctx.random_below(u64::from(u32::MAX) + 1);
+        if coin < self.keep_per_2_32 {
+            let handle = self.kept.lock().expect("setup ran");
+            ctx.update(handle, |k| k + 1)?;
+            ctx.emit(event.payload.clone());
+        }
+        Ok(())
+    }
+}
+
+/// Monte-Carlo estimator: for each input event, draws `draws` random points
+/// in the unit square and emits the running π estimate — a deliberately
+/// draw-heavy non-deterministic operator for logging-volume experiments.
+pub struct MonteCarloPi {
+    draws: u32,
+    state: Mutex<Option<(StateHandle<i64>, StateHandle<i64>)>>, // (inside, total)
+}
+
+impl MonteCarloPi {
+    /// Creates an estimator with `draws` samples per event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `draws == 0`.
+    pub fn new(draws: u32) -> Self {
+        assert!(draws > 0, "draws must be positive");
+        MonteCarloPi { draws, state: Mutex::new(None) }
+    }
+}
+
+impl Operator for MonteCarloPi {
+    fn name(&self) -> &str {
+        "monte-carlo-pi"
+    }
+
+    fn setup(&self, ctx: &mut SetupCtx<'_>) {
+        *self.state.lock() = Some((ctx.state(0i64), ctx.state(0i64)));
+    }
+
+    fn process(&self, ctx: &mut OpCtx<'_, '_>, _event: &Event) -> Result<(), StmAbort> {
+        let (inside_h, total_h) = self.state.lock().expect("setup ran");
+        let mut hits = 0i64;
+        for _ in 0..self.draws {
+            // Two logged draws per point.
+            let x = ctx.random_below(1 << 16) as f64 / (1 << 16) as f64;
+            let y = ctx.random_below(1 << 16) as f64 / (1 << 16) as f64;
+            if x * x + y * y <= 1.0 {
+                hits += 1;
+            }
+        }
+        ctx.update(inside_h, |v| v + hits)?;
+        ctx.update(total_h, |v| v + i64::from(self.draws))?;
+        let inside = *ctx.get(inside_h)?;
+        let total = *ctx.get(total_h)?;
+        ctx.emit(Value::Float(4.0 * inside as f64 / total as f64));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use streammine_core::{GraphBuilder, LoggingConfig, OperatorConfig};
+
+    #[test]
+    fn sample_rate_is_roughly_p() {
+        let mut b = GraphBuilder::new();
+        let s = b.add_operator(Sample::new(0.5), OperatorConfig::plain());
+        let src = b.source_into(s).unwrap();
+        let sink = b.sink_from(s).unwrap();
+        let running = b.build().unwrap().start();
+        for i in 0..400 {
+            running.source(src).push(Value::Int(i));
+        }
+        std::thread::sleep(Duration::from_millis(300));
+        let kept = running.sink(sink).final_count();
+        assert!((120..=280).contains(&kept), "kept {kept}/400 at p=0.5");
+        running.shutdown();
+    }
+
+    #[test]
+    fn sample_extremes() {
+        for (p, expect_all) in [(0.0, false), (1.0, true)] {
+            let mut b = GraphBuilder::new();
+            let s = b.add_operator(Sample::new(p), OperatorConfig::plain());
+            let src = b.source_into(s).unwrap();
+            let sink = b.sink_from(s).unwrap();
+            let running = b.build().unwrap().start();
+            for i in 0..20 {
+                running.source(src).push(Value::Int(i));
+            }
+            std::thread::sleep(Duration::from_millis(150));
+            let kept = running.sink(sink).final_count();
+            if expect_all {
+                assert!(kept >= 19, "p=1 must keep (almost) everything, kept {kept}");
+            } else {
+                assert_eq!(kept, 0, "p=0 must drop everything");
+            }
+            running.shutdown();
+        }
+    }
+
+    #[test]
+    fn sample_decisions_replay_after_crash() {
+        // The sampled subset must be identical across recovery.
+        let mut b = GraphBuilder::new();
+        let s = b.add_operator(
+            Sample::new(0.5),
+            OperatorConfig::logged(LoggingConfig::simulated(Duration::from_micros(200))),
+        );
+        let src = b.source_into(s).unwrap();
+        let sink = b.sink_from(s).unwrap();
+        let running = b.build().unwrap().start();
+        let op = streammine_common::ids::OperatorId::new(0);
+        for i in 0..40 {
+            running.source(src).push(Value::Int(i));
+        }
+        std::thread::sleep(Duration::from_millis(300));
+        let before: Vec<Value> = running
+            .sink(sink)
+            .final_events_by_id()
+            .into_iter()
+            .map(|e| e.payload)
+            .collect();
+        running.crash(op);
+        running.recover(op);
+        std::thread::sleep(Duration::from_millis(500));
+        let after: Vec<Value> = running
+            .sink(sink)
+            .final_events_by_id()
+            .into_iter()
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(before, after, "the sampled subset changed across recovery");
+        running.shutdown();
+    }
+
+    #[test]
+    fn monte_carlo_pi_converges_loosely() {
+        let mut b = GraphBuilder::new();
+        let m = b.add_operator(MonteCarloPi::new(200), OperatorConfig::plain());
+        let src = b.source_into(m).unwrap();
+        let sink = b.sink_from(m).unwrap();
+        let running = b.build().unwrap().start();
+        for i in 0..20 {
+            running.source(src).push(Value::Int(i));
+        }
+        assert!(running.sink(sink).wait_final(20, Duration::from_secs(10)));
+        let last = running
+            .sink(sink)
+            .final_events_by_id()
+            .last()
+            .and_then(|e| e.payload.as_f64())
+            .unwrap();
+        assert!((2.9..3.4).contains(&last), "pi estimate {last} wildly off after 4000 draws");
+        running.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0,1]")]
+    fn invalid_probability_panics() {
+        let _ = Sample::new(1.5);
+    }
+}

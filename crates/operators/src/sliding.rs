@@ -1,0 +1,135 @@
+//! Sliding count windows (extension beyond the paper's tumbling windows).
+
+use streammine_common::event::{Event, Value};
+use streammine_core::{OpCtx, Operator, SetupCtx, StateHandle};
+use streammine_stm::StmAbort;
+
+use parking_lot::Mutex;
+
+use crate::window::WindowAgg;
+
+/// Sliding count window: emits the aggregate of the last `size` events for
+/// every `slide`-th arrival. Order-sensitive like all count windows, hence
+/// preserved exactly by precise recovery.
+pub struct SlidingWindow {
+    size: usize,
+    slide: u64,
+    agg: WindowAgg,
+    state: Mutex<Option<(StateHandle<Vec<(u64, Value)>>, StateHandle<u64>)>>, // (buffer, count)
+}
+
+impl SlidingWindow {
+    /// Creates a window of `size` events emitting every `slide` arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or `slide == 0`.
+    pub fn new(size: usize, slide: u64, agg: WindowAgg) -> Self {
+        assert!(size > 0, "window size must be positive");
+        assert!(slide > 0, "slide must be positive");
+        SlidingWindow { size, slide, agg, state: Mutex::new(None) }
+    }
+}
+
+impl Operator for SlidingWindow {
+    fn name(&self) -> &str {
+        "sliding-window"
+    }
+
+    fn setup(&self, ctx: &mut SetupCtx<'_>) {
+        *self.state.lock() = Some((ctx.state(Vec::new()), ctx.state(0u64)));
+    }
+
+    fn process(&self, ctx: &mut OpCtx<'_, '_>, event: &Event) -> Result<(), StmAbort> {
+        let (buf_h, count_h) = self.state.lock().expect("setup ran");
+        let mut buf = (*ctx.get(buf_h)?).clone();
+        let count = *ctx.get(count_h)? + 1;
+        buf.push((count, event.payload.clone()));
+        if buf.len() > self.size {
+            let excess = buf.len() - self.size;
+            buf.drain(..excess);
+        }
+        if count % self.slide == 0 && buf.len() == self.size {
+            let values: Vec<f64> = buf.iter().filter_map(|(_, v)| v.as_f64()).collect();
+            let sum: f64 = values.iter().sum();
+            let max = values.iter().cloned().fold(f64::MIN, f64::max);
+            let out = match self.agg {
+                WindowAgg::Sum => sum,
+                WindowAgg::Avg => sum / values.len() as f64,
+                WindowAgg::Max => max,
+                WindowAgg::Count => values.len() as f64,
+            };
+            ctx.emit(Value::Float(out));
+        }
+        ctx.set(buf_h, buf)?;
+        ctx.set(count_h, count)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use streammine_core::{GraphBuilder, OperatorConfig};
+
+    fn run(size: usize, slide: u64, agg: WindowAgg, inputs: Vec<i64>, expect: usize) -> Vec<f64> {
+        let mut b = GraphBuilder::new();
+        let w = b.add_operator(SlidingWindow::new(size, slide, agg), OperatorConfig::plain());
+        let src = b.source_into(w).unwrap();
+        let sink = b.sink_from(w).unwrap();
+        let running = b.build().unwrap().start();
+        for v in inputs {
+            running.source(src).push(Value::Int(v));
+        }
+        assert!(running.sink(sink).wait_final(expect, Duration::from_secs(5)));
+        let out = running
+            .sink(sink)
+            .final_events_by_id()
+            .iter()
+            .filter_map(|e| e.payload.as_f64())
+            .collect();
+        running.shutdown();
+        out
+    }
+
+    #[test]
+    fn slide_one_emits_rolling_sums() {
+        // size=3, slide=1 over 1..=5: windows [1,2,3],[2,3,4],[3,4,5].
+        let out = run(3, 1, WindowAgg::Sum, (1..=5).collect(), 3);
+        assert_eq!(out, vec![6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn slide_two_skips_alternate_emissions() {
+        // size=2, slide=2 over 1..=6: emissions at counts 2,4,6.
+        let out = run(2, 2, WindowAgg::Sum, (1..=6).collect(), 3);
+        assert_eq!(out, vec![3.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    fn rolling_max() {
+        let out = run(2, 1, WindowAgg::Max, vec![5, 1, 7, 3], 3);
+        assert_eq!(out, vec![5.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn no_emission_before_window_fills() {
+        let mut b = GraphBuilder::new();
+        let w = b.add_operator(SlidingWindow::new(4, 1, WindowAgg::Sum), OperatorConfig::plain());
+        let src = b.source_into(w).unwrap();
+        let sink = b.sink_from(w).unwrap();
+        let running = b.build().unwrap().start();
+        for v in 1..=3 {
+            running.source(src).push(Value::Int(v));
+        }
+        assert!(!running.sink(sink).wait_final(1, Duration::from_millis(150)));
+        running.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "slide must be positive")]
+    fn zero_slide_panics() {
+        let _ = SlidingWindow::new(2, 0, WindowAgg::Sum);
+    }
+}

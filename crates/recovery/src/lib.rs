@@ -1,0 +1,36 @@
+//! Baseline high-availability protocols for comparison with StreamMine's
+//! speculative precise recovery.
+//!
+//! Borealis ("High-availability algorithms for distributed stream
+//! processing", ICDE'05) classifies recovery protocols as *amnesia*,
+//! *passive standby*, *upstream backup* and *active standby*; Flux applies
+//! the process-pair (active standby) approach. The paper's related-work
+//! section (§5) argues that the protocols able to deliver **precise**
+//! recovery for non-deterministic operators all pay per-event
+//! synchronization before anything can be emitted:
+//!
+//! * passive standby — "the operator can only forward checkpointed tuples
+//!   downstream": one synchronous checkpoint write per emission;
+//! * active standby — "primaries send the non-deterministic decisions to
+//!   the secondaries and then wait for the acknowledgment": one replica
+//!   round-trip per emission;
+//! * upstream backup — free at runtime but *imprecise* for
+//!   non-deterministic operators (replay redraws decisions);
+//! * amnesia — free and hopeless (state and in-flight events lost).
+//!
+//! Each baseline here protects the same reference operator (a stateful
+//! counter that tags outputs with a random draw — deterministic state plus
+//! one non-deterministic decision per event) using the same storage and
+//! link substrates as the engine, so the measured per-event release
+//! latencies are directly comparable with StreamMine's speculative path in
+//! the `ablation_recovery_protocols` benchmark.
+
+#![warn(missing_docs)]
+
+pub mod protocols;
+pub mod reference;
+
+pub use protocols::{
+    evaluate, ActiveStandby, Amnesia, HaStrategy, PassiveStandby, RecoveryReport, UpstreamBackup,
+};
+pub use reference::{RefEvent, RefOperator};

@@ -1,0 +1,230 @@
+//! Count-min sketch (Cormode & Muthukrishnan).
+
+use streammine_common::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use streammine_common::rng::DetRng;
+
+use crate::hashing::PairwiseHash;
+
+/// A count-min sketch over `u64` keys.
+///
+/// Estimates are upper-bounded overcounts: with width `w = ⌈e/ε⌉` and depth
+/// `d = ⌈ln 1/δ⌉`, the estimate exceeds the true count by more than `ε·N`
+/// with probability at most `δ`.
+///
+/// ```
+/// use streammine_sketch::CountMinSketch;
+/// let mut cm = CountMinSketch::new(256, 4, 42);
+/// for _ in 0..10 { cm.update(7, 1); }
+/// assert!(cm.estimate(7) >= 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountMinSketch {
+    width: usize,
+    rows: Vec<Vec<u64>>,
+    hashes: Vec<PairwiseHash>,
+    total: u64,
+    seed: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `width` counters per row and `depth` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `depth` is zero.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0 && depth > 0, "width and depth must be positive");
+        let mut rng = DetRng::seed_from(seed);
+        CountMinSketch {
+            width,
+            rows: vec![vec![0; width]; depth],
+            hashes: (0..depth).map(|_| PairwiseHash::sample(&mut rng)).collect(),
+            total: 0,
+            seed,
+        }
+    }
+
+    /// Sizes the sketch for additive error `eps·N` with failure
+    /// probability `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < eps < 1` and `0 < delta < 1`.
+    pub fn with_error(eps: f64, delta: f64, seed: u64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let width = (std::f64::consts::E / eps).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(width, depth, seed)
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total count of all updates.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Adds `count` occurrences of `key`.
+    pub fn update(&mut self, key: u64, count: u64) {
+        for (row, h) in self.rows.iter_mut().zip(&self.hashes) {
+            let b = h.bucket(key, self.width);
+            row[b] = row[b].saturating_add(count);
+        }
+        self.total = self.total.saturating_add(count);
+    }
+
+    /// Estimated count of `key` (never underestimates).
+    pub fn estimate(&self, key: u64) -> u64 {
+        self.rows
+            .iter()
+            .zip(&self.hashes)
+            .map(|(row, h)| row[h.bucket(key, self.width)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Merges another sketch with identical dimensions and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions or hash seeds differ.
+    pub fn merge(&mut self, other: &CountMinSketch) {
+        assert_eq!(self.width, other.width, "width mismatch");
+        assert_eq!(self.rows.len(), other.rows.len(), "depth mismatch");
+        assert_eq!(self.seed, other.seed, "seed mismatch");
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m = m.saturating_add(*t);
+            }
+        }
+        self.total = self.total.saturating_add(other.total);
+    }
+}
+
+impl Encode for CountMinSketch {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.width as u64);
+        enc.put_u64(self.rows.len() as u64);
+        enc.put_u64(self.seed);
+        enc.put_u64(self.total);
+        for row in &self.rows {
+            for &c in row {
+                enc.put_u64(c);
+            }
+        }
+    }
+}
+
+impl Decode for CountMinSketch {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let width = dec.get_len()?;
+        let depth = dec.get_len()?;
+        let seed = dec.get_u64()?;
+        let total = dec.get_u64()?;
+        if width == 0 || depth == 0 {
+            return Err(DecodeError::InvalidTag { type_name: "CountMinSketch", tag: 0 });
+        }
+        let mut sketch = CountMinSketch::new(width, depth, seed);
+        sketch.total = total;
+        for row in &mut sketch.rows {
+            for c in row.iter_mut() {
+                *c = dec.get_u64()?;
+            }
+        }
+        Ok(sketch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammine_common::codec::roundtrip;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMinSketch::new(64, 4, 1);
+        let mut rng = DetRng::seed_from(9);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..5000 {
+            let k = rng.next_zipf(100, 1.1);
+            cm.update(k, 1);
+            *truth.entry(k).or_insert(0u64) += 1;
+        }
+        for (k, &t) in &truth {
+            assert!(cm.estimate(*k) >= t, "underestimate for {k}");
+        }
+    }
+
+    #[test]
+    fn error_is_bounded_for_sized_sketch() {
+        let mut cm = CountMinSketch::with_error(0.01, 0.01, 2);
+        let mut rng = DetRng::seed_from(11);
+        let n = 20_000u64;
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..n {
+            let k = rng.next_zipf(500, 1.2);
+            cm.update(k, 1);
+            *truth.entry(k).or_insert(0u64) += 1;
+        }
+        let bound = (0.02 * n as f64) as u64; // 2ε·N slack for one run
+        let mut violations = 0;
+        for (k, &t) in &truth {
+            if cm.estimate(*k) > t + bound {
+                violations += 1;
+            }
+        }
+        assert_eq!(violations, 0, "{violations} estimates above 2eps bound");
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = CountMinSketch::new(64, 4, 3);
+        let mut b = CountMinSketch::new(64, 4, 3);
+        let mut whole = CountMinSketch::new(64, 4, 3);
+        for k in 0..100u64 {
+            a.update(k, 2);
+            whole.update(k, 2);
+        }
+        for k in 50..150u64 {
+            b.update(k, 3);
+            whole.update(k, 3);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed mismatch")]
+    fn merge_with_different_seed_panics() {
+        let mut a = CountMinSketch::new(8, 2, 1);
+        let b = CountMinSketch::new(8, 2, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn codec_roundtrip_preserves_estimates() {
+        let mut cm = CountMinSketch::new(32, 3, 4);
+        for k in 0..50u64 {
+            cm.update(k, k + 1);
+        }
+        let back = roundtrip(&cm).unwrap();
+        assert_eq!(back, cm);
+        assert_eq!(back.estimate(10), cm.estimate(10));
+        assert_eq!(back.total(), cm.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "width and depth must be positive")]
+    fn zero_width_panics() {
+        let _ = CountMinSketch::new(0, 2, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Pairwise-independent hash families for sketches.
+
+use streammine_common::rng::DetRng;
+
+/// A 2-universal hash function over `u64` keys (multiply-shift family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairwiseHash {
+    a: u64,
+    b: u64,
+}
+
+impl PairwiseHash {
+    /// Draws a random function from the family.
+    pub fn sample(rng: &mut DetRng) -> Self {
+        // `a` must be odd for the multiply-shift scheme.
+        PairwiseHash { a: rng.next_u64() | 1, b: rng.next_u64() }
+    }
+
+    /// Hashes `key` to a full 64-bit value.
+    pub fn hash(&self, key: u64) -> u64 {
+        // Dietzfelbinger multiply-shift, then a finalizer for high bits.
+        let x = self.a.wrapping_mul(key).wrapping_add(self.b);
+        let mut z = x;
+        z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        z ^ (z >> 33)
+    }
+
+    /// Hashes `key` into `[0, buckets)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`.
+    pub fn bucket(&self, key: u64, buckets: usize) -> usize {
+        assert!(buckets > 0, "buckets must be positive");
+        let h = self.hash(key);
+        ((u128::from(h) * buckets as u128) >> 64) as usize
+    }
+
+    /// Maps `key` to a sign in `{-1, +1}` (for count sketch).
+    pub fn sign(&self, key: u64) -> i64 {
+        if self.hash(key) & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_parameters() {
+        let mut rng = DetRng::seed_from(1);
+        let h = PairwiseHash::sample(&mut rng);
+        assert_eq!(h.hash(42), h.hash(42));
+        assert_eq!(h.bucket(42, 100), h.bucket(42, 100));
+        assert_eq!(h.sign(42), h.sign(42));
+    }
+
+    #[test]
+    fn buckets_are_in_range_and_spread() {
+        let mut rng = DetRng::seed_from(2);
+        let h = PairwiseHash::sample(&mut rng);
+        let mut counts = vec![0u32; 16];
+        for key in 0..16_000u64 {
+            let b = h.bucket(key, 16);
+            assert!(b < 16);
+            counts[b] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((600..1400).contains(&c), "bucket {i} count {c} badly skewed");
+        }
+    }
+
+    #[test]
+    fn signs_are_roughly_balanced() {
+        let mut rng = DetRng::seed_from(3);
+        let h = PairwiseHash::sample(&mut rng);
+        let pos = (0..10_000u64).filter(|&k| h.sign(k) == 1).count();
+        assert!((4000..6000).contains(&pos), "sign balance off: {pos}/10000 positive");
+    }
+
+    #[test]
+    fn different_samples_differ() {
+        let mut rng = DetRng::seed_from(4);
+        let h1 = PairwiseHash::sample(&mut rng);
+        let h2 = PairwiseHash::sample(&mut rng);
+        let same = (0..64u64).filter(|&k| h1.hash(k) == h2.hash(k)).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "buckets must be positive")]
+    fn zero_buckets_panics() {
+        let mut rng = DetRng::seed_from(5);
+        PairwiseHash::sample(&mut rng).bucket(1, 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Stream sketches: count-min, count sketch, and top-k heavy hitters.
+//!
+//! The paper's expensive-operator experiments (Figures 4, 6, 7) use the
+//! *count sketch* of Charikar, Chen and Farach-Colton ("Finding frequent
+//! items in data streams", Theor. Comput. Sci. 312(1), 2004) as the
+//! prototypical costly, stateful, parallelizable operator: each update
+//! touches one counter per row, so events hashing to different counters can
+//! be processed concurrently — but a static analyzer cannot prove that
+//! (the touched counter depends on runtime data), which is exactly why the
+//! paper parallelizes it *optimistically* with the STM (§4).
+//!
+//! Three families live here:
+//!
+//! * [`CountMinSketch`] — biased (over-)estimates, simplest bounds;
+//! * [`CountSketch`] — unbiased median-of-signs estimator (the paper's);
+//! * [`TopK`] — heavy hitters on top of a count sketch;
+//! * [`TCountSketch`] — the transactional variant whose counters are
+//!   individual [`TVar`](streammine_stm::TVar)s, used by the parallelized
+//!   sketch operator.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod countmin;
+pub mod countsketch;
+pub mod hashing;
+pub mod topk;
+pub mod txn_sketch;
+
+pub use countmin::CountMinSketch;
+pub use countsketch::CountSketch;
+pub use topk::TopK;
+pub use txn_sketch::TCountSketch;

@@ -1,0 +1,155 @@
+//! Top-k heavy hitters over a count sketch (the algorithm of Charikar et
+//! al. §1: keep a sketch plus a candidate set of the current k heaviest).
+
+use std::collections::HashMap;
+
+use crate::countsketch::CountSketch;
+
+/// Tracks the (approximately) `k` most frequent keys of a stream.
+///
+/// ```
+/// use streammine_sketch::TopK;
+/// let mut topk = TopK::new(3, 256, 5, 42);
+/// for _ in 0..50 { topk.update(1); }
+/// for _ in 0..30 { topk.update(2); }
+/// for _ in 0..10 { topk.update(3); }
+/// topk.update(4);
+/// let top = topk.current();
+/// assert_eq!(top[0].0, 1);
+/// assert_eq!(top[1].0, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    sketch: CountSketch,
+    candidates: HashMap<u64, i64>,
+}
+
+impl TopK {
+    /// Creates a tracker for the `k` heaviest keys with a
+    /// `width × depth` count sketch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k`, `width` or `depth` is zero.
+    pub fn new(k: usize, width: usize, depth: usize, seed: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        TopK { k, sketch: CountSketch::new(width, depth, seed), candidates: HashMap::new() }
+    }
+
+    /// Number of tracked heavy hitters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The underlying sketch (read-only).
+    pub fn sketch(&self) -> &CountSketch {
+        &self.sketch
+    }
+
+    /// Processes one occurrence of `key`; returns `true` if the candidate
+    /// set changed (a new key entered the top-k).
+    pub fn update(&mut self, key: u64) -> bool {
+        self.sketch.update(key, 1);
+        let est = self.sketch.estimate(key);
+        if let Some(c) = self.candidates.get_mut(&key) {
+            *c = est;
+            return false;
+        }
+        if self.candidates.len() < self.k {
+            self.candidates.insert(key, est);
+            return true;
+        }
+        // Replace the lightest candidate if this key now outweighs it.
+        let (&light_key, &light_est) = self
+            .candidates
+            .iter()
+            .min_by_key(|(_, &v)| v)
+            .expect("candidates nonempty");
+        if est > light_est {
+            self.candidates.remove(&light_key);
+            self.candidates.insert(key, est);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current top-k as `(key, estimated_count)`, heaviest first.
+    pub fn current(&self) -> Vec<(u64, i64)> {
+        let mut v: Vec<(u64, i64)> =
+            self.candidates.iter().map(|(&k, _)| (k, self.sketch.estimate(k))).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Whether `key` is currently a candidate.
+    pub fn contains(&self, key: u64) -> bool {
+        self.candidates.contains_key(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammine_common::rng::DetRng;
+
+    #[test]
+    fn finds_true_heavy_hitters_in_zipf_stream() {
+        let mut topk = TopK::new(5, 512, 5, 1);
+        let mut rng = DetRng::seed_from(2);
+        for _ in 0..30_000 {
+            topk.update(rng.next_zipf(1000, 1.3));
+        }
+        let found: Vec<u64> = topk.current().iter().map(|(k, _)| *k).collect();
+        // Zipf(1.3): keys 0 and 1 dominate overwhelmingly.
+        assert!(found.contains(&0), "missing key 0 in {found:?}");
+        assert!(found.contains(&1), "missing key 1 in {found:?}");
+    }
+
+    #[test]
+    fn candidate_set_never_exceeds_k() {
+        let mut topk = TopK::new(3, 128, 5, 3);
+        for k in 0..100u64 {
+            topk.update(k);
+        }
+        assert!(topk.current().len() <= 3);
+    }
+
+    #[test]
+    fn update_reports_candidate_changes() {
+        let mut topk = TopK::new(2, 256, 5, 4);
+        assert!(topk.update(1)); // enters (set not full)
+        assert!(topk.update(2)); // enters
+        assert!(!topk.update(1)); // already a candidate
+        // A brand-new key with count 1 does not displace keys with count≥1.
+        for _ in 0..5 {
+            topk.update(1);
+            topk.update(2);
+        }
+        assert!(!topk.update(99));
+        assert!(!topk.contains(99));
+    }
+
+    #[test]
+    fn heaviest_first_ordering() {
+        let mut topk = TopK::new(3, 256, 5, 5);
+        for _ in 0..30 {
+            topk.update(10);
+        }
+        for _ in 0..20 {
+            topk.update(20);
+        }
+        for _ in 0..10 {
+            topk.update(30);
+        }
+        let keys: Vec<u64> = topk.current().iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = TopK::new(0, 16, 3, 0);
+    }
+}

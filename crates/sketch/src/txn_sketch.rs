@@ -1,0 +1,209 @@
+//! Transactional count sketch for optimistic parallelization.
+//!
+//! Every counter is its own [`TVar`]: an update touches `depth` variables
+//! chosen by runtime hashing, so two events conflict only when they collide
+//! in at least one row — which is exactly the data-dependent parallelism
+//! the paper says static analysis cannot extract but optimistic execution
+//! can (§4, Figure 5's "sketch operators" discussion).
+
+use std::fmt;
+
+use streammine_common::rng::DetRng;
+use streammine_stm::{StmAbort, StmRuntime, TArray, Txn};
+
+use crate::countsketch::CountSketch;
+use crate::hashing::PairwiseHash;
+
+/// Count sketch whose counters live in STM variables.
+pub struct TCountSketch {
+    width: usize,
+    rows: Vec<TArray<i64>>,
+    bucket_hashes: Vec<PairwiseHash>,
+    sign_hashes: Vec<PairwiseHash>,
+    seed: u64,
+}
+
+impl fmt::Debug for TCountSketch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TCountSketch")
+            .field("width", &self.width)
+            .field("depth", &self.rows.len())
+            .finish()
+    }
+}
+
+impl TCountSketch {
+    /// Creates the sketch's variables inside `rt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `depth` is zero.
+    pub fn new(rt: &StmRuntime, width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0 && depth > 0, "width and depth must be positive");
+        let mut rng = DetRng::seed_from(seed);
+        let bucket_hashes: Vec<_> = (0..depth).map(|_| PairwiseHash::sample(&mut rng)).collect();
+        let sign_hashes: Vec<_> = (0..depth).map(|_| PairwiseHash::sample(&mut rng)).collect();
+        TCountSketch {
+            width,
+            rows: (0..depth).map(|_| TArray::new(rt, width, 0i64)).collect(),
+            bucket_hashes,
+            sign_hashes,
+            seed,
+        }
+    }
+
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Transactionally adds `count` occurrences of `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmAbort`] (the executor retries).
+    pub fn update(&self, txn: &mut Txn<'_>, key: u64, count: i64) -> Result<(), StmAbort> {
+        for (r, (bh, sh)) in self.bucket_hashes.iter().zip(&self.sign_hashes).enumerate() {
+            let b = bh.bucket(key, self.width);
+            let s = sh.sign(key);
+            self.rows[r].update(txn, b, |v| v + s * count)?;
+        }
+        Ok(())
+    }
+
+    /// Transactionally estimates `key`'s count (median over rows).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmAbort`].
+    pub fn estimate(&self, txn: &mut Txn<'_>, key: u64) -> Result<i64, StmAbort> {
+        let mut samples = Vec::with_capacity(self.rows.len());
+        for (r, (bh, sh)) in self.bucket_hashes.iter().zip(&self.sign_hashes).enumerate() {
+            let b = bh.bucket(key, self.width);
+            let s = sh.sign(key);
+            samples.push(s * *self.rows[r].get(txn, b)?);
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        Ok(if n % 2 == 1 { samples[n / 2] } else { (samples[n / 2 - 1] + samples[n / 2]) / 2 })
+    }
+
+    /// Snapshot of the committed counters as a plain [`CountSketch`]
+    /// (checkpointing).
+    pub fn snapshot(&self) -> CountSketch {
+        let mut cs = CountSketch::new(self.width, self.rows.len(), self.seed);
+        // Reconstruct counters directly; hashes are identical because the
+        // seed is identical.
+        let rows: Vec<Vec<i64>> = self.rows.iter().map(TArray::load_vec).collect();
+        for (r, row) in rows.into_iter().enumerate() {
+            for (b, v) in row.into_iter().enumerate() {
+                if v != 0 {
+                    cs.set_raw(r, b, v);
+                }
+            }
+        }
+        cs
+    }
+
+    /// Restores committed counters from a snapshot (recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions or seed differ, or transactions are in flight.
+    pub fn restore(&self, snapshot: &CountSketch) {
+        assert_eq!(snapshot.width(), self.width, "width mismatch");
+        assert_eq!(snapshot.depth(), self.rows.len(), "depth mismatch");
+        assert_eq!(snapshot.seed(), self.seed, "seed mismatch");
+        for (row_vars, row) in self.rows.iter().zip(snapshot.rows()) {
+            row_vars.restore_vec(row.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streammine_stm::Serial;
+
+    fn commit<R>(
+        rt: &StmRuntime,
+        serial: u64,
+        body: impl FnMut(&mut Txn<'_>) -> Result<R, StmAbort>,
+    ) -> R {
+        let (h, r) = rt.execute(Serial(serial), body).unwrap();
+        h.authorize();
+        h.wait_committed();
+        r
+    }
+
+    #[test]
+    fn transactional_updates_match_plain_sketch() {
+        let rt = StmRuntime::new();
+        let tcs = TCountSketch::new(&rt, 64, 5, 42);
+        let mut plain = CountSketch::new(64, 5, 42);
+        let mut serial = 0;
+        for k in 0..200u64 {
+            commit(&rt, serial, |txn| tcs.update(txn, k % 17, 1));
+            plain.update(k % 17, 1);
+            serial += 1;
+        }
+        for k in 0..17u64 {
+            let est = commit(&rt, serial, |txn| tcs.estimate(txn, k));
+            serial += 1;
+            assert_eq!(est, plain.estimate(k), "estimate mismatch for key {k}");
+        }
+    }
+
+    #[test]
+    fn snapshot_and_restore_roundtrip() {
+        let rt = StmRuntime::new();
+        let tcs = TCountSketch::new(&rt, 32, 3, 7);
+        for (i, k) in [3u64, 5, 3, 9, 3].iter().enumerate() {
+            commit(&rt, i as u64, |txn| tcs.update(txn, *k, 1));
+        }
+        let snap = tcs.snapshot();
+        // Wipe and restore into a fresh runtime instance.
+        let rt2 = StmRuntime::new();
+        let tcs2 = TCountSketch::new(&rt2, 32, 3, 7);
+        tcs2.restore(&snap);
+        let est = commit(&rt2, 0, |txn| tcs2.estimate(txn, 3));
+        assert_eq!(est, snap.estimate(3));
+        assert_eq!(est, 3);
+    }
+
+    #[test]
+    fn parallel_updates_with_speculator_are_lossless() {
+        use streammine_stm::Speculator;
+        let rt = StmRuntime::new();
+        let tcs = std::sync::Arc::new(TCountSketch::new(&rt, 128, 3, 11));
+        let spec = Speculator::new(rt.clone(), 4);
+        for i in 0..200u64 {
+            let tcs = tcs.clone();
+            spec.submit(Serial(i), move |txn| tcs.update(txn, i % 50, 1));
+        }
+        spec.wait_idle();
+        // Counter additions commute, so the parallel result must equal a
+        // sequential sketch over the same multiset of updates exactly.
+        let mut plain = CountSketch::new(128, 3, 11);
+        for i in 0..200u64 {
+            plain.update(i % 50, 1);
+        }
+        let snap = tcs.snapshot();
+        assert_eq!(snap.rows(), plain.rows(), "parallel updates lost or duplicated");
+        spec.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "seed mismatch")]
+    fn restore_with_wrong_seed_panics() {
+        let rt = StmRuntime::new();
+        let tcs = TCountSketch::new(&rt, 16, 3, 1);
+        let other = CountSketch::new(16, 3, 2);
+        tcs.restore(&other);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the sketches.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use streammine_common::codec::roundtrip;
+use streammine_sketch::{CountMinSketch, CountSketch, TopK};
+
+fn stream() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..200, 1..400)
+}
+
+proptest! {
+    #[test]
+    fn countmin_never_underestimates(keys in stream()) {
+        let mut cm = CountMinSketch::new(128, 4, 7);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &k in &keys {
+            cm.update(k, 1);
+            *truth.entry(k).or_default() += 1;
+        }
+        for (k, &t) in &truth {
+            prop_assert!(cm.estimate(*k) >= t, "underestimate for {}", k);
+        }
+        prop_assert_eq!(cm.total(), keys.len() as u64);
+    }
+
+    #[test]
+    fn countmin_merge_is_homomorphic(a in stream(), b in stream()) {
+        let mut left = CountMinSketch::new(64, 3, 9);
+        let mut right = CountMinSketch::new(64, 3, 9);
+        let mut whole = CountMinSketch::new(64, 3, 9);
+        for &k in &a {
+            left.update(k, 1);
+            whole.update(k, 1);
+        }
+        for &k in &b {
+            right.update(k, 1);
+            whole.update(k, 1);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn countsketch_updates_cancel(keys in stream()) {
+        // Insert the stream, then delete it; every estimate returns to 0.
+        let mut cs = CountSketch::new(128, 5, 11);
+        for &k in &keys {
+            cs.update(k, 1);
+        }
+        for &k in &keys {
+            cs.update(k, -1);
+        }
+        for &k in &keys {
+            prop_assert_eq!(cs.estimate(k), 0);
+        }
+    }
+
+    #[test]
+    fn countsketch_codec_roundtrip(keys in stream()) {
+        let mut cs = CountSketch::new(64, 3, 13);
+        for &k in &keys {
+            cs.update(k, 1);
+        }
+        let back = roundtrip(&cs).unwrap();
+        prop_assert_eq!(&back, &cs);
+        for &k in &keys {
+            prop_assert_eq!(back.estimate(k), cs.estimate(k));
+        }
+    }
+
+    #[test]
+    fn topk_contains_any_true_majority_element(
+        noise in proptest::collection::vec(0u64..100, 0..150),
+        heavy in 100u64..110,
+        heavy_count in 151usize..300,
+    ) {
+        // An element occurring more often than all noise combined must be
+        // tracked by a top-1 tracker by the end of the stream.
+        let mut topk = TopK::new(1, 256, 5, 3);
+        // Interleave: noise then heavy bursts, so the candidate set churns.
+        for (i, &n) in noise.iter().enumerate() {
+            topk.update(n);
+            let _ = i;
+        }
+        for _ in 0..heavy_count {
+            topk.update(heavy);
+        }
+        prop_assert!(topk.contains(heavy), "majority element {} not tracked", heavy);
+    }
+}

@@ -1,0 +1,364 @@
+//! Transactional collections built on [`TVar`].
+//!
+//! The paper's workloads keep operator state in structures whose *parts* can
+//! be accessed independently — e.g. the rows/buckets of a count sketch, or
+//! the per-class counters of a classifier (§3.1, Figure 5). Representing
+//! each part as its own transactional variable is what gives the STM its
+//! fine-grained conflict detection: two events touching different buckets do
+//! not conflict at all.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::runtime::StmRuntime;
+use crate::txn::Txn;
+use crate::types::StmAbort;
+use crate::var::TVar;
+
+/// Fixed-length array of independently versioned transactional slots.
+///
+/// ```
+/// use streammine_stm::{Serial, StmRuntime, TArray};
+///
+/// let rt = StmRuntime::new();
+/// let arr = TArray::new(&rt, 4, 0i64);
+/// let (h, _) = rt
+///     .execute(Serial(0), |txn| arr.update(txn, 2, |v| v + 10))
+///     .unwrap();
+/// h.authorize();
+/// h.wait_committed();
+/// assert_eq!(arr.load_vec(), vec![0, 0, 10, 0]);
+/// ```
+pub struct TArray<T> {
+    slots: Vec<TVar<T>>,
+}
+
+impl<T> fmt::Debug for TArray<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TArray").field("len", &self.slots.len()).finish()
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> TArray<T> {
+    /// Creates an array of `len` slots, each holding a clone of `init`.
+    pub fn new(rt: &StmRuntime, len: usize, init: T) -> Self {
+        TArray { slots: (0..len).map(|_| rt.new_var(init.clone())).collect() }
+    }
+
+    /// Creates an array with per-slot initial values.
+    pub fn from_fn(rt: &StmRuntime, len: usize, mut f: impl FnMut(usize) -> T) -> Self {
+        TArray { slots: (0..len).map(|i| rt.new_var(f(i))).collect() }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the array has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Transactionally reads slot `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmAbort`] from the underlying read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn get(&self, txn: &mut Txn<'_>, idx: usize) -> Result<Arc<T>, StmAbort> {
+        txn.read(&self.slots[idx])
+    }
+
+    /// Transactionally writes slot `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmAbort`] from the underlying write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn set(&self, txn: &mut Txn<'_>, idx: usize, value: T) -> Result<(), StmAbort> {
+        txn.write(&self.slots[idx], value)
+    }
+
+    /// Transactional read-modify-write of slot `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmAbort`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn update(&self, txn: &mut Txn<'_>, idx: usize, f: impl FnOnce(&T) -> T) -> Result<(), StmAbort> {
+        txn.update(&self.slots[idx], f)
+    }
+
+    /// Committed snapshot of all slots (non-transactional).
+    pub fn load_vec(&self) -> Vec<T> {
+        self.slots.iter().map(|s| (*s.load()).clone()).collect()
+    }
+
+    /// Restores all slots from `values` outside any transaction (recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or transactions are in flight.
+    pub fn restore_vec(&self, values: Vec<T>) {
+        assert_eq!(values.len(), self.slots.len(), "restore length mismatch");
+        for (slot, v) in self.slots.iter().zip(values) {
+            slot.restore(v);
+        }
+    }
+}
+
+const DEFAULT_BUCKETS: usize = 64;
+
+fn bucket_hash<K: Hash>(key: &K) -> u64 {
+    // FNV-1a over the key's std hash; stable enough for bucketing.
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Hash map with bucket-granular conflict detection.
+///
+/// Transactions touching different buckets proceed in parallel; within a
+/// bucket the whole vector is the conflict unit (copied on write).
+///
+/// ```
+/// use streammine_stm::{Serial, StmRuntime, TMap};
+///
+/// let rt = StmRuntime::new();
+/// let map: TMap<String, i64> = TMap::new(&rt);
+/// let (h, prev) = rt
+///     .execute(Serial(0), |txn| map.insert(txn, "a".to_string(), 1))
+///     .unwrap();
+/// assert_eq!(prev, None);
+/// h.authorize();
+/// h.wait_committed();
+/// assert_eq!(map.get_committed(&"a".to_string()), Some(1));
+/// ```
+pub struct TMap<K, V> {
+    buckets: Vec<TVar<Vec<(K, V)>>>,
+}
+
+impl<K, V> fmt::Debug for TMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TMap").field("buckets", &self.buckets.len()).finish()
+    }
+}
+
+impl<K, V> TMap<K, V>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Creates a map with the default bucket count (64).
+    pub fn new(rt: &StmRuntime) -> Self {
+        Self::with_buckets(rt, DEFAULT_BUCKETS)
+    }
+
+    /// Creates a map with an explicit bucket count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0`.
+    pub fn with_buckets(rt: &StmRuntime, buckets: usize) -> Self {
+        assert!(buckets > 0, "bucket count must be positive");
+        TMap { buckets: (0..buckets).map(|_| rt.new_var(Vec::new())).collect() }
+    }
+
+    fn bucket_of(&self, key: &K) -> &TVar<Vec<(K, V)>> {
+        let idx = (bucket_hash(key) % self.buckets.len() as u64) as usize;
+        &self.buckets[idx]
+    }
+
+    /// Transactionally looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmAbort`].
+    pub fn get(&self, txn: &mut Txn<'_>, key: &K) -> Result<Option<V>, StmAbort> {
+        let bucket = txn.read(self.bucket_of(key))?;
+        Ok(bucket.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()))
+    }
+
+    /// Transactionally inserts, returning the previous value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmAbort`].
+    pub fn insert(&self, txn: &mut Txn<'_>, key: K, value: V) -> Result<Option<V>, StmAbort> {
+        let var = self.bucket_of(&key);
+        let bucket = txn.read(var)?;
+        let mut new = (*bucket).clone();
+        let prev = match new.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => Some(std::mem::replace(&mut slot.1, value)),
+            None => {
+                new.push((key, value));
+                None
+            }
+        };
+        txn.write(var, new)?;
+        Ok(prev)
+    }
+
+    /// Transactionally removes `key`, returning its value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmAbort`].
+    pub fn remove(&self, txn: &mut Txn<'_>, key: &K) -> Result<Option<V>, StmAbort> {
+        let var = self.bucket_of(key);
+        let bucket = txn.read(var)?;
+        match bucket.iter().position(|(k, _)| k == key) {
+            None => Ok(None),
+            Some(pos) => {
+                let mut new = (*bucket).clone();
+                let (_, v) = new.remove(pos);
+                txn.write(var, new)?;
+                Ok(Some(v))
+            }
+        }
+    }
+
+    /// Committed (non-transactional) lookup.
+    pub fn get_committed(&self, key: &K) -> Option<V> {
+        let bucket = self.bucket_of(key).load();
+        bucket.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+    }
+
+    /// Committed snapshot of all entries.
+    pub fn entries_committed(&self) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for b in &self.buckets {
+            out.extend((*b.load()).clone());
+        }
+        out
+    }
+
+    /// Number of committed entries (full scan).
+    pub fn len_committed(&self) -> usize {
+        self.buckets.iter().map(|b| b.load().len()).sum()
+    }
+
+    /// Restores the map's committed contents from `entries` (recovery).
+    ///
+    /// # Panics
+    ///
+    /// Panics if transactions are in flight on any bucket.
+    pub fn restore_entries(&self, entries: Vec<(K, V)>) {
+        let mut per_bucket: Vec<Vec<(K, V)>> = (0..self.buckets.len()).map(|_| Vec::new()).collect();
+        for (k, v) in entries {
+            let idx = (bucket_hash(&k) % self.buckets.len() as u64) as usize;
+            per_bucket[idx].push((k, v));
+        }
+        for (b, contents) in self.buckets.iter().zip(per_bucket) {
+            b.restore(contents);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Serial;
+
+    fn commit_one<R>(
+        rt: &StmRuntime,
+        serial: u64,
+        body: impl FnMut(&mut Txn<'_>) -> Result<R, StmAbort>,
+    ) -> R {
+        let (h, r) = rt.execute(Serial(serial), body).unwrap();
+        h.authorize();
+        h.wait_committed();
+        r
+    }
+
+    #[test]
+    fn tarray_basic_ops() {
+        let rt = StmRuntime::new();
+        let arr = TArray::new(&rt, 3, 1i64);
+        assert_eq!(arr.len(), 3);
+        assert!(!arr.is_empty());
+        commit_one(&rt, 0, |txn| {
+            let v = *arr.get(txn, 0)?;
+            arr.set(txn, 1, v + 41)?;
+            arr.update(txn, 2, |x| x * 10)
+        });
+        assert_eq!(arr.load_vec(), vec![1, 42, 10]);
+    }
+
+    #[test]
+    fn tarray_from_fn_and_restore() {
+        let rt = StmRuntime::new();
+        let arr = TArray::from_fn(&rt, 4, |i| i as i64);
+        assert_eq!(arr.load_vec(), vec![0, 1, 2, 3]);
+        arr.restore_vec(vec![9, 9, 9, 9]);
+        assert_eq!(arr.load_vec(), vec![9, 9, 9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "restore length mismatch")]
+    fn tarray_restore_length_mismatch_panics() {
+        let rt = StmRuntime::new();
+        let arr = TArray::new(&rt, 2, 0i64);
+        arr.restore_vec(vec![1]);
+    }
+
+    #[test]
+    fn tmap_insert_get_remove() {
+        let rt = StmRuntime::new();
+        let map: TMap<String, i64> = TMap::new(&rt);
+        let prev = commit_one(&rt, 0, |txn| map.insert(txn, "x".into(), 1));
+        assert_eq!(prev, None);
+        let prev = commit_one(&rt, 1, |txn| map.insert(txn, "x".into(), 2));
+        assert_eq!(prev, Some(1));
+        let got = commit_one(&rt, 2, |txn| map.get(txn, &"x".to_string()));
+        assert_eq!(got, Some(2));
+        let removed = commit_one(&rt, 3, |txn| map.remove(txn, &"x".to_string()));
+        assert_eq!(removed, Some(2));
+        assert_eq!(map.get_committed(&"x".to_string()), None);
+        assert_eq!(map.len_committed(), 0);
+    }
+
+    #[test]
+    fn tmap_remove_missing_is_none() {
+        let rt = StmRuntime::new();
+        let map: TMap<u64, u64> = TMap::new(&rt);
+        let removed = commit_one(&rt, 0, |txn| map.remove(txn, &7));
+        assert_eq!(removed, None);
+    }
+
+    #[test]
+    fn tmap_entries_and_restore() {
+        let rt = StmRuntime::new();
+        let map: TMap<u64, u64> = TMap::with_buckets(&rt, 8);
+        for i in 0..20u64 {
+            commit_one(&rt, i, |txn| map.insert(txn, i, i * 2));
+        }
+        assert_eq!(map.len_committed(), 20);
+        let mut entries = map.entries_committed();
+        entries.sort();
+        assert_eq!(entries[3], (3, 6));
+        // Restore a different content set.
+        map.restore_entries(vec![(100, 1), (200, 2)]);
+        assert_eq!(map.len_committed(), 2);
+        assert_eq!(map.get_committed(&100), Some(1));
+        assert_eq!(map.get_committed(&5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket count must be positive")]
+    fn tmap_zero_buckets_panics() {
+        let rt = StmRuntime::new();
+        let _: TMap<u64, u64> = TMap::with_buckets(&rt, 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Owner-facing transaction handle.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::runtime::StmRuntime;
+use crate::txn::TxnState;
+use crate::types::{Serial, TxnId, TxnStatus};
+
+/// Handle to a transaction, held by its owner (the operator runtime).
+///
+/// After [`StmRuntime::execute`] returns, the transaction is *open*:
+/// executed and published but uncommitted. The owner then:
+///
+/// 1. waits for the commit gate (input events final, decision log stable),
+/// 2. calls [`TxnHandle::authorize`],
+/// 3. optionally blocks on [`TxnHandle::wait_outcome`].
+///
+/// If the input event is replaced by a newer speculative version, the owner
+/// calls [`TxnHandle::revoke`] and then either
+/// [`StmRuntime::reexecute`] (new content) or [`TxnHandle::discard`]
+/// (event withdrawn entirely).
+#[derive(Clone)]
+pub struct TxnHandle {
+    pub(crate) runtime: StmRuntime,
+    pub(crate) state: Arc<TxnState>,
+}
+
+impl fmt::Debug for TxnHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TxnHandle")
+            .field("id", &self.state.id)
+            .field("serial", &self.state.serial)
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+impl TxnHandle {
+    /// The transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.state.id
+    }
+
+    /// The transaction's serial.
+    pub fn serial(&self) -> Serial {
+        self.state.serial
+    }
+
+    pub(crate) fn state(&self) -> &Arc<TxnState> {
+        &self.state
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> TxnStatus {
+        self.runtime.inner.status(&self.state)
+    }
+
+    /// Number of open transactions this one depended on when it published.
+    /// Zero means its outputs were unaffected by any speculation — the
+    /// engine may emit them as final as soon as its own log is stable
+    /// (the paper's fine-grained tainting rule, §3.1).
+    pub fn publish_deps(&self) -> usize {
+        self.runtime.inner.publish_deps(&self.state)
+    }
+
+    /// Number of *currently outstanding* dependencies.
+    pub fn current_deps(&self) -> usize {
+        self.runtime.inner.current_deps(&self.state)
+    }
+
+    /// Grants commit authorization (inputs final + own log stable). The
+    /// transaction commits as soon as dependency closure and commit order
+    /// allow; this call never blocks.
+    pub fn authorize(&self) {
+        self.runtime.inner.authorize(self.state.id);
+    }
+
+    /// Aborts the transaction (cascading to dependents). The owner is
+    /// expected to either [`StmRuntime::reexecute`] or
+    /// [`TxnHandle::discard`] afterwards.
+    pub fn revoke(&self) {
+        self.runtime.inner.count_abort(crate::types::AbortReason::Revoked);
+        self.runtime.inner.revoke(self.state.id);
+    }
+
+    /// Permanently removes the transaction, unblocking the commit frontier.
+    /// Implies [`TxnHandle::revoke`] if still live.
+    pub fn discard(&self) {
+        self.runtime.inner.discard(&self.state);
+    }
+
+    /// Blocks until the transaction commits or aborts and returns which.
+    pub fn wait_outcome(&self) -> TxnStatus {
+        self.runtime.inner.wait_outcome(&self.state)
+    }
+
+    /// Blocks until the transaction commits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction is discarded while waiting.
+    pub fn wait_committed(&self) {
+        self.runtime.inner.wait_committed(&self.state);
+    }
+}

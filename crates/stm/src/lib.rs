@@ -1,0 +1,73 @@
+//! Speculation-aware software transactional memory for stream processing.
+//!
+//! This crate implements the *modified STM* at the heart of StreamMine
+//! (Brito, Fetzer, Felber — "Minimizing Latency in Fault-Tolerant
+//! Distributed Stream Processing Systems", ICDCS 2009). Beyond a classic
+//! word-based STM, it supports the two extensions the paper introduces (§3,
+//! §5):
+//!
+//! 1. **Open transactions** — a transaction that finished executing does not
+//!    commit immediately; it *publishes* its write buffer and waits in a
+//!    pre-commit ("open") state until its owner authorizes the commit
+//!    (inputs final, decision logs stable). Later transactions may read the
+//!    published values, becoming *conditionally committed*: they commit only
+//!    after their dependencies, and they abort (cascade) if a dependency
+//!    aborts.
+//! 2. **Ordered commits** — conflicting transactions commit in event
+//!    (serial) order; with the default [`CommitOrder::Timestamp`] all
+//!    commits are serial-ordered, which makes replay after a failure
+//!    reproduce identical state.
+//!
+//! Fine-grained read/write-set tracking means an aborted speculation only
+//! rolls back transactions that actually consumed affected data — the
+//! paper's case (i) in §3.1.
+//!
+//! # Example: speculative pipeline hand-off
+//!
+//! ```
+//! use streammine_stm::{Serial, StmRuntime, TxnStatus};
+//!
+//! let rt = StmRuntime::new();
+//! let state = rt.new_var(100i64);
+//!
+//! // Event 0 arrives speculatively (its upstream log is not yet stable):
+//! let (t0, _) = rt.execute(Serial(0), |txn| txn.update(&state, |v| v + 1)).unwrap();
+//!
+//! // Event 1 processes immediately, reading t0's uncommitted value:
+//! let (t1, seen) = rt.execute(Serial(1), |txn| Ok(*txn.read(&state)?)).unwrap();
+//! assert_eq!(seen, 101);            // speculative value forwarded
+//! assert_eq!(t1.publish_deps(), 1); // => t1's outputs must be tagged speculative
+//!
+//! // Upstream confirms event 0; both commit in serial order.
+//! t0.authorize();
+//! t1.authorize();
+//! assert_eq!(t1.wait_outcome(), TxnStatus::Committed);
+//! assert_eq!(*state.load(), 101);
+//! ```
+//!
+//! # Example: optimistic parallelization
+//!
+//! See [`Speculator`] for the worker-pool harness used to parallelize
+//! expensive operators (Figure 5 of the paper).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod collections;
+mod executor;
+mod graph;
+mod handle;
+mod runtime;
+mod stats;
+mod txn;
+mod types;
+mod var;
+
+pub use collections::{TArray, TMap};
+pub use executor::Speculator;
+pub use handle::TxnHandle;
+pub use runtime::{StmConfig, StmRuntime};
+pub use stats::StatsSnapshot;
+pub use txn::Txn;
+pub use types::{AbortReason, CommitOrder, DependencyMode, Serial, StmAbort, TxnId, TxnStatus, VarId};
+pub use var::TVar;

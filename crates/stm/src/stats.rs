@@ -1,0 +1,150 @@
+//! Runtime statistics.
+//!
+//! The abort-rate and speed-up plots of the paper (Figure 5) are computed
+//! from these counters.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters; snapshot via [`StmStats::snapshot`].
+#[derive(Debug, Default)]
+pub(crate) struct StmStats {
+    pub started: AtomicU64,
+    pub committed: AtomicU64,
+    pub retries: AtomicU64,
+    pub aborts_conflict: AtomicU64,
+    pub aborts_stale: AtomicU64,
+    pub aborts_cascade: AtomicU64,
+    pub aborts_revoked: AtomicU64,
+    pub spec_reads: AtomicU64,
+    pub publishes: AtomicU64,
+    pub serial_inversions: AtomicU64,
+}
+
+impl StmStats {
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            started: self.started.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            aborts_conflict: self.aborts_conflict.load(Ordering::Relaxed),
+            aborts_stale: self.aborts_stale.load(Ordering::Relaxed),
+            aborts_cascade: self.aborts_cascade.load(Ordering::Relaxed),
+            aborts_revoked: self.aborts_revoked.load(Ordering::Relaxed),
+            spec_reads: self.spec_reads.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            serial_inversions: self.serial_inversions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of an [`StmRuntime`](crate::StmRuntime)'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Transactions begun (first attempts only).
+    pub started: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Body re-executions (any reason).
+    pub retries: u64,
+    /// Aborts due to write/write or read/write conflicts between active
+    /// transactions.
+    pub aborts_conflict: u64,
+    /// Aborts because an earlier-serial publish invalidated a read.
+    pub aborts_stale: u64,
+    /// Cascade aborts (a dependency aborted).
+    pub aborts_cascade: u64,
+    /// Aborts from owner revocation.
+    pub aborts_revoked: u64,
+    /// Reads served from a published-but-uncommitted write (speculative
+    /// value forwarding).
+    pub spec_reads: u64,
+    /// Successful publishes (transitions to the open state).
+    pub publishes: u64,
+    /// Reads that observed state committed by a later-serial transaction
+    /// (possible only under `CommitOrder::Conflict`; diagnostic).
+    pub serial_inversions: u64,
+}
+
+impl StatsSnapshot {
+    /// Total aborts across all reasons.
+    pub fn aborts_total(&self) -> u64 {
+        self.aborts_conflict + self.aborts_stale + self.aborts_cascade + self.aborts_revoked
+    }
+
+    /// Fraction of executions (first attempts + retries) that aborted;
+    /// the y-axis of the middle panel of Figure 5.
+    pub fn abort_ratio(&self) -> f64 {
+        let executions = self.started + self.retries;
+        if executions == 0 {
+            0.0
+        } else {
+            self.aborts_total() as f64 / executions as f64
+        }
+    }
+
+    /// Difference of two snapshots (for windowed rates).
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            started: self.started - earlier.started,
+            committed: self.committed - earlier.committed,
+            retries: self.retries - earlier.retries,
+            aborts_conflict: self.aborts_conflict - earlier.aborts_conflict,
+            aborts_stale: self.aborts_stale - earlier.aborts_stale,
+            aborts_cascade: self.aborts_cascade - earlier.aborts_cascade,
+            aborts_revoked: self.aborts_revoked - earlier.aborts_revoked,
+            spec_reads: self.spec_reads - earlier.spec_reads,
+            publishes: self.publishes - earlier.publishes,
+            serial_inversions: self.serial_inversions - earlier.serial_inversions,
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "started={} committed={} retries={} aborts(conflict={}, stale={}, cascade={}, revoked={}) spec_reads={}",
+            self.started,
+            self.committed,
+            self.retries,
+            self.aborts_conflict,
+            self.aborts_stale,
+            self.aborts_cascade,
+            self.aborts_revoked,
+            self.spec_reads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_ratio_counts_all_reasons_over_executions() {
+        let s = StatsSnapshot {
+            started: 8,
+            retries: 2,
+            aborts_conflict: 1,
+            aborts_cascade: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.aborts_total(), 2);
+        assert!((s.abort_ratio() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_ratio_of_empty_snapshot_is_zero() {
+        assert_eq!(StatsSnapshot::default().abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let a = StatsSnapshot { started: 10, committed: 7, ..Default::default() };
+        let b = StatsSnapshot { started: 4, committed: 2, ..Default::default() };
+        let d = a.delta_since(&b);
+        assert_eq!(d.started, 6);
+        assert_eq!(d.committed, 5);
+    }
+}

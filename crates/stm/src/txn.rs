@@ -1,0 +1,316 @@
+//! Transaction state and the body-facing [`Txn`] API.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::runtime::RuntimeInner;
+use crate::types::{AbortReason, Serial, StmAbort, TxnId, VarId};
+use crate::var::{DynValue, ReadKind, TVar, VarCell};
+
+/// A buffered (not yet committed) write.
+pub(crate) struct WriteEntry {
+    pub cell: Arc<VarCell>,
+    pub value: DynValue,
+}
+
+impl fmt::Debug for WriteEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WriteEntry").field("var", &self.cell.id).finish()
+    }
+}
+
+/// Read and write sets of one transaction attempt.
+#[derive(Debug, Default)]
+pub(crate) struct TxnBuf {
+    /// Write buffer: all stores are private here until publish (§3: "all
+    /// writes are buffered and no modification is performed to the actual
+    /// data until the transaction commits").
+    pub writes: HashMap<VarId, WriteEntry>,
+    /// Variables read (for registration cleanup) with how they were read.
+    pub reads: Vec<(Arc<VarCell>, ReadKind)>,
+    /// Guard against duplicate reader registrations.
+    pub read_vars: HashSet<VarId>,
+}
+
+impl TxnBuf {
+    /// All distinct cells this attempt touched (for deregistration).
+    pub fn touched_cells(&self) -> Vec<Arc<VarCell>> {
+        let mut seen = HashSet::new();
+        let mut cells = Vec::new();
+        for e in self.writes.values() {
+            if seen.insert(e.cell.id) {
+                cells.push(e.cell.clone());
+            }
+        }
+        for (c, _) in &self.reads {
+            if seen.insert(c.id) {
+                cells.push(c.clone());
+            }
+        }
+        cells
+    }
+}
+
+/// Terminal-state cache (valid once the node left the graph).
+pub(crate) const TERMINAL_NONE: u8 = 0;
+pub(crate) const TERMINAL_COMMITTED: u8 = 1;
+pub(crate) const TERMINAL_DISCARDED: u8 = 2;
+
+/// Shared per-transaction state; lives as long as any handle or graph node.
+pub(crate) struct TxnState {
+    pub id: TxnId,
+    pub serial: Serial,
+    /// Fast-path doom flag mirrored from the graph node, checked on every
+    /// transactional operation by the executing body.
+    pub doomed: AtomicBool,
+    /// `AbortReason` as u8 + 1 (0 = none); set together with `doomed`.
+    pub doom_reason: AtomicU8,
+    /// Terminal-state cache, set when the node is removed from the graph.
+    pub terminal: AtomicU8,
+    /// Mirror of the graph node's generation, readable without the graph
+    /// lock (bumped under the graph lock at every rearm).
+    pub generation: std::sync::atomic::AtomicU64,
+    /// Guards against two threads executing the same transaction's body
+    /// concurrently — a protocol violation that silently corrupts buffers.
+    pub executing: AtomicBool,
+    pub buf: Mutex<TxnBuf>,
+    /// Debug-build lifecycle history for protocol diagnostics.
+    #[cfg(debug_assertions)]
+    pub history: Mutex<Vec<String>>,
+}
+
+impl fmt::Debug for TxnState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TxnState")
+            .field("id", &self.id)
+            .field("serial", &self.serial)
+            .field("doomed", &self.doomed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+pub(crate) fn reason_to_u8(r: AbortReason) -> u8 {
+    match r {
+        AbortReason::Conflict => 1,
+        AbortReason::StaleRead => 2,
+        AbortReason::Cascade => 3,
+        AbortReason::Revoked => 4,
+        AbortReason::Shutdown => 5,
+        AbortReason::Superseded => 6,
+    }
+}
+
+pub(crate) fn reason_from_u8(v: u8) -> AbortReason {
+    match v {
+        1 => AbortReason::Conflict,
+        2 => AbortReason::StaleRead,
+        4 => AbortReason::Revoked,
+        5 => AbortReason::Shutdown,
+        6 => AbortReason::Superseded,
+        _ => AbortReason::Cascade,
+    }
+}
+
+impl TxnState {
+    pub fn new(id: TxnId, serial: Serial) -> Self {
+        TxnState {
+            id,
+            serial,
+            doomed: AtomicBool::new(false),
+            doom_reason: AtomicU8::new(0),
+            terminal: AtomicU8::new(TERMINAL_NONE),
+            generation: std::sync::atomic::AtomicU64::new(0),
+            executing: AtomicBool::new(false),
+            buf: Mutex::new(TxnBuf::default()),
+            #[cfg(debug_assertions)]
+            history: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Appends a lifecycle note in debug builds (no-op in release).
+    pub fn trace(&self, note: impl FnOnce() -> String) {
+        #[cfg(debug_assertions)]
+        self.history.lock().push(format!(
+            "[{:?}] {}",
+            std::thread::current().name().unwrap_or("?"),
+            note()
+        ));
+        #[cfg(not(debug_assertions))]
+        let _ = note;
+    }
+
+    /// Renders the history (debug builds).
+    #[allow(dead_code)]
+    pub fn dump_history(&self) -> String {
+        #[cfg(debug_assertions)]
+        {
+            self.history.lock().join("\n")
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            String::new()
+        }
+    }
+
+    pub fn doom(&self, reason: AbortReason) {
+        self.doom_reason.store(reason_to_u8(reason), Ordering::Relaxed);
+        self.doomed.store(true, Ordering::Release);
+    }
+
+    pub fn clear_doom(&self) {
+        self.doom_reason.store(0, Ordering::Relaxed);
+        self.doomed.store(false, Ordering::Release);
+    }
+
+    pub fn check_doom(&self) -> Result<(), StmAbort> {
+        if self.doomed.load(Ordering::Acquire) {
+            Err(StmAbort { reason: reason_from_u8(self.doom_reason.load(Ordering::Relaxed)) })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The active view of a transaction, passed to the processing body.
+///
+/// All shared-state access inside a speculative operator goes through this
+/// handle; see [`StmRuntime::execute`](crate::StmRuntime::execute).
+///
+/// # Errors
+///
+/// Every operation may return [`StmAbort`] when the transaction has been
+/// doomed by a conflicting peer — the body should propagate it with `?`;
+/// the executor rolls back and re-runs the body automatically.
+pub struct Txn<'rt> {
+    pub(crate) rt: &'rt RuntimeInner,
+    pub(crate) state: Arc<TxnState>,
+}
+
+impl fmt::Debug for Txn<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Txn").field("id", &self.state.id).field("serial", &self.state.serial).finish()
+    }
+}
+
+impl Txn<'_> {
+    /// This transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.state.id
+    }
+
+    /// This transaction's serial (event arrival order).
+    pub fn serial(&self) -> Serial {
+        self.state.serial
+    }
+
+    /// The current execution generation (bumps on every rollback +
+    /// re-execution). Lets owners order per-attempt side effects.
+    pub fn generation(&self) -> u64 {
+        self.state.generation.load(Ordering::Acquire)
+    }
+
+    /// Transactionally reads `var`.
+    ///
+    /// Reads the latest value visible at this transaction's serial: its own
+    /// buffered write, else the published value of the latest earlier open
+    /// transaction (creating a dependency — the paper's conditional-commit
+    /// rule), else the committed value.
+    ///
+    /// # Errors
+    ///
+    /// [`StmAbort`] if a conflict dooms this transaction (retry handled by
+    /// the executor).
+    pub fn read<T: Send + Sync + 'static>(&mut self, var: &TVar<T>) -> Result<Arc<T>, StmAbort> {
+        let value = self.rt.txn_read(&self.state, &var.cell)?;
+        Ok(value.downcast::<T>().expect("type confusion in TVar"))
+    }
+
+    /// Like [`Txn::read`] but clones the value out.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Txn::read`].
+    pub fn read_clone<T: Clone + Send + Sync + 'static>(&mut self, var: &TVar<T>) -> Result<T, StmAbort> {
+        Ok((*self.read(var)?).clone())
+    }
+
+    /// Transactionally writes `value` to `var` (buffered until publish).
+    ///
+    /// # Errors
+    ///
+    /// [`StmAbort`] on conflict with an earlier-serial active writer (the
+    /// later arrival — this transaction — aborts, per §3).
+    pub fn write<T: Send + Sync + 'static>(&mut self, var: &TVar<T>, value: T) -> Result<(), StmAbort> {
+        self.rt.txn_write(&self.state, &var.cell, Arc::new(value))
+    }
+
+    /// Read-modify-write convenience.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Txn::read`] / [`Txn::write`].
+    pub fn update<T, F>(&mut self, var: &TVar<T>, f: F) -> Result<(), StmAbort>
+    where
+        T: Clone + Send + Sync + 'static,
+        F: FnOnce(&T) -> T,
+    {
+        let old = self.read(var)?;
+        self.write(var, f(&old))
+    }
+
+    /// Number of distinct variables written so far in this attempt.
+    pub fn write_set_len(&self) -> usize {
+        self.state.buf.lock().writes.len()
+    }
+
+    /// Number of distinct variables read so far in this attempt.
+    pub fn read_set_len(&self) -> usize {
+        self.state.buf.lock().reads.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doom_roundtrip() {
+        let s = TxnState::new(TxnId(1), Serial(0));
+        assert!(s.check_doom().is_ok());
+        s.doom(AbortReason::StaleRead);
+        assert_eq!(s.check_doom().unwrap_err().reason, AbortReason::StaleRead);
+        s.clear_doom();
+        assert!(s.check_doom().is_ok());
+    }
+
+    #[test]
+    fn reason_codes_roundtrip() {
+        for r in [
+            AbortReason::Conflict,
+            AbortReason::StaleRead,
+            AbortReason::Cascade,
+            AbortReason::Revoked,
+            AbortReason::Superseded,
+            AbortReason::Shutdown,
+        ] {
+            assert_eq!(reason_from_u8(reason_to_u8(r)), r);
+        }
+    }
+
+    #[test]
+    fn touched_cells_dedups_reads_and_writes() {
+        use crate::var::VarMeta;
+        let cell = Arc::new(VarCell {
+            id: VarId(1),
+            meta: Mutex::new(VarMeta::new(Arc::new(0i64))),
+        });
+        let mut buf = TxnBuf::default();
+        buf.reads.push((cell.clone(), ReadKind::Committed(0)));
+        buf.writes.insert(VarId(1), WriteEntry { cell: cell.clone(), value: Arc::new(1i64) });
+        assert_eq!(buf.touched_cells().len(), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Core identifier and status types for the speculative STM.
+
+use std::fmt;
+
+/// Identifies a transaction within one [`StmRuntime`](crate::StmRuntime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub(crate) u64);
+
+impl TxnId {
+    /// Raw numeric id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// Identifies a transactional variable within one runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u64);
+
+impl VarId {
+    /// Raw numeric id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "var{}", self.0)
+    }
+}
+
+/// Logical arrival order of the event a transaction processes.
+///
+/// Serials define the order in which conflicting transactions must appear to
+/// have executed; with [`CommitOrder::Timestamp`] they also define the commit
+/// order. The paper calls this the "application timestamp of the event"
+/// (§5): *"the order that transactions commit [must] also obey the
+/// application timestamps of the event"*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Serial(pub u64);
+
+impl fmt::Display for Serial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Lifecycle of a transaction.
+///
+/// ```text
+/// Active ──publish──▶ Open ──commit──▶ Committed
+///   ▲                   │
+///   └──── re-execute ───┴──▶ Aborted ──▶ (removed)
+/// ```
+///
+/// *Active*: the processing function is running; writes are private.
+/// *Open*: execution finished and the write set is *published* (visible to
+/// later speculative transactions) but nothing is committed yet — the paper's
+/// "pre-commit stage" where the transaction "waits ... and does not
+/// unregister itself from the lock array" (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Executing (or re-executing) the body.
+    Active,
+    /// Executed; write set published; awaiting commit authorization.
+    Open,
+    /// Mid-commit (transient; observable only briefly).
+    Committing,
+    /// Durably applied to the shared state.
+    Committed,
+    /// Rolled back; will be retried or discarded by its owner.
+    Aborted,
+}
+
+impl TxnStatus {
+    /// `true` for [`TxnStatus::Committed`] and [`TxnStatus::Aborted`].
+    pub fn is_terminal(self) -> bool {
+        matches!(self, TxnStatus::Committed | TxnStatus::Aborted)
+    }
+}
+
+impl fmt::Display for TxnStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TxnStatus::Active => "active",
+            TxnStatus::Open => "open",
+            TxnStatus::Committing => "committing",
+            TxnStatus::Committed => "committed",
+            TxnStatus::Aborted => "aborted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a transaction was (or must be) aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Write-write or read-write conflict with a concurrent transaction;
+    /// per the paper's policy the *later-arriving* transaction aborts.
+    Conflict,
+    /// An earlier-serial transaction published a write that invalidates a
+    /// value this transaction read.
+    StaleRead,
+    /// A transaction this one depended on (read its published writes)
+    /// aborted, so this one must cascade-abort.
+    Cascade,
+    /// The owner revoked the transaction (e.g. its input event was replaced
+    /// by a new speculative version).
+    Revoked,
+    /// A re-execution was requested but another executor already produced
+    /// a live (published or committed) generation — nothing to do.
+    Superseded,
+    /// The runtime is shutting down.
+    Shutdown,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortReason::Conflict => "conflict with concurrent transaction",
+            AbortReason::StaleRead => "read invalidated by earlier-serial write",
+            AbortReason::Cascade => "cascade from aborted dependency",
+            AbortReason::Revoked => "revoked by owner",
+            AbortReason::Superseded => "superseded by a live generation",
+            AbortReason::Shutdown => "runtime shutdown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned from transactional operations when the transaction cannot
+/// continue and must be retried (or dropped).
+///
+/// The executor ([`crate::executor`]) catches this and re-runs the body;
+/// operator code simply propagates it with `?`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmAbort {
+    /// Why the transaction is being torn down.
+    pub reason: AbortReason,
+}
+
+impl fmt::Display for StmAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction aborted: {}", self.reason)
+    }
+}
+
+impl std::error::Error for StmAbort {}
+
+/// Commit ordering policy for a runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitOrder {
+    /// Commits happen in strict serial (event-timestamp) order. This is the
+    /// sound default: a later re-execution of an earlier transaction can
+    /// never invalidate an already-committed later transaction, because no
+    /// later transaction commits first.
+    #[default]
+    Timestamp,
+    /// A transaction may commit as soon as all its *observed* dependencies
+    /// have committed and every earlier-serial transaction has at least
+    /// published (so all conflicts are visible). Matches the paper's §3.1
+    /// example where final event `E2` overtakes speculative `E1′`; lower
+    /// final-output latency, but an earlier transaction whose *re-execution*
+    /// grows its write set can no longer retroactively affect a committed
+    /// later transaction — use only when inputs can shrink speculation
+    /// windows safely. Benchmarked in `ablation_dependency_tracking`.
+    Conflict,
+}
+
+/// Dependency tracking granularity (ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DependencyMode {
+    /// Track dependencies per memory location via read/write sets (the
+    /// paper's contribution; §3.1 case (i) argues for this).
+    #[default]
+    FineGrained,
+    /// Pessimistically treat every transaction as dependent on all earlier
+    /// still-open transactions of the runtime — the "simple dependency
+    /// relation" straw-man the paper argues against.
+    TaintAll,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(TxnId(3).to_string(), "txn3");
+        assert_eq!(VarId(9).to_string(), "var9");
+        assert_eq!(Serial(2).to_string(), "s2");
+        assert_eq!(TxnStatus::Open.to_string(), "open");
+        assert!(StmAbort { reason: AbortReason::Cascade }.to_string().contains("cascade"));
+    }
+
+    #[test]
+    fn terminal_statuses() {
+        assert!(TxnStatus::Committed.is_terminal());
+        assert!(TxnStatus::Aborted.is_terminal());
+        assert!(!TxnStatus::Open.is_terminal());
+        assert!(!TxnStatus::Active.is_terminal());
+        assert!(!TxnStatus::Committing.is_terminal());
+    }
+
+    #[test]
+    fn serial_orders_numerically() {
+        assert!(Serial(1) < Serial(2));
+    }
+
+    #[test]
+    fn defaults_are_the_sound_policies() {
+        assert_eq!(CommitOrder::default(), CommitOrder::Timestamp);
+        assert_eq!(DependencyMode::default(), DependencyMode::FineGrained);
+    }
+}

@@ -1,0 +1,287 @@
+//! Transactional variables.
+//!
+//! A [`TVar<T>`] is a typed handle to a shared memory word managed by the
+//! STM. All access from operator code goes through a
+//! [`Txn`](crate::txn::Txn); direct reads of the committed value are provided
+//! for initialization, checkpointing and tests.
+//!
+//! # Relation to the paper's "lock array"
+//!
+//! The paper's STM keeps conflict metadata in a shared region called the
+//! *lock array*, indexed by hashing memory addresses (§3). Because our
+//! variables are first-class objects rather than raw addresses, the same
+//! metadata — who is currently writing, who has read which version, which
+//! published-but-uncommitted values exist — lives directly on each variable
+//! ([`VarMeta`]), giving the exact (collision-free) granularity the lock
+//! array approximates.
+
+use std::any::Any;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::types::{Serial, TxnId, VarId};
+
+/// Type-erased shared value slot.
+pub(crate) type DynValue = Arc<dyn Any + Send + Sync>;
+
+/// How a transaction observed a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReadKind {
+    /// Read the committed value (at the recorded version).
+    Committed(u64),
+    /// Read the published-but-uncommitted value of an open transaction
+    /// (writer id, writer serial, writer generation). The generation lets a
+    /// republish distinguish readers of the *current* value from readers of
+    /// a rolled-back predecessor.
+    Spec(TxnId, Serial, u64),
+}
+
+/// A registered (uncommitted) reader of a variable.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReaderRec {
+    pub serial: Serial,
+    pub txn: TxnId,
+    pub kind: ReadKind,
+}
+
+/// A registered (uncommitted) writer of a variable. `published` is `None`
+/// while the writer is still active (its buffered value is private) and
+/// `Some` once the writer has published (entered the open state).
+#[derive(Debug, Clone)]
+pub(crate) struct WriterRec {
+    pub serial: Serial,
+    pub txn: TxnId,
+    /// The writer's generation when this record was (last) updated.
+    pub generation: u64,
+    pub published: Option<DynValue>,
+}
+
+/// Shared metadata + value of one variable. This is the unit the paper's
+/// lock array protects.
+pub(crate) struct VarMeta {
+    pub committed: DynValue,
+    pub version: u64,
+    /// Serial of the transaction whose commit produced `committed`, if any.
+    /// Used only to detect serial inversions under `CommitOrder::Conflict`.
+    pub last_commit_serial: Option<Serial>,
+    /// Uncommitted writers, kept sorted by serial.
+    pub writers: Vec<WriterRec>,
+    /// Uncommitted readers.
+    pub readers: Vec<ReaderRec>,
+}
+
+impl VarMeta {
+    /// Fresh metadata for a new variable.
+    pub fn new(initial: DynValue) -> Self {
+        VarMeta {
+            committed: initial,
+            version: 0,
+            last_commit_serial: None,
+            writers: Vec::new(),
+            readers: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Debug for VarMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VarMeta")
+            .field("version", &self.version)
+            .field("writers", &self.writers.len())
+            .field("readers", &self.readers.len())
+            .finish()
+    }
+}
+
+impl VarMeta {
+    /// Latest *published* writer with serial ≤ `upto`, if any.
+    #[cfg(test)]
+    pub fn visible_writer(&self, upto: Serial) -> Option<&WriterRec> {
+        self.visible_writer_excluding(upto, &[])
+    }
+
+    /// Like [`VarMeta::visible_writer`] but ignoring the given transactions
+    /// (used to skip ghost records of aborted writers).
+    pub fn visible_writer_excluding(&self, upto: Serial, skip: &[TxnId]) -> Option<&WriterRec> {
+        self.writers
+            .iter()
+            .filter(|w| w.serial <= upto && w.published.is_some() && !skip.contains(&w.txn))
+            .max_by_key(|w| w.serial)
+    }
+
+    /// Inserts or replaces the reader record for `rec.txn`.
+    pub fn upsert_reader(&mut self, rec: ReaderRec) {
+        if let Some(existing) = self.readers.iter_mut().find(|r| r.txn == rec.txn) {
+            *existing = rec;
+        } else {
+            self.readers.push(rec);
+        }
+    }
+
+    /// Inserts or replaces the writer record for `txn`, keeping order.
+    pub fn upsert_writer(&mut self, rec: WriterRec) {
+        if let Some(existing) = self.writers.iter_mut().find(|w| w.txn == rec.txn) {
+            *existing = rec;
+        } else {
+            let pos = self.writers.partition_point(|w| w.serial <= rec.serial);
+            self.writers.insert(pos, rec);
+        }
+    }
+
+    /// Removes all records (reader and writer) belonging to `txn`.
+    pub fn remove_txn(&mut self, txn: TxnId) {
+        self.writers.retain(|w| w.txn != txn);
+        self.readers.retain(|r| r.txn != txn);
+    }
+}
+
+/// Untyped interior of a variable.
+pub(crate) struct VarCell {
+    pub id: VarId,
+    pub meta: Mutex<VarMeta>,
+}
+
+impl fmt::Debug for VarCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VarCell").field("id", &self.id).finish()
+    }
+}
+
+/// A typed transactional variable.
+///
+/// Create with [`StmRuntime::new_var`](crate::StmRuntime::new_var); access
+/// inside transactions via [`Txn::read`](crate::txn::Txn::read) and
+/// [`Txn::write`](crate::txn::Txn::write).
+///
+/// ```
+/// use streammine_stm::{StmRuntime, Serial};
+///
+/// let rt = StmRuntime::new();
+/// let counter = rt.new_var(0i64);
+/// let (handle, _) = rt
+///     .execute(Serial(0), |txn| {
+///         let v = *txn.read(&counter)?;
+///         txn.write(&counter, v + 1)?;
+///         Ok(())
+///     })
+///     .expect("not shut down");
+/// handle.authorize();
+/// handle.wait_committed();
+/// assert_eq!(*counter.load(), 1);
+/// ```
+pub struct TVar<T> {
+    pub(crate) cell: Arc<VarCell>,
+    pub(crate) _pd: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        TVar { cell: self.cell.clone(), _pd: PhantomData }
+    }
+}
+
+impl<T> fmt::Debug for TVar<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TVar").field("id", &self.cell.id).finish()
+    }
+}
+
+impl<T: Send + Sync + 'static> TVar<T> {
+    /// The variable's id (useful for diagnostics).
+    pub fn id(&self) -> VarId {
+        self.cell.id
+    }
+
+    /// Reads the last *committed* value, bypassing any transaction.
+    ///
+    /// Published-but-uncommitted speculative values are not visible here;
+    /// use this for initialization, checkpointing and assertions only.
+    pub fn load(&self) -> Arc<T> {
+        let meta = self.cell.meta.lock();
+        meta.committed.clone().downcast::<T>().expect("type confusion in TVar")
+    }
+
+    /// Committed version counter (bumps once per committed write).
+    pub fn version(&self) -> u64 {
+        self.cell.meta.lock().version
+    }
+
+    /// Replaces the committed value outside any transaction.
+    ///
+    /// Intended for state restoration during recovery, *before* the
+    /// operator resumes processing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if uncommitted writers are registered on the variable — that
+    /// would mean restore raced live transactions.
+    pub fn restore(&self, value: T) {
+        let mut meta = self.cell.meta.lock();
+        assert!(
+            meta.writers.is_empty(),
+            "restore() while transactions are in flight on {}",
+            self.cell.id
+        );
+        meta.committed = Arc::new(value);
+        meta.version += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> VarMeta {
+        VarMeta::new(Arc::new(0i64))
+    }
+
+    fn w(serial: u64, txn: u64, published: bool) -> WriterRec {
+        WriterRec {
+            serial: Serial(serial),
+            txn: TxnId(txn),
+            generation: 0,
+            published: published.then(|| Arc::new(1i64) as DynValue),
+        }
+    }
+
+    #[test]
+    fn visible_writer_picks_latest_published_at_or_below() {
+        let mut m = cell();
+        m.upsert_writer(w(1, 10, true));
+        m.upsert_writer(w(3, 11, true));
+        m.upsert_writer(w(5, 12, false)); // active, invisible
+        m.upsert_writer(w(7, 13, true)); // later than query
+        let vis = m.visible_writer(Serial(6)).unwrap();
+        assert_eq!(vis.txn, TxnId(11));
+        assert!(m.visible_writer(Serial(0)).is_none());
+    }
+
+    #[test]
+    fn upsert_keeps_serial_order_and_replaces() {
+        let mut m = cell();
+        m.upsert_writer(w(5, 1, false));
+        m.upsert_writer(w(1, 2, false));
+        m.upsert_writer(w(3, 3, false));
+        let serials: Vec<u64> = m.writers.iter().map(|x| x.serial.0).collect();
+        assert_eq!(serials, vec![1, 3, 5]);
+        // Replace txn 3's record with a published one.
+        m.upsert_writer(w(3, 3, true));
+        assert_eq!(m.writers.len(), 3);
+        assert!(m.writers[1].published.is_some());
+    }
+
+    #[test]
+    fn remove_txn_clears_both_sides() {
+        let mut m = cell();
+        m.upsert_writer(w(1, 7, true));
+        m.readers.push(ReaderRec { serial: Serial(2), txn: TxnId(7), kind: ReadKind::Committed(0) });
+        m.readers.push(ReaderRec { serial: Serial(2), txn: TxnId(8), kind: ReadKind::Committed(0) });
+        m.remove_txn(TxnId(7));
+        assert!(m.writers.is_empty());
+        assert_eq!(m.readers.len(), 1);
+        assert_eq!(m.readers[0].txn, TxnId(8));
+    }
+}

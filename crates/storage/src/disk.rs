@@ -1,0 +1,193 @@
+//! Parameterized disk models.
+//!
+//! The experiments do not depend on disk physics, only on how long a
+//! synchronous write takes to become stable. A [`DiskSpec`] captures the
+//! three knobs the paper varies: base write latency (seek + rotational +
+//! controller), optional jitter, and bandwidth (which matters only for
+//! large checkpoints, not 64-bit decision records).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use streammine_common::rng::DetRng;
+
+/// Latency/bandwidth model of one storage point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskSpec {
+    /// Fixed cost of one stable write, independent of size.
+    pub write_latency: Duration,
+    /// Uniform jitter applied to `write_latency`: the actual latency is
+    /// drawn from `write_latency * [1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Sustained throughput; `None` means size-independent writes.
+    pub bytes_per_sec: Option<u64>,
+    /// Human-readable name for reports (e.g. `"Sim 10"`).
+    pub name: String,
+}
+
+impl DiskSpec {
+    /// The paper's "simulated disk": a fixed stable-write latency, no
+    /// jitter, infinite bandwidth (`Sim 10` = 10 ms, `Sim 5` = 5 ms).
+    pub fn simulated(write_latency: Duration) -> Self {
+        DiskSpec {
+            write_latency,
+            jitter: 0.0,
+            bytes_per_sec: None,
+            name: format!("Sim {}", write_latency.as_millis()),
+        }
+    }
+
+    /// A model of a commodity local hard drive: ~8 ms stable write with
+    /// ±25 % jitter and 60 MB/s sustained bandwidth.
+    pub fn local_hdd() -> Self {
+        DiskSpec {
+            write_latency: Duration::from_millis(8),
+            jitter: 0.25,
+            bytes_per_sec: Some(60 * 1024 * 1024),
+            name: "local hdd".to_string(),
+        }
+    }
+
+    /// Renames the spec (for reports).
+    #[must_use]
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Computes the latency of one stable write of `bytes` bytes, using
+    /// `rng` for jitter.
+    pub fn write_duration(&self, bytes: usize, rng: &mut DetRng) -> Duration {
+        let base = self.write_latency.as_secs_f64();
+        let jittered = if self.jitter > 0.0 {
+            let f = 1.0 + self.jitter * (2.0 * rng.next_f64() - 1.0);
+            base * f
+        } else {
+            base
+        };
+        let transfer = match self.bytes_per_sec {
+            Some(bps) if bps > 0 => bytes as f64 / bps as f64,
+            _ => 0.0,
+        };
+        Duration::from_secs_f64((jittered + transfer).max(0.0))
+    }
+}
+
+/// A simulated storage device: charges the model's latency for each write
+/// and durably retains the written records (in memory) for recovery reads.
+pub struct StorageDevice {
+    spec: DiskSpec,
+    records: Mutex<Vec<Vec<u8>>>,
+    rng: Mutex<DetRng>,
+    writes: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl fmt::Debug for StorageDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StorageDevice")
+            .field("spec", &self.spec.name)
+            .field("writes", &self.writes.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl StorageDevice {
+    /// Creates a device from a spec with a derived jitter seed.
+    pub fn new(spec: DiskSpec, seed: u64) -> Self {
+        StorageDevice {
+            spec,
+            records: Mutex::new(Vec::new()),
+            rng: Mutex::new(DetRng::seed_from(seed)),
+            writes: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// The device's spec.
+    pub fn spec(&self) -> &DiskSpec {
+        &self.spec
+    }
+
+    /// Synchronously writes a batch of records: blocks for the modeled
+    /// duration of **one** stable write covering the batch (group commit),
+    /// then retains the records.
+    pub fn write_batch(&self, batch: Vec<Vec<u8>>) {
+        let total: usize = batch.iter().map(Vec::len).sum();
+        let d = self.spec.write_duration(total, &mut self.rng.lock());
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(total as u64, Ordering::Relaxed);
+        self.records.lock().extend(batch);
+    }
+
+    /// Number of physical (batched) writes performed.
+    pub fn write_count(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// All records stored on this device, in write order.
+    pub fn records(&self) -> Vec<Vec<u8>> {
+        self.records.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_disk_has_fixed_latency() {
+        let spec = DiskSpec::simulated(Duration::from_millis(10));
+        let mut rng = DetRng::seed_from(1);
+        let d = spec.write_duration(8, &mut rng);
+        assert_eq!(d, Duration::from_millis(10));
+        assert_eq!(spec.name, "Sim 10");
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let spec = DiskSpec { jitter: 0.25, ..DiskSpec::simulated(Duration::from_millis(8)) };
+        let mut rng = DetRng::seed_from(2);
+        for _ in 0..200 {
+            let d = spec.write_duration(8, &mut rng).as_secs_f64();
+            assert!((0.006..=0.010).contains(&d), "latency {d} out of ±25% band");
+        }
+    }
+
+    #[test]
+    fn bandwidth_adds_transfer_time() {
+        let spec = DiskSpec {
+            bytes_per_sec: Some(1024),
+            ..DiskSpec::simulated(Duration::from_millis(1))
+        };
+        let mut rng = DetRng::seed_from(3);
+        let d = spec.write_duration(1024, &mut rng);
+        assert!(d >= Duration::from_millis(1001 - 2), "expected ~1.001s, got {d:?}");
+    }
+
+    #[test]
+    fn device_retains_records_and_counts_batches() {
+        let dev = StorageDevice::new(DiskSpec::simulated(Duration::ZERO), 7);
+        dev.write_batch(vec![b"a".to_vec(), b"b".to_vec()]);
+        dev.write_batch(vec![b"c".to_vec()]);
+        assert_eq!(dev.write_count(), 2);
+        assert_eq!(dev.bytes_written(), 3);
+        assert_eq!(dev.records(), vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn named_overrides_report_name() {
+        let spec = DiskSpec::simulated(Duration::from_millis(5)).named("disk A");
+        assert_eq!(spec.name, "disk A");
+    }
+}

@@ -1,0 +1,62 @@
+//! The §3.1 scenario: an upstream subgraph emits *speculative* events that
+//! may later be revised (E1′ → E1″) or confirmed, while final events from
+//! another publisher overtake unaffected speculation.
+//!
+//! Run with: `cargo run --example speculative_upstream`
+
+use std::time::Duration;
+
+use streammine::common::event::Value;
+use streammine::core::{GraphBuilder, OperatorConfig};
+use streammine::operators::Classifier;
+
+fn main() {
+    let mut b = GraphBuilder::new();
+    // Many classes: unrelated events almost never collide, so the STM's
+    // fine-grained dependency tracking lets final events commit while the
+    // speculation is still open — under the paper's aggressive
+    // conflict-based commit order (§3.1's E2-overtakes-E1' example).
+    let stm = streammine::stm::StmConfig {
+        commit_order: streammine::stm::CommitOrder::Conflict,
+        ..Default::default()
+    };
+    let processor =
+        b.add_operator(Classifier::new(256), OperatorConfig::speculative_unlogged().with_stm(stm));
+    let speculative_feed = b.source_into(processor).expect("speculative publisher");
+    let final_feed = b.source_into(processor).expect("final publisher");
+    let sink = b.sink_from(processor).expect("consumer");
+    let running = b.build().expect("valid graph").start();
+
+    // E1′: a speculative event (its upstream log is not yet stable).
+    println!("publisher P1 emits speculative E1' ...");
+    let e1 = running.source(speculative_feed).push_speculative(Value::Int(1111));
+
+    // E2: a final event from the other publisher, touching another class.
+    println!("publisher P2 emits final E2 ...");
+    running.source(final_feed).push(Value::Int(2222));
+
+    // E2's output finalizes without waiting for E1.
+    assert!(running.sink(sink).wait_final(1, Duration::from_secs(5)));
+    println!(
+        "E2's output is final while E1' is still speculative ({} seen, {} final)",
+        running.sink(sink).seen_count(),
+        running.sink(sink).final_count()
+    );
+
+    // E1″: the publisher revises the speculation with different content.
+    println!("publisher P1 revises E1' -> E1'' (new payload)...");
+    running.source(speculative_feed).revise(e1, 1, Value::Int(3333));
+    std::thread::sleep(Duration::from_millis(50));
+
+    // The revision is confirmed: E1''s transaction commits, outputs final.
+    println!("publisher P1 confirms E1'' ...");
+    running.source(speculative_feed).finalize(e1, 1);
+    assert!(running.sink(sink).wait_final(2, Duration::from_secs(5)));
+
+    println!("final outputs at the consumer:");
+    for e in running.sink(sink).final_events() {
+        println!("  {e}");
+    }
+    println!("(the classifier output for E1 reflects the *revised* payload 3333)");
+    running.shutdown();
+}

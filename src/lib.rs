@@ -1,0 +1,60 @@
+//! # StreamMine-RS
+//!
+//! A speculation-based, low-latency, fault-tolerant distributed stream
+//! processing framework — a from-scratch Rust reproduction of
+//! *"Minimizing Latency in Fault-Tolerant Distributed Stream Processing
+//! Systems"* (Brito, Fetzer, Felber; ICDCS 2009).
+//!
+//! The facade re-exports every subsystem:
+//!
+//! * [`stm`] — the speculation-aware software transactional memory (open
+//!   transactions, dependency tracking, cascade aborts, ordered commits);
+//! * [`core`] — the engine: operator graphs, speculative event emission,
+//!   determinant logging, precise recovery;
+//! * [`operators`] — the standard operator library;
+//! * [`storage`] — simulated stable storage (disks, the N+1-thread decision
+//!   logger, checkpoints);
+//! * [`net`] — simulated links with replay and failure injection;
+//! * [`sketch`] — count/count-min sketches and top-k;
+//! * [`recovery`] — baseline recovery protocols for comparison;
+//! * [`common`] — events, codec, clocks, RNG, statistics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::time::Duration;
+//! use streammine::common::event::{Event, Value};
+//! use streammine::core::{GraphBuilder, LoggingConfig, OpCtx, Operator, OperatorConfig};
+//! use streammine::stm::StmAbort;
+//!
+//! struct Double;
+//! impl Operator for Double {
+//!     fn process(&self, ctx: &mut OpCtx<'_, '_>, ev: &Event) -> Result<(), StmAbort> {
+//!         ctx.emit(Value::Int(ev.payload.as_i64().unwrap_or(0) * 2));
+//!         Ok(())
+//!     }
+//! }
+//!
+//! // A speculative operator: events flow on before its log is stable.
+//! let mut b = GraphBuilder::new();
+//! let op = b.add_operator(
+//!     Double,
+//!     OperatorConfig::speculative(LoggingConfig::simulated(Duration::from_millis(1))),
+//! );
+//! let src = b.source_into(op).unwrap();
+//! let sink = b.sink_from(op).unwrap();
+//! let g = b.build().unwrap().start();
+//! g.source(src).push(Value::Int(21));
+//! assert!(g.sink(sink).wait_final(1, Duration::from_secs(5)));
+//! assert_eq!(g.sink(sink).final_events()[0].payload, Value::Int(42));
+//! g.shutdown();
+//! ```
+
+pub use streammine_common as common;
+pub use streammine_core as core;
+pub use streammine_net as net;
+pub use streammine_operators as operators;
+pub use streammine_recovery as recovery;
+pub use streammine_sketch as sketch;
+pub use streammine_stm as stm;
+pub use streammine_storage as storage;

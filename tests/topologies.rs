@@ -1,0 +1,175 @@
+//! Non-linear graph topologies: the full Figure-1 shape (merge → process →
+//! enrich → split → consumers), diamonds, and fan-in/fan-out correctness,
+//! with and without failures.
+
+use std::time::Duration;
+
+use streammine::common::event::Value;
+use streammine::common::ids::OperatorId;
+use streammine::core::{GraphBuilder, LoggingConfig, OperatorConfig, Running, SinkId, SourceId};
+use streammine::operators::{Classifier, Enrich, Map, Split, Union};
+
+const FAST_LOG: Duration = Duration::from_micros(300);
+
+/// The paper's Figure 1: 2 publishers → processor → enrich → split → 2
+/// consumers.
+fn figure1_graph(speculative: bool) -> (Running, SourceId, SourceId, SinkId, SinkId) {
+    let mut b = GraphBuilder::new();
+    let cfg = |logged: bool| -> OperatorConfig {
+        match (speculative, logged) {
+            (true, _) => OperatorConfig::speculative(LoggingConfig::simulated(FAST_LOG)),
+            (false, true) => OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG)),
+            (false, false) => OperatorConfig::plain(),
+        }
+    };
+    let processor = b.add_operator(Classifier::new(8), cfg(true));
+    let enrich = b.add_operator(
+        Enrich::new(Duration::from_micros(100), |v| {
+            Value::Record(vec![v.clone(), Value::Str("x".into())])
+        }),
+        OperatorConfig::plain(),
+    );
+    let split = b.add_operator(Split::new(2), cfg(true));
+    b.connect(processor, enrich).unwrap();
+    b.connect(enrich, split).unwrap();
+    let p1 = b.source_into(processor).unwrap();
+    let p2 = b.source_into(processor).unwrap();
+    let c1 = b.sink_from(split).unwrap();
+    let c2 = b.sink_from(split).unwrap();
+    (b.build().unwrap().start(), p1, p2, c1, c2)
+}
+
+fn total_final(running: &Running, c1: SinkId, c2: SinkId) -> usize {
+    running.sink(c1).final_count() + running.sink(c2).final_count()
+}
+
+fn wait_total(running: &Running, c1: SinkId, c2: SinkId, n: usize, t: Duration) -> bool {
+    let deadline = std::time::Instant::now() + t;
+    while total_final(running, c1, c2) < n {
+        if std::time::Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    true
+}
+
+#[test]
+fn figure1_pipeline_delivers_every_event_exactly_once() {
+    for speculative in [false, true] {
+        let (running, p1, p2, c1, c2) = figure1_graph(speculative);
+        for i in 0..20 {
+            running.source(p1).push(Value::Int(i * 2));
+            running.source(p2).push(Value::Int(i * 2 + 1));
+        }
+        assert!(
+            wait_total(&running, c1, c2, 40, Duration::from_secs(20)),
+            "spec={speculative}: {}",
+            total_final(&running, c1, c2)
+        );
+        assert_eq!(total_final(&running, c1, c2), 40);
+        running.shutdown();
+    }
+}
+
+#[test]
+fn figure1_survives_processor_crash() {
+    let (running, p1, p2, c1, c2) = figure1_graph(false);
+    for i in 0..15 {
+        running.source(p1).push(Value::Int(i * 2));
+        running.source(p2).push(Value::Int(i * 2 + 1));
+    }
+    assert!(wait_total(&running, c1, c2, 30, Duration::from_secs(20)));
+    let before: Vec<_> = running
+        .sink(c1)
+        .final_events_by_id()
+        .into_iter()
+        .chain(running.sink(c2).final_events_by_id())
+        .collect();
+
+    let processor = OperatorId::new(0);
+    running.crash(processor);
+    running.recover(processor);
+    for i in 15..20 {
+        running.source(p1).push(Value::Int(i * 2));
+    }
+    assert!(
+        wait_total(&running, c1, c2, 35, Duration::from_secs(30)),
+        "stalled at {}",
+        total_final(&running, c1, c2)
+    );
+    let after: Vec<_> = running
+        .sink(c1)
+        .final_events_by_id()
+        .into_iter()
+        .chain(running.sink(c2).final_events_by_id())
+        .collect();
+    for pre in &before {
+        let post = after.iter().find(|e| e.id == pre.id).expect("event vanished");
+        assert_eq!(post.payload, pre.payload, "{} diverged", pre.id);
+    }
+    running.shutdown();
+}
+
+#[test]
+fn diamond_topology_rejoins_both_branches() {
+    // src → split → (map ×10 | map ×100) → union → sink: every input
+    // appears exactly once, scaled by whichever branch it took.
+    let mut b = GraphBuilder::new();
+    let split = b.add_operator(Split::new(2), OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG)));
+    let left = b.add_operator(
+        Map::new(|v| Value::Record(vec![Value::Str("L".into()), v.clone()])),
+        OperatorConfig::plain(),
+    );
+    let right = b.add_operator(
+        Map::new(|v| Value::Record(vec![Value::Str("R".into()), v.clone()])),
+        OperatorConfig::plain(),
+    );
+    let union = b.add_operator(Union::new(), OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG)));
+    b.connect(split, left).unwrap();
+    b.connect(split, right).unwrap();
+    b.connect(left, union).unwrap();
+    b.connect(right, union).unwrap();
+    let src = b.source_into(split).unwrap();
+    let sink = b.sink_from(union).unwrap();
+    let running = b.build().unwrap().start();
+
+    let n = 30i64;
+    for i in 1..=n {
+        running.source(src).push(Value::Int(i));
+    }
+    assert!(running.sink(sink).wait_final(n as usize, Duration::from_secs(20)));
+    let events = running.sink(sink).final_events();
+    assert_eq!(events.len(), n as usize);
+    let mut inputs: Vec<i64> = events
+        .iter()
+        .filter_map(|e| e.payload.field(1).and_then(Value::as_i64))
+        .collect();
+    inputs.sort_unstable();
+    assert_eq!(inputs, (1..=n).collect::<Vec<_>>(), "branch rejoin lost or duplicated events");
+    let lefts = events
+        .iter()
+        .filter(|e| e.payload.field(0).and_then(Value::as_str) == Some("L"))
+        .count();
+    assert!(lefts > 0 && lefts < n as usize, "random split should use both branches ({lefts}/{n})");
+    running.shutdown();
+}
+
+#[test]
+fn fan_out_broadcast_reaches_all_consumers() {
+    // One classifier broadcasting to three sinks: each sink sees all
+    // events.
+    let mut b = GraphBuilder::new();
+    let c = b.add_operator(Classifier::new(4), OperatorConfig::plain());
+    let src = b.source_into(c).unwrap();
+    let sinks: Vec<SinkId> = (0..3).map(|_| b.sink_from(c).unwrap()).collect();
+    let running = b.build().unwrap().start();
+    for i in 0..12 {
+        running.source(src).push(Value::Int(i));
+    }
+    for &s in &sinks {
+        assert!(running.sink(s).wait_final(12, Duration::from_secs(10)));
+        assert_eq!(running.sink(s).final_count(), 12);
+    }
+    running.shutdown();
+}
