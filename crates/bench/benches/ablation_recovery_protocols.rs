@@ -23,8 +23,7 @@ fn streammine_row() -> Vec<String> {
     // One speculative operator logging on a Sim-5 disk: speculative output
     // is immediate, final output waits ~one log write; recovery is precise
     // (verified by the integration test-suite — tests/recovery.rs).
-    let (running, src, sink) =
-        relay_pipeline(1, true, vec![DiskSpec::simulated(STABLE_WRITE)]);
+    let (running, src, sink) = relay_pipeline(1, true, vec![DiskSpec::simulated(STABLE_WRITE)]);
     for i in 0..EVENTS {
         running.source(src).push(Value::Int(i as i64));
         std::thread::sleep(Duration::from_millis(2));

@@ -23,10 +23,7 @@ fn config_set() -> Vec<(String, Vec<DiskSpec>)> {
 }
 
 fn main() {
-    banner(
-        "Figure 2",
-        "end-to-end latency, 2 logging components, speculative vs non-speculative",
-    );
+    banner("Figure 2", "end-to-end latency, 2 logging components, speculative vs non-speculative");
     row(&["config".into(), "non-spec (ms)".into(), "spec (ms)".into(), "ratio".into()]);
     const EVENTS: u64 = 25;
     // Space events beyond the disk latency so group commit cannot hide the
@@ -36,8 +33,7 @@ fn main() {
         let mut results = Vec::new();
         for speculative in [false, true] {
             let (running, src, sink) = relay_pipeline(2, speculative, disks.clone());
-            let lat =
-                drive_and_measure(&running, src, sink, EVENTS, gap, Duration::from_secs(60));
+            let lat = drive_and_measure(&running, src, sink, EVENTS, gap, Duration::from_secs(60));
             results.push(mean_ms(&lat));
             running.shutdown();
         }

@@ -9,7 +9,9 @@
 
 use std::time::Duration;
 
-use streammine_bench::{banner, drive_and_measure, mean_ms, relay_pipeline, relay_pipeline_with_links, row};
+use streammine_bench::{
+    banner, drive_and_measure, mean_ms, relay_pipeline, relay_pipeline_with_links, row,
+};
 use streammine_net::LinkConfig;
 use streammine_storage::disk::DiskSpec;
 
@@ -30,8 +32,7 @@ fn main() {
             let disks = vec![DiskSpec::simulated(Duration::from_millis(latency_ms))];
             let (running, src, sink) = relay_pipeline(depth, speculative, disks);
             let gap = Duration::from_millis(latency_ms * depth as u64 + 10);
-            let lat =
-                drive_and_measure(&running, src, sink, EVENTS, gap, Duration::from_secs(120));
+            let lat = drive_and_measure(&running, src, sink, EVENTS, gap, Duration::from_secs(120));
             cols.push(format!("{:.2}", mean_ms(&lat)));
             running.shutdown();
         }

@@ -52,13 +52,7 @@ fn run_config(label: &str, threads: usize) -> Vec<(f64, f64)> {
     let _ = running.sink(sink).wait_final(pushed as usize, Duration::from_secs(60));
     // Bucket latencies by source timestamp → time series.
     let series = TimeSeries::new(Duration::from_millis(500));
-    let t0 = running
-        .sink(sink)
-        .records()
-        .iter()
-        .map(|r| r.event.timestamp)
-        .min()
-        .unwrap_or(0);
+    let t0 = running.sink(sink).records().iter().map(|r| r.event.timestamp).min().unwrap_or(0);
     for r in running.sink(sink).records() {
         if let Some(final_at) = r.final_at_us {
             let lat = final_at.saturating_sub(r.event.timestamp) as f64;
@@ -90,5 +84,7 @@ fn main() {
             b.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into()),
         ]);
     }
-    println!("(paper: sequential latency ramps during the burst and drains slowly; parallel stays flat)");
+    println!(
+        "(paper: sequential latency ramps during the burst and drains slowly; parallel stays flat)"
+    );
 }

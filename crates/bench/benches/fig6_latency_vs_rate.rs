@@ -12,48 +12,9 @@
 
 use std::time::Duration;
 
-use streammine_bench::{banner, drive_at_rate, median_us, row};
-use streammine_core::{GraphBuilder, LoggingConfig, OperatorConfig, Running, SinkId, SourceId};
-use streammine_operators::{SketchOp, Union};
+use streammine_bench::{banner, drive_at_rate, median_us, row, union_sketch};
 
-const SKETCH_COST: Duration = Duration::from_micros(300);
-const LOG_LATENCY: Duration = Duration::from_millis(2);
 const RUN_FOR: Duration = Duration::from_secs(2);
-
-pub fn union_sketch(
-    speculative: bool,
-    threads: usize,
-    sketch_logs: bool,
-) -> (Running, SourceId, SinkId) {
-    let mut b = GraphBuilder::new();
-    let union_cfg = if speculative {
-        OperatorConfig::speculative(LoggingConfig::simulated(LOG_LATENCY))
-    } else {
-        OperatorConfig::logged(LoggingConfig::simulated(LOG_LATENCY))
-    };
-    let union = b.add_operator(Union::new(), union_cfg);
-    let sketch_logging = sketch_logs.then(|| LoggingConfig::simulated(LOG_LATENCY));
-    let sketch_cfg = match (speculative, sketch_logging.clone()) {
-        (true, Some(l)) => OperatorConfig::speculative(l).with_threads(threads),
-        (true, None) => OperatorConfig::speculative_unlogged().with_threads(threads),
-        (false, Some(l)) => OperatorConfig::logged(l),
-        (false, None) => OperatorConfig::plain(),
-    };
-    let mut sketch_op = SketchOp::new(256, 3, 17, SKETCH_COST);
-    if sketch_logs {
-        // Figure 6(b): the sketch draws (and must log) one decision per
-        // event.
-        sketch_op = sketch_op.stamped();
-    }
-    let sketch = b.add_operator(sketch_op, sketch_cfg);
-    b.connect(union, sketch).expect("edge");
-    let src = b.source_into(union).expect("source");
-    // Second stream into the union (kept idle in this harness; its
-    // existence makes the union's merge order a real logged decision).
-    let _src2 = b.source_into(union).expect("source2");
-    let sink = b.sink_from(sketch).expect("sink");
-    (b.build().expect("graph").start(), src, sink)
-}
 
 fn main() {
     banner("Figure 6", "latency vs input rate; (a) only union logs, (b) both log");

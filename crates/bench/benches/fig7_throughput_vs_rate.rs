@@ -9,34 +9,9 @@
 
 use std::time::Duration;
 
-use streammine_bench::{banner, drive_at_rate, row};
-use streammine_core::{GraphBuilder, LoggingConfig, OperatorConfig, Running, SinkId, SourceId};
-use streammine_operators::{SketchOp, Union};
+use streammine_bench::{banner, drive_at_rate, row, union_sketch};
 
-const SKETCH_COST: Duration = Duration::from_micros(300);
-const LOG_LATENCY: Duration = Duration::from_millis(2);
 const RUN_FOR: Duration = Duration::from_secs(2);
-
-fn union_sketch(speculative: bool, threads: usize) -> (Running, SourceId, SinkId) {
-    let mut b = GraphBuilder::new();
-    let union_cfg = if speculative {
-        OperatorConfig::speculative(LoggingConfig::simulated(LOG_LATENCY))
-    } else {
-        OperatorConfig::logged(LoggingConfig::simulated(LOG_LATENCY))
-    };
-    let union = b.add_operator(Union::new(), union_cfg);
-    let sketch_cfg = if speculative {
-        OperatorConfig::speculative(LoggingConfig::simulated(LOG_LATENCY)).with_threads(threads)
-    } else {
-        OperatorConfig::logged(LoggingConfig::simulated(LOG_LATENCY))
-    };
-    let sketch = b.add_operator(SketchOp::new(256, 3, 17, SKETCH_COST).stamped(), sketch_cfg);
-    b.connect(union, sketch).expect("edge");
-    let src = b.source_into(union).expect("source");
-    let _src2 = b.source_into(union).expect("source2");
-    let sink = b.sink_from(sketch).expect("sink");
-    (b.build().expect("graph").start(), src, sink)
-}
 
 fn main() {
     banner("Figure 7", "throughput vs input rate (union + sketch, both log)");
@@ -52,7 +27,7 @@ fn main() {
     for &rate in &rates {
         let mut cols = vec![format!("{rate:.0}")];
         for (speculative, threads) in [(false, 1), (true, 1), (true, 2), (true, 6)] {
-            let (running, src, sink) = union_sketch(speculative, threads);
+            let (running, src, sink) = union_sketch(speculative, threads, true);
             let (_lat, _in_rate, out_rate) =
                 drive_at_rate(&running, src, sink, rate, RUN_FOR, Duration::from_secs(20));
             cols.push(format!("{out_rate:.0}"));

@@ -85,9 +85,8 @@ fn bench_logger(c: &mut Criterion) {
                         DiskSpec::simulated(Duration::from_micros(100));
                         devices
                     ]);
-                    let tickets: Vec<_> = (0..100u64)
-                        .map(|i| log.append(i.to_le_bytes().to_vec()))
-                        .collect();
+                    let tickets: Vec<_> =
+                        (0..100u64).map(|i| log.append(i.to_le_bytes().to_vec())).collect();
                     for t in tickets {
                         t.wait();
                     }

@@ -1,0 +1,101 @@
+//! Quick performance snapshot of the Figure 6/7 scenarios.
+//!
+//! Runs abbreviated versions of the latency-vs-rate (fig6) and
+//! throughput-vs-rate (fig7) sweeps and writes machine-readable summaries
+//! to `BENCH_fig6.json` and `BENCH_fig7.json` in the working directory:
+//! p50/p99 end-to-end final latency (µs) and delivered events/sec per
+//! configuration. Intended to be cheap enough to run on every perf-relevant
+//! change, so regressions in the batched send path show up as a diff in
+//! the committed JSON.
+//!
+//! ```text
+//! cargo run --release -p streammine-bench --bin perf_snapshot
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use streammine_bench::{drive_at_rate, union_sketch};
+use streammine_common::stats::summarize;
+
+const RUN_FOR: Duration = Duration::from_millis(800);
+const DRAIN: Duration = Duration::from_secs(15);
+
+struct Row {
+    config: &'static str,
+    rate: f64,
+    p50_us: f64,
+    p99_us: f64,
+    events_per_sec: f64,
+    delivered: usize,
+}
+
+/// The configurations the paper contrasts: sequential logged execution vs
+/// speculation with a small thread pool.
+const CONFIGS: [(&str, bool, usize); 2] = [("non-spec", false, 1), ("spec-2t", true, 2)];
+
+fn sweep(rates: &[f64], sketch_logs: bool) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &rate in rates {
+        for (name, speculative, threads) in CONFIGS {
+            let (running, src, sink) = union_sketch(speculative, threads, sketch_logs);
+            let (mut lat, _in_rate, out_rate) =
+                drive_at_rate(&running, src, sink, rate, RUN_FOR, DRAIN);
+            let summary = summarize(&mut lat);
+            rows.push(Row {
+                config: name,
+                rate,
+                p50_us: summary.p50_us,
+                p99_us: summary.p99_us,
+                events_per_sec: out_rate,
+                delivered: summary.count,
+            });
+            eprintln!(
+                "  {name} @ {rate:.0} ev/s: p50 {:.0} us, p99 {:.0} us, out {:.0} ev/s",
+                summary.p50_us, summary.p99_us, out_rate
+            );
+            running.shutdown();
+        }
+    }
+    rows
+}
+
+fn to_json(figure: &str, caption: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"figure\": \"{figure}\",");
+    let _ = writeln!(out, "  \"caption\": \"{caption}\",");
+    let _ = writeln!(out, "  \"scenarios\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"config\": \"{}\", \"rate_ev_per_s\": {:.0}, \"p50_latency_us\": {:.1}, \
+             \"p99_latency_us\": {:.1}, \"events_per_sec\": {:.1}, \"delivered\": {}}}{comma}",
+            r.config, r.rate, r.p50_us, r.p99_us, r.events_per_sec, r.delivered
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() {
+    eprintln!("fig6 snapshot (latency vs rate, only union logs):");
+    let fig6 = sweep(&[500.0, 1500.0], false);
+    std::fs::write(
+        "BENCH_fig6.json",
+        to_json("fig6", "end-to-end final latency vs input rate (union -> sketch)", &fig6),
+    )
+    .expect("write BENCH_fig6.json");
+
+    eprintln!("fig7 snapshot (throughput vs rate, both log):");
+    let fig7 = sweep(&[1000.0, 2500.0], true);
+    std::fs::write(
+        "BENCH_fig7.json",
+        to_json("fig7", "delivered throughput vs input rate (union -> sketch)", &fig7),
+    )
+    .expect("write BENCH_fig7.json");
+
+    eprintln!("wrote BENCH_fig6.json, BENCH_fig7.json");
+}

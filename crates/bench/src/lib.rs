@@ -8,12 +8,16 @@
 use std::time::{Duration, Instant};
 
 use streammine_common::stats::summarize;
-use streammine_core::{
-    GraphBuilder, LoggingConfig, OperatorConfig, Running, SinkId, SourceId,
-};
+use streammine_core::{GraphBuilder, LoggingConfig, OperatorConfig, Running, SinkId, SourceId};
 use streammine_net::LinkConfig;
-use streammine_operators::StampedRelay;
+use streammine_operators::{SketchOp, StampedRelay, Union};
 use streammine_storage::disk::DiskSpec;
+
+/// Per-event sketch cost used by the Figure 6/7 application.
+pub const SKETCH_COST: Duration = Duration::from_micros(300);
+
+/// Decision-log latency used by the Figure 6/7 application.
+pub const LOG_LATENCY: Duration = Duration::from_millis(2);
 
 /// Prints a figure header.
 pub fn banner(figure: &str, caption: &str) {
@@ -83,6 +87,43 @@ pub fn relay_pipeline_with_links(
     (b.build().expect("valid graph").start(), src, sink)
 }
 
+/// Builds the Figure 6/7 application: a two-input union (logging its merge
+/// order) feeding an expensive count-sketch operator. `sketch_logs` selects
+/// Figure 6's variant (b), where the sketch draws (and must log) one
+/// decision per event; Figure 7 always runs with both operators logging.
+pub fn union_sketch(
+    speculative: bool,
+    threads: usize,
+    sketch_logs: bool,
+) -> (Running, SourceId, SinkId) {
+    let mut b = GraphBuilder::new();
+    let union_cfg = if speculative {
+        OperatorConfig::speculative(LoggingConfig::simulated(LOG_LATENCY))
+    } else {
+        OperatorConfig::logged(LoggingConfig::simulated(LOG_LATENCY))
+    };
+    let union = b.add_operator(Union::new(), union_cfg);
+    let sketch_logging = sketch_logs.then(|| LoggingConfig::simulated(LOG_LATENCY));
+    let sketch_cfg = match (speculative, sketch_logging) {
+        (true, Some(l)) => OperatorConfig::speculative(l).with_threads(threads),
+        (true, None) => OperatorConfig::speculative_unlogged().with_threads(threads),
+        (false, Some(l)) => OperatorConfig::logged(l),
+        (false, None) => OperatorConfig::plain(),
+    };
+    let mut sketch_op = SketchOp::new(256, 3, 17, SKETCH_COST);
+    if sketch_logs {
+        sketch_op = sketch_op.stamped();
+    }
+    let sketch = b.add_operator(sketch_op, sketch_cfg);
+    b.connect(union, sketch).expect("edge");
+    let src = b.source_into(union).expect("source");
+    // Second stream into the union (kept idle in the harnesses; its
+    // existence makes the union's merge order a real logged decision).
+    let _src2 = b.source_into(union).expect("source2");
+    let sink = b.sink_from(sketch).expect("sink");
+    (b.build().expect("graph").start(), src, sink)
+}
+
 /// Pushes `count` integer events with a fixed inter-arrival gap and waits
 /// until all are final; returns per-event final latencies (µs).
 pub fn drive_and_measure(
@@ -148,7 +189,8 @@ mod tests {
     fn relay_pipeline_smoke() {
         let (running, src, sink) =
             relay_pipeline(2, true, vec![DiskSpec::simulated(Duration::from_micros(200))]);
-        let lat = drive_and_measure(&running, src, sink, 5, Duration::ZERO, Duration::from_secs(10));
+        let lat =
+            drive_and_measure(&running, src, sink, 5, Duration::ZERO, Duration::from_secs(10));
         assert_eq!(lat.len(), 5);
         running.shutdown();
     }

@@ -1,0 +1,127 @@
+//! Thread-local reusable byte buffers for serialization hot paths.
+//!
+//! Encoding a decision record or a link frame needs a scratch buffer that
+//! grows to the record size and is thrown away immediately. Allocating it
+//! per record puts the allocator on the critical path of every logged
+//! event; this module keeps a small per-thread free list instead, so a
+//! warm thread serializes without touching the allocator for scratch
+//! space. Used by [`crate::codec::encode_to_vec`] and
+//! [`crate::event::Value::stable_hash`].
+//!
+//! Buffers are handed out cleared (length zero) with whatever capacity
+//! they accumulated in earlier uses. To bound memory, at most
+//! [`MAX_POOLED`] buffers are retained per thread and a buffer that grew
+//! beyond [`MAX_RETAINED_CAPACITY`] is dropped instead of pooled.
+
+use std::cell::RefCell;
+
+/// Maximum buffers kept on one thread's free list.
+pub const MAX_POOLED: usize = 8;
+
+/// Largest capacity (bytes) a buffer may have and still return to the pool.
+pub const MAX_RETAINED_CAPACITY: usize = 1 << 20;
+
+thread_local! {
+    static FREE: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a cleared scratch buffer borrowed from this thread's pool,
+/// returning the buffer to the pool afterwards.
+///
+/// The closure may grow the buffer freely; the capacity it reaches is kept
+/// for the next caller (up to [`MAX_RETAINED_CAPACITY`]). Reentrant calls
+/// are fine — the inner call simply borrows the next free buffer.
+///
+/// ```
+/// use streammine_common::buf::with_scratch;
+///
+/// let n = with_scratch(|buf| {
+///     buf.extend_from_slice(b"hello");
+///     buf.len()
+/// });
+/// assert_eq!(n, 5);
+/// // The next call observes a cleared buffer, not "hello".
+/// with_scratch(|buf| assert!(buf.is_empty()));
+/// ```
+pub fn with_scratch<R>(f: impl FnOnce(&mut Vec<u8>) -> R) -> R {
+    let mut buf = FREE.with(|pool| pool.borrow_mut().pop()).unwrap_or_default();
+    buf.clear();
+    let out = f(&mut buf);
+    give(buf);
+    out
+}
+
+/// Takes a cleared buffer out of this thread's pool (or a fresh one).
+///
+/// Pair with [`give`] to recycle it; a buffer that is never given back is
+/// simply dropped, which is always safe.
+pub fn take() -> Vec<u8> {
+    let mut buf = FREE.with(|pool| pool.borrow_mut().pop()).unwrap_or_default();
+    buf.clear();
+    buf
+}
+
+/// Returns a buffer to this thread's pool for reuse.
+pub fn give(buf: Vec<u8>) {
+    if buf.capacity() == 0 || buf.capacity() > MAX_RETAINED_CAPACITY {
+        return;
+    }
+    FREE.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_capacity_is_reused_across_calls() {
+        with_scratch(|buf| buf.extend_from_slice(&[7u8; 4096]));
+        let (ptr, cap) = with_scratch(|buf| {
+            assert!(buf.is_empty(), "scratch must be handed out cleared");
+            (buf.as_ptr(), buf.capacity())
+        });
+        assert!(cap >= 4096, "grown capacity must be retained");
+        // Same thread, nothing else pooled in between: same allocation.
+        let ptr2 = with_scratch(|buf| buf.as_ptr());
+        assert_eq!(ptr, ptr2);
+    }
+
+    #[test]
+    fn nested_borrows_get_distinct_buffers() {
+        with_scratch(|outer| {
+            outer.push(1);
+            let outer_ptr = outer.as_ptr();
+            with_scratch(|inner| {
+                inner.extend_from_slice(&[2, 3]);
+                assert_ne!(outer_ptr, inner.as_ptr());
+            });
+            assert_eq!(outer.as_slice(), &[1]);
+        });
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_pooled() {
+        let huge = Vec::with_capacity(MAX_RETAINED_CAPACITY + 1);
+        give(huge); // dropped, not pooled
+        let buf = take();
+        assert!(buf.capacity() <= MAX_RETAINED_CAPACITY);
+        give(buf);
+    }
+
+    #[test]
+    fn pool_depth_is_bounded() {
+        let mut held: Vec<Vec<u8>> = (0..MAX_POOLED + 4).map(|_| Vec::with_capacity(16)).collect();
+        for buf in held.drain(..) {
+            give(buf);
+        }
+        // Draining more than MAX_POOLED buffers must bottom out on fresh
+        // (zero-capacity) allocations rather than panic.
+        let drained: Vec<Vec<u8>> = (0..MAX_POOLED + 4).map(|_| take()).collect();
+        assert!(drained.iter().filter(|b| b.capacity() > 0).count() <= MAX_POOLED);
+    }
+}

@@ -60,7 +60,9 @@ impl fmt::Display for DecodeError {
             DecodeError::InvalidTag { type_name, tag } => {
                 write!(f, "invalid tag {tag} while decoding {type_name}")
             }
-            DecodeError::LengthOverflow(len) => write!(f, "length prefix {len} exceeds sanity bound"),
+            DecodeError::LengthOverflow(len) => {
+                write!(f, "length prefix {len} exceeds sanity bound")
+            }
             DecodeError::InvalidUtf8 => write!(f, "invalid UTF-8 in string field"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
         }
@@ -91,6 +93,20 @@ impl Encoder {
     /// Creates an encoder with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
         Encoder { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// Creates an encoder writing into a caller-provided scratch buffer,
+    /// typically borrowed from [`crate::buf`]. The buffer is cleared first;
+    /// recover it (with the encoded bytes) via [`Encoder::into_scratch`].
+    pub fn from_scratch(mut scratch: Vec<u8>) -> Self {
+        scratch.clear();
+        Encoder { buf: BytesMut::from(scratch) }
+    }
+
+    /// Tears the encoder down into its underlying buffer, so a scratch
+    /// buffer's grown capacity can be returned to the pool it came from.
+    pub fn into_scratch(self) -> Vec<u8> {
+        self.buf.into()
     }
 
     /// Appends a single byte.
@@ -245,10 +261,26 @@ pub trait Encode {
     fn encode(&self, enc: &mut Encoder);
 
     /// Convenience: encodes into a fresh `Vec<u8>`.
+    ///
+    /// The encoder works in a pooled thread-local scratch buffer
+    /// ([`crate::buf`]), so the growth reallocations of encoding happen
+    /// once per thread rather than once per record; only the exact-size
+    /// result vector is allocated per call.
     fn encode_to_vec(&self) -> Vec<u8> {
-        let mut enc = Encoder::new();
+        let mut enc = Encoder::from_scratch(crate::buf::take());
         self.encode(&mut enc);
-        enc.into_vec()
+        let scratch = enc.into_scratch();
+        let out = scratch.as_slice().to_vec();
+        crate::buf::give(scratch);
+        out
+    }
+
+    /// Encodes into `out` (cleared first), reusing its capacity — for
+    /// callers that hold a long-lived buffer and want zero allocations.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut enc = Encoder::from_scratch(std::mem::take(out));
+        self.encode(&mut enc);
+        *out = enc.into_scratch();
     }
 }
 
@@ -336,7 +368,7 @@ impl Encode for usize {
 
 impl Decode for usize {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
-        Ok(dec.get_len()?)
+        dec.get_len()
     }
 }
 
@@ -439,8 +471,8 @@ mod tests {
         assert_eq!(roundtrip(&0xDEAD_BEEFu32).unwrap(), 0xDEAD_BEEF);
         assert_eq!(roundtrip(&u64::MAX).unwrap(), u64::MAX);
         assert_eq!(roundtrip(&i64::MIN).unwrap(), i64::MIN);
-        assert_eq!(roundtrip(&true).unwrap(), true);
-        assert_eq!(roundtrip(&false).unwrap(), false);
+        assert!(roundtrip(&true).unwrap());
+        assert!(!roundtrip(&false).unwrap());
         let f = roundtrip(&3.25f64).unwrap();
         assert_eq!(f, 3.25);
     }
@@ -492,6 +524,35 @@ mod tests {
         enc.put_bytes(&[0xFF, 0xFE]);
         let err = decode_from_slice::<String>(&enc.into_vec()).unwrap_err();
         assert_eq!(err, DecodeError::InvalidUtf8);
+    }
+
+    #[test]
+    fn scratch_encoder_reuses_capacity_and_matches_fresh_encoding() {
+        let v: Vec<u64> = (0..64).collect();
+        let fresh = {
+            let mut enc = Encoder::new();
+            v.encode(&mut enc);
+            enc.into_vec()
+        };
+        let scratch = Vec::with_capacity(1024);
+        let ptr = scratch.as_ptr();
+        let mut enc = Encoder::from_scratch(scratch);
+        v.encode(&mut enc);
+        let back = enc.into_scratch();
+        assert_eq!(back, fresh);
+        assert_eq!(back.as_ptr(), ptr, "encoding must stay in the provided buffer");
+    }
+
+    #[test]
+    fn encode_into_reuses_the_output_buffer() {
+        let mut out = Vec::with_capacity(256);
+        let ptr = out.as_ptr();
+        7u64.encode_into(&mut out);
+        assert_eq!(out, encode_to_vec(&7u64));
+        assert_eq!(out.as_ptr(), ptr);
+        // A second value replaces, not appends.
+        9u64.encode_into(&mut out);
+        assert_eq!(out, encode_to_vec(&9u64));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! * a typed [`Value`] payload.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use crate::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
@@ -23,10 +24,7 @@ pub type Timestamp = u64;
 
 /// Returns the current wall-clock time as a [`Timestamp`].
 pub fn wallclock_micros() -> Timestamp {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_micros() as u64)
-        .unwrap_or(0)
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_micros() as u64).unwrap_or(0)
 }
 
 /// Dynamically typed event payload.
@@ -36,14 +34,23 @@ pub fn wallclock_micros() -> Timestamp {
 /// library (filters, aggregations, joins, sketches) can be written once and
 /// composed freely.
 ///
+/// Payload buffers (`Str`, `Bytes`, `Record`) are reference-counted:
+/// `clone()` is an O(1) refcount bump, so fanning an event out to N
+/// downstream edges, snapshotting it for a speculative attempt, or holding
+/// it in an output queue all share one allocation. Values are immutable —
+/// an operator that wants a changed payload builds a new `Value` (copy on
+/// write), so a shared buffer can never be mutated under a sibling branch
+/// or a pending rollback snapshot.
+///
 /// ```
 /// use streammine_common::event::Value;
-/// let v = Value::Record(vec![Value::from(1i64), Value::from("sym")]);
+/// let v = Value::record(vec![Value::from(1i64), Value::from("sym")]);
 /// assert_eq!(v.field(1).and_then(Value::as_str), Some("sym"));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub enum Value {
     /// Absence of a value.
+    #[default]
     Null,
     /// Signed 64-bit integer.
     Int(i64),
@@ -51,15 +58,25 @@ pub enum Value {
     Float(f64),
     /// Boolean.
     Bool(bool),
-    /// UTF-8 string.
-    Str(String),
-    /// Raw bytes.
-    Bytes(Vec<u8>),
-    /// Ordered tuple of values (a record / row).
-    Record(Vec<Value>),
+    /// UTF-8 string (shared, immutable).
+    Str(Arc<str>),
+    /// Raw bytes (shared, immutable).
+    Bytes(Arc<[u8]>),
+    /// Ordered tuple of values (a record / row; shared, immutable).
+    Record(Arc<[Value]>),
 }
 
 impl Value {
+    /// Builds a `Value::Record` from owned fields.
+    pub fn record(fields: Vec<Value>) -> Value {
+        Value::Record(fields.into())
+    }
+
+    /// Builds a `Value::Bytes` from owned bytes.
+    pub fn bytes(bytes: Vec<u8>) -> Value {
+        Value::Bytes(bytes.into())
+    }
+
     /// Returns the integer if this is a `Value::Int`.
     pub fn as_i64(&self) -> Option<i64> {
         match self {
@@ -80,7 +97,7 @@ impl Value {
     /// Returns the string slice if this is a `Value::Str`.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_ref()),
             _ => None,
         }
     }
@@ -96,7 +113,7 @@ impl Value {
     /// Returns the bytes if this is a `Value::Bytes`.
     pub fn as_bytes(&self) -> Option<&[u8]> {
         match self {
-            Value::Bytes(b) => Some(b),
+            Value::Bytes(b) => Some(b.as_ref()),
             _ => None,
         }
     }
@@ -112,7 +129,7 @@ impl Value {
     /// Returns the record fields if this is a `Value::Record`.
     pub fn fields(&self) -> Option<&[Value]> {
         match self {
-            Value::Record(fields) => Some(fields),
+            Value::Record(fields) => Some(fields.as_ref()),
             _ => None,
         }
     }
@@ -123,19 +140,18 @@ impl Value {
         // unlike `std::collections::hash_map::DefaultHasher`.
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x1000_0000_01b3;
-        let bytes = self.encode_to_vec();
-        let mut h = OFFSET;
-        for b in bytes {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(PRIME);
-        }
-        h
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
+        // Hashing is hot (routing, sketching): encode into a pooled
+        // scratch buffer and hash in place, so a warm thread allocates
+        // nothing here.
+        crate::buf::with_scratch(|scratch| {
+            self.encode_into(scratch);
+            let mut h = OFFSET;
+            for &b in scratch.iter() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        })
     }
 }
 
@@ -147,7 +163,9 @@ impl fmt::Display for Value {
             Value::Float(v) => write!(f, "{v}"),
             Value::Bool(v) => write!(f, "{v}"),
             Value::Str(s) => write!(f, "{s:?}"),
-            Value::Bytes(b) => write!(f, "0x{}", b.iter().map(|x| format!("{x:02x}")).collect::<String>()),
+            Value::Bytes(b) => {
+                write!(f, "0x{}", b.iter().map(|x| format!("{x:02x}")).collect::<String>())
+            }
             Value::Record(fields) => {
                 write!(f, "(")?;
                 for (i, v) in fields.iter().enumerate() {
@@ -182,25 +200,25 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_owned())
+        Value::Str(v.into())
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::Str(v.into())
     }
 }
 
 impl From<Vec<u8>> for Value {
     fn from(v: Vec<u8>) -> Self {
-        Value::Bytes(v)
+        Value::Bytes(v.into())
     }
 }
 
 impl From<Vec<Value>> for Value {
     fn from(v: Vec<Value>) -> Self {
-        Value::Record(v)
+        Value::Record(v.into())
     }
 }
 
@@ -231,7 +249,7 @@ impl Encode for Value {
             Value::Record(fields) => {
                 enc.put_u8(6);
                 enc.put_u64(fields.len() as u64);
-                for v in fields {
+                for v in fields.iter() {
                     v.encode(enc);
                 }
             }
@@ -246,15 +264,17 @@ impl Decode for Value {
             1 => Value::Int(dec.get_i64()?),
             2 => Value::Float(dec.get_f64()?),
             3 => Value::Bool(dec.get_u8()? != 0),
-            4 => Value::Str(String::from_utf8(dec.get_bytes()?).map_err(|_| DecodeError::InvalidUtf8)?),
-            5 => Value::Bytes(dec.get_bytes()?),
+            4 => Value::Str(
+                String::from_utf8(dec.get_bytes()?).map_err(|_| DecodeError::InvalidUtf8)?.into(),
+            ),
+            5 => Value::Bytes(dec.get_bytes()?.into()),
             6 => {
                 let len = dec.get_len()?;
                 let mut fields = Vec::with_capacity(len.min(1024));
                 for _ in 0..len {
                     fields.push(Value::decode(dec)?);
                 }
-                Value::Record(fields)
+                Value::Record(fields.into())
             }
             tag => return Err(DecodeError::InvalidTag { type_name: "Value", tag }),
         })
@@ -375,7 +395,7 @@ mod tests {
         assert_eq!(Value::from(true).as_bool(), Some(true));
         assert_eq!(Value::from(vec![1u8, 2]).as_bytes(), Some(&[1u8, 2][..]));
         assert_eq!(Value::Null.as_i64(), None);
-        let rec = Value::Record(vec![Value::Int(1), Value::Str("a".into())]);
+        let rec = Value::record(vec![Value::Int(1), Value::Str("a".into())]);
         assert_eq!(rec.field(0), Some(&Value::Int(1)));
         assert_eq!(rec.field(2), None);
         assert_eq!(rec.fields().unwrap().len(), 2);
@@ -389,8 +409,8 @@ mod tests {
             Value::Float(6.5),
             Value::Bool(true),
             Value::Str("hello".into()),
-            Value::Bytes(vec![0, 255, 128]),
-            Value::Record(vec![Value::Int(1), Value::Record(vec![Value::Null])]),
+            Value::bytes(vec![0, 255, 128]),
+            Value::record(vec![Value::Int(1), Value::record(vec![Value::Null])]),
         ];
         for v in values {
             assert_eq!(roundtrip(&v).unwrap(), v);
@@ -437,9 +457,57 @@ mod tests {
             version: 3,
             timestamp: 1_000_000,
             speculative: true,
-            payload: Value::Record(vec![Value::Int(5), Value::Str("x".into())]),
+            payload: Value::record(vec![Value::Int(5), Value::Str("x".into())]),
         };
         assert_eq!(roundtrip(&ev).unwrap(), ev);
+    }
+
+    #[test]
+    fn clone_is_refcount_bump_sharing_buffers() {
+        // Str: the clone must point at the same allocation.
+        let s = Value::from("shared payload string");
+        let s2 = s.clone();
+        assert_eq!(
+            s.as_str().unwrap().as_ptr(),
+            s2.as_str().unwrap().as_ptr(),
+            "Str clone must share the buffer"
+        );
+
+        // Bytes likewise.
+        let b = Value::bytes(vec![1, 2, 3, 4]);
+        let b2 = b.clone();
+        assert_eq!(
+            b.as_bytes().unwrap().as_ptr(),
+            b2.as_bytes().unwrap().as_ptr(),
+            "Bytes clone must share the buffer"
+        );
+
+        // Record likewise — and nested buffers are shared transitively.
+        let r = Value::record(vec![Value::from("inner"), Value::Int(9)]);
+        let r2 = r.clone();
+        assert_eq!(
+            r.fields().unwrap().as_ptr(),
+            r2.fields().unwrap().as_ptr(),
+            "Record clone must share the field slice"
+        );
+        assert_eq!(
+            r.field(0).unwrap().as_str().unwrap().as_ptr(),
+            r2.field(0).unwrap().as_str().unwrap().as_ptr(),
+            "nested Str must be shared through a Record clone"
+        );
+    }
+
+    #[test]
+    fn event_clone_shares_payload_with_original() {
+        let ev = Event::new(id(1), 5, Value::from("fan-out payload"));
+        let for_edge_a = ev.clone();
+        let for_edge_b = ev.clone();
+        let p = ev.payload.as_str().unwrap().as_ptr();
+        assert_eq!(for_edge_a.payload.as_str().unwrap().as_ptr(), p);
+        assert_eq!(for_edge_b.payload.as_str().unwrap().as_ptr(), p);
+        // The finalized copy (confirmation) also shares the buffer.
+        let fin = Event::speculative(id(2), 5, Value::from("spec")).finalized();
+        assert!(fin.is_final());
     }
 
     #[test]

@@ -102,10 +102,7 @@ impl Encode for EventId {
 
 impl Decode for EventId {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
-        Ok(EventId {
-            source: OperatorId::decode(dec)?,
-            seq: dec.get_u64()?,
-        })
+        Ok(EventId { source: OperatorId::decode(dec)?, seq: dec.get_u64()? })
     }
 }
 

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod buf;
 pub mod clock;
 pub mod codec;
 pub mod error;

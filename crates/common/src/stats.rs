@@ -47,7 +47,13 @@ impl fmt::Display for Summary {
         write!(
             f,
             "n={} min={:.1}us mean={:.1}us p50={:.1}us p95={:.1}us p99={:.1}us max={:.1}us",
-            self.count, self.min_us, self.mean_us, self.p50_us, self.p95_us, self.p99_us, self.max_us
+            self.count,
+            self.min_us,
+            self.mean_us,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us
         )
     }
 }

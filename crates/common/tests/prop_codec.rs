@@ -13,24 +13,23 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         // Finite floats only: NaN breaks PartialEq-based roundtrip checks.
         (-1e15f64..1e15).prop_map(Value::Float),
         any::<bool>().prop_map(Value::Bool),
-        ".{0,24}".prop_map(Value::Str),
-        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+        ".{0,24}".prop_map(Value::from),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::bytes),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
-        proptest::collection::vec(inner, 0..4).prop_map(Value::Record)
+        proptest::collection::vec(inner, 0..4).prop_map(Value::record)
     })
 }
 
 fn event_strategy() -> impl Strategy<Value = Event> {
-    (any::<u32>(), any::<u64>(), any::<u32>(), any::<u64>(), any::<bool>(), value_strategy()).prop_map(
-        |(op, seq, version, ts, speculative, payload)| Event {
+    (any::<u32>(), any::<u64>(), any::<u32>(), any::<u64>(), any::<bool>(), value_strategy())
+        .prop_map(|(op, seq, version, ts, speculative, payload)| Event {
             id: EventId::new(OperatorId::new(op), seq),
             version,
             timestamp: ts,
             speculative,
             payload,
-        },
-    )
+        })
 }
 
 proptest! {

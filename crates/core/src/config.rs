@@ -3,8 +3,8 @@
 use std::time::Duration;
 
 use streammine_common::error::{Error, Result};
-use streammine_storage::disk::DiskSpec;
 use streammine_stm::StmConfig;
+use streammine_storage::disk::DiskSpec;
 
 /// Determinant-logging configuration of one operator.
 #[derive(Debug, Clone)]

@@ -147,7 +147,11 @@ impl ReplayCursor {
     /// replay diverged from the logged history.
     pub fn take(&mut self, serial: u64) -> DecisionRecord {
         let front = self.records.pop_front().expect("replay cursor exhausted");
-        assert_eq!(front.serial, serial, "replay diverged: expected serial {} got {serial}", front.serial);
+        assert_eq!(
+            front.serial, serial,
+            "replay diverged: expected serial {} got {serial}",
+            front.serial
+        );
         front
     }
 

@@ -84,16 +84,46 @@ impl SourceHandle {
         self.push_inner(payload, true)
     }
 
+    /// Pushes several final events as one `DataBatch` frame (one link
+    /// sequence number, one shared push timestamp); returns their ids.
+    ///
+    /// This is the injection-side counterpart of the engine's micro-batched
+    /// edge transport: a workload generator that produces events faster
+    /// than one-at-a-time sends can keep up with uses this to amortize
+    /// per-message link overhead.
+    pub fn push_batch(&self, payloads: Vec<Value>) -> Vec<EventId> {
+        if payloads.is_empty() {
+            return Vec::new();
+        }
+        let timestamp = self.clock.now_micros();
+        let events: Vec<Event> = payloads
+            .into_iter()
+            .map(|payload| {
+                let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+                Event {
+                    id: EventId::new(self.id, seq),
+                    version: 0,
+                    timestamp,
+                    speculative: false,
+                    payload,
+                }
+            })
+            .collect();
+        let ids = events.iter().map(|e| e.id).collect();
+        let msg = if events.len() == 1 {
+            Message::Data(events.into_iter().next().expect("len checked"))
+        } else {
+            Message::DataBatch(events)
+        };
+        let _ = self.tx.send(msg);
+        ids
+    }
+
     fn push_inner(&self, payload: Value, speculative: bool) -> EventId {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let id = EventId::new(self.id, seq);
-        let event = Event {
-            id,
-            version: 0,
-            timestamp: self.clock.now_micros(),
-            speculative,
-            payload,
-        };
+        let event =
+            Event { id, version: 0, timestamp: self.clock.now_micros(), speculative, payload };
         let _ = self.tx.send(Message::Data(event));
         id
     }
@@ -101,13 +131,8 @@ impl SourceHandle {
     /// Replaces a previously pushed speculative event with new content
     /// (bumped version), as when `E1′` becomes `E1″` in §3.1.
     pub fn revise(&self, id: EventId, version: u32, payload: Value) {
-        let event = Event {
-            id,
-            version,
-            timestamp: self.clock.now_micros(),
-            speculative: true,
-            payload,
-        };
+        let event =
+            Event { id, version, timestamp: self.clock.now_micros(), speculative: true, payload };
         let _ = self.tx.send(Message::Data(event));
     }
 
@@ -153,6 +178,32 @@ struct SinkState {
     revoked: Vec<EventId>,
 }
 
+impl SinkState {
+    /// Records one data arrival (from a lone message or a batch frame).
+    fn record_arrival(&mut self, event: Event, now: Timestamp) {
+        let id = event.id;
+        let is_final = event.is_final();
+        let entry = self.records.entry(id).or_insert_with(|| SinkRecord {
+            event: event.clone(),
+            first_arrival_us: now,
+            final_at_us: None,
+            versions_seen: 0,
+        });
+        if event.version >= entry.event.version {
+            if event.version > entry.event.version {
+                entry.versions_seen += 1;
+            }
+            entry.event = event;
+        }
+        entry.versions_seen = entry.versions_seen.max(1);
+        if is_final && entry.final_at_us.is_none() {
+            entry.final_at_us = Some(now);
+            entry.event.speculative = false;
+            self.final_order.push(id);
+        }
+    }
+}
+
 /// Observes a graph edge, recording arrivals and finalizations.
 pub struct SinkHandle {
     clock: SharedClock,
@@ -173,7 +224,11 @@ impl fmt::Debug for SinkHandle {
 }
 
 impl SinkHandle {
-    pub(crate) fn new(rx: LinkReceiver<Message>, ctrl_tx: LinkSender<Control>, clock: SharedClock) -> Self {
+    pub(crate) fn new(
+        rx: LinkReceiver<Message>,
+        ctrl_tx: LinkSender<Control>,
+        clock: SharedClock,
+    ) -> Self {
         let state: Arc<Mutex<SinkState>> = Arc::new(Mutex::new(SinkState::default()));
         let cv = Arc::new(Condvar::new());
         let eof = Arc::new(AtomicU64::new(0));
@@ -190,31 +245,16 @@ impl SinkHandle {
                         let now = clock.now_micros();
                         let mut s = state.lock();
                         match msg {
-                            Message::Data(event) => {
-                                let id = event.id;
-                                let is_final = event.is_final();
-                                let entry = s.records.entry(id).or_insert_with(|| SinkRecord {
-                                    event: event.clone(),
-                                    first_arrival_us: now,
-                                    final_at_us: None,
-                                    versions_seen: 0,
-                                });
-                                if event.version >= entry.event.version {
-                                    if event.version > entry.event.version {
-                                        entry.versions_seen += 1;
-                                    }
-                                    entry.event = event;
-                                }
-                                entry.versions_seen = entry.versions_seen.max(1);
-                                if is_final && entry.final_at_us.is_none() {
-                                    entry.final_at_us = Some(now);
-                                    entry.event.speculative = false;
-                                    s.final_order.push(id);
+                            Message::Data(event) => s.record_arrival(event, now),
+                            Message::DataBatch(events) => {
+                                for event in events {
+                                    s.record_arrival(event, now);
                                 }
                             }
                             Message::Control(Control::Finalize { id, version }) => {
                                 if let Some(entry) = s.records.get_mut(&id) {
-                                    if entry.event.version == version && entry.final_at_us.is_none() {
+                                    if entry.event.version == version && entry.final_at_us.is_none()
+                                    {
                                         entry.final_at_us = Some(now);
                                         entry.event.speculative = false;
                                         s.final_order.push(id);
@@ -351,6 +391,24 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].payload, Value::Int(1));
         assert!(!sink.final_latencies_us().is_empty());
+    }
+
+    #[test]
+    fn batch_push_delivers_every_event_with_shared_timestamp() {
+        let (source, sink) = setup();
+        let ids = source.push_batch(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(source.pushed(), 3);
+        assert!(sink.wait_final(3, Duration::from_secs(2)));
+        let events = sink.final_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].timestamp, events[2].timestamp, "one batch, one push stamp");
+        assert_eq!(
+            events.iter().map(|e| e.payload.clone()).collect::<Vec<_>>(),
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+            "batch expansion preserves order"
+        );
+        assert!(source.push_batch(Vec::new()).is_empty());
     }
 
     #[test]

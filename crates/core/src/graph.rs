@@ -223,8 +223,16 @@ impl NodePersist {
             config: self.config.clone(),
             clock: shared_clock_placeholder(), // replaced by caller
             intake: self.intake.clone(),
-            up: self.up_ctrl.iter().map(|c| UpEdge { ctrl_tx: c.clone(), _data_pump: None }).collect(),
-            down: self.down_data.iter().map(|d| DownEdge { data_tx: d.clone(), _ctrl_pump: None }).collect(),
+            up: self
+                .up_ctrl
+                .iter()
+                .map(|c| UpEdge { ctrl_tx: c.clone(), _data_pump: None })
+                .collect(),
+            down: self
+                .down_data
+                .iter()
+                .map(|d| DownEdge { data_tx: d.clone(), _ctrl_pump: None })
+                .collect(),
             log: self.log.clone(),
             checkpoints: self.checkpoints.clone(),
             rng_seed: self.rng_seed,
@@ -436,7 +444,11 @@ mod tests {
         fn name(&self) -> &str {
             "passthrough"
         }
-        fn process(&self, ctx: &mut OpCtx<'_, '_>, event: &Event) -> std::result::Result<(), StmAbort> {
+        fn process(
+            &self,
+            ctx: &mut OpCtx<'_, '_>,
+            event: &Event,
+        ) -> std::result::Result<(), StmAbort> {
             ctx.emit(event.payload.clone());
             Ok(())
         }

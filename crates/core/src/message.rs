@@ -65,14 +65,29 @@ pub enum Message {
     Data(Event),
     /// Protocol control traffic.
     Control(Control),
+    /// Several data events sent as one frame (micro-batching). The batch
+    /// occupies a single link sequence number; receivers expand it back
+    /// into individual events, all positioned at that sequence. Senders
+    /// only form batches at whole-event boundaries, and a batch carries at
+    /// least two events (a single event travels as [`Message::Data`]).
+    DataBatch(Vec<Event>),
 }
 
 impl Message {
-    /// Convenience accessor for the data payload.
+    /// Convenience accessor for the data payload of a single-event message.
     pub fn as_event(&self) -> Option<&Event> {
         match self {
             Message::Data(e) => Some(e),
-            Message::Control(_) => None,
+            Message::Control(_) | Message::DataBatch(_) => None,
+        }
+    }
+
+    /// Number of data events this message carries (0 for control).
+    pub fn event_count(&self) -> usize {
+        match self {
+            Message::Data(_) => 1,
+            Message::Control(_) => 0,
+            Message::DataBatch(events) => events.len(),
         }
     }
 }
@@ -82,6 +97,7 @@ impl fmt::Display for Message {
         match self {
             Message::Data(e) => write!(f, "data {e}"),
             Message::Control(c) => write!(f, "ctrl {c}"),
+            Message::DataBatch(events) => write!(f, "batch[{}]", events.len()),
         }
     }
 }
@@ -135,6 +151,10 @@ impl Encode for Message {
                 enc.put_u8(1);
                 c.encode(enc);
             }
+            Message::DataBatch(events) => {
+                enc.put_u8(2);
+                events.encode(enc);
+            }
         }
     }
 }
@@ -144,6 +164,7 @@ impl Decode for Message {
         Ok(match dec.get_u8()? {
             0 => Message::Data(Event::decode(dec)?),
             1 => Message::Control(Control::decode(dec)?),
+            2 => Message::DataBatch(Vec::<Event>::decode(dec)?),
             tag => return Err(DecodeError::InvalidTag { type_name: "Message", tag }),
         })
     }
@@ -187,6 +208,20 @@ mod tests {
         let e = Event::new(id(), 1, Value::Null);
         assert!(Message::Data(e).as_event().is_some());
         assert!(Message::Control(Control::Eof).as_event().is_none());
+    }
+
+    #[test]
+    fn batch_roundtrips_and_counts_events() {
+        let events = vec![
+            Event::new(id(), 1, Value::Int(1)),
+            Event::speculative(EventId::new(OperatorId::new(2), 18), 2, Value::from("x")),
+        ];
+        let m = Message::DataBatch(events);
+        assert_eq!(roundtrip(&m).unwrap(), m);
+        assert_eq!(m.event_count(), 2);
+        assert!(m.as_event().is_none(), "a batch is not a single event");
+        assert_eq!(Message::Control(Control::Eof).event_count(), 0);
+        assert!(m.to_string().contains("batch[2]"));
     }
 
     #[test]

@@ -51,9 +51,9 @@ use streammine_common::event::{Event, Value};
 use streammine_common::ids::{EventId, OperatorId};
 use streammine_common::pool::ThreadPool;
 use streammine_common::rng::DetRng;
+use streammine_stm::{Serial, StmAbort, StmRuntime, TxnHandle, TxnId};
 use streammine_storage::checkpoint::CheckpointStore;
 use streammine_storage::log::{LogSeq, LogTicket, StableLog};
-use streammine_stm::{Serial, StmAbort, StmRuntime, TxnHandle, TxnId};
 
 use crate::config::OperatorConfig;
 use crate::determinant::{DecisionRecord, Determinant, ReplayCursor};
@@ -66,6 +66,10 @@ use crate::state::{StateAccess, StateRegistry};
 /// the emit index into the low bits of the sequence number).
 pub const MAX_OUTPUTS_PER_EVENT: u64 = 1 << 16;
 
+/// Size threshold at which a per-edge output buffer flushes as a
+/// [`Message::DataBatch`] without waiting for the intake to drain.
+pub(crate) const BATCH_MAX_EVENTS: usize = 32;
+
 /// The current view of a pending event's input (revisions replace it).
 #[derive(Clone)]
 struct InputView {
@@ -73,6 +77,9 @@ struct InputView {
     payload: Value,
     speculative: bool,
 }
+
+/// `(generation, outputs, decisions)` captured by one execution attempt.
+type AttemptCapture = (u64, Vec<(Option<u32>, Value)>, DecisionRecord);
 
 /// Tracking info for one in-flight speculative event.
 struct PendingTxn {
@@ -84,7 +91,7 @@ struct PendingTxn {
     handle: TxnHandle,
     /// `(generation, outputs, decisions)` captured by the latest
     /// successful attempt; the generation orders diff application.
-    attempt: Mutex<Option<(u64, Vec<(Option<u32>, Value)>, DecisionRecord)>>,
+    attempt: Mutex<Option<AttemptCapture>>,
     /// Highest generation whose outputs were applied to `sent` (guarded by
     /// the `sent` mutex's critical sections).
     applied_gen: std::sync::atomic::AtomicU64,
@@ -161,10 +168,16 @@ pub(crate) struct Node {
     pending_by_txn: HashMap<TxnId, EventId>,
     pending_by_serial: HashMap<u64, EventId>,
     hold_queue: VecDeque<(u64, HeldOutput)>,
+    /// Per-down-edge buffers of final outputs awaiting a batched send
+    /// (non-speculative path). Flushed when they reach
+    /// [`BATCH_MAX_EVENTS`] or when the intake drains, so batching never
+    /// adds latency under low load.
+    out_batch: Vec<Vec<Event>>,
     events_since_checkpoint: u64,
     eof_count: usize,
     recovering: bool,
     running: bool,
+    crashed: bool,
 }
 
 impl Node {
@@ -230,9 +243,11 @@ impl Node {
                 })
                 .expect("spawn commit pump");
         }
-        let pool = (seed.config.speculative && seed.config.threads > 1)
-            .then(|| Arc::new(ThreadPool::new(&format!("op{}-worker", seed.id.index()), seed.config.threads)));
+        let pool = (seed.config.speculative && seed.config.threads > 1).then(|| {
+            Arc::new(ThreadPool::new(&format!("op{}-worker", seed.id.index()), seed.config.threads))
+        });
         let inputs = seed.up.len();
+        let outputs = seed.down.len();
         Node {
             id: seed.id,
             operator: seed.operator,
@@ -257,10 +272,12 @@ impl Node {
             pending_by_txn: HashMap::new(),
             pending_by_serial: HashMap::new(),
             hold_queue: VecDeque::new(),
+            out_batch: (0..outputs).map(|_| Vec::new()).collect(),
             events_since_checkpoint: 0,
             eof_count: 0,
             recovering,
             running: true,
+            crashed: false,
         }
     }
 
@@ -321,12 +338,31 @@ impl Node {
 
     fn run(&mut self) {
         while self.running {
-            let intake = match self.intake.rx.recv() {
+            // Adaptive flush: buffered outputs only hit the wire when the
+            // intake has drained (about to block) or a buffer reached the
+            // size threshold. Under low load the intake is empty after
+            // every event, so each output flushes immediately as a plain
+            // `Data` message and latency is unchanged; under backlog the
+            // buffers fill toward `BATCH_MAX_EVENTS`-sized frames.
+            let intake = match self.intake.rx.try_recv() {
                 Ok(i) => i,
-                Err(_) => break,
+                Err(crossbeam_channel::TryRecvError::Empty) => {
+                    self.flush_out_batches();
+                    match self.intake.rx.recv() {
+                        Ok(i) => i,
+                        Err(_) => break,
+                    }
+                }
+                Err(crossbeam_channel::TryRecvError::Disconnected) => break,
             };
             self.handle_intake(intake);
             self.drain_ready_events();
+        }
+        if !self.crashed {
+            // A clean stop drains buffered outputs; a simulated crash
+            // loses them with the rest of volatile state (recovery
+            // re-derives them from replay).
+            self.flush_out_batches();
         }
         self.operator.terminate();
         if let Some(pool) = self.pool.take() {
@@ -355,6 +391,7 @@ impl Node {
                 // Simulated crash: just stop; all volatile state dies with
                 // this object. Links, log and checkpoints survive outside.
                 self.running = false;
+                self.crashed = true;
             }
         }
     }
@@ -364,11 +401,24 @@ impl Node {
             Message::Data(event) => {
                 self.port_queues[port as usize].push_back((link_seq, event));
             }
-            Message::Control(Control::Finalize { id, version }) => self.on_input_finalized(id, version),
+            Message::DataBatch(events) => {
+                // Expand the batch in place: every event shares the
+                // frame's link sequence, so replay positions stay at
+                // whole-batch boundaries.
+                let queue = &mut self.port_queues[port as usize];
+                for event in events {
+                    queue.push_back((link_seq, event));
+                }
+            }
+            Message::Control(Control::Finalize { id, version }) => {
+                self.on_input_finalized(id, version)
+            }
             Message::Control(Control::Revoke { id }) => self.on_input_revoked(id),
             Message::Control(Control::Eof) => {
                 self.eof_count += 1;
                 if self.eof_count >= self.up.len() {
+                    // Buffered data must precede EOF on the wire.
+                    self.flush_out_batches();
                     for edge in &self.down {
                         let _ = edge.data_tx.send(Message::Control(Control::Eof));
                     }
@@ -415,11 +465,8 @@ impl Node {
                     }
                 }
                 // Find the logged input-choice; default port 0.
-                let record_port = self
-                    .replay
-                    .as_ref()
-                    .and_then(ReplayCursor::peek_input_choice)
-                    .unwrap_or(0);
+                let record_port =
+                    self.replay.as_ref().and_then(ReplayCursor::peek_input_choice).unwrap_or(0);
                 if let Some((_seq, event)) = self.port_queues[record_port as usize].pop_front() {
                     let record = self.replay.as_mut().expect("replaying").take(front_serial);
                     self.accept_event(record_port, event, Some(record));
@@ -430,7 +477,8 @@ impl Node {
             // Live phase: take from any non-empty queue, lowest port first
             // (the *choice* is logged, so any policy is legal; port order
             // keeps tests deterministic).
-            let port = match (0..self.port_queues.len()).find(|&p| !self.port_queues[p].is_empty()) {
+            let port = match (0..self.port_queues.len()).find(|&p| !self.port_queues[p].is_empty())
+            {
                 Some(p) => p,
                 None => return,
             };
@@ -499,9 +547,7 @@ impl Node {
             input_port: PortId(port),
             input_ts: event.timestamp,
         };
-        self.operator
-            .process(&mut ctx, &event)
-            .expect("plain-mode processing cannot abort");
+        self.operator.process(&mut ctx, &event).expect("plain-mode processing cannot abort");
         let outputs = assign_output_ids(self.id, serial, event.timestamp, &ctx.outputs, false);
         let decisions = std::mem::take(&mut ctx.decisions);
         drop(ctx);
@@ -518,7 +564,8 @@ impl Node {
                 ticket.subscribe(move || {
                     let _ = intake.send(Intake::LogStable { serial: s });
                 });
-                self.hold_queue.push_back((serial, HeldOutput { ticket, outputs, input_port: port }));
+                self.hold_queue
+                    .push_back((serial, HeldOutput { ticket, outputs, input_port: port }));
             }
             _ => {
                 // Deterministic (nothing logged) or replaying (decisions
@@ -550,13 +597,39 @@ impl Node {
         self.maybe_checkpoint();
     }
 
+    /// Stages final outputs for sending. Events accumulate in per-edge
+    /// buffers (payloads are shared via their `Arc`, not deep-copied) and
+    /// go out as one `DataBatch` frame when a buffer reaches
+    /// [`BATCH_MAX_EVENTS`] or the coordinator runs out of intake work.
     fn send_outputs_final(&mut self, outputs: Vec<(Event, Option<u32>)>) {
         for (event, target) in outputs {
-            for (out, edge) in self.down.iter().enumerate() {
+            for out in 0..self.down.len() {
                 if target.map(|t| t as usize == out).unwrap_or(true) {
-                    let _ = edge.data_tx.send(Message::Data(event.clone()));
+                    self.out_batch[out].push(event.clone());
+                    if self.out_batch[out].len() >= BATCH_MAX_EVENTS {
+                        self.flush_edge(out);
+                    }
                 }
             }
+        }
+    }
+
+    /// Sends edge `out`'s buffered outputs: a lone event as plain `Data`
+    /// (identical wire behavior to unbatched operation), several as one
+    /// `DataBatch`.
+    fn flush_edge(&mut self, out: usize) {
+        let events = std::mem::take(&mut self.out_batch[out]);
+        let msg = match events.len() {
+            0 => return,
+            1 => Message::Data(events.into_iter().next().expect("len checked")),
+            _ => Message::DataBatch(events),
+        };
+        let _ = self.down[out].data_tx.send(msg);
+    }
+
+    fn flush_out_batches(&mut self) {
+        for out in 0..self.down.len() {
+            self.flush_edge(out);
         }
     }
 
@@ -727,7 +800,8 @@ impl Node {
             for (event, target) in pending.sent.lock().iter() {
                 for (out, edge) in self.down.iter().enumerate() {
                     if target.map(|t| t as usize == out).unwrap_or(true) {
-                        let _ = edge.data_tx.send(Message::Control(Control::Revoke { id: event.id }));
+                        let _ =
+                            edge.data_tx.send(Message::Control(Control::Revoke { id: event.id }));
                     }
                 }
             }
@@ -754,9 +828,10 @@ impl Node {
                 if event.speculative {
                     for (out, edge) in self.down.iter().enumerate() {
                         if target.map(|t| t as usize == out).unwrap_or(true) {
-                            let _ = edge
-                                .data_tx
-                                .send(Message::Control(Control::Finalize { id: event.id, version: event.version }));
+                            let _ = edge.data_tx.send(Message::Control(Control::Finalize {
+                                id: event.id,
+                                version: event.version,
+                            }));
                         }
                     }
                 }
@@ -796,10 +871,25 @@ impl Node {
         // A checkpoint may only cover fully settled work: no in-flight
         // transactions, no outputs still held for log stability, no parked
         // speculative inputs. Otherwise the covered events' effects would
-        // be lost in a crash while replay skips them.
-        if !self.pending.is_empty() || !self.hold_queue.is_empty() || !self.parked.is_empty() {
+        // be lost in a crash while replay skips them. Port queues must be
+        // empty too: a partially consumed DataBatch shares one link
+        // sequence across its events, so a mid-batch position would make
+        // replay re-deliver (and re-serialize) its already-processed
+        // prefix under fresh serials.
+        if !self.pending.is_empty()
+            || !self.hold_queue.is_empty()
+            || !self.parked.is_empty()
+            || self.port_queues.iter().any(|q| !q.is_empty())
+        {
             return; // try again once in-flight work settles
         }
+        if self.checkpoints.is_none() {
+            return;
+        }
+        // Outputs still buffered for batching are volatile; put them on
+        // the (replay-retaining) links before the covering events become
+        // unreplayable.
+        self.flush_out_batches();
         let Some(store) = &self.checkpoints else { return };
         // Positions = the link seq each upstream must replay from: the
         // first *unprocessed* message — the queue front if data is parked,
@@ -871,12 +961,16 @@ impl NodeSendView {
                         sent.push((new_ev.clone(), *target));
                         to_send.push((Message::Data(new_ev.clone()), *target));
                     }
-                    Some((old, old_target)) if old.payload == new_ev.payload && old_target == target => {}
+                    Some((old, old_target))
+                        if old.payload == new_ev.payload && old_target == target => {}
                     Some((old, old_target)) => {
                         // Content or routing changed: revoke on the old
                         // route if the route moved, then send the revision.
                         if old_target != target {
-                            to_send.push((Message::Control(Control::Revoke { id: old.id }), *old_target));
+                            to_send.push((
+                                Message::Control(Control::Revoke { id: old.id }),
+                                *old_target,
+                            ));
                         }
                         let revised = old.reissue(new_ev.payload.clone());
                         sent[k] = (revised.clone(), *target);
@@ -889,12 +983,25 @@ impl NodeSendView {
                 let (gone, target) = sent.pop().expect("nonempty");
                 to_send.push((Message::Control(Control::Revoke { id: gone.id }), target));
             }
-            for (msg, target) in to_send {
-                for (out, edge) in self.down.iter().enumerate() {
-                    if target.map(|t| t as usize == out).unwrap_or(true) {
-                        let _ = edge.send(msg.clone());
+            // Route the diff to each edge, coalescing consecutive data
+            // messages into one `DataBatch` frame per edge. Control
+            // messages (revokes) act as barriers, so relative data/control
+            // order on each link is exactly what unbatched sending yields.
+            for (out, edge) in self.down.iter().enumerate() {
+                let mut run: Vec<Event> = Vec::new();
+                for (msg, target) in &to_send {
+                    if !target.map(|t| t as usize == out).unwrap_or(true) {
+                        continue;
+                    }
+                    match msg {
+                        Message::Data(e) => run.push(e.clone()),
+                        other => {
+                            flush_run(edge, &mut run);
+                            let _ = edge.send(other.clone());
+                        }
                     }
                 }
+                flush_run(edge, &mut run);
             }
 
             // Log this attempt's decisions inside the same generation-
@@ -916,6 +1023,18 @@ impl NodeSendView {
             }
         }
     }
+}
+
+/// Sends a run of consecutive data events on one edge: nothing for an
+/// empty run, plain `Data` for one event, a `DataBatch` frame otherwise.
+fn flush_run(edge: &streammine_net::LinkSender<Message>, run: &mut Vec<Event>) {
+    let events = std::mem::take(run);
+    let msg = match events.len() {
+        0 => return,
+        1 => Message::Data(events.into_iter().next().expect("len checked")),
+        _ => Message::DataBatch(events),
+    };
+    let _ = edge.send(msg);
 }
 
 /// Opens the commit gate when (and only when) every condition holds: the

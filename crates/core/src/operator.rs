@@ -107,7 +107,11 @@ impl<'a, 'rt> OpCtx<'a, 'rt> {
     /// # Errors
     ///
     /// Propagates [`StmAbort`] in speculative mode.
-    pub fn update<T>(&mut self, handle: StateHandle<T>, f: impl FnOnce(&T) -> T) -> Result<(), StmAbort>
+    pub fn update<T>(
+        &mut self,
+        handle: StateHandle<T>,
+        f: impl FnOnce(&T) -> T,
+    ) -> Result<(), StmAbort>
     where
         T: Clone + Encode + Decode + Send + Sync + 'static,
     {

@@ -93,7 +93,11 @@ pub(crate) fn pump_data(
 }
 
 /// Spawns a forwarder pumping a downstream control link into an intake.
-pub(crate) fn pump_ctrl(out: u32, rx: LinkReceiver<Control>, intake: Sender<Intake>) -> JoinHandle<()> {
+pub(crate) fn pump_ctrl(
+    out: u32,
+    rx: LinkReceiver<Control>,
+    intake: Sender<Intake>,
+) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("pump-ctrl-o{out}"))
         .spawn(move || {

@@ -35,7 +35,7 @@ pub struct StateHandle<T> {
 
 impl<T> Clone for StateHandle<T> {
     fn clone(&self) -> Self {
-        StateHandle { index: self.index, _pd: PhantomData }
+        *self
     }
 }
 
@@ -57,7 +57,11 @@ pub(crate) enum StateAccess<'a, 'rt> {
 
 trait Slot: Send + Sync {
     fn read(&self, access: &mut StateAccess<'_, '_>) -> std::result::Result<DynVal, StmAbort>;
-    fn write(&self, access: &mut StateAccess<'_, '_>, v: DynVal) -> std::result::Result<(), StmAbort>;
+    fn write(
+        &self,
+        access: &mut StateAccess<'_, '_>,
+        v: DynVal,
+    ) -> std::result::Result<(), StmAbort>;
     fn snapshot(&self) -> Vec<u8>;
     fn restore(&self, bytes: &[u8]) -> Result<()>;
 }
@@ -77,7 +81,11 @@ where
         }
     }
 
-    fn write(&self, access: &mut StateAccess<'_, '_>, v: DynVal) -> std::result::Result<(), StmAbort> {
+    fn write(
+        &self,
+        access: &mut StateAccess<'_, '_>,
+        v: DynVal,
+    ) -> std::result::Result<(), StmAbort> {
         let typed = v.downcast::<T>().expect("type confusion in state slot");
         match access {
             StateAccess::Txn(txn) => txn.write(&self.var, (*typed).clone()),
@@ -111,7 +119,11 @@ where
         Ok(self.value.lock().clone() as DynVal)
     }
 
-    fn write(&self, _access: &mut StateAccess<'_, '_>, v: DynVal) -> std::result::Result<(), StmAbort> {
+    fn write(
+        &self,
+        _access: &mut StateAccess<'_, '_>,
+        v: DynVal,
+    ) -> std::result::Result<(), StmAbort> {
         let typed = v.downcast::<T>().expect("type confusion in state slot");
         *self.value.lock() = typed;
         Ok(())

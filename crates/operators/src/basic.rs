@@ -249,7 +249,7 @@ mod tests {
     fn enrich_adds_information() {
         let out = run_simple(
             Enrich::new(Duration::from_micros(50), |v| {
-                Value::Record(vec![v.clone(), Value::Str("enriched".into())])
+                Value::record(vec![v.clone(), Value::Str("enriched".into())])
             }),
             vec![Value::Int(5)],
         );

@@ -55,7 +55,7 @@ impl Operator for Classifier {
         let handle = self.counters.lock()[class];
         ctx.update(handle, |c| c + 1)?;
         let count = *ctx.get(handle)?;
-        ctx.emit(Value::Record(vec![Value::Int(class as i64), Value::Int(count)]));
+        ctx.emit(Value::record(vec![Value::Int(class as i64), Value::Int(count)]));
         Ok(())
     }
 }
@@ -99,19 +99,14 @@ mod tests {
                 running.source(src).push(Value::Int(i));
             }
             assert!(running.sink(sink).wait_final(20, Duration::from_secs(10)));
-            let out = running
-                .sink(sink)
-                .final_events_by_id()
-                .into_iter()
-                .map(|e| e.payload)
-                .collect();
+            let out =
+                running.sink(sink).final_events_by_id().into_iter().map(|e| e.payload).collect();
             running.shutdown();
             out
         };
         let plain = run(OperatorConfig::plain());
-        let spec = run(OperatorConfig::speculative(LoggingConfig::simulated(
-            Duration::from_micros(300),
-        )));
+        let spec =
+            run(OperatorConfig::speculative(LoggingConfig::simulated(Duration::from_micros(300))));
         assert_eq!(plain, spec, "speculative execution must not change outputs");
     }
 

@@ -59,7 +59,7 @@ impl Operator for Join {
             } else {
                 (partner, event.payload.clone())
             };
-            ctx.emit(Value::Record(vec![l, r]));
+            ctx.emit(Value::record(vec![l, r]));
         } else {
             let mut own = (*ctx.get(mine)?).clone();
             own.push((key, event.payload.clone()));
@@ -75,8 +75,12 @@ mod tests {
     use std::time::Duration;
     use streammine_core::{GraphBuilder, OperatorConfig};
 
-    fn setup_join() -> (streammine_core::Running, streammine_core::SourceId, streammine_core::SourceId, streammine_core::SinkId)
-    {
+    fn setup_join() -> (
+        streammine_core::Running,
+        streammine_core::SourceId,
+        streammine_core::SourceId,
+        streammine_core::SinkId,
+    ) {
         let mut b = GraphBuilder::new();
         let j = b.add_operator(Join::on_int(), OperatorConfig::plain());
         let left = b.source_into(j).unwrap();
@@ -92,7 +96,7 @@ mod tests {
         running.source(right).push(Value::Int(7));
         assert!(running.sink(sink).wait_final(1, Duration::from_secs(5)));
         let out = running.sink(sink).final_events();
-        assert_eq!(out[0].payload, Value::Record(vec![Value::Int(7), Value::Int(7)]));
+        assert_eq!(out[0].payload, Value::record(vec![Value::Int(7), Value::Int(7)]));
         running.shutdown();
     }
 
@@ -132,9 +136,9 @@ mod tests {
         let right = b.source_into(j).unwrap();
         let sink = b.sink_from(j).unwrap();
         let running = b.build().unwrap().start();
-        running.source(right).push(Value::Record(vec![Value::Int(3), Value::Str("r".into())]));
+        running.source(right).push(Value::record(vec![Value::Int(3), Value::Str("r".into())]));
         std::thread::sleep(Duration::from_millis(50));
-        running.source(left).push(Value::Record(vec![Value::Int(3), Value::Str("l".into())]));
+        running.source(left).push(Value::record(vec![Value::Int(3), Value::Str("l".into())]));
         assert!(running.sink(sink).wait_final(1, Duration::from_secs(5)));
         let out = &running.sink(sink).final_events()[0].payload;
         let l_side = out.field(0).and_then(|v| v.field(1)).and_then(Value::as_str);

@@ -24,10 +24,7 @@ impl Sample {
     /// Panics unless `0.0 <= p <= 1.0`.
     pub fn new(p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
-        Sample {
-            keep_per_2_32: (p * f64::from(u32::MAX)) as u64,
-            kept: Mutex::new(None),
-        }
+        Sample { keep_per_2_32: (p * f64::from(u32::MAX)) as u64, kept: Mutex::new(None) }
     }
 }
 
@@ -161,21 +158,13 @@ mod tests {
             running.source(src).push(Value::Int(i));
         }
         std::thread::sleep(Duration::from_millis(300));
-        let before: Vec<Value> = running
-            .sink(sink)
-            .final_events_by_id()
-            .into_iter()
-            .map(|e| e.payload)
-            .collect();
+        let before: Vec<Value> =
+            running.sink(sink).final_events_by_id().into_iter().map(|e| e.payload).collect();
         running.crash(op);
         running.recover(op);
         std::thread::sleep(Duration::from_millis(500));
-        let after: Vec<Value> = running
-            .sink(sink)
-            .final_events_by_id()
-            .into_iter()
-            .map(|e| e.payload)
-            .collect();
+        let after: Vec<Value> =
+            running.sink(sink).final_events_by_id().into_iter().map(|e| e.payload).collect();
         assert_eq!(before, after, "the sampled subset changed across recovery");
         running.shutdown();
     }

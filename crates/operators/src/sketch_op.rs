@@ -99,7 +99,7 @@ impl Operator for SketchOp {
         }
         samples.sort_unstable();
         let est = samples[samples.len() / 2];
-        ctx.emit(Value::Record(vec![Value::Int(key as i64), Value::Int(est)]));
+        ctx.emit(Value::record(vec![Value::Int(key as i64), Value::Int(est)]));
         Ok(())
     }
 }

@@ -8,6 +8,9 @@ use parking_lot::Mutex;
 
 use crate::window::WindowAgg;
 
+/// `(buffer, count)` state handles registered at setup.
+type SlidingState = (StateHandle<Vec<(u64, Value)>>, StateHandle<u64>);
+
 /// Sliding count window: emits the aggregate of the last `size` events for
 /// every `slide`-th arrival. Order-sensitive like all count windows, hence
 /// preserved exactly by precise recovery.
@@ -15,7 +18,7 @@ pub struct SlidingWindow {
     size: usize,
     slide: u64,
     agg: WindowAgg,
-    state: Mutex<Option<(StateHandle<Vec<(u64, Value)>>, StateHandle<u64>)>>, // (buffer, count)
+    state: Mutex<Option<SlidingState>>,
 }
 
 impl SlidingWindow {

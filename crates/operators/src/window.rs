@@ -207,49 +207,33 @@ mod tests {
             running.source(src).push(v);
         }
         assert!(running.sink(sink).wait_final(expected_outputs, Duration::from_secs(5)));
-        let out = running
-            .sink(sink)
-            .final_events()
-            .iter()
-            .filter_map(|e| e.payload.as_f64())
-            .collect();
+        let out =
+            running.sink(sink).final_events().iter().filter_map(|e| e.payload.as_f64()).collect();
         running.shutdown();
         out
     }
 
     #[test]
     fn count_window_sums_per_window() {
-        let out = run_window(
-            CountWindow::new(3, WindowAgg::Sum),
-            (1..=6).map(|i| Value::Int(i)).collect(),
-            2,
-        );
+        let out =
+            run_window(CountWindow::new(3, WindowAgg::Sum), (1..=6).map(Value::Int).collect(), 2);
         assert_eq!(out, vec![6.0, 15.0]);
     }
 
     #[test]
     fn count_window_avg_and_max() {
-        let out = run_window(
-            CountWindow::new(2, WindowAgg::Avg),
-            vec![Value::Int(2), Value::Int(4)],
-            1,
-        );
+        let out =
+            run_window(CountWindow::new(2, WindowAgg::Avg), vec![Value::Int(2), Value::Int(4)], 1);
         assert_eq!(out, vec![3.0]);
-        let out = run_window(
-            CountWindow::new(2, WindowAgg::Max),
-            vec![Value::Int(7), Value::Int(3)],
-            1,
-        );
+        let out =
+            run_window(CountWindow::new(2, WindowAgg::Max), vec![Value::Int(7), Value::Int(3)], 1);
         assert_eq!(out, vec![7.0]);
     }
 
     #[test]
     fn count_agg_counts() {
-        let out = run_window(
-            CountWindow::new(4, WindowAgg::Count),
-            (0..4).map(Value::Int).collect(),
-            1,
-        );
+        let out =
+            run_window(CountWindow::new(4, WindowAgg::Count), (0..4).map(Value::Int).collect(), 1);
         assert_eq!(out, vec![4.0]);
     }
 
@@ -279,10 +263,8 @@ mod tests {
     #[test]
     fn system_time_window_buckets_by_arrival() {
         let mut b = GraphBuilder::new();
-        let w = b.add_operator(
-            SystemTimeWindow::new(50_000, WindowAgg::Count),
-            OperatorConfig::plain(),
-        );
+        let w = b
+            .add_operator(SystemTimeWindow::new(50_000, WindowAgg::Count), OperatorConfig::plain());
         let src = b.source_into(w).unwrap();
         let sink = b.sink_from(w).unwrap();
         let running = b.build().unwrap().start();

@@ -139,7 +139,8 @@ impl HaStrategy for PassiveStandby {
         // re-split state || last-output.
         let op_len = RefOperator::new(0).snapshot().len();
         self.op = RefOperator::restore(&cp.state[..op_len]);
-        let _last_out: RefEvent = decode_from_slice(&cp.state[op_len..]).expect("checkpointed output");
+        let _last_out: RefEvent =
+            decode_from_slice(&cp.state[op_len..]).expect("checkpointed output");
         // Everything emitted was checkpointed: nothing lost, nothing to
         // re-emit.
         Vec::new()
@@ -166,7 +167,12 @@ pub struct UpstreamBackup {
 impl UpstreamBackup {
     /// Creates the strategy.
     pub fn new(seed: u64) -> Self {
-        UpstreamBackup { op: RefOperator::new(seed), retained: VecDeque::new(), seed, generation: 0 }
+        UpstreamBackup {
+            op: RefOperator::new(seed),
+            retained: VecDeque::new(),
+            seed,
+            generation: 0,
+        }
     }
 
     /// Trims the upstream buffer (acknowledged prefix).
@@ -257,7 +263,12 @@ impl HaStrategy for ActiveStandby {
 /// Drives `strategy` over `total` events with a crash after `crash_after`,
 /// comparing against a failure-free [`RefOperator`] with the same seed.
 /// Returns the report and the mean release latency (µs) per event.
-pub fn evaluate(strategy: &mut dyn HaStrategy, seed: u64, total: u64, crash_after: u64) -> (RecoveryReport, f64) {
+pub fn evaluate(
+    strategy: &mut dyn HaStrategy,
+    seed: u64,
+    total: u64,
+    crash_after: u64,
+) -> (RecoveryReport, f64) {
     assert!(crash_after < total, "crash must happen mid-stream");
     let mut reference = RefOperator::new(seed);
     let expected: Vec<RefEvent> = (0..total).map(|i| reference.process(i, i as i64)).collect();

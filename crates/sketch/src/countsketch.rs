@@ -86,11 +86,8 @@ impl CountSketch {
 
     /// Unbiased estimate of `key`'s count (median over rows).
     pub fn estimate(&self, key: u64) -> i64 {
-        let mut samples: Vec<i64> = self
-            .touch_points(key)
-            .into_iter()
-            .map(|(r, b, s)| s * self.rows[r][b])
-            .collect();
+        let mut samples: Vec<i64> =
+            self.touch_points(key).into_iter().map(|(r, b, s)| s * self.rows[r][b]).collect();
         samples.sort_unstable();
         let n = samples.len();
         if n % 2 == 1 {

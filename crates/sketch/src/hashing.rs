@@ -64,7 +64,7 @@ mod tests {
     fn buckets_are_in_range_and_spread() {
         let mut rng = DetRng::seed_from(2);
         let h = PairwiseHash::sample(&mut rng);
-        let mut counts = vec![0u32; 16];
+        let mut counts = [0u32; 16];
         for key in 0..16_000u64 {
             let b = h.bucket(key, 16);
             assert!(b < 16);

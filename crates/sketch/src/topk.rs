@@ -61,11 +61,8 @@ impl TopK {
             return true;
         }
         // Replace the lightest candidate if this key now outweighs it.
-        let (&light_key, &light_est) = self
-            .candidates
-            .iter()
-            .min_by_key(|(_, &v)| v)
-            .expect("candidates nonempty");
+        let (&light_key, &light_est) =
+            self.candidates.iter().min_by_key(|(_, &v)| v).expect("candidates nonempty");
         if est > light_est {
             self.candidates.remove(&light_key);
             self.candidates.insert(key, est);
@@ -122,7 +119,7 @@ mod tests {
         assert!(topk.update(1)); // enters (set not full)
         assert!(topk.update(2)); // enters
         assert!(!topk.update(1)); // already a candidate
-        // A brand-new key with count 1 does not displace keys with count≥1.
+                                  // A brand-new key with count 1 does not displace keys with count≥1.
         for _ in 0..5 {
             topk.update(1);
             topk.update(2);

@@ -96,7 +96,12 @@ impl<T: Clone + Send + Sync + 'static> TArray<T> {
     /// # Panics
     ///
     /// Panics if `idx` is out of bounds.
-    pub fn update(&self, txn: &mut Txn<'_>, idx: usize, f: impl FnOnce(&T) -> T) -> Result<(), StmAbort> {
+    pub fn update(
+        &self,
+        txn: &mut Txn<'_>,
+        idx: usize,
+        f: impl FnOnce(&T) -> T,
+    ) -> Result<(), StmAbort> {
         txn.update(&self.slots[idx], f)
     }
 
@@ -255,7 +260,8 @@ where
     ///
     /// Panics if transactions are in flight on any bucket.
     pub fn restore_entries(&self, entries: Vec<(K, V)>) {
-        let mut per_bucket: Vec<Vec<(K, V)>> = (0..self.buckets.len()).map(|_| Vec::new()).collect();
+        let mut per_bucket: Vec<Vec<(K, V)>> =
+            (0..self.buckets.len()).map(|_| Vec::new()).collect();
         for (k, v) in entries {
             let idx = (bucket_hash(&k) % self.buckets.len() as u64) as usize;
             per_bucket[idx].push((k, v));

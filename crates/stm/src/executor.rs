@@ -289,7 +289,9 @@ impl Speculator {
     /// Blocks until every submitted task has committed.
     pub fn wait_idle(&self) {
         let mut guard = self.shared.idle_lock.lock();
-        while self.shared.completed.load(Ordering::SeqCst) < self.shared.submitted.load(Ordering::SeqCst) {
+        while self.shared.completed.load(Ordering::SeqCst)
+            < self.shared.submitted.load(Ordering::SeqCst)
+        {
             self.shared.idle_cv.wait(&mut guard);
         }
     }

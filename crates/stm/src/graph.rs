@@ -134,10 +134,7 @@ impl Graph {
     pub fn clear_edges(&mut self, id: TxnId) {
         let (deps, dependents) = {
             let node = self.node_mut(id);
-            (
-                std::mem::take(&mut node.deps),
-                std::mem::take(&mut node.dependents),
-            )
+            (std::mem::take(&mut node.deps), std::mem::take(&mut node.dependents))
         };
         for d in deps {
             if let Some(n) = self.nodes.get_mut(&d) {
@@ -192,30 +189,21 @@ impl Graph {
             return false;
         }
         match order {
-            CommitOrder::Timestamp => self
-                .uncommitted
-                .first_key_value()
-                .map(|(_, first)| *first == id)
-                .unwrap_or(false),
-            CommitOrder::Conflict => self
-                .uncommitted
-                .range(..node.serial)
-                .all(|(_, other)| {
-                    self.nodes
-                        .get(other)
-                        .map(|n| matches!(n.status, TxnStatus::Open | TxnStatus::Committing))
-                        .unwrap_or(true)
-                }),
+            CommitOrder::Timestamp => {
+                self.uncommitted.first_key_value().map(|(_, first)| *first == id).unwrap_or(false)
+            }
+            CommitOrder::Conflict => self.uncommitted.range(..node.serial).all(|(_, other)| {
+                self.nodes
+                    .get(other)
+                    .map(|n| matches!(n.status, TxnStatus::Open | TxnStatus::Committing))
+                    .unwrap_or(true)
+            }),
         }
     }
 
     /// All transactions currently eligible to commit.
     pub fn eligible(&self, order: CommitOrder) -> Vec<TxnId> {
-        self.uncommitted
-            .values()
-            .copied()
-            .filter(|&id| self.commit_eligible(id, order))
-            .collect()
+        self.uncommitted.values().copied().filter(|&id| self.commit_eligible(id, order)).collect()
     }
 
     /// Serials of all live (uncommitted, undiscarded) transactions with
@@ -347,10 +335,7 @@ mod tests {
             auth(&mut g, i);
         }
         assert_eq!(g.eligible(CommitOrder::Timestamp), vec![TxnId(0)]);
-        assert_eq!(
-            g.eligible(CommitOrder::Conflict),
-            vec![TxnId(0), TxnId(1), TxnId(2)]
-        );
+        assert_eq!(g.eligible(CommitOrder::Conflict), vec![TxnId(0), TxnId(1), TxnId(2)]);
     }
 
     #[test]

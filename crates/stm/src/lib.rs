@@ -69,5 +69,7 @@ pub use handle::TxnHandle;
 pub use runtime::{StmConfig, StmRuntime};
 pub use stats::StatsSnapshot;
 pub use txn::Txn;
-pub use types::{AbortReason, CommitOrder, DependencyMode, Serial, StmAbort, TxnId, TxnStatus, VarId};
+pub use types::{
+    AbortReason, CommitOrder, DependencyMode, Serial, StmAbort, TxnId, TxnStatus, VarId,
+};
 pub use var::TVar;

@@ -45,7 +45,9 @@ use crate::graph::Graph;
 use crate::handle::TxnHandle;
 use crate::stats::{StatsSnapshot, StmStats};
 use crate::txn::{Txn, TxnState, WriteEntry, TERMINAL_COMMITTED, TERMINAL_DISCARDED};
-use crate::types::{AbortReason, CommitOrder, DependencyMode, Serial, StmAbort, TxnId, TxnStatus, VarId};
+use crate::types::{
+    AbortReason, CommitOrder, DependencyMode, Serial, StmAbort, TxnId, TxnStatus, VarId,
+};
 use crate::var::{DynValue, ReadKind, ReaderRec, TVar, VarCell, VarMeta, WriterRec};
 
 /// Tuning knobs for a runtime.
@@ -388,7 +390,11 @@ impl RuntimeInner {
     // Body-facing operations
     // ---------------------------------------------------------------------
 
-    pub(crate) fn txn_read(&self, st: &Arc<TxnState>, cell: &Arc<VarCell>) -> Result<DynValue, StmAbort> {
+    pub(crate) fn txn_read(
+        &self,
+        st: &Arc<TxnState>,
+        cell: &Arc<VarCell>,
+    ) -> Result<DynValue, StmAbort> {
         st.check_doom()?;
         if let Some(e) = st.buf.lock().writes.get(&cell.id) {
             return Ok(e.value.clone());
@@ -656,7 +662,13 @@ impl RuntimeInner {
             let mut g = self.graph.lock();
             if g.contains(st.id) {
                 if g.node(st.id).status != TxnStatus::Aborted {
-                    self.mark_abort_locked(&mut g, st.id, AbortReason::Revoked, false, &mut actions);
+                    self.mark_abort_locked(
+                        &mut g,
+                        st.id,
+                        AbortReason::Revoked,
+                        false,
+                        &mut actions,
+                    );
                 }
                 g.remove(st.id);
             }
@@ -731,7 +743,13 @@ impl RuntimeInner {
 
     /// Dooms one transaction: active transactions get flagged (their body
     /// thread rolls itself back), open transactions cascade-abort.
-    fn doom_locked(&self, g: &mut Graph, id: TxnId, reason: AbortReason, actions: &mut AbortActions) {
+    fn doom_locked(
+        &self,
+        g: &mut Graph,
+        id: TxnId,
+        reason: AbortReason,
+        actions: &mut AbortActions,
+    ) {
         let status = match g.nodes.get(&id) {
             Some(n) => n.status,
             None => return,
@@ -778,13 +796,20 @@ impl RuntimeInner {
                         node.authorized = false;
                         node.doomed = None;
                         node.state.clear_doom();
-                        node.state.trace(|| format!("worker rearm gen={} reason={member_reason:?}", node.generation));
+                        node.state.trace(|| {
+                            format!("worker rearm gen={} reason={member_reason:?}", node.generation)
+                        });
                         actions.cleanups.push(node.state.clone());
                     } else {
                         if node.doomed.is_none() {
                             node.doomed = Some(member_reason);
                             node.state.doom(member_reason);
-                            node.state.trace(|| format!("doomed-active gen={} reason={member_reason:?} root={root}", node.generation));
+                            node.state.trace(|| {
+                                format!(
+                                    "doomed-active gen={} reason={member_reason:?} root={root}",
+                                    node.generation
+                                )
+                            });
                         }
                         // Its own executor resets and cleans it up.
                         continue;
@@ -976,12 +1001,8 @@ mod tests {
     fn later_txn_reads_published_value_and_depends_on_it() {
         let rt = StmRuntime::new();
         let v = rt.new_var(0i64);
-        let (h0, _) = rt
-            .execute(Serial(0), |txn| txn.write(&v, 1))
-            .unwrap();
-        let (h1, seen) = rt
-            .execute(Serial(1), |txn| Ok(*txn.read(&v)?))
-            .unwrap();
+        let (h0, _) = rt.execute(Serial(0), |txn| txn.write(&v, 1)).unwrap();
+        let (h1, seen) = rt.execute(Serial(1), |txn| Ok(*txn.read(&v)?)).unwrap();
         assert_eq!(seen, 1, "must read the open transaction's published value");
         assert_eq!(h1.publish_deps(), 1);
         h1.authorize();

@@ -192,7 +192,10 @@ pub struct Txn<'rt> {
 
 impl fmt::Debug for Txn<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Txn").field("id", &self.state.id).field("serial", &self.state.serial).finish()
+        f.debug_struct("Txn")
+            .field("id", &self.state.id)
+            .field("serial", &self.state.serial)
+            .finish()
     }
 }
 
@@ -234,7 +237,10 @@ impl Txn<'_> {
     /// # Errors
     ///
     /// Same as [`Txn::read`].
-    pub fn read_clone<T: Clone + Send + Sync + 'static>(&mut self, var: &TVar<T>) -> Result<T, StmAbort> {
+    pub fn read_clone<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T>,
+    ) -> Result<T, StmAbort> {
         Ok((*self.read(var)?).clone())
     }
 
@@ -244,7 +250,11 @@ impl Txn<'_> {
     ///
     /// [`StmAbort`] on conflict with an earlier-serial active writer (the
     /// later arrival — this transaction — aborts, per §3).
-    pub fn write<T: Send + Sync + 'static>(&mut self, var: &TVar<T>, value: T) -> Result<(), StmAbort> {
+    pub fn write<T: Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T>,
+        value: T,
+    ) -> Result<(), StmAbort> {
         self.rt.txn_write(&self.state, &var.cell, Arc::new(value))
     }
 
@@ -304,10 +314,8 @@ mod tests {
     #[test]
     fn touched_cells_dedups_reads_and_writes() {
         use crate::var::VarMeta;
-        let cell = Arc::new(VarCell {
-            id: VarId(1),
-            meta: Mutex::new(VarMeta::new(Arc::new(0i64))),
-        });
+        let cell =
+            Arc::new(VarCell { id: VarId(1), meta: Mutex::new(VarMeta::new(Arc::new(0i64))) });
         let mut buf = TxnBuf::default();
         buf.reads.push((cell.clone(), ReadKind::Committed(0)));
         buf.writes.insert(VarId(1), WriteEntry { cell: cell.clone(), value: Arc::new(1i64) });

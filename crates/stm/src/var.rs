@@ -277,8 +277,16 @@ mod tests {
     fn remove_txn_clears_both_sides() {
         let mut m = cell();
         m.upsert_writer(w(1, 7, true));
-        m.readers.push(ReaderRec { serial: Serial(2), txn: TxnId(7), kind: ReadKind::Committed(0) });
-        m.readers.push(ReaderRec { serial: Serial(2), txn: TxnId(8), kind: ReadKind::Committed(0) });
+        m.readers.push(ReaderRec {
+            serial: Serial(2),
+            txn: TxnId(7),
+            kind: ReadKind::Committed(0),
+        });
+        m.readers.push(ReaderRec {
+            serial: Serial(2),
+            txn: TxnId(8),
+            kind: ReadKind::Committed(0),
+        });
         m.remove_txn(TxnId(7));
         assert!(m.writers.is_empty());
         assert_eq!(m.readers.len(), 1);

@@ -18,15 +18,11 @@ struct TaskSpec {
 }
 
 fn task_strategy(fields: usize) -> impl Strategy<Value = TaskSpec> {
-    (
-        proptest::collection::vec(0..fields, 1..4),
-        -5i64..=5,
-    )
-        .prop_map(|(mut slots, delta)| {
-            slots.sort_unstable();
-            slots.dedup();
-            TaskSpec { slots, delta }
-        })
+    (proptest::collection::vec(0..fields, 1..4), -5i64..=5).prop_map(|(mut slots, delta)| {
+        slots.sort_unstable();
+        slots.dedup();
+        TaskSpec { slots, delta }
+    })
 }
 
 fn sequential_apply(fields: usize, tasks: &[TaskSpec]) -> Vec<i64> {

@@ -69,9 +69,7 @@ pub struct CheckpointStore {
 
 impl fmt::Debug for CheckpointStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CheckpointStore")
-            .field("kept", &self.kept.lock().len())
-            .finish()
+        f.debug_struct("CheckpointStore").field("kept", &self.kept.lock().len()).finish()
     }
 }
 

@@ -166,10 +166,8 @@ mod tests {
 
     #[test]
     fn bandwidth_adds_transfer_time() {
-        let spec = DiskSpec {
-            bytes_per_sec: Some(1024),
-            ..DiskSpec::simulated(Duration::from_millis(1))
-        };
+        let spec =
+            DiskSpec { bytes_per_sec: Some(1024), ..DiskSpec::simulated(Duration::from_millis(1)) };
         let mut rng = DetRng::seed_from(3);
         let d = spec.write_duration(1024, &mut rng);
         assert!(d >= Duration::from_millis(1001 - 2), "expected ~1.001s, got {d:?}");

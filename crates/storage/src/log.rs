@@ -34,9 +34,19 @@ impl fmt::Display for LogSeq {
 
 type Callback = Box<dyn FnOnce() + Send>;
 
+struct TicketState {
+    stable: bool,
+    /// Callbacks registered before stability, waiting to fire.
+    callbacks: Vec<Callback>,
+    /// True while `mark_stable` is still running queued callbacks; `wait`
+    /// only returns once they have all fired, so a waiter never observes a
+    /// stable record whose release actions are still in flight.
+    draining: bool,
+}
+
 struct TicketInner {
     seq: LogSeq,
-    stable: Mutex<(bool, Vec<Callback>)>,
+    state: Mutex<TicketState>,
     cv: Condvar,
 }
 
@@ -64,7 +74,11 @@ impl LogTicket {
         LogTicket {
             inner: Arc::new(TicketInner {
                 seq,
-                stable: Mutex::new((false, Vec::new())),
+                state: Mutex::new(TicketState {
+                    stable: false,
+                    callbacks: Vec::new(),
+                    draining: false,
+                }),
                 cv: Condvar::new(),
             }),
         }
@@ -84,13 +98,14 @@ impl LogTicket {
 
     /// Whether the record is stable on its device.
     pub fn is_stable(&self) -> bool {
-        self.inner.stable.lock().0
+        self.inner.state.lock().stable
     }
 
-    /// Blocks until the record is stable.
+    /// Blocks until the record is stable *and* every callback subscribed
+    /// before stability has finished running.
     pub fn wait(&self) {
-        let mut guard = self.inner.stable.lock();
-        while !guard.0 {
+        let mut guard = self.inner.state.lock();
+        while !guard.stable || guard.draining {
             self.inner.cv.wait(&mut guard);
         }
     }
@@ -98,25 +113,34 @@ impl LogTicket {
     /// Runs `f` when the record becomes stable (immediately if it already
     /// is). Callbacks run on the device writer thread — keep them short.
     pub fn subscribe<F: FnOnce() + Send + 'static>(&self, f: F) {
-        let mut guard = self.inner.stable.lock();
-        if guard.0 {
+        let mut guard = self.inner.state.lock();
+        if guard.stable && !guard.draining {
             drop(guard);
             f();
         } else {
-            guard.1.push(Box::new(f));
+            guard.callbacks.push(Box::new(f));
         }
     }
 
     fn mark_stable(&self) {
-        let callbacks = {
-            let mut guard = self.inner.stable.lock();
-            guard.0 = true;
-            std::mem::take(&mut guard.1)
-        };
-        self.inner.cv.notify_all();
-        for cb in callbacks {
-            cb();
+        let mut guard = self.inner.state.lock();
+        guard.stable = true;
+        guard.draining = true;
+        // Run callbacks unlocked; loop because one may subscribe another.
+        loop {
+            let callbacks = std::mem::take(&mut guard.callbacks);
+            if callbacks.is_empty() {
+                break;
+            }
+            drop(guard);
+            for cb in callbacks {
+                cb();
+            }
+            guard = self.inner.state.lock();
         }
+        guard.draining = false;
+        drop(guard);
+        self.inner.cv.notify_all();
     }
 }
 
@@ -217,7 +241,7 @@ impl StableLog {
 
     fn writer_loop(shared: &Arc<LogShared>, dev: &Arc<StorageDevice>) {
         loop {
-            let batch: Vec<Pending> = {
+            let mut batch: Vec<Pending> = {
                 let mut q = shared.queue.lock();
                 while q.is_empty() {
                     if shared.stopping.load(Ordering::Acquire) {
@@ -228,14 +252,28 @@ impl StableLog {
                 let take = q.len().min(MAX_BATCH);
                 q.drain(..take).collect()
             };
-            let bytes: Vec<Vec<u8>> = batch.iter().flat_map(|p| p.records.iter().cloned()).collect();
+            // Drain records by move into the device batch; only records the
+            // readable set will keep (not already truncated) are cloned, and
+            // only once.
+            let watermark = shared.truncate_watermark.load(Ordering::Acquire);
+            let mut retained: Vec<(u64, Vec<Vec<u8>>)> = Vec::new();
+            let mut bytes: Vec<Vec<u8>> = Vec::new();
+            for p in &mut batch {
+                let records = std::mem::take(&mut p.records);
+                if p.seq >= watermark {
+                    retained.push((p.seq, records.clone()));
+                }
+                bytes.extend(records);
+            }
             dev.write_batch(bytes);
             {
+                // Re-read the watermark: a truncation issued during the
+                // device write still applies to these in-flight records.
                 let watermark = shared.truncate_watermark.load(Ordering::Acquire);
                 let mut stable = shared.stable.lock();
-                for p in &batch {
-                    if p.seq >= watermark {
-                        stable.insert(p.seq, p.records.clone());
+                for (seq, records) in retained {
+                    if seq >= watermark {
+                        stable.insert(seq, records);
                     }
                 }
             }
@@ -274,12 +312,7 @@ impl StableLog {
 
     /// Stable record groups with their sequence numbers.
     pub fn stable_groups(&self) -> Vec<(LogSeq, Vec<Vec<u8>>)> {
-        self.shared
-            .stable
-            .lock()
-            .iter()
-            .map(|(s, g)| (LogSeq(*s), g.clone()))
-            .collect()
+        self.shared.stable.lock().iter().map(|(s, g)| (LogSeq(*s), g.clone())).collect()
     }
 
     /// Prunes records with sequence `< upto` (after a checkpoint). Also

@@ -61,12 +61,7 @@ fn main() {
     // Show the heaviest estimates seen at the end.
     let mut estimates: Vec<(i64, i64)> = after
         .iter()
-        .filter_map(|e| {
-            Some((
-                e.payload.field(0)?.as_i64()?,
-                e.payload.field(1)?.as_i64()?,
-            ))
-        })
+        .filter_map(|e| Some((e.payload.field(0)?.as_i64()?, e.payload.field(1)?.as_i64()?)))
         .collect();
     estimates.sort_by_key(|(_, est)| -est);
     estimates.dedup_by_key(|(k, _)| *k);

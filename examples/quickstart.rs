@@ -20,7 +20,7 @@ impl Operator for LuckyTagger {
 
     fn process(&self, ctx: &mut OpCtx<'_, '_>, event: &Event) -> Result<(), StmAbort> {
         let lucky = ctx.random_below(100);
-        ctx.emit(Value::Record(vec![event.payload.clone(), Value::Int(lucky as i64)]));
+        ctx.emit(Value::record(vec![event.payload.clone(), Value::Int(lucky as i64)]));
         Ok(())
     }
 }
@@ -49,7 +49,10 @@ fn main() {
     let fin = running.sink(sink).final_latencies_us();
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64 / 1000.0;
     println!("speculative arrival: {:.2} ms mean", mean(&spec));
-    println!("final (logs stable): {:.2} ms mean  (~1 log write, not 2: logs ran in parallel)", mean(&fin));
+    println!(
+        "final (logs stable): {:.2} ms mean  (~1 log write, not 2: logs ran in parallel)",
+        mean(&fin)
+    );
     for e in running.sink(sink).final_events() {
         println!("  {e}");
     }

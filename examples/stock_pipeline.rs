@@ -30,7 +30,7 @@ fn main() {
     // Enrich: expensive stateless lookup (e.g. reference data).
     let enrich = b.add_operator(
         Enrich::new(Duration::from_micros(200), |v| {
-            Value::Record(vec![v.clone(), Value::Str("venue=XETRA".into())])
+            Value::record(vec![v.clone(), Value::Str("venue=XETRA".into())])
         }),
         OperatorConfig::plain(),
     );
@@ -50,7 +50,7 @@ fn main() {
     let trades = 60;
     for i in 0..trades {
         let price = 100 + (rng.next_below(50) as i64);
-        let trade = Value::Record(vec![Value::Int(i), Value::Int(price)]);
+        let trade = Value::record(vec![Value::Int(i), Value::Int(price)]);
         if rng.next_bool(0.5) {
             running.source(feed_a).push(trade);
         } else {

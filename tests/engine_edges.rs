@@ -36,7 +36,12 @@ fn multithreaded_speculative_node_preserves_order_sensitive_state() {
         "windows must aggregate in arrival order (final_count={}, revoked={:?}, records={:?})",
         running.sink(sink).final_count(),
         running.sink(sink).revoked(),
-        running.sink(sink).records().iter().map(|r| (r.event.id, r.event.version, r.final_at_us.is_some())).collect::<Vec<_>>()
+        running
+            .sink(sink)
+            .records()
+            .iter()
+            .map(|r| (r.event.id, r.event.version, r.final_at_us.is_some()))
+            .collect::<Vec<_>>()
     );
     running.shutdown();
 }

@@ -1,0 +1,153 @@
+//! Payload-ownership semantics across the graph: fan-out shares one
+//! refcounted payload buffer per event (zero deep copies on the send
+//! path), branches stay logically independent, batched transport preserves
+//! content and order, and speculative re-emission after a rollback carries
+//! the revised payload under a bumped version.
+
+use std::time::Duration;
+
+use streammine::common::event::Value;
+use streammine::core::{GraphBuilder, OperatorConfig, Running, SinkId};
+use streammine::operators::{Map, Union};
+
+fn str_ptr(v: &Value) -> *const u8 {
+    v.as_str().expect("string payload").as_ptr()
+}
+
+fn wait_until(timeout: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    while !done() {
+        if std::time::Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    true
+}
+
+/// src → union → {identity map, wrapping map} → two sinks.
+fn fan_out_graph() -> (Running, streammine::core::SourceId, SinkId, SinkId) {
+    let mut b = GraphBuilder::new();
+    let fan = b.add_operator(Union::new(), OperatorConfig::plain());
+    let identity = b.add_operator(Map::new(Value::clone), OperatorConfig::plain());
+    let wrapper = b.add_operator(
+        Map::new(|v| Value::record(vec![v.clone(), Value::Str("enriched".into())])),
+        OperatorConfig::plain(),
+    );
+    b.connect(fan, identity).unwrap();
+    b.connect(fan, wrapper).unwrap();
+    let src = b.source_into(fan).unwrap();
+    let plain_sink = b.sink_from(identity).unwrap();
+    let wrapped_sink = b.sink_from(wrapper).unwrap();
+    (b.build().unwrap().start(), src, plain_sink, wrapped_sink)
+}
+
+#[test]
+fn fan_out_shares_one_payload_buffer_end_to_end() {
+    let (running, src, plain_sink, wrapped_sink) = fan_out_graph();
+    let payload = Value::from("one-buffer-for-every-branch");
+    let source_ptr = str_ptr(&payload);
+    running.source(src).push(payload);
+    assert!(running.sink(plain_sink).wait_final(1, Duration::from_secs(5)));
+    assert!(running.sink(wrapped_sink).wait_final(1, Duration::from_secs(5)));
+
+    // The links are in-process, so the bytes the sinks observe are the
+    // very allocation the test pushed: forwarding through union, fan-out,
+    // map, batcher and sink bumped refcounts, never copied the payload.
+    let plain = running.sink(plain_sink).final_events()[0].payload.clone();
+    assert_eq!(plain, Value::from("one-buffer-for-every-branch"));
+    assert_eq!(str_ptr(&plain), source_ptr, "identity branch must share the source buffer");
+
+    let wrapped = running.sink(wrapped_sink).final_events()[0].payload.clone();
+    let inner = wrapped.field(0).expect("wrapped record field");
+    assert_eq!(str_ptr(inner), source_ptr, "wrapped branch must share the source buffer");
+    running.shutdown();
+}
+
+#[test]
+fn fan_out_branches_observe_independent_logical_payloads() {
+    let (running, src, plain_sink, wrapped_sink) = fan_out_graph();
+    for i in 0..8 {
+        running.source(src).push(Value::from(format!("event-{i}")));
+    }
+    assert!(running.sink(plain_sink).wait_final(8, Duration::from_secs(5)));
+    assert!(running.sink(wrapped_sink).wait_final(8, Duration::from_secs(5)));
+
+    // The wrapper branch replaced its payload with a record; the identity
+    // branch still sees the untouched strings — one branch's rewrite can
+    // never leak into a sibling that shares the buffer.
+    for (i, ev) in running.sink(plain_sink).final_events().iter().enumerate() {
+        assert_eq!(ev.payload, Value::from(format!("event-{i}")));
+    }
+    for (i, ev) in running.sink(wrapped_sink).final_events().iter().enumerate() {
+        assert_eq!(ev.payload.field(0), Some(&Value::from(format!("event-{i}"))));
+        assert_eq!(ev.payload.field(1), Some(&Value::Str("enriched".into())));
+    }
+    running.shutdown();
+}
+
+#[test]
+fn batched_injection_preserves_content_and_order() {
+    let mut b = GraphBuilder::new();
+    let map = b.add_operator(Map::new(|v| v.clone()), OperatorConfig::plain());
+    let src = b.source_into(map).unwrap();
+    let sink = b.sink_from(map).unwrap();
+    let running = b.build().unwrap().start();
+
+    // One DataBatch frame in, re-batched frames out: everything arrives
+    // exactly once, in order.
+    let ids = running.source(src).push_batch((0..100).map(Value::Int).collect());
+    assert_eq!(ids.len(), 100);
+    assert!(running.sink(sink).wait_final(100, Duration::from_secs(10)));
+    assert_eq!(running.sink(sink).final_count(), 100);
+    let payloads: Vec<Value> =
+        running.sink(sink).final_events().into_iter().map(|e| e.payload).collect();
+    assert_eq!(payloads, (0..100).map(Value::Int).collect::<Vec<_>>());
+    running.shutdown();
+}
+
+#[test]
+fn speculative_reemission_after_rollback_carries_revised_payload() {
+    let mut b = GraphBuilder::new();
+    let map = b.add_operator(
+        Map::new(|v| Value::record(vec![v.clone()])),
+        OperatorConfig::speculative_unlogged(),
+    );
+    let src = b.source_into(map).unwrap();
+    let sink = b.sink_from(map).unwrap();
+    let running = b.build().unwrap().start();
+    let source = running.source(src);
+    let sink = running.sink(sink);
+
+    let id = source.push_speculative(Value::from("draft"));
+    assert!(
+        wait_until(Duration::from_secs(5), || sink.records().iter().any(|r| r
+            .event
+            .payload
+            .field(0)
+            == Some(&Value::from("draft")))),
+        "first speculative emission not observed"
+    );
+
+    // The input is replaced (E1' → E1'' in §3.1): the operator rolls the
+    // transaction back, re-executes against the revised content, and
+    // re-emits its output under version + 1.
+    source.revise(id, 1, Value::from("revised"));
+    assert!(
+        wait_until(Duration::from_secs(5), || sink
+            .records()
+            .iter()
+            .any(|r| r.event.version >= 1
+                && r.event.payload.field(0) == Some(&Value::from("revised")))),
+        "revised re-emission not observed"
+    );
+
+    source.finalize(id, 1);
+    assert!(sink.wait_final(1, Duration::from_secs(5)));
+    let final_ev = &sink.final_events()[0];
+    assert_eq!(final_ev.payload.field(0), Some(&Value::from("revised")));
+    assert!(final_ev.version >= 1, "revision must carry a bumped version");
+    let record = &sink.records()[0];
+    assert!(record.versions_seen >= 2, "sink must have observed both versions");
+    running.shutdown();
+}

@@ -28,7 +28,7 @@ impl Operator for SumTagger {
         ctx.update(handle, |s| s + v)?;
         let sum = *ctx.get(handle)?;
         let tag = ctx.random_u64();
-        ctx.emit(Value::Record(vec![Value::Int(sum), Value::Int(tag as i64)]));
+        ctx.emit(Value::record(vec![Value::Int(sum), Value::Int(tag as i64)]));
         Ok(())
     }
 }

@@ -5,7 +5,9 @@
 use std::time::Duration;
 
 use streammine::common::event::{Event, Value};
-use streammine::core::{GraphBuilder, LoggingConfig, OpCtx, Operator, OperatorConfig, Running, SinkId, SourceId};
+use streammine::core::{
+    GraphBuilder, LoggingConfig, OpCtx, Operator, OperatorConfig, Running, SinkId, SourceId,
+};
 use streammine::operators::{Classifier, Split, StampedRelay, SystemTimeWindow, WindowAgg};
 use streammine::stm::StmAbort;
 
@@ -22,7 +24,7 @@ impl Operator for RandomTagger {
     }
     fn process(&self, ctx: &mut OpCtx<'_, '_>, event: &Event) -> Result<(), StmAbort> {
         let tag = ctx.random_u64();
-        ctx.emit(Value::Record(vec![event.payload.clone(), Value::Int(tag as i64)]));
+        ctx.emit(Value::record(vec![event.payload.clone(), Value::Int(tag as i64)]));
         Ok(())
     }
 }
@@ -96,11 +98,7 @@ fn crash_and_recover_reproduces_identical_outputs() {
     // Precise recovery: everything observed before the crash is unchanged.
     for pre in &before_crash {
         let post = after.iter().find(|e| e.id == pre.id).expect("pre-crash event vanished");
-        assert_eq!(
-            post.payload, pre.payload,
-            "event {} changed content across recovery",
-            pre.id
-        );
+        assert_eq!(post.payload, pre.payload, "event {} changed content across recovery", pre.id);
     }
     // Inputs are intact: every input value appears exactly once.
     let mut inputs: Vec<i64> =
@@ -143,7 +141,8 @@ fn split_routing_is_reproduced_after_crash() {
     // same routes (logged decisions), so each sink sees no duplicates and
     // no migrations.
     let mut b = GraphBuilder::new();
-    let s = b.add_operator(Split::new(2), OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG)));
+    let s =
+        b.add_operator(Split::new(2), OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG)));
     let src = b.source_into(s).unwrap();
     let sink_a = b.sink_from(s).unwrap();
     let sink_b = b.sink_from(s).unwrap();
@@ -180,11 +179,8 @@ fn split_routing_is_reproduced_after_crash() {
     assert_eq!(&a_after[..a_before.len()], &a_before[..], "sink A prefix changed");
     assert_eq!(&b_after[..b_before.len()], &b_before[..], "sink B prefix changed");
     // No event routed twice.
-    let mut all: Vec<i64> = a_after
-        .iter()
-        .chain(b_after.iter())
-        .filter_map(Value::as_i64)
-        .collect();
+    let mut all: Vec<i64> =
+        a_after.iter().chain(b_after.iter()).filter_map(Value::as_i64).collect();
     all.sort_unstable();
     assert_eq!(all, (0..50).collect::<Vec<_>>());
     running.shutdown();
@@ -270,8 +266,12 @@ fn crash_of_middle_operator_in_pipeline() {
     // src → relay1 → relay2 → sink; crash relay2 (has an upstream that is
     // an operator, exercising operator-to-operator replay).
     let mut b = GraphBuilder::new();
-    let r1 = b.add_operator(StampedRelay::new(), OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG)));
-    let r2 = b.add_operator(RandomTagger, OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG)));
+    let r1 = b.add_operator(
+        StampedRelay::new(),
+        OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG)),
+    );
+    let r2 =
+        b.add_operator(RandomTagger, OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG)));
     b.connect(r1, r2).unwrap();
     let src = b.source_into(r1).unwrap();
     let sink = b.sink_from(r2).unwrap();

@@ -171,7 +171,8 @@ fn final_event_overtakes_unrelated_speculation() {
         commit_order: streammine::stm::CommitOrder::Conflict,
         ..Default::default()
     };
-    let c = b.add_operator(Classifier::new(64), OperatorConfig::speculative_unlogged().with_stm(stm));
+    let c =
+        b.add_operator(Classifier::new(64), OperatorConfig::speculative_unlogged().with_stm(stm));
     let spec_src = b.source_into(c).unwrap();
     let final_src = b.source_into(c).unwrap();
     let sink = b.sink_from(c).unwrap();

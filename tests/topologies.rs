@@ -25,7 +25,7 @@ fn figure1_graph(speculative: bool) -> (Running, SourceId, SourceId, SinkId, Sin
     let processor = b.add_operator(Classifier::new(8), cfg(true));
     let enrich = b.add_operator(
         Enrich::new(Duration::from_micros(100), |v| {
-            Value::Record(vec![v.clone(), Value::Str("x".into())])
+            Value::record(vec![v.clone(), Value::Str("x".into())])
         }),
         OperatorConfig::plain(),
     );
@@ -116,16 +116,18 @@ fn diamond_topology_rejoins_both_branches() {
     // src → split → (map ×10 | map ×100) → union → sink: every input
     // appears exactly once, scaled by whichever branch it took.
     let mut b = GraphBuilder::new();
-    let split = b.add_operator(Split::new(2), OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG)));
+    let split =
+        b.add_operator(Split::new(2), OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG)));
     let left = b.add_operator(
-        Map::new(|v| Value::Record(vec![Value::Str("L".into()), v.clone()])),
+        Map::new(|v| Value::record(vec![Value::Str("L".into()), v.clone()])),
         OperatorConfig::plain(),
     );
     let right = b.add_operator(
-        Map::new(|v| Value::Record(vec![Value::Str("R".into()), v.clone()])),
+        Map::new(|v| Value::record(vec![Value::Str("R".into()), v.clone()])),
         OperatorConfig::plain(),
     );
-    let union = b.add_operator(Union::new(), OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG)));
+    let union =
+        b.add_operator(Union::new(), OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG)));
     b.connect(split, left).unwrap();
     b.connect(split, right).unwrap();
     b.connect(left, union).unwrap();
@@ -141,16 +143,12 @@ fn diamond_topology_rejoins_both_branches() {
     assert!(running.sink(sink).wait_final(n as usize, Duration::from_secs(20)));
     let events = running.sink(sink).final_events();
     assert_eq!(events.len(), n as usize);
-    let mut inputs: Vec<i64> = events
-        .iter()
-        .filter_map(|e| e.payload.field(1).and_then(Value::as_i64))
-        .collect();
+    let mut inputs: Vec<i64> =
+        events.iter().filter_map(|e| e.payload.field(1).and_then(Value::as_i64)).collect();
     inputs.sort_unstable();
     assert_eq!(inputs, (1..=n).collect::<Vec<_>>(), "branch rejoin lost or duplicated events");
-    let lefts = events
-        .iter()
-        .filter(|e| e.payload.field(0).and_then(Value::as_str) == Some("L"))
-        .count();
+    let lefts =
+        events.iter().filter(|e| e.payload.field(0).and_then(Value::as_str) == Some("L")).count();
     assert!(lefts > 0 && lefts < n as usize, "random split should use both branches ({lefts}/{n})");
     running.shutdown();
 }

@@ -1,0 +1,267 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset this workspace's micro-benchmarks use —
+//! `Criterion`, `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock runner: warm up, then time batches until the measurement
+//! window elapses, and print mean ns/iter. No statistical analysis, HTML
+//! reports, or outlier rejection.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing a benchmarked value away.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how long each benchmark measures for.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Sets how long each benchmark warms up for.
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    /// Sets the target number of samples (used only to bound batch sizes).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { criterion: self, name }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (warm, measure, samples) = (self.warm_up_time, self.measurement_time, self.sample_size);
+        run_one(&id.to_string(), warm, measure, samples, f);
+        self
+    }
+}
+
+/// Identifier for a parameterized benchmark: `name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.criterion.measurement_time = dur;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.criterion.warm_up_time,
+            self.criterion.measurement_time,
+            self.criterion.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing-only in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn with_budget(budget: Duration) -> Self {
+        Bencher { iters: 0, elapsed: Duration::ZERO, budget }
+    }
+
+    /// Times repeated calls of `routine`; total iterations and elapsed time
+    /// are accumulated for the caller to report.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed();
+        self.iters += 1;
+        self.elapsed += once;
+        // Batch so cheap routines are not dominated by clock reads: target
+        // ~1ms batches based on the first observation.
+        let batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += start.elapsed();
+            self.iters += batch;
+        }
+    }
+}
+
+fn run_one<F>(label: &str, warm_up: Duration, measure: Duration, _samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up pass: same closure, shorter budget, result discarded.
+    let mut warm = Bencher::with_budget(warm_up.min(Duration::from_millis(200)));
+    f(&mut warm);
+    let mut b = Bencher::with_budget(measure.min(Duration::from_secs(2)));
+    f(&mut b);
+    let ns = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+    println!("  {label}: {ns:.1} ns/iter ({} iters)", b.iters);
+}
+
+/// Defines a group function running each target with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_accumulates_iterations() {
+        let mut b = Bencher::with_budget(Duration::from_millis(5));
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(b.iters, count);
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("t");
+        group.sample_size(10);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn id_formats_as_name_slash_param() {
+        assert_eq!(BenchmarkId::new("append", 3).to_string(), "append/3");
+    }
+}

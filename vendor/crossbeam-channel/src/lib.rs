@@ -1,0 +1,351 @@
+//! Offline stand-in for the `crossbeam-channel` crate.
+//!
+//! Implements the multi-producer multi-consumer unbounded channel subset
+//! this workspace uses: `unbounded()`, cloneable `Sender`/`Receiver`,
+//! blocking/non-blocking/timed receives, and crossbeam's disconnection
+//! semantics (recv drains remaining messages after all senders drop; send
+//! fails once all receivers drop).
+//!
+//! Built on a `Mutex<VecDeque>` + `Condvar`. StreamMine's channels carry
+//! coarse-grained work (whole events or batches), so lock-based MPMC is
+//! plenty; the hot-path batching added in the transport layer keeps the
+//! per-message cost amortized regardless of channel implementation.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    cv: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (Sender { shared: shared.clone() }, Receiver { shared })
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone; carries
+/// the unsent message.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message was ready.
+    Empty,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// The sending half of a channel. Cloneable; the channel disconnects for
+/// receivers when the last clone drops.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Appends a message to the queue.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] carrying the message when all receivers are gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        if self.shared.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(msg));
+        }
+        self.shared.lock().push_back(msg);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::AcqRel);
+        Sender { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: wake blocked receivers so they observe the
+            // disconnect.
+            self.shared.cv.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+/// The receiving half of a channel. Cloneable (MPMC); each message is
+/// delivered to exactly one receiver.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] when the channel is empty and all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.shared.lock();
+        loop {
+            if let Some(msg) = q.pop_front() {
+                return Ok(msg);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            q = self.shared.cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is queued;
+    /// [`TryRecvError::Disconnected`] when additionally all senders are gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.shared.lock();
+        if let Some(msg) = q.pop_front() {
+            return Ok(msg);
+        }
+        if self.shared.senders.load(Ordering::Acquire) == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocking receive with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] on timeout;
+    /// [`RecvTimeoutError::Disconnected`] when the channel is empty and all
+    /// senders are gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.lock();
+        loop {
+            if let Some(msg) = q.pop_front() {
+                return Ok(msg);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _res) = self
+                .shared
+                .cv
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+        Receiver { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn recv_drains_after_sender_drop() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(rx.recv().unwrap_err(), RecvError);
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_recv_and_timeout() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Empty);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 9);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        tx.send(42).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn mpmc_each_message_delivered_once() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let h = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(v) = rx2.recv() {
+                got.push(v);
+            }
+            got
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        let mut all = h.join().unwrap();
+        all.extend(got);
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+}
