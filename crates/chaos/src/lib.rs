@@ -1,0 +1,29 @@
+//! Deterministic chaos harness.
+//!
+//! Fault-tolerance claims are only as good as the fault schedules they were
+//! tested under. This crate turns fault injection into a *reproducible*
+//! experiment: a [`FaultPlan`] is a pure value — scripted by hand or drawn
+//! from a seeded RNG ([`FaultPlan::random`]) — and a [`FaultScheduler`]
+//! injects its events step by step into any [`ChaosTarget`]. The same
+//! `(seed, topology, steps)` triple always produces the same fault
+//! timeline, so a failing run can be replayed exactly.
+//!
+//! Supported faults: node crashes (recovered by the engine's supervisor),
+//! data-link sever/heal, control-link sever/heal (delayed acknowledgments),
+//! transient storage write faults, and storage stall windows. Randomly
+//! generated plans always close every sever / disk-fault window before the
+//! end, so a run quiesces once the plan is exhausted.
+//!
+//! [`ChaosTarget`] is implemented for the engine's
+//! [`Running`](streammine_core::Running) graph; the trait keeps this crate
+//! decoupled so harnesses can also drive mock targets in unit tests.
+
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod scheduler;
+mod target;
+
+pub use plan::{FaultEvent, FaultKind, FaultPlan, Topology};
+pub use scheduler::FaultScheduler;
+pub use target::ChaosTarget;

@@ -1,0 +1,186 @@
+//! Step-driven fault injection.
+
+use std::time::Duration;
+
+use crate::plan::{FaultEvent, FaultKind, FaultPlan};
+use crate::target::ChaosTarget;
+
+/// Walks a [`FaultPlan`] and injects each event into a [`ChaosTarget`]
+/// as the driving loop advances through plan steps.
+///
+/// The scheduler is pull-based: the test (or example) driving the workload
+/// calls [`advance`](FaultScheduler::advance) with its current step — e.g.
+/// once per input batch — and every not-yet-injected event at or before
+/// that step fires, in plan order. [`finish`](FaultScheduler::finish)
+/// flushes the remainder (closing heal events live at `steps`, past the
+/// last driven step). The injected timeline is recorded for reporting and
+/// for asserting reproducibility across runs.
+pub struct FaultScheduler {
+    plan: FaultPlan,
+    next: usize,
+    injected: Vec<FaultEvent>,
+}
+
+impl FaultScheduler {
+    /// Builds a scheduler over `plan`. Events fire in order of `step`.
+    pub fn new(plan: FaultPlan) -> FaultScheduler {
+        FaultScheduler { plan, next: 0, injected: Vec::new() }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injects every pending event with `event.step <= step` into `target`.
+    /// Returns how many events fired.
+    pub fn advance(&mut self, step: u64, target: &impl ChaosTarget) -> usize {
+        let mut fired = 0;
+        while self.next < self.plan.events.len() && self.plan.events[self.next].step <= step {
+            let ev = self.plan.events[self.next];
+            self.next += 1;
+            inject(ev.kind, target);
+            self.injected.push(ev);
+            fired += 1;
+        }
+        fired
+    }
+
+    /// Injects every remaining event (heal/close events scheduled at the
+    /// end of the plan). Returns how many events fired.
+    pub fn finish(&mut self, target: &impl ChaosTarget) -> usize {
+        self.advance(u64::MAX, target)
+    }
+
+    /// The events injected so far, in firing order.
+    pub fn injected(&self) -> &[FaultEvent] {
+        &self.injected
+    }
+
+    /// Whether every plan event has been injected.
+    pub fn exhausted(&self) -> bool {
+        self.next == self.plan.events.len()
+    }
+}
+
+fn inject(kind: FaultKind, target: &impl ChaosTarget) {
+    match kind {
+        FaultKind::CrashNode { op } => target.crash_node(op),
+        FaultKind::SeverData { edge } => target.sever_data(edge),
+        FaultKind::HealData { edge } => target.heal_data(edge),
+        FaultKind::DelayAcks { edge } => target.sever_ctrl(edge),
+        FaultKind::RestoreAcks { edge } => target.heal_ctrl(edge),
+        FaultKind::DiskFault { op, permille } => {
+            target.set_storage_fault_rate(op, f64::from(permille) / 1000.0)
+        }
+        FaultKind::DiskHeal { op } => target.set_storage_fault_rate(op, 0.0),
+        FaultKind::DiskStall { op, millis } => {
+            target.stall_storage(op, Duration::from_millis(millis))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    use super::*;
+    use crate::plan::Topology;
+
+    #[derive(Default)]
+    struct MockTarget {
+        calls: Mutex<Vec<String>>,
+    }
+
+    impl MockTarget {
+        fn record(&self, call: String) {
+            self.calls.lock().unwrap().push(call);
+        }
+    }
+
+    impl ChaosTarget for MockTarget {
+        fn operator_count(&self) -> usize {
+            3
+        }
+        fn edge_count(&self) -> usize {
+            2
+        }
+        fn has_storage(&self, _op: u32) -> bool {
+            true
+        }
+        fn crash_node(&self, op: u32) {
+            self.record(format!("crash {op}"));
+        }
+        fn sever_data(&self, edge: usize) {
+            self.record(format!("sever-data {edge}"));
+        }
+        fn heal_data(&self, edge: usize) {
+            self.record(format!("heal-data {edge}"));
+        }
+        fn sever_ctrl(&self, edge: usize) {
+            self.record(format!("sever-ctrl {edge}"));
+        }
+        fn heal_ctrl(&self, edge: usize) {
+            self.record(format!("heal-ctrl {edge}"));
+        }
+        fn set_storage_fault_rate(&self, op: u32, rate: f64) {
+            self.record(format!("fault-rate {op} {rate:.3}"));
+        }
+        fn stall_storage(&self, op: u32, window: Duration) {
+            self.record(format!("stall {op} {}ms", window.as_millis()));
+        }
+    }
+
+    #[test]
+    fn advance_fires_events_up_to_step() {
+        let plan = FaultPlan::scripted(vec![
+            FaultEvent { step: 2, kind: FaultKind::SeverData { edge: 0 } },
+            FaultEvent { step: 5, kind: FaultKind::HealData { edge: 0 } },
+            FaultEvent { step: 8, kind: FaultKind::CrashNode { op: 1 } },
+        ]);
+        let target = MockTarget::default();
+        let mut sched = FaultScheduler::new(plan);
+        assert_eq!(sched.advance(1, &target), 0);
+        assert_eq!(sched.advance(5, &target), 2);
+        assert!(!sched.exhausted());
+        assert_eq!(sched.finish(&target), 1);
+        assert!(sched.exhausted());
+        let calls = target.calls.lock().unwrap();
+        assert_eq!(*calls, vec!["sever-data 0", "heal-data 0", "crash 1"]);
+    }
+
+    #[test]
+    fn kinds_map_to_target_hooks() {
+        let plan = FaultPlan::scripted(vec![
+            FaultEvent { step: 0, kind: FaultKind::DiskFault { op: 2, permille: 250 } },
+            FaultEvent { step: 0, kind: FaultKind::DiskStall { op: 2, millis: 7 } },
+            FaultEvent { step: 0, kind: FaultKind::DelayAcks { edge: 1 } },
+            FaultEvent { step: 0, kind: FaultKind::RestoreAcks { edge: 1 } },
+            FaultEvent { step: 0, kind: FaultKind::DiskHeal { op: 2 } },
+        ]);
+        let target = MockTarget::default();
+        let mut sched = FaultScheduler::new(plan);
+        sched.finish(&target);
+        let calls = target.calls.lock().unwrap();
+        assert!(calls.contains(&"fault-rate 2 0.250".to_string()));
+        assert!(calls.contains(&"fault-rate 2 0.000".to_string()));
+        assert!(calls.contains(&"stall 2 7ms".to_string()));
+        assert!(calls.contains(&"sever-ctrl 1".to_string()));
+        assert!(calls.contains(&"heal-ctrl 1".to_string()));
+    }
+
+    #[test]
+    fn injected_timeline_matches_plan_for_random_plans() {
+        let topo = Topology { operators: 3, edges: 2, storage_ops: vec![0, 2] };
+        for seed in 0..16u64 {
+            let plan = FaultPlan::random(seed, 30, &topo);
+            let target = MockTarget::default();
+            let mut sched = FaultScheduler::new(plan.clone());
+            for step in 0..30 {
+                sched.advance(step, &target);
+            }
+            sched.finish(&target);
+            assert_eq!(sched.injected(), plan.events.as_slice());
+        }
+    }
+}

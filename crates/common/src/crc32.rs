@@ -1,0 +1,93 @@
+//! CRC32 (IEEE 802.3) checksums and record framing.
+//!
+//! Stable-storage records (decision-log entries, checkpoints) are framed
+//! with a per-record checksum so that recovery can distinguish a torn or
+//! corrupted tail from valid data and truncate instead of panicking. The
+//! table is generated at first use; no external crate is needed.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0usize;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    })
+}
+
+/// Computes the CRC32 (IEEE) checksum of `data`.
+pub fn checksum(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Wraps a record payload in a CRC frame: `checksum(payload) || payload`.
+pub fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    out.extend_from_slice(&checksum(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Validates a framed record, returning the payload if the checksum holds.
+///
+/// `None` means the record is torn or corrupted and must be discarded.
+pub fn unframe(framed: &[u8]) -> Option<&[u8]> {
+    if framed.len() < 4 {
+        return None;
+    }
+    let stored = u32::from_le_bytes([framed[0], framed[1], framed[2], framed[3]]);
+    let payload = &framed[4..];
+    (checksum(payload) == stored).then_some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // CRC32("123456789") = 0xCBF43926 — the standard check value.
+        assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(checksum(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let framed = frame(b"decision".to_vec());
+        assert_eq!(unframe(&framed), Some(&b"decision"[..]));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut framed = frame(b"decision".to_vec());
+        let last = framed.len() - 1;
+        framed[last] ^= 0x40;
+        assert_eq!(unframe(&framed), None);
+        // Too-short frames are rejected, not sliced.
+        assert_eq!(unframe(&framed[..3]), None);
+    }
+
+    #[test]
+    fn empty_payload_frames() {
+        let framed = frame(Vec::new());
+        assert_eq!(unframe(&framed), Some(&b""[..]));
+    }
+}

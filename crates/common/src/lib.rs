@@ -11,6 +11,8 @@
 //!   crate is available offline; checkpoints, decision logs and link frames
 //!   all use this).
 //! * [`clock`] — a clock abstraction so tests can control time.
+//! * [`crc32`] — per-record checksum framing for stable-storage records,
+//!   so recovery can truncate a torn log tail instead of panicking.
 //! * [`rng`] — a deterministic, seedable RNG used both for workload
 //!   generation and for the *logged* non-deterministic decisions of
 //!   operators.
@@ -35,6 +37,7 @@
 pub mod buf;
 pub mod clock;
 pub mod codec;
+pub mod crc32;
 pub mod error;
 pub mod event;
 pub mod ids;

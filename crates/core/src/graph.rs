@@ -7,6 +7,7 @@
 //! experiments.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -15,7 +16,7 @@ use parking_lot::Mutex;
 use streammine_common::clock::{shared, SharedClock, SystemClock};
 use streammine_common::error::{Error, Result};
 use streammine_common::ids::OperatorId;
-use streammine_net::{link, LinkConfig, LinkSender};
+use streammine_net::{link, LinkConfig, ResilientSender};
 use streammine_storage::checkpoint::CheckpointStore;
 use streammine_storage::disk::DiskSpec;
 use streammine_storage::log::StableLog;
@@ -26,6 +27,7 @@ use crate::message::{Control, Message};
 use crate::node::{Node, NodeSeed};
 use crate::operator::Operator;
 use crate::plumbing::{pump_ctrl, pump_data, DownEdge, Intake, IntakeHandle, NodeCommand, UpEdge};
+use crate::supervisor::{NodeHealth, Supervisor, SupervisorConfig};
 
 /// Identifies an external source created by the builder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,18 +203,27 @@ impl fmt::Debug for Graph {
     }
 }
 
-struct NodePersist {
+/// The per-node state that survives crashes: links, sequence counters,
+/// retained output buffers, logs, checkpoints — everything the paper's
+/// model keeps outside the failed process — plus the health record the
+/// supervisor watches.
+pub(crate) struct NodePersist {
     id: OperatorId,
     operator: Arc<dyn Operator>,
     config: OperatorConfig,
     intake: IntakeHandle,
     log: Option<StableLog>,
     checkpoints: Option<Arc<CheckpointStore>>,
-    up_ctrl: Vec<LinkSender<Control>>,
-    down_data: Vec<LinkSender<Message>>,
+    up_ctrl: Vec<ResilientSender<Control>>,
+    down_data: Vec<ResilientSender<Message>>,
+    /// Per-edge cumulative data-event send counters (see
+    /// [`DownEdge::events_sent`]); survive restarts with the links.
+    down_sent: Vec<Arc<AtomicU64>>,
     _pumps: Vec<JoinHandle<()>>,
     join: Mutex<Option<JoinHandle<()>>>,
     rng_seed: u64,
+    clock: SharedClock,
+    health: Arc<NodeHealth>,
 }
 
 impl NodePersist {
@@ -221,7 +232,7 @@ impl NodePersist {
             id: self.id,
             operator: self.operator.clone(),
             config: self.config.clone(),
-            clock: shared_clock_placeholder(), // replaced by caller
+            clock: self.clock.clone(),
             intake: self.intake.clone(),
             up: self
                 .up_ctrl
@@ -231,18 +242,45 @@ impl NodePersist {
             down: self
                 .down_data
                 .iter()
-                .map(|d| DownEdge { data_tx: d.clone(), _ctrl_pump: None })
+                .zip(&self.down_sent)
+                .map(|(d, sent)| DownEdge {
+                    data_tx: d.clone(),
+                    events_sent: sent.clone(),
+                    _ctrl_pump: None,
+                })
                 .collect(),
             log: self.log.clone(),
             checkpoints: self.checkpoints.clone(),
             rng_seed: self.rng_seed,
+            health: self.health.clone(),
             recovering,
         }
     }
-}
 
-fn shared_clock_placeholder() -> SharedClock {
-    shared(SystemClock::new())
+    pub(crate) fn id(&self) -> OperatorId {
+        self.id
+    }
+
+    pub(crate) fn health(&self) -> &NodeHealth {
+        &self.health
+    }
+
+    /// Whether the coordinator thread has exited (crash backstop check).
+    pub(crate) fn thread_finished(&self) -> bool {
+        self.join.lock().as_ref().map(JoinHandle::is_finished).unwrap_or(true)
+    }
+
+    /// Joins a dead coordinator, discards in-flight intake messages, and
+    /// starts a fresh coordinator in recovery mode (checkpoint restore +
+    /// log replay + upstream replay).
+    pub(crate) fn restart(&self) {
+        if let Some(join) = self.join.lock().take() {
+            let _ = join.join();
+        }
+        while self.intake.rx.try_recv().is_ok() {}
+        self.health.reset();
+        *self.join.lock() = Some(Node::start(self.seed(true)));
+    }
 }
 
 impl Graph {
@@ -253,11 +291,13 @@ impl Graph {
         let n = b.ops.len();
 
         let intakes: Vec<IntakeHandle> = (0..n).map(|_| IntakeHandle::new()).collect();
-        let mut up_ctrl: Vec<Vec<LinkSender<Control>>> = (0..n).map(|_| Vec::new()).collect();
-        let mut down_data: Vec<Vec<LinkSender<Message>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut up_ctrl: Vec<Vec<ResilientSender<Control>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut down_data: Vec<Vec<ResilientSender<Message>>> =
+            (0..n).map(|_| Vec::new()).collect();
         let mut pumps: Vec<Vec<JoinHandle<()>>> = (0..n).map(|_| Vec::new()).collect();
         let mut next_port: Vec<u32> = vec![0; n];
         let mut next_out: Vec<u32> = vec![0; n];
+        let mut edges: Vec<EdgeHandle> = Vec::new();
 
         // Operator-to-operator edges.
         for (from, to) in &b.op_edges {
@@ -265,12 +305,20 @@ impl Graph {
             let t = to.index() as usize;
             let (data_tx, data_rx) = link::<Message>(b.link_config.clone());
             let (ctrl_tx, ctrl_rx) = link::<Control>(b.link_config.clone());
+            let data_tx = ResilientSender::new(data_tx);
+            let ctrl_tx = ResilientSender::new(ctrl_tx);
             let port = next_port[t];
             next_port[t] += 1;
             let out = next_out[f];
             next_out[f] += 1;
             pumps[t].push(pump_data(port, data_rx, intakes[t].tx.clone()));
             pumps[f].push(pump_ctrl(out, ctrl_rx, intakes[f].tx.clone()));
+            edges.push(EdgeHandle {
+                from: *from,
+                to: *to,
+                data: data_tx.clone(),
+                ctrl: ctrl_tx.clone(),
+            });
             down_data[f].push(data_tx);
             up_ctrl[t].push(ctrl_tx);
         }
@@ -284,7 +332,7 @@ impl Graph {
             let port = next_port[t];
             next_port[t] += 1;
             pumps[t].push(pump_data(port, data_rx, intakes[t].tx.clone()));
-            up_ctrl[t].push(ctrl_tx);
+            up_ctrl[t].push(ResilientSender::new(ctrl_tx));
             let source_id = OperatorId::new((n + i) as u32);
             sources.push(SourceHandle::new(source_id, data_tx, ctrl_rx, clock.clone()));
         }
@@ -298,7 +346,7 @@ impl Graph {
             let out = next_out[f];
             next_out[f] += 1;
             pumps[f].push(pump_ctrl(out, ctrl_rx, intakes[f].tx.clone()));
-            down_data[f].push(data_tx);
+            down_data[f].push(ResilientSender::new(data_tx));
             sinks.push(SinkHandle::new(data_rx, ctrl_tx, clock.clone()));
         }
 
@@ -318,27 +366,46 @@ impl Graph {
                 log,
                 checkpoints,
                 up_ctrl: std::mem::take(&mut up_ctrl[i]),
+                down_sent: (0..down_data[i].len()).map(|_| Arc::new(AtomicU64::new(0))).collect(),
                 down_data: std::mem::take(&mut down_data[i]),
                 _pumps: std::mem::take(&mut pumps[i]),
                 join: Mutex::new(None),
                 rng_seed: 0xABCD_0000 + i as u64,
+                clock: clock.clone(),
+                health: Arc::new(NodeHealth::new()),
             };
-            let mut seed = persist.seed(false);
-            seed.clock = clock.clone();
-            *persist.join.lock() = Some(Node::start(seed));
+            *persist.join.lock() = Some(Node::start(persist.seed(false)));
             nodes.push(persist);
         }
 
-        Running { clock, nodes, sources, sinks }
+        Running {
+            clock,
+            nodes: Arc::new(nodes),
+            edges,
+            sources,
+            sinks,
+            stopping: Arc::new(AtomicBool::new(false)),
+        }
     }
+}
+
+/// A chaos-injection handle on one operator-to-operator edge: severing /
+/// healing its data and control links independently.
+struct EdgeHandle {
+    from: OperatorId,
+    to: OperatorId,
+    data: ResilientSender<Message>,
+    ctrl: ResilientSender<Control>,
 }
 
 /// A running graph: handles to sources, sinks and fault injection.
 pub struct Running {
     clock: SharedClock,
-    nodes: Vec<NodePersist>,
+    nodes: Arc<Vec<NodePersist>>,
+    edges: Vec<EdgeHandle>,
     sources: Vec<SourceHandle>,
     sinks: Vec<SinkHandle>,
+    stopping: Arc<AtomicBool>,
 }
 
 impl fmt::Debug for Running {
@@ -380,6 +447,107 @@ impl Running {
         self.nodes.get(op.index() as usize).and_then(|n| n.log.as_ref())
     }
 
+    /// The checkpoint store of an operator (diagnostics / fault injection).
+    pub fn operator_checkpoints(&self, op: OperatorId) -> Option<&Arc<CheckpointStore>> {
+        self.nodes.get(op.index() as usize).and_then(|n| n.checkpoints.as_ref())
+    }
+
+    /// Number of operators in the graph.
+    pub fn operator_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of operator-to-operator edges (chaos-injection targets).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The `(from, to)` operators of edge `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range edge index.
+    pub fn edge_endpoints(&self, i: usize) -> (OperatorId, OperatorId) {
+        (self.edges[i].from, self.edges[i].to)
+    }
+
+    /// Severs the data link of edge `i`: the sender buffers instead of
+    /// delivering until [`Running::heal_edge_data`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range edge index.
+    pub fn sever_edge_data(&self, i: usize) {
+        self.edges[i].data.sever();
+    }
+
+    /// Heals the data link of edge `i`; buffered messages retransmit with
+    /// backoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range edge index.
+    pub fn heal_edge_data(&self, i: usize) {
+        self.edges[i].data.heal();
+    }
+
+    /// Severs the control (ack / replay-request) link of edge `i` —
+    /// delaying acknowledgments without touching data flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range edge index.
+    pub fn sever_edge_ctrl(&self, i: usize) {
+        self.edges[i].ctrl.sever();
+    }
+
+    /// Heals the control link of edge `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range edge index.
+    pub fn heal_edge_ctrl(&self, i: usize) {
+        self.edges[i].ctrl.heal();
+    }
+
+    /// Sets the transient write-fault probability on every storage device
+    /// of `op` (decision-log disks and checkpoint device). No-op for an
+    /// operator without durable storage.
+    pub fn set_storage_fault_rate(&self, op: OperatorId, rate: f64) {
+        let Some(node) = self.nodes.get(op.index() as usize) else { return };
+        if let Some(log) = &node.log {
+            for dev in log.devices() {
+                dev.set_fault_rate(rate);
+            }
+        }
+        if let Some(store) = &node.checkpoints {
+            store.device().set_fault_rate(rate);
+        }
+    }
+
+    /// Stalls every storage write of `op` starting within the next
+    /// `window` (a controller hiccup). No-op without durable storage.
+    pub fn stall_storage(&self, op: OperatorId, window: Duration) {
+        let Some(node) = self.nodes.get(op.index() as usize) else { return };
+        if let Some(log) = &node.log {
+            for dev in log.devices() {
+                dev.stall_for(window);
+            }
+        }
+        if let Some(store) = &node.checkpoints {
+            store.device().stall_for(window);
+        }
+    }
+
+    /// Starts a supervisor that monitors every node's heartbeat and
+    /// auto-restarts crashed nodes (checkpoint restore + log replay +
+    /// upstream replay) with capped exponential backoff. The returned
+    /// handle exposes the recovery timeline; dropping it stops monitoring
+    /// (nodes keep running).
+    pub fn supervise(&self, config: SupervisorConfig) -> Supervisor {
+        Supervisor::spawn(self.nodes.clone(), self.stopping.clone(), config)
+    }
+
     /// Simulates a crash of `op`: the node thread stops and all volatile
     /// state (operator state, in-flight transactions, queued messages) is
     /// lost. Links, logs and checkpoints survive.
@@ -406,25 +574,24 @@ impl Running {
     /// Panics if the operator is still running.
     pub fn recover(&self, op: OperatorId) {
         let node = &self.nodes[op.index() as usize];
-        let mut join = node.join.lock();
-        assert!(join.is_none(), "recover() on a running operator {op}");
-        while node.intake.rx.try_recv().is_ok() {}
-        let mut seed = node.seed(true);
-        seed.clock = self.clock.clone();
-        *join = Some(Node::start(seed));
+        assert!(node.join.lock().is_none(), "recover() on a running operator {op}");
+        node.restart();
     }
 
     /// Stops all operators and waits for their threads.
     pub fn shutdown(self) {
-        for node in &self.nodes {
+        // Supervisors observe this flag and stand down before the clean
+        // exits below could be mistaken for anything else.
+        self.stopping.store(true, Ordering::Release);
+        for node in self.nodes.iter() {
             let _ = node.intake.tx.send(Intake::Command(NodeCommand::Shutdown));
         }
-        for node in &self.nodes {
+        for node in self.nodes.iter() {
             if let Some(join) = node.join.lock().take() {
                 let _ = join.join();
             }
         }
-        for node in &self.nodes {
+        for node in self.nodes.iter() {
             if let Some(log) = &node.log {
                 log.shutdown();
             }

@@ -51,6 +51,9 @@
 //! ```
 
 #![warn(missing_docs)]
+// Engine code degrades failures into typed fallbacks (reconnect, replay,
+// truncate); panicking shortcuts are reserved for tests.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod config;
 pub mod determinant;
@@ -61,6 +64,7 @@ pub mod node;
 pub mod operator;
 pub mod plumbing;
 pub mod state;
+pub mod supervisor;
 
 pub use config::{LoggingConfig, OperatorConfig};
 pub use determinant::{DecisionRecord, Determinant};
@@ -69,3 +73,4 @@ pub use graph::{Graph, GraphBuilder, Running, SinkId, SourceId};
 pub use message::{Control, Message};
 pub use operator::{OpCtx, Operator, PortId, SetupCtx};
 pub use state::{StateHandle, StateRegistry};
+pub use supervisor::{NodeHealth, NodeState, RecoveryEvent, Supervisor, SupervisorConfig};

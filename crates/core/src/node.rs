@@ -42,6 +42,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::Sender;
 use parking_lot::Mutex;
@@ -61,6 +62,7 @@ use crate::message::{Control, Message};
 use crate::operator::{OpCtx, Operator, PortId, SetupCtx};
 use crate::plumbing::{DownEdge, Intake, IntakeHandle, NodeCommand, ReorderBuffer, UpEdge};
 use crate::state::{StateAccess, StateRegistry};
+use crate::supervisor::{NodeHealth, NodeState, HEARTBEAT_INTERVAL};
 
 /// Maximum outputs a single `process` call may emit (output event ids pack
 /// the emit index into the low bits of the sequence number).
@@ -69,6 +71,14 @@ pub const MAX_OUTPUTS_PER_EVENT: u64 = 1 << 16;
 /// Size threshold at which a per-edge output buffer flushes as a
 /// [`Message::DataBatch`] without waiting for the intake to drain.
 pub(crate) const BATCH_MAX_EVENTS: usize = 32;
+
+/// How long an input port may sit on a sequence gap (or an unanswered
+/// recovery replay request) before the node re-requests replay from the
+/// upstream. Replay requests are fire-and-forget control messages: if the
+/// upstream crashes between receiving one and serving it, the request dies
+/// with its intake — the retry turns that lost message into a bounded
+/// delay instead of a recovery deadlock.
+const REPLAY_RETRY: Duration = Duration::from_millis(50);
 
 /// The current view of a pending event's input (revisions replace it).
 #[derive(Clone)]
@@ -115,6 +125,25 @@ struct HeldOutput {
     input_port: u32,
 }
 
+/// Watches one input port for replay progress: while a recovery replay
+/// request is outstanding, or a sequence gap persists, the port re-requests
+/// replay after [`REPLAY_RETRY`] without progress.
+struct ReplayWatch {
+    /// Position of an unanswered recovery replay request (cleared once the
+    /// reorder buffer advances past it).
+    outstanding: Option<u64>,
+    /// The reorder buffer's expected sequence at the last check.
+    last_next: u64,
+    /// Last time the port made progress (or was re-requested).
+    last_progress: Instant,
+}
+
+impl ReplayWatch {
+    fn new() -> Self {
+        ReplayWatch { outstanding: None, last_next: 0, last_progress: Instant::now() }
+    }
+}
+
 /// What a node remembers about an input event it fully processed.
 #[derive(Debug, Clone, Copy)]
 struct ProcessedInfo {
@@ -134,6 +163,9 @@ pub(crate) struct NodeSeed {
     pub log: Option<StableLog>,
     pub checkpoints: Option<Arc<CheckpointStore>>,
     pub rng_seed: u64,
+    /// Crash-surviving health record: the loop beats it, the supervisor
+    /// watches it.
+    pub health: Arc<NodeHealth>,
     /// True when this node restarts after a crash (triggers replay).
     pub recovering: bool,
 }
@@ -153,8 +185,15 @@ pub(crate) struct Node {
     stm: Option<StmRuntime>,
     pool: Option<Arc<ThreadPool>>,
     rng: Arc<Mutex<DetRng>>,
+    health: Arc<NodeHealth>,
 
     reorder: Vec<ReorderBuffer>,
+    /// Per-port replay progress watchdogs (lost-replay-request retry).
+    replay_watch: Vec<ReplayWatch>,
+    /// Last time periodic maintenance ([`Node::tick`]) ran; checked in the
+    /// main loop so a busy node still flushes severed-link queues and
+    /// retries replay on schedule.
+    last_tick: Instant,
     /// Per-port queues of `(link_seq, event)` awaiting processing
     /// (replay-order merge; the link seq feeds checkpoint positions).
     port_queues: Vec<VecDeque<(u64, Event)>>,
@@ -173,6 +212,15 @@ pub(crate) struct Node {
     /// [`BATCH_MAX_EVENTS`] or when the intake drains, so batching never
     /// adds latency under low load.
     out_batch: Vec<Vec<Event>>,
+    /// Per-down-edge count of re-executed outputs to swallow instead of
+    /// sending (non-speculative recovery). A recovering node regenerates
+    /// its output stream from the start of the replayed suffix, but the
+    /// first [`DownEdge::events_sent`] of those events are already on the
+    /// wire — retained by the link for downstream replay, or acked and
+    /// covered by a downstream checkpoint. Re-appending them would park
+    /// duplicate copies at fresh link sequences, which a *later* downstream
+    /// crash would then replay and re-process as new events.
+    suppress_sent: Vec<u64>,
     events_since_checkpoint: u64,
     eof_count: usize,
     recovering: bool,
@@ -184,6 +232,7 @@ impl Node {
     /// Builds a fresh node (initial start or post-crash restart) and runs
     /// recovery if a checkpoint or log exists.
     pub fn start(seed: NodeSeed) -> std::thread::JoinHandle<()> {
+        let health = seed.health.clone();
         std::thread::Builder::new()
             .name(format!("node-{}", seed.id))
             .spawn(move || {
@@ -200,6 +249,9 @@ impl Node {
                         .or_else(|| panic.downcast_ref::<&str>().copied())
                         .unwrap_or("<non-string panic>");
                     eprintln!("[streammine] operator {id} coordinator panicked: {msg}");
+                    // A panicked coordinator is a crash the supervisor can
+                    // recover from, not a hung process.
+                    health.set_state(NodeState::Crashed);
                 }
             })
             .expect("spawn node thread")
@@ -262,7 +314,10 @@ impl Node {
             stm,
             pool,
             rng: Arc::new(Mutex::new(DetRng::seed_from(seed.rng_seed))),
+            health: seed.health,
             reorder: (0..inputs).map(|_| ReorderBuffer::new(0)).collect(),
+            replay_watch: (0..inputs).map(|_| ReplayWatch::new()).collect(),
+            last_tick: Instant::now(),
             port_queues: (0..inputs).map(|_| VecDeque::new()).collect(),
             parked: HashMap::new(),
             replay: None,
@@ -273,6 +328,7 @@ impl Node {
             pending_by_serial: HashMap::new(),
             hold_queue: VecDeque::new(),
             out_batch: (0..outputs).map(|_| Vec::new()).collect(),
+            suppress_sent: vec![0; outputs],
             events_since_checkpoint: 0,
             eof_count: 0,
             recovering,
@@ -290,12 +346,38 @@ impl Node {
         let mut from_positions: Vec<u64> = vec![0; self.up.len()];
         let mut covered_serials: u64 = 0;
         let mut covers_log = LogSeq(0);
+        let mut sent_baseline: Vec<u64> = vec![0; self.down.len()];
         if let Some(store) = &self.checkpoints {
             if let Some(cp) = store.latest() {
-                self.registry.restore(&cp.state).expect("checkpoint restore failed");
-                from_positions = cp.input_positions.clone();
-                covered_serials = cp.events_processed;
-                covers_log = cp.covers_log;
+                match self.registry.restore(&cp.state) {
+                    Ok(()) => {
+                        from_positions = cp.input_positions.clone();
+                        covered_serials = cp.events_processed;
+                        covers_log = cp.covers_log;
+                        if cp.outputs_sent.len() == sent_baseline.len() {
+                            sent_baseline = cp.outputs_sent.clone();
+                        }
+                        // Restoring the RNG position keeps the random
+                        // stream continuous across the crash: re-executed
+                        // events that never reached the log draw exactly
+                        // the values the failure-free run drew.
+                        if !cp.rng_state.is_empty() {
+                            if let Ok(rng) = decode_from_slice::<DetRng>(&cp.rng_state) {
+                                *self.rng.lock() = rng;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        // Degrade instead of dying: recover from the log
+                        // and full upstream replay as if no checkpoint
+                        // existed.
+                        eprintln!(
+                            "[streammine] operator {}: checkpoint restore failed ({e}); \
+                             falling back to log + full replay",
+                            self.id
+                        );
+                    }
+                }
             }
         }
         self.next_serial = covered_serials;
@@ -325,9 +407,32 @@ impl Node {
             }
         }
         // Ask every upstream for the suffix we have not durably covered.
+        // The resilient sender queues the request if the control link is
+        // down and retransmits on heal — recovery is delayed, never lost.
         if self.recovering {
+            if !self.config.speculative {
+                // Replay regenerates the post-checkpoint output stream in
+                // its original send order (sends are a serial-order
+                // prefix), so the first `events_sent - baseline`
+                // regenerated events per edge are byte-identical to what
+                // the link already carries. Swallow them; the link's
+                // retained buffer serves any downstream replay of that
+                // range.
+                for (out, edge) in self.down.iter().enumerate() {
+                    self.suppress_sent[out] =
+                        edge.events_sent.load(Ordering::Acquire).saturating_sub(sent_baseline[out]);
+                }
+            }
             for (port, edge) in self.up.iter().enumerate() {
-                let _ = edge.ctrl_tx.send(Control::ReplayRequest { from: from_positions[port] });
+                edge.ctrl_tx.send(Control::ReplayRequest { from: from_positions[port] });
+                // Watch the port until the replay actually lands: the
+                // request can be lost if the upstream crashes before
+                // serving it, and then only a retry unwedges recovery.
+                self.replay_watch[port] = ReplayWatch {
+                    outstanding: Some(from_positions[port]),
+                    last_next: from_positions[port],
+                    last_progress: Instant::now(),
+                };
             }
         }
     }
@@ -348,26 +453,81 @@ impl Node {
                 Ok(i) => i,
                 Err(crossbeam_channel::TryRecvError::Empty) => {
                     self.flush_out_batches();
-                    match self.intake.rx.recv() {
+                    // Block with a bounded timeout so an idle node still
+                    // beats its heartbeat and retries buffered sends on
+                    // severed-then-healed links.
+                    match self.intake.rx.recv_timeout(HEARTBEAT_INTERVAL) {
                         Ok(i) => i,
-                        Err(_) => break,
+                        Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                            self.tick();
+                            continue;
+                        }
+                        Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
                     }
                 }
                 Err(crossbeam_channel::TryRecvError::Disconnected) => break,
             };
+            self.health.beat();
             self.handle_intake(intake);
             self.drain_ready_events();
+            // A node under steady load never hits the idle timeout above,
+            // but severed-link queues and stalled replays still need
+            // periodic service.
+            if self.last_tick.elapsed() >= HEARTBEAT_INTERVAL {
+                self.tick();
+            }
         }
         if !self.crashed {
             // A clean stop drains buffered outputs; a simulated crash
             // loses them with the rest of volatile state (recovery
             // re-derives them from replay).
             self.flush_out_batches();
+            self.tick();
         }
         self.operator.terminate();
         if let Some(pool) = self.pool.take() {
             if let Ok(pool) = Arc::try_unwrap(pool) {
                 pool.shutdown();
+            }
+        }
+        self.health.set_state(if self.crashed { NodeState::Crashed } else { NodeState::CleanExit });
+    }
+
+    /// Periodic idle work: heartbeat plus retransmission of messages
+    /// queued behind severed links (respecting each sender's backoff).
+    fn tick(&mut self) {
+        self.last_tick = Instant::now();
+        self.health.beat();
+        for edge in &self.down {
+            edge.data_tx.flush();
+        }
+        for edge in &self.up {
+            edge.ctrl_tx.flush();
+        }
+        self.retry_stalled_replay();
+    }
+
+    /// Re-requests upstream replay for any input port that is stuck: either
+    /// a recovery replay request went unanswered, or live traffic is parked
+    /// behind a sequence gap that nothing is filling. Replay is idempotent
+    /// (the reorder buffer drops duplicates), so a spurious retry costs
+    /// bandwidth, never correctness.
+    fn retry_stalled_replay(&mut self) {
+        let now = Instant::now();
+        for (port, watch) in self.replay_watch.iter_mut().enumerate() {
+            let next = self.reorder[port].next_seq();
+            if next != watch.last_next {
+                watch.last_next = next;
+                watch.last_progress = now;
+                if watch.outstanding.is_some_and(|from| next > from) {
+                    watch.outstanding = None;
+                }
+                continue;
+            }
+            let stuck = watch.outstanding.is_some() || self.reorder[port].has_held();
+            if stuck && now.duration_since(watch.last_progress) >= REPLAY_RETRY {
+                self.up[port].ctrl_tx.send(Control::ReplayRequest { from: next });
+                watch.last_progress = now;
             }
         }
     }
@@ -547,7 +707,15 @@ impl Node {
             input_port: PortId(port),
             input_ts: event.timestamp,
         };
-        self.operator.process(&mut ctx, &event).expect("plain-mode processing cannot abort");
+        if self.operator.process(&mut ctx, &event).is_err() {
+            // StmAbort cannot legitimately occur outside speculative mode;
+            // treat it as an operator bug and drop the event's outputs
+            // rather than killing the coordinator.
+            eprintln!(
+                "[streammine] operator {}: plain-mode process aborted on {}; outputs dropped",
+                self.id, event.id
+            );
+        }
         let outputs = assign_output_ids(self.id, serial, event.timestamp, &ctx.outputs, false);
         let decisions = std::mem::take(&mut ctx.decisions);
         drop(ctx);
@@ -605,6 +773,13 @@ impl Node {
         for (event, target) in outputs {
             for out in 0..self.down.len() {
                 if target.map(|t| t as usize == out).unwrap_or(true) {
+                    if self.suppress_sent[out] > 0 {
+                        // Re-executed output already on the wire (see the
+                        // `suppress_sent` field) — do not append a
+                        // duplicate copy at a fresh link sequence.
+                        self.suppress_sent[out] -= 1;
+                        continue;
+                    }
                     self.out_batch[out].push(event.clone());
                     if self.out_batch[out].len() >= BATCH_MAX_EVENTS {
                         self.flush_edge(out);
@@ -624,6 +799,7 @@ impl Node {
             1 => Message::Data(events.into_iter().next().expect("len checked")),
             _ => Message::DataBatch(events),
         };
+        self.down[out].events_sent.fetch_add(msg.event_count() as u64, Ordering::AcqRel);
         let _ = self.down[out].data_tx.send(msg);
     }
 
@@ -901,12 +1077,27 @@ impl Node {
             .map(|(q, r)| q.front().map(|(seq, _)| *seq).unwrap_or_else(|| r.next_seq()))
             .collect();
         let covers_log = LogSeq(self.log.as_ref().map(|l| l.appended()).unwrap_or(0));
-        store.save(covers_log, self.next_serial, positions.clone(), self.registry.snapshot());
+        // The serialized RNG goes into the checkpoint so the random stream
+        // stays continuous across a crash (see `recover`).
+        let rng_state = encode_to_vec(&*self.rng.lock());
+        // With the hold queue drained and batches flushed, the send
+        // counters cover exactly the outputs of the checkpointed prefix —
+        // the baseline recovery subtracts to size its resend suppression.
+        let outputs_sent: Vec<u64> =
+            self.down.iter().map(|e| e.events_sent.load(Ordering::Acquire)).collect();
+        store.save(
+            covers_log,
+            self.next_serial,
+            positions.clone(),
+            outputs_sent,
+            self.registry.snapshot(),
+            rng_state,
+        );
         if let Some(log) = &self.log {
             log.truncate_below(covers_log);
         }
         for (port, edge) in self.up.iter().enumerate() {
-            let _ = edge.ctrl_tx.send(Control::Ack { upto: positions[port] });
+            edge.ctrl_tx.send(Control::Ack { upto: positions[port] });
         }
         self.events_since_checkpoint = 0;
     }
@@ -916,7 +1107,7 @@ impl Node {
 /// publishes: assign output ids, send them, log decisions, arm the gate.
 struct NodeSendView {
     id: OperatorId,
-    down: Vec<streammine_net::LinkSender<Message>>,
+    down: Vec<streammine_net::ResilientSender<Message>>,
     log: Option<StableLog>,
     intake: Sender<Intake>,
 }
@@ -997,7 +1188,7 @@ impl NodeSendView {
                         Message::Data(e) => run.push(e.clone()),
                         other => {
                             flush_run(edge, &mut run);
-                            let _ = edge.send(other.clone());
+                            edge.send(other.clone());
                         }
                     }
                 }
@@ -1027,14 +1218,14 @@ impl NodeSendView {
 
 /// Sends a run of consecutive data events on one edge: nothing for an
 /// empty run, plain `Data` for one event, a `DataBatch` frame otherwise.
-fn flush_run(edge: &streammine_net::LinkSender<Message>, run: &mut Vec<Event>) {
+fn flush_run(edge: &streammine_net::ResilientSender<Message>, run: &mut Vec<Event>) {
     let events = std::mem::take(run);
     let msg = match events.len() {
         0 => return,
         1 => Message::Data(events.into_iter().next().expect("len checked")),
         _ => Message::DataBatch(events),
     };
-    let _ = edge.send(msg);
+    edge.send(msg);
 }
 
 /// Opens the commit gate when (and only when) every condition holds: the

@@ -154,7 +154,15 @@ impl<'a, 'rt> OpCtx<'a, 'rt> {
     pub fn random_u64(&mut self) -> u64 {
         if let Some(replay) = &mut self.replay {
             match replay.pop_front() {
-                Some(Determinant::Random(v)) => return v,
+                Some(Determinant::Random(v)) => {
+                    // Advance the live generator past the replayed draw so
+                    // its position matches the original run's: events after
+                    // the log's end then re-draw identical values, keeping
+                    // recovered output byte-identical (`Time` replays don't
+                    // advance it because time reads never did).
+                    let _ = self.rng.lock().next_u64();
+                    return v;
+                }
                 other => panic!("replay divergence: expected Random, got {other:?}"),
             }
         }

@@ -10,10 +10,12 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam_channel::{Receiver, Sender};
-use streammine_net::{LinkReceiver, LinkSender};
+use streammine_net::{LinkReceiver, ResilientSender};
 use streammine_stm::TxnId;
 
 use crate::message::{Control, Message};
@@ -46,9 +48,19 @@ pub(crate) enum NodeCommand {
 }
 
 /// The downstream-facing half of an edge at the sending node.
+///
+/// The sender is resilient: while the link is severed, outgoing messages
+/// queue inside the (crash-surviving) sender and are retransmitted with
+/// capped exponential backoff once the link heals.
 pub(crate) struct DownEdge {
     /// Data + finalize/revoke to the receiver.
-    pub data_tx: LinkSender<Message>,
+    pub data_tx: ResilientSender<Message>,
+    /// Cumulative count of data *events* (not frames) ever put on this
+    /// edge, across every incarnation of the sending node. Lives outside
+    /// the node like the link itself, so a recovering node knows how many
+    /// of its re-executed outputs are already on the wire and must not be
+    /// appended again.
+    pub events_sent: Arc<AtomicU64>,
     /// Forwarder feeding the receiver's acknowledgments into our intake
     /// (held only to keep the thread alive).
     pub _ctrl_pump: Option<JoinHandle<()>>,
@@ -62,8 +74,10 @@ impl fmt::Debug for DownEdge {
 
 /// The upstream-facing half of an edge at the receiving node.
 pub(crate) struct UpEdge {
-    /// Control back to the sender (acks, replay requests).
-    pub ctrl_tx: LinkSender<Control>,
+    /// Control back to the sender (acks, replay requests); resilient so a
+    /// severed control link delays — never loses — acks and replay
+    /// requests.
+    pub ctrl_tx: ResilientSender<Control>,
     /// Forwarder feeding the sender's data into our intake.
     pub _data_pump: Option<JoinHandle<()>>,
 }
@@ -147,6 +161,11 @@ impl ReorderBuffer {
             self.next += 1;
         }
         out
+    }
+
+    /// Whether any message is parked waiting for a gap to fill.
+    pub fn has_held(&self) -> bool {
+        !self.held.is_empty()
     }
 
     /// Messages parked waiting for a gap to fill.

@@ -34,6 +34,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod resilient;
+
+pub use resilient::{BackoffConfig, ResilientSender, SendOutcome};
+
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -128,7 +128,14 @@ impl HaStrategy for PassiveStandby {
         // Checkpoint state *and* the pending output, then release.
         let mut state = self.op.snapshot();
         state.extend(encode_to_vec(&out));
-        self.store.save(LogSeq(0), self.op.processed(), vec![seq + 1], state);
+        self.store.save(
+            LogSeq(0),
+            self.op.processed(),
+            vec![seq + 1],
+            Vec::new(),
+            state,
+            Vec::new(),
+        );
         self.emitted += 1;
         vec![out]
     }

@@ -6,13 +6,19 @@
 //! snapshot together with the log sequence number and input positions it
 //! covers; recovery restores the latest checkpoint and replays only the log
 //! suffix.
+//!
+//! Stored checkpoints are CRC32-framed: [`CheckpointStore::latest`] skips a
+//! corrupted newest checkpoint (torn mid-write by a crash) and falls back
+//! to the previous one instead of panicking.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use streammine_common::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use streammine_common::codec::{decode_from_slice, Decode, DecodeError, Decoder, Encode, Encoder};
+use streammine_common::crc32;
 
 use crate::disk::{DiskSpec, StorageDevice};
 use crate::log::LogSeq;
@@ -30,8 +36,18 @@ pub struct Checkpoint {
     /// Per-input-stream positions: link sequence each upstream should
     /// replay from (used to ask upstreams for replay).
     pub input_positions: Vec<u64>,
+    /// Per-output-edge count of data events the operator had sent when the
+    /// snapshot was taken. Recovery replays only the post-checkpoint
+    /// suffix, so the difference between the link's live send counter and
+    /// this value is exactly the number of re-executed outputs that are
+    /// already on the wire and must not be re-sent.
+    pub outputs_sent: Vec<u64>,
     /// Serialized operator state.
     pub state: Vec<u8>,
+    /// Serialized operator RNG state: restoring it keeps the random stream
+    /// continuous across a crash, so re-executed events that were never
+    /// logged still draw the same values the failure-free run drew.
+    pub rng_state: Vec<u8>,
 }
 
 impl Encode for Checkpoint {
@@ -40,7 +56,9 @@ impl Encode for Checkpoint {
         enc.put_u64(self.covers_log.0);
         enc.put_u64(self.events_processed);
         self.input_positions.encode(enc);
+        self.outputs_sent.encode(enc);
         enc.put_bytes(&self.state);
+        enc.put_bytes(&self.rng_state);
     }
 }
 
@@ -51,7 +69,9 @@ impl Decode for Checkpoint {
             covers_log: LogSeq(dec.get_u64()?),
             events_processed: dec.get_u64()?,
             input_positions: Vec::<u64>::decode(dec)?,
+            outputs_sent: Vec::<u64>::decode(dec)?,
             state: dec.get_bytes()?,
+            rng_state: dec.get_bytes()?,
         })
     }
 }
@@ -60,11 +80,15 @@ impl Decode for Checkpoint {
 ///
 /// Writes are charged to a [`StorageDevice`] like log writes; the store
 /// keeps the last two checkpoints (the newest may be mid-write during a
-/// crash in a real system; recovery code can fall back).
+/// crash in a real system; recovery code falls back when the newest frame
+/// fails its CRC check).
 pub struct CheckpointStore {
     device: Arc<StorageDevice>,
-    kept: Mutex<Vec<Checkpoint>>,
+    /// CRC-framed encoded checkpoints, oldest first (at most 2).
+    kept: Mutex<Vec<Vec<u8>>>,
     next_id: Mutex<u64>,
+    corrupt_skipped: AtomicU64,
+    save_retries: AtomicU64,
 }
 
 impl fmt::Debug for CheckpointStore {
@@ -73,6 +97,11 @@ impl fmt::Debug for CheckpointStore {
     }
 }
 
+/// Give up persisting a checkpoint after this many failed device writes;
+/// the in-memory copy still serves recovery, and the next checkpoint
+/// retries the device.
+const MAX_SAVE_ATTEMPTS: u32 = 32;
+
 impl CheckpointStore {
     /// Creates a store writing through a device with the given spec.
     pub fn new(spec: DiskSpec) -> Self {
@@ -80,6 +109,8 @@ impl CheckpointStore {
             device: Arc::new(StorageDevice::new(spec, 0xC4EC_4901)),
             kept: Mutex::new(Vec::new()),
             next_id: Mutex::new(0),
+            corrupt_skipped: AtomicU64::new(0),
+            save_retries: AtomicU64::new(0),
         }
     }
 
@@ -87,13 +118,16 @@ impl CheckpointStore {
     ///
     /// Blocks for the device's modeled write duration — operators call this
     /// from a background thread or accept the pause, exactly the trade-off
-    /// the paper's speculation hides.
+    /// the paper's speculation hides. Transient device faults are retried
+    /// with backoff up to a bound.
     pub fn save(
         &self,
         covers_log: LogSeq,
         events_processed: u64,
         input_positions: Vec<u64>,
+        outputs_sent: Vec<u64>,
         state: Vec<u8>,
+        rng_state: Vec<u8>,
     ) -> Checkpoint {
         let id = {
             let mut next = self.next_id.lock();
@@ -101,10 +135,31 @@ impl CheckpointStore {
             *next += 1;
             id
         };
-        let cp = Checkpoint { id, covers_log, events_processed, input_positions, state };
-        self.device.write_batch(vec![cp.encode_to_vec()]);
+        let cp = Checkpoint {
+            id,
+            covers_log,
+            events_processed,
+            input_positions,
+            outputs_sent,
+            state,
+            rng_state,
+        };
+        let framed = crc32::frame(cp.encode_to_vec());
+        let mut delay = Duration::from_micros(100);
+        for attempt in 1..=MAX_SAVE_ATTEMPTS {
+            if self.device.write_batch(std::slice::from_ref(&framed)).is_ok() {
+                break;
+            }
+            self.save_retries.fetch_add(1, Ordering::Relaxed);
+            if attempt == MAX_SAVE_ATTEMPTS {
+                eprintln!("[checkpoint] giving up on device write after {attempt} attempts");
+                break;
+            }
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_millis(5));
+        }
         let mut kept = self.kept.lock();
-        kept.push(cp.clone());
+        kept.push(framed);
         let excess = kept.len().saturating_sub(2);
         if excess > 0 {
             kept.drain(..excess);
@@ -112,14 +167,48 @@ impl CheckpointStore {
         cp
     }
 
-    /// The most recent checkpoint, if any.
+    /// The most recent *valid* checkpoint, if any.
+    ///
+    /// A checkpoint whose CRC frame fails validation (torn by a crash
+    /// mid-write) is skipped in favor of the previous one.
     pub fn latest(&self) -> Option<Checkpoint> {
-        self.kept.lock().last().cloned()
+        let kept = self.kept.lock();
+        for framed in kept.iter().rev() {
+            if let Some(payload) = crc32::unframe(framed) {
+                if let Ok(cp) = decode_from_slice::<Checkpoint>(payload) {
+                    return Some(cp);
+                }
+            }
+            self.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
+            eprintln!("[checkpoint] skipping corrupt checkpoint frame, falling back");
+        }
+        None
     }
 
     /// Number of checkpoints retained (at most 2).
     pub fn retained(&self) -> usize {
         self.kept.lock().len()
+    }
+
+    /// Corrupt checkpoint frames skipped during [`CheckpointStore::latest`].
+    pub fn corrupt_skipped(&self) -> u64 {
+        self.corrupt_skipped.load(Ordering::Relaxed)
+    }
+
+    /// Device writes retried after transient faults.
+    pub fn save_retries(&self) -> u64 {
+        self.save_retries.load(Ordering::Relaxed)
+    }
+
+    /// Flips one bit in the newest stored checkpoint frame, simulating a
+    /// crash mid-write (fault injection). Returns `false` when empty.
+    pub fn corrupt_latest(&self) -> bool {
+        let mut kept = self.kept.lock();
+        if let Some(byte) = kept.last_mut().and_then(|frame| frame.last_mut()) {
+            *byte ^= 0x40;
+            return true;
+        }
+        false
     }
 
     /// Checkpoint write statistics from the underlying device.
@@ -142,21 +231,23 @@ mod tests {
     fn save_and_restore_latest() {
         let store = instant_store();
         assert!(store.latest().is_none());
-        store.save(LogSeq(10), 7, vec![3, 4], b"state-a".to_vec());
-        let cp = store.save(LogSeq(20), 16, vec![7, 9], b"state-b".to_vec());
+        store.save(LogSeq(10), 7, vec![3, 4], vec![5], b"state-a".to_vec(), vec![]);
+        let cp =
+            store.save(LogSeq(20), 16, vec![7, 9], vec![11], b"state-b".to_vec(), b"rng".to_vec());
         assert_eq!(cp.id, 1);
         let latest = store.latest().unwrap();
         assert_eq!(latest.state, b"state-b".to_vec());
         assert_eq!(latest.covers_log, LogSeq(20));
         assert_eq!(latest.events_processed, 16);
         assert_eq!(latest.input_positions, vec![7, 9]);
+        assert_eq!(latest.rng_state, b"rng".to_vec());
     }
 
     #[test]
     fn keeps_at_most_two() {
         let store = instant_store();
         for i in 0..5u64 {
-            store.save(LogSeq(i), i, vec![], vec![i as u8]);
+            store.save(LogSeq(i), i, vec![], vec![], vec![i as u8], vec![]);
         }
         assert_eq!(store.retained(), 2);
         assert_eq!(store.latest().unwrap().id, 4);
@@ -169,7 +260,9 @@ mod tests {
             covers_log: LogSeq(99),
             events_processed: 42,
             input_positions: vec![1, 2, 3],
+            outputs_sent: vec![4, 5],
             state: vec![0xAB; 16],
+            rng_state: vec![0xCD; 32],
         };
         assert_eq!(roundtrip(&cp).unwrap(), cp);
     }
@@ -177,8 +270,37 @@ mod tests {
     #[test]
     fn checkpoint_write_is_charged_to_device() {
         let store = instant_store();
-        store.save(LogSeq(0), 0, vec![], vec![1, 2, 3]);
+        store.save(LogSeq(0), 0, vec![], vec![], vec![1, 2, 3], vec![]);
         assert_eq!(store.device().write_count(), 1);
         assert!(store.device().bytes_written() > 0);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let store = instant_store();
+        store.save(LogSeq(5), 3, vec![1], vec![], b"old".to_vec(), vec![]);
+        store.save(LogSeq(9), 6, vec![2], vec![], b"new".to_vec(), vec![]);
+        assert!(store.corrupt_latest());
+        let latest = store.latest().unwrap();
+        assert_eq!(latest.state, b"old".to_vec());
+        assert_eq!(store.corrupt_skipped(), 1);
+    }
+
+    #[test]
+    fn all_corrupt_yields_none() {
+        let store = instant_store();
+        store.save(LogSeq(1), 1, vec![], vec![], b"only".to_vec(), vec![]);
+        assert!(store.corrupt_latest());
+        assert!(store.latest().is_none());
+    }
+
+    #[test]
+    fn save_survives_transient_device_faults() {
+        let store = CheckpointStore::new(DiskSpec::simulated(Duration::ZERO).with_fault_rate(0.9));
+        for i in 0..5u64 {
+            store.save(LogSeq(i), i, vec![], vec![], vec![i as u8], vec![]);
+        }
+        assert_eq!(store.latest().unwrap().id, 4);
+        assert!(store.save_retries() > 0, "0.9 fault rate produced no retries");
     }
 }

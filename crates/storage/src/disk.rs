@@ -5,13 +5,33 @@
 //! three knobs the paper varies: base write latency (seek + rotational +
 //! controller), optional jitter, and bandwidth (which matters only for
 //! large checkpoints, not 64-bit decision records).
+//!
+//! For fault injection a device can additionally fail a fraction of its
+//! writes ([`DiskSpec::with_fault_rate`], [`StorageDevice::set_fault_rate`])
+//! and stall for bounded windows ([`StorageDevice::stall_for`]); callers
+//! retry transient [`DiskError`]s.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use streammine_common::rng::DetRng;
+
+/// A transient storage write failure (fault injection).
+///
+/// Models a failed/aborted write on a real controller: nothing from the
+/// batch was persisted and the caller should retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskError;
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transient disk write failure")
+    }
+}
+
+impl std::error::Error for DiskError {}
 
 /// Latency/bandwidth model of one storage point.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +43,8 @@ pub struct DiskSpec {
     pub jitter: f64,
     /// Sustained throughput; `None` means size-independent writes.
     pub bytes_per_sec: Option<u64>,
+    /// Probability in `[0, 1)` that a write fails transiently.
+    pub fault_rate: f64,
     /// Human-readable name for reports (e.g. `"Sim 10"`).
     pub name: String,
 }
@@ -35,6 +57,7 @@ impl DiskSpec {
             write_latency,
             jitter: 0.0,
             bytes_per_sec: None,
+            fault_rate: 0.0,
             name: format!("Sim {}", write_latency.as_millis()),
         }
     }
@@ -46,6 +69,7 @@ impl DiskSpec {
             write_latency: Duration::from_millis(8),
             jitter: 0.25,
             bytes_per_sec: Some(60 * 1024 * 1024),
+            fault_rate: 0.0,
             name: "local hdd".to_string(),
         }
     }
@@ -54,6 +78,13 @@ impl DiskSpec {
     #[must_use]
     pub fn named(mut self, name: &str) -> Self {
         self.name = name.to_string();
+        self
+    }
+
+    /// Sets the transient write-failure probability (fault injection).
+    #[must_use]
+    pub fn with_fault_rate(mut self, rate: f64) -> Self {
+        self.fault_rate = rate.clamp(0.0, 0.999);
         self
     }
 
@@ -83,6 +114,10 @@ pub struct StorageDevice {
     rng: Mutex<DetRng>,
     writes: AtomicU64,
     bytes: AtomicU64,
+    /// Live fault probability, f64 bit-pattern (runtime-adjustable).
+    fault_bits: AtomicU64,
+    faults: AtomicU64,
+    stall_until: Mutex<Option<Instant>>,
 }
 
 impl fmt::Debug for StorageDevice {
@@ -90,6 +125,7 @@ impl fmt::Debug for StorageDevice {
         f.debug_struct("StorageDevice")
             .field("spec", &self.spec.name)
             .field("writes", &self.writes.load(Ordering::Relaxed))
+            .field("faults", &self.faults.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -97,12 +133,16 @@ impl fmt::Debug for StorageDevice {
 impl StorageDevice {
     /// Creates a device from a spec with a derived jitter seed.
     pub fn new(spec: DiskSpec, seed: u64) -> Self {
+        let fault_bits = AtomicU64::new(spec.fault_rate.to_bits());
         StorageDevice {
             spec,
             records: Mutex::new(Vec::new()),
             rng: Mutex::new(DetRng::seed_from(seed)),
             writes: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            fault_bits,
+            faults: AtomicU64::new(0),
+            stall_until: Mutex::new(None),
         }
     }
 
@@ -114,20 +154,67 @@ impl StorageDevice {
     /// Synchronously writes a batch of records: blocks for the modeled
     /// duration of **one** stable write covering the batch (group commit),
     /// then retains the records.
-    pub fn write_batch(&self, batch: Vec<Vec<u8>>) {
+    ///
+    /// # Errors
+    ///
+    /// [`DiskError`] with the configured fault probability; nothing is
+    /// persisted and the caller should retry the whole batch.
+    pub fn write_batch(&self, batch: &[Vec<u8>]) -> Result<(), DiskError> {
+        let stall = *self.stall_until.lock();
+        if let Some(until) = stall {
+            let now = Instant::now();
+            if until > now {
+                std::thread::sleep(until - now);
+            }
+        }
         let total: usize = batch.iter().map(Vec::len).sum();
-        let d = self.spec.write_duration(total, &mut self.rng.lock());
+        let (d, faulted) = {
+            let mut rng = self.rng.lock();
+            let d = self.spec.write_duration(total, &mut rng);
+            let rate = f64::from_bits(self.fault_bits.load(Ordering::Acquire));
+            let faulted = rate > 0.0 && rng.next_f64() < rate;
+            (d, faulted)
+        };
         if !d.is_zero() {
             std::thread::sleep(d);
         }
+        if faulted {
+            self.faults.fetch_add(1, Ordering::Relaxed);
+            return Err(DiskError);
+        }
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(total as u64, Ordering::Relaxed);
-        self.records.lock().extend(batch);
+        self.records.lock().extend_from_slice(batch);
+        Ok(())
+    }
+
+    /// Changes the transient-fault probability at runtime (chaos hook).
+    pub fn set_fault_rate(&self, rate: f64) {
+        self.fault_bits.store(rate.clamp(0.0, 0.999).to_bits(), Ordering::Release);
+    }
+
+    /// The current transient-fault probability.
+    pub fn fault_rate(&self) -> f64 {
+        f64::from_bits(self.fault_bits.load(Ordering::Acquire))
+    }
+
+    /// Stalls every write starting within the next `window` (chaos hook:
+    /// a controller hiccup / queue saturation). Windows do not stack; the
+    /// later deadline wins.
+    pub fn stall_for(&self, window: Duration) {
+        let until = Instant::now() + window;
+        let mut stall = self.stall_until.lock();
+        *stall = Some(stall.map_or(until, |cur| cur.max(until)));
     }
 
     /// Number of physical (batched) writes performed.
     pub fn write_count(&self) -> u64 {
         self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Number of injected transient write failures.
+    pub fn fault_count(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
     }
 
     /// Total bytes written.
@@ -176,8 +263,8 @@ mod tests {
     #[test]
     fn device_retains_records_and_counts_batches() {
         let dev = StorageDevice::new(DiskSpec::simulated(Duration::ZERO), 7);
-        dev.write_batch(vec![b"a".to_vec(), b"b".to_vec()]);
-        dev.write_batch(vec![b"c".to_vec()]);
+        dev.write_batch(&[b"a".to_vec(), b"b".to_vec()]).unwrap();
+        dev.write_batch(&[b"c".to_vec()]).unwrap();
         assert_eq!(dev.write_count(), 2);
         assert_eq!(dev.bytes_written(), 3);
         assert_eq!(dev.records(), vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
@@ -187,5 +274,52 @@ mod tests {
     fn named_overrides_report_name() {
         let spec = DiskSpec::simulated(Duration::from_millis(5)).named("disk A");
         assert_eq!(spec.name, "disk A");
+    }
+
+    #[test]
+    fn fault_rate_injects_transient_failures() {
+        let spec = DiskSpec::simulated(Duration::ZERO).with_fault_rate(0.5);
+        let dev = StorageDevice::new(spec, 11);
+        let mut ok = 0;
+        let mut failed = 0;
+        for _ in 0..200 {
+            match dev.write_batch(&[b"r".to_vec()]) {
+                Ok(()) => ok += 1,
+                Err(DiskError) => failed += 1,
+            }
+        }
+        assert!(ok > 0 && failed > 0, "expected a mix, got ok={ok} failed={failed}");
+        assert_eq!(dev.fault_count(), failed);
+        // Failed writes persist nothing.
+        assert_eq!(dev.records().len(), ok as usize);
+    }
+
+    #[test]
+    fn fault_rate_can_be_changed_at_runtime() {
+        let dev = StorageDevice::new(DiskSpec::simulated(Duration::ZERO), 12);
+        dev.set_fault_rate(0.999);
+        assert!(dev.fault_rate() > 0.99);
+        let mut failed = 0;
+        for _ in 0..50 {
+            if dev.write_batch(&[b"r".to_vec()]).is_err() {
+                failed += 1;
+            }
+        }
+        assert!(failed > 0);
+        dev.set_fault_rate(0.0);
+        assert!(dev.write_batch(&[b"r".to_vec()]).is_ok());
+    }
+
+    #[test]
+    fn stall_window_delays_writes() {
+        let dev = StorageDevice::new(DiskSpec::simulated(Duration::ZERO), 13);
+        dev.stall_for(Duration::from_millis(20));
+        let start = Instant::now();
+        dev.write_batch(&[b"r".to_vec()]).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(18), "write did not stall");
+        // Window over: writes are fast again.
+        let start = Instant::now();
+        dev.write_batch(&[b"r".to_vec()]).unwrap();
+        assert!(start.elapsed() < Duration::from_millis(10));
     }
 }

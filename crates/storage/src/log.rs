@@ -17,8 +17,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
+use streammine_common::crc32;
 
 use crate::disk::{DiskSpec, StorageDevice};
 
@@ -160,6 +162,10 @@ struct LogShared {
     /// Records below this sequence are pruned, including ones that become
     /// stable after the truncation request (checkpoint covers them).
     truncate_watermark: AtomicU64,
+    /// Records dropped by torn-tail truncation during validated reads.
+    corrupt_dropped: AtomicU64,
+    /// Device write attempts retried after a transient disk fault.
+    write_retries: AtomicU64,
 }
 
 /// The stable decision log: N parallel storage points with group commit.
@@ -218,6 +224,8 @@ impl StableLog {
             appended: AtomicU64::new(0),
             stable_count: AtomicU64::new(0),
             truncate_watermark: AtomicU64::new(0),
+            corrupt_dropped: AtomicU64::new(0),
+            write_retries: AtomicU64::new(0),
         });
         let writers = devices
             .iter()
@@ -265,7 +273,15 @@ impl StableLog {
                 }
                 bytes.extend(records);
             }
-            dev.write_batch(bytes);
+            // Transient disk faults (injected or real) fail the whole
+            // batch; retry with a small exponential backoff until the
+            // write sticks — the record is not acknowledged before then.
+            let mut delay = Duration::from_micros(100);
+            while dev.write_batch(&bytes).is_err() {
+                shared.write_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(5));
+            }
             {
                 // Re-read the watermark: a truncation issued during the
                 // device write still applies to these in-flight records.
@@ -293,10 +309,14 @@ impl StableLog {
     /// Appends a group of records that become stable atomically under one
     /// sequence number (e.g. an event's input-order decision plus all its
     /// random draws).
+    ///
+    /// Each record is framed with a CRC32 checksum so recovery reads can
+    /// detect a torn or corrupted tail.
     pub fn append_batch(&self, records: Vec<Vec<u8>>) -> LogTicket {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let ticket = LogTicket::new(LogSeq(seq));
         self.shared.appended.fetch_add(1, Ordering::Relaxed);
+        let records = records.into_iter().map(crc32::frame).collect();
         {
             let mut q = self.shared.queue.lock();
             q.push_back(Pending { seq, records, ticket: ticket.clone() });
@@ -305,14 +325,72 @@ impl StableLog {
         ticket
     }
 
-    /// All stable records in sequence order (flattened groups).
-    pub fn stable_records(&self) -> Vec<Vec<u8>> {
-        self.shared.stable.lock().values().flat_map(|g| g.iter().cloned()).collect()
+    /// Validates every stable group's CRC frames in sequence order. The
+    /// first corrupt record truncates the log from its group onward — a
+    /// torn tail must not panic recovery, only shorten the replayable
+    /// suffix (upstream replay re-derives the rest).
+    fn validated_groups(&self) -> Vec<(LogSeq, Vec<Vec<u8>>)> {
+        let mut stable = self.shared.stable.lock();
+        let mut bad_from: Option<u64> = None;
+        let mut out = Vec::with_capacity(stable.len());
+        'groups: for (&seq, group) in stable.iter() {
+            let mut decoded = Vec::with_capacity(group.len());
+            for rec in group {
+                match crc32::unframe(rec) {
+                    Some(payload) => decoded.push(payload.to_vec()),
+                    None => {
+                        bad_from = Some(seq);
+                        break 'groups;
+                    }
+                }
+            }
+            out.push((LogSeq(seq), decoded));
+        }
+        if let Some(from) = bad_from {
+            let dropped: usize = stable.range(from..).map(|(_, g)| g.len()).sum();
+            stable.retain(|&s, _| s < from);
+            self.shared.corrupt_dropped.fetch_add(dropped as u64, Ordering::Relaxed);
+            eprintln!(
+                "[stable-log] corrupt record in group {from}: truncated tail, \
+                 dropped {dropped} record(s)"
+            );
+        }
+        out
     }
 
-    /// Stable record groups with their sequence numbers.
+    /// All stable records in sequence order (flattened groups), CRC
+    /// validated; a corrupt tail is truncated, not returned.
+    pub fn stable_records(&self) -> Vec<Vec<u8>> {
+        self.validated_groups().into_iter().flat_map(|(_, g)| g).collect()
+    }
+
+    /// Stable record groups with their sequence numbers, CRC validated; a
+    /// corrupt tail is truncated, not returned.
     pub fn stable_groups(&self) -> Vec<(LogSeq, Vec<Vec<u8>>)> {
-        self.shared.stable.lock().iter().map(|(s, g)| (LogSeq(*s), g.clone())).collect()
+        self.validated_groups()
+    }
+
+    /// Records dropped so far by torn-tail truncation.
+    pub fn corrupt_dropped(&self) -> u64 {
+        self.shared.corrupt_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Device writes retried after transient faults.
+    pub fn write_retries(&self) -> u64 {
+        self.shared.write_retries.load(Ordering::Relaxed)
+    }
+
+    /// Flips one bit in the last stable record, simulating a torn tail
+    /// (fault injection). Returns `false` when the log is empty.
+    pub fn corrupt_tail(&self) -> bool {
+        let mut stable = self.shared.stable.lock();
+        if let Some((_, group)) = stable.iter_mut().next_back() {
+            if let Some(byte) = group.last_mut().and_then(|rec| rec.last_mut()) {
+                *byte ^= 0x40;
+                return true;
+            }
+        }
+        false
     }
 
     /// Prunes records with sequence `< upto` (after a checkpoint). Also
@@ -498,5 +576,47 @@ mod tests {
     #[should_panic(expected = "at least one storage point")]
     fn empty_spec_list_panics() {
         let _ = StableLog::new(vec![]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_panicked() {
+        let log = fast_log(1);
+        for i in 0..5u8 {
+            log.append(vec![i]).wait();
+        }
+        assert!(log.corrupt_tail());
+        let recs = log.stable_records();
+        assert_eq!(recs, vec![vec![0u8], vec![1], vec![2], vec![3]]);
+        assert_eq!(log.corrupt_dropped(), 1);
+        // The log stays usable after truncation.
+        log.append(vec![9]).wait();
+        assert_eq!(log.stable_records().len(), 5);
+    }
+
+    #[test]
+    fn corrupt_group_truncates_everything_after_it() {
+        let log = fast_log(1);
+        log.append_batch(vec![b"a".to_vec(), b"b".to_vec()]).wait();
+        log.append(b"c".to_vec()).wait();
+        // Corrupt the *middle* group: the tail after it must go too.
+        {
+            let mut stable = log.shared.stable.lock();
+            let first = stable.values_mut().next().unwrap();
+            *first[1].last_mut().unwrap() ^= 0x01;
+        }
+        assert!(log.stable_records().is_empty());
+        assert_eq!(log.corrupt_dropped(), 3);
+    }
+
+    #[test]
+    fn transient_disk_faults_are_retried_until_stable() {
+        let spec = DiskSpec::simulated(Duration::from_micros(100)).with_fault_rate(0.9);
+        let log = StableLog::new(vec![spec]);
+        for i in 0..10u8 {
+            log.append(vec![i]).wait();
+        }
+        assert_eq!(log.stable_records().len(), 10);
+        assert!(log.write_retries() > 0, "0.9 fault rate produced no retries");
+        assert!(log.devices()[0].fault_count() > 0);
     }
 }

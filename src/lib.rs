@@ -17,6 +17,8 @@
 //! * [`net`] — simulated links with replay and failure injection;
 //! * [`sketch`] — count/count-min sketches and top-k;
 //! * [`recovery`] — baseline recovery protocols for comparison;
+//! * [`chaos`] — deterministic fault injection: seeded fault plans and a
+//!   scheduler driving crashes, link severs, and disk faults;
 //! * [`common`] — events, codec, clocks, RNG, statistics.
 //!
 //! # Quickstart
@@ -50,6 +52,7 @@
 //! g.shutdown();
 //! ```
 
+pub use streammine_chaos as chaos;
 pub use streammine_common as common;
 pub use streammine_core as core;
 pub use streammine_net as net;
