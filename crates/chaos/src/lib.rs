@@ -23,7 +23,9 @@
 pub mod plan;
 pub mod scheduler;
 mod target;
+pub mod verify;
 
 pub use plan::{FaultEvent, FaultKind, FaultPlan, Topology};
 pub use scheduler::FaultScheduler;
 pub use target::ChaosTarget;
+pub use verify::verify_recovery_counters;

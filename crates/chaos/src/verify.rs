@@ -1,0 +1,112 @@
+//! Cross-checks between the supervisor's recovery timeline and the
+//! metrics registry.
+//!
+//! The engine records every supervised restart twice: as a
+//! [`RecoveryEvent`] in the supervisor's event list and as a
+//! `recovery.restarts` counter bump in the shared metrics registry. A
+//! chaos run that trusts its own assertions should verify the two
+//! accounts agree — a mismatch means either the supervisor restarted a
+//! node without metering it or a counter was bumped for a restart that
+//! never happened, both of which would silently skew any dashboard built
+//! on the registry.
+
+use std::collections::HashMap;
+
+use streammine_core::RecoveryEvent;
+use streammine_obs::{Labels, RegistrySnapshot};
+
+/// Checks that the registry's recovery counters match the supervisor's
+/// event trail:
+///
+/// * `recovery.restarts{op}` equals the number of [`RecoveryEvent`]s for
+///   that operator — no more, no fewer;
+/// * every restarted operator issued at least one upstream
+///   `replay.requests{op}` (a restart without a replay request would mean
+///   recovery skipped the paper's upstream-replay step).
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch found.
+pub fn verify_recovery_counters(
+    snap: &RegistrySnapshot,
+    events: &[RecoveryEvent],
+) -> Result<(), String> {
+    let mut per_op: HashMap<u32, u64> = HashMap::new();
+    for ev in events {
+        *per_op.entry(ev.op.index()).or_insert(0) += 1;
+    }
+    for (&op, &expected) in &per_op {
+        let counted = snap.counter("recovery.restarts", Labels::op(op)).unwrap_or(0);
+        if counted != expected {
+            return Err(format!(
+                "op{op}: registry counted {counted} recovery.restarts, \
+                 supervisor recorded {expected} events"
+            ));
+        }
+        let replays = snap.counter("replay.requests", Labels::op(op)).unwrap_or(0);
+        if replays < expected {
+            return Err(format!(
+                "op{op}: only {replays} replay.requests for {expected} supervised restarts"
+            ));
+        }
+    }
+    // The registry must not claim restarts the supervisor never saw.
+    for sample in &snap.samples {
+        if sample.name != "recovery.restarts" {
+            continue;
+        }
+        let op = sample.labels.op.unwrap_or(u32::MAX);
+        if !per_op.contains_key(&op) {
+            return Err(format!("registry has recovery.restarts for op{op} with no events"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use streammine_common::ids::OperatorId;
+    use streammine_obs::Registry;
+
+    fn event(op: u32, attempt: u32) -> RecoveryEvent {
+        RecoveryEvent { op: OperatorId::new(op), attempt, backoff: Duration::from_millis(1) }
+    }
+
+    #[test]
+    fn matching_counters_pass() {
+        let r = Registry::new();
+        r.counter("recovery.restarts", Labels::op(1)).add(2);
+        r.counter("replay.requests", Labels::op(1)).add(2);
+        let events = vec![event(1, 1), event(1, 2)];
+        assert!(verify_recovery_counters(&r.snapshot(), &events).is_ok());
+    }
+
+    #[test]
+    fn undercounted_restarts_fail() {
+        let r = Registry::new();
+        r.counter("recovery.restarts", Labels::op(1)).incr();
+        r.counter("replay.requests", Labels::op(1)).incr();
+        let events = vec![event(1, 1), event(1, 2)];
+        let err = verify_recovery_counters(&r.snapshot(), &events).unwrap_err();
+        assert!(err.contains("registry counted 1"), "{err}");
+    }
+
+    #[test]
+    fn missing_replay_requests_fail() {
+        let r = Registry::new();
+        r.counter("recovery.restarts", Labels::op(0)).incr();
+        let events = vec![event(0, 1)];
+        let err = verify_recovery_counters(&r.snapshot(), &events).unwrap_err();
+        assert!(err.contains("replay.requests"), "{err}");
+    }
+
+    #[test]
+    fn phantom_registry_restarts_fail() {
+        let r = Registry::new();
+        r.counter("recovery.restarts", Labels::op(3)).incr();
+        let err = verify_recovery_counters(&r.snapshot(), &[]).unwrap_err();
+        assert!(err.contains("no events"), "{err}");
+    }
+}

@@ -60,6 +60,13 @@ impl fmt::Display for Summary {
 
 /// Thread-safe recorder of latency samples.
 ///
+/// Benches record hundreds of thousands of samples, so [`Self::summary`]
+/// must not clone (or sort) the full sample set while holding the lock:
+/// new samples accumulate in an unsorted `recent` buffer, and `summary`
+/// drains that buffer, sorts it *outside* the lock, and merges it into a
+/// persistent already-sorted buffer. Recorders only ever pay an `O(1)`
+/// push under the lock.
+///
 /// ```
 /// use std::time::Duration;
 /// use streammine_common::stats::LatencyRecorder;
@@ -73,7 +80,48 @@ impl fmt::Display for Summary {
 /// ```
 #[derive(Debug, Default)]
 pub struct LatencyRecorder {
-    samples: Mutex<Vec<f64>>,
+    inner: Mutex<Buffers>,
+}
+
+#[derive(Debug, Default)]
+struct Buffers {
+    /// Samples already merged by a previous `summary` call, sorted.
+    sorted: Vec<f64>,
+    /// Cached sum of `sorted` (kept alongside so the fast path is O(1)
+    /// beyond percentile indexing).
+    sorted_sum: f64,
+    /// Samples recorded since the last merge, unsorted.
+    recent: Vec<f64>,
+    /// Bumped by `reset`/`take_samples` so an in-flight `summary` that
+    /// drained the buffers discards them instead of resurrecting them.
+    epoch: u64,
+}
+
+/// Merges two sorted runs; also returns the sum of the merged values.
+fn merge_sorted(a: Vec<f64>, b: Vec<f64>) -> (Vec<f64>, f64) {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut sum = 0.0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let v = if a[i] <= b[j] {
+            i += 1;
+            a[i - 1]
+        } else {
+            j += 1;
+            b[j - 1]
+        };
+        sum += v;
+        out.push(v);
+    }
+    for &v in &a[i..] {
+        sum += v;
+        out.push(v);
+    }
+    for &v in &b[j..] {
+        sum += v;
+        out.push(v);
+    }
+    (out, sum)
 }
 
 impl LatencyRecorder {
@@ -84,62 +132,116 @@ impl LatencyRecorder {
 
     /// Records one latency sample.
     pub fn record(&self, d: Duration) {
-        self.samples.lock().push(d.as_secs_f64() * 1e6);
+        self.record_micros(d.as_secs_f64() * 1e6);
     }
 
     /// Records a raw microsecond sample.
     pub fn record_micros(&self, us: f64) {
-        self.samples.lock().push(us);
+        self.inner.lock().recent.push(us);
     }
 
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
-        self.samples.lock().len()
+        let inner = self.inner.lock();
+        inner.sorted.len() + inner.recent.len()
     }
 
     /// Returns `true` if no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.lock().is_empty()
+        self.len() == 0
     }
 
     /// Clears all samples.
     pub fn reset(&self) {
-        self.samples.lock().clear();
+        let mut inner = self.inner.lock();
+        inner.sorted.clear();
+        inner.sorted_sum = 0.0;
+        inner.recent.clear();
+        inner.epoch += 1;
     }
 
     /// Computes summary statistics over the samples recorded so far.
     pub fn summary(&self) -> Summary {
-        let mut samples = self.samples.lock().clone();
-        summarize(&mut samples)
+        let (taken_sorted, mut drained, epoch) = {
+            let mut inner = self.inner.lock();
+            if inner.recent.is_empty() {
+                // Everything is already merged: summarize in place.
+                return summarize_sorted(&inner.sorted, inner.sorted_sum);
+            }
+            (std::mem::take(&mut inner.sorted), std::mem::take(&mut inner.recent), inner.epoch)
+        };
+        // The expensive part — sorting the drained snapshot and merging it
+        // with the persistent sorted run — happens outside the lock.
+        drained.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
+        let (merged, merged_sum) = merge_sorted(taken_sorted, drained);
+
+        let mut inner = self.inner.lock();
+        if inner.epoch != epoch {
+            // A reset raced us; the samples we took are stale.
+            return summarize_sorted(&inner.sorted, inner.sorted_sum);
+        }
+        if inner.sorted.is_empty() {
+            inner.sorted = merged;
+            inner.sorted_sum = merged_sum;
+        } else {
+            // Another summary() raced us and installed its own merge; fold
+            // ours in (rare, both runs are sorted).
+            let existing = std::mem::take(&mut inner.sorted);
+            let (folded, folded_sum) = merge_sorted(existing, merged);
+            inner.sorted = folded;
+            inner.sorted_sum = folded_sum;
+        }
+        summarize_sorted(&inner.sorted, inner.sorted_sum)
     }
 
-    /// Takes the raw samples, leaving the recorder empty.
+    /// Takes the raw samples, leaving the recorder empty. The returned
+    /// order is unspecified (previously-summarized samples come first,
+    /// sorted).
     pub fn take_samples(&self) -> Vec<f64> {
-        std::mem::take(&mut *self.samples.lock())
+        let mut inner = self.inner.lock();
+        inner.epoch += 1;
+        inner.sorted_sum = 0.0;
+        let mut out = std::mem::take(&mut inner.sorted);
+        out.append(&mut inner.recent);
+        out
+    }
+}
+
+/// Ceil nearest-rank percentile over sorted samples: the smallest value
+/// such that at least `q * count` samples are ≤ it.
+fn pct_sorted(sorted: &[f64], q: f64) -> f64 {
+    let count = sorted.len();
+    let rank = ((q * count as f64).ceil() as usize).clamp(1, count);
+    sorted[rank - 1]
+}
+
+fn summarize_sorted(sorted: &[f64], sum: f64) -> Summary {
+    if sorted.is_empty() {
+        return Summary::EMPTY;
+    }
+    let count = sorted.len();
+    Summary {
+        count,
+        min_us: sorted[0],
+        mean_us: sum / count as f64,
+        p50_us: pct_sorted(sorted, 0.50),
+        p95_us: pct_sorted(sorted, 0.95),
+        p99_us: pct_sorted(sorted, 0.99),
+        max_us: sorted[count - 1],
     }
 }
 
 /// Computes a [`Summary`] from raw microsecond samples (sorts in place).
+///
+/// Percentiles use the standard ceil nearest-rank rule: `p99` of 100
+/// samples is the 99th smallest, not the 100th.
 pub fn summarize(samples: &mut [f64]) -> Summary {
     if samples.is_empty() {
         return Summary::EMPTY;
     }
     samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
-    let count = samples.len();
     let sum: f64 = samples.iter().sum();
-    let pct = |q: f64| -> f64 {
-        let idx = ((count as f64 - 1.0) * q).round() as usize;
-        samples[idx]
-    };
-    Summary {
-        count,
-        min_us: samples[0],
-        mean_us: sum / count as f64,
-        p50_us: pct(0.50),
-        p95_us: pct(0.95),
-        p99_us: pct(0.99),
-        max_us: samples[count - 1],
-    }
+    summarize_sorted(samples, sum)
 }
 
 /// A time-bucketed series: samples are grouped into fixed windows so the
@@ -259,10 +361,73 @@ mod tests {
 
     #[test]
     fn percentiles_pick_high_tail() {
+        // Ceil nearest-rank: p-q of n samples is the ceil(q*n)-th smallest.
         let mut samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         let s = summarize(&mut samples);
+        assert_eq!(s.p50_us, 50.0);
         assert_eq!(s.p95_us, 95.0);
-        assert_eq!(s.p99_us, 98.0 + 1.0); // round((99)*0.99)=98 -> samples[98]=99
+        assert_eq!(s.p99_us, 99.0);
+
+        // Odd count: p50 of 5 samples is the 3rd smallest.
+        let mut five: Vec<f64> = vec![100.0, 200.0, 300.0, 400.0, 500.0];
+        assert_eq!(summarize(&mut five).p50_us, 300.0);
+
+        // A single sample is every percentile.
+        let mut one = vec![42.0];
+        let s = summarize(&mut one);
+        assert_eq!((s.p50_us, s.p95_us, s.p99_us), (42.0, 42.0, 42.0));
+    }
+
+    #[test]
+    fn summary_merges_incrementally_across_calls() {
+        let rec = LatencyRecorder::new();
+        for us in [300u64, 100, 500] {
+            rec.record(Duration::from_micros(us));
+        }
+        let first = rec.summary();
+        assert_eq!(first.count, 3);
+        assert_eq!(first.p50_us, 300.0);
+        // Samples recorded after a summary land in the next one.
+        rec.record(Duration::from_micros(200));
+        rec.record(Duration::from_micros(400));
+        let second = rec.summary();
+        assert_eq!(second.count, 5);
+        assert_eq!(second.min_us, 100.0);
+        assert_eq!(second.max_us, 500.0);
+        assert_eq!(second.p50_us, 300.0);
+        assert_eq!(second.mean_us, 300.0);
+        // Idempotent when nothing new arrived (fast path).
+        assert_eq!(rec.summary(), second);
+        assert_eq!(rec.len(), 5);
+    }
+
+    #[test]
+    fn summary_races_with_recorders() {
+        use std::sync::Arc;
+        let rec = Arc::new(LatencyRecorder::new());
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        rec.record_micros((w * 5_000 + i) as f64);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            let s = rec.summary();
+            assert!(s.count <= 20_000);
+            assert!(s.min_us <= s.p50_us && s.p50_us <= s.p99_us && s.p99_us <= s.max_us);
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let s = rec.summary();
+        assert_eq!(s.count, 20_000);
+        assert_eq!(s.min_us, 0.0);
+        assert_eq!(s.max_us, 19_999.0);
+        assert_eq!(s.mean_us, 19_999.0 / 2.0);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use streammine_common::clock::SharedClock;
 use streammine_common::event::{Event, Timestamp, Value};
 use streammine_common::ids::{EventId, OperatorId};
 use streammine_net::{LinkReceiver, LinkSender};
+use streammine_obs::{Histogram, Labels, Obs};
 
 use crate::message::{Control, Message};
 
@@ -171,24 +172,44 @@ pub struct SinkRecord {
     pub versions_seen: u32,
 }
 
-#[derive(Default)]
 struct SinkState {
     records: HashMap<EventId, SinkRecord>,
     final_order: Vec<EventId>,
     revoked: Vec<EventId>,
+    /// Source-push → first (possibly speculative) arrival latency.
+    first_arrival_us: Histogram,
+    /// Source-push → final latency (direct final arrival or finalize).
+    final_us: Histogram,
 }
 
 impl SinkState {
+    fn new(first_arrival_us: Histogram, final_us: Histogram) -> SinkState {
+        SinkState {
+            records: HashMap::new(),
+            final_order: Vec::new(),
+            revoked: Vec::new(),
+            first_arrival_us,
+            final_us,
+        }
+    }
+
     /// Records one data arrival (from a lone message or a batch frame).
     fn record_arrival(&mut self, event: Event, now: Timestamp) {
         let id = event.id;
         let is_final = event.is_final();
-        let entry = self.records.entry(id).or_insert_with(|| SinkRecord {
-            event: event.clone(),
-            first_arrival_us: now,
-            final_at_us: None,
-            versions_seen: 0,
+        let mut fresh = false;
+        let entry = self.records.entry(id).or_insert_with(|| {
+            fresh = true;
+            SinkRecord {
+                event: event.clone(),
+                first_arrival_us: now,
+                final_at_us: None,
+                versions_seen: 0,
+            }
         });
+        if fresh {
+            self.first_arrival_us.record(now.saturating_sub(entry.event.timestamp));
+        }
         if event.version >= entry.event.version {
             if event.version > entry.event.version {
                 entry.versions_seen += 1;
@@ -199,6 +220,7 @@ impl SinkState {
         if is_final && entry.final_at_us.is_none() {
             entry.final_at_us = Some(now);
             entry.event.speculative = false;
+            self.final_us.record(now.saturating_sub(entry.event.timestamp));
             self.final_order.push(id);
         }
     }
@@ -228,8 +250,15 @@ impl SinkHandle {
         rx: LinkReceiver<Message>,
         ctrl_tx: LinkSender<Control>,
         clock: SharedClock,
+        obs: &Obs,
+        from_op: u32,
+        edge: u32,
     ) -> Self {
-        let state: Arc<Mutex<SinkState>> = Arc::new(Mutex::new(SinkState::default()));
+        let labels = Labels::op_port(from_op, edge);
+        let state: Arc<Mutex<SinkState>> = Arc::new(Mutex::new(SinkState::new(
+            obs.registry.histogram("sink.first_arrival_us", labels),
+            obs.registry.histogram("sink.final_us", labels),
+        )));
         let cv = Arc::new(Condvar::new());
         let eof = Arc::new(AtomicU64::new(0));
         let collector = {
@@ -252,12 +281,15 @@ impl SinkHandle {
                                 }
                             }
                             Message::Control(Control::Finalize { id, version }) => {
-                                if let Some(entry) = s.records.get_mut(&id) {
+                                let st = &mut *s;
+                                if let Some(entry) = st.records.get_mut(&id) {
                                     if entry.event.version == version && entry.final_at_us.is_none()
                                     {
                                         entry.final_at_us = Some(now);
                                         entry.event.speculative = false;
-                                        s.final_order.push(id);
+                                        st.final_us
+                                            .record(now.saturating_sub(entry.event.timestamp));
+                                        st.final_order.push(id);
                                     }
                                 }
                             }
@@ -376,7 +408,7 @@ mod tests {
         let (src_ctrl_tx, src_ctrl_rx) = link::<Control>(LinkConfig::instant());
         let (sink_ctrl_tx, _sink_ctrl_rx) = link::<Control>(LinkConfig::instant());
         let source = SourceHandle::new(OperatorId::new(0), data_tx, src_ctrl_rx, clock.clone());
-        let sink = SinkHandle::new(data_rx, sink_ctrl_tx, clock);
+        let sink = SinkHandle::new(data_rx, sink_ctrl_tx, clock, &Obs::new(), 0, 0);
         let _ = src_ctrl_tx;
         (source, sink)
     }

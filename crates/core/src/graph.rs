@@ -16,10 +16,11 @@ use parking_lot::Mutex;
 use streammine_common::clock::{shared, SharedClock, SystemClock};
 use streammine_common::error::{Error, Result};
 use streammine_common::ids::OperatorId;
-use streammine_net::{link, LinkConfig, ResilientSender};
-use streammine_storage::checkpoint::CheckpointStore;
+use streammine_net::{link, EdgeMetrics, LinkConfig, ResilientSender};
+use streammine_obs::{Obs, RegistrySnapshot};
+use streammine_storage::checkpoint::{CheckpointObs, CheckpointStore};
 use streammine_storage::disk::DiskSpec;
-use streammine_storage::log::StableLog;
+use streammine_storage::log::{LogObs, StableLog};
 
 use crate::config::OperatorConfig;
 use crate::endpoints::{SinkHandle, SourceHandle};
@@ -52,6 +53,7 @@ pub struct GraphBuilder {
     sinks: Vec<OperatorId>,   // source operator of each sink
     clock: SharedClock,
     link_config: LinkConfig,
+    obs: Obs,
 }
 
 impl fmt::Debug for GraphBuilder {
@@ -81,6 +83,7 @@ impl GraphBuilder {
             sinks: Vec::new(),
             clock: shared(SystemClock::new()),
             link_config: LinkConfig::instant(),
+            obs: Obs::new(),
         }
     }
 
@@ -88,6 +91,16 @@ impl GraphBuilder {
     #[must_use]
     pub fn with_clock(mut self, clock: SharedClock) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Uses a caller-supplied observability bundle (e.g. [`Obs::tracing`]
+    /// to capture the full speculation lifecycle in the journal). By
+    /// default the graph creates its own bundle, reachable through
+    /// [`Running::obs`].
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -224,6 +237,7 @@ pub(crate) struct NodePersist {
     rng_seed: u64,
     clock: SharedClock,
     health: Arc<NodeHealth>,
+    obs: Obs,
 }
 
 impl NodePersist {
@@ -252,6 +266,7 @@ impl NodePersist {
             log: self.log.clone(),
             checkpoints: self.checkpoints.clone(),
             rng_seed: self.rng_seed,
+            obs: self.obs.clone(),
             health: self.health.clone(),
             recovering,
         }
@@ -288,6 +303,7 @@ impl Graph {
     pub fn start(self) -> Running {
         let b = self.builder;
         let clock = b.clock.clone();
+        let obs = b.obs.clone();
         let n = b.ops.len();
 
         let intakes: Vec<IntakeHandle> = (0..n).map(|_| IntakeHandle::new()).collect();
@@ -311,6 +327,7 @@ impl Graph {
             next_port[t] += 1;
             let out = next_out[f];
             next_out[f] += 1;
+            data_tx.set_metrics(EdgeMetrics::registered(&obs.registry, f as u32, out));
             pumps[t].push(pump_data(port, data_rx, intakes[t].tx.clone()));
             pumps[f].push(pump_ctrl(out, ctrl_rx, intakes[f].tx.clone()));
             edges.push(EdgeHandle {
@@ -346,18 +363,26 @@ impl Graph {
             let out = next_out[f];
             next_out[f] += 1;
             pumps[f].push(pump_ctrl(out, ctrl_rx, intakes[f].tx.clone()));
-            down_data[f].push(ResilientSender::new(data_tx));
-            sinks.push(SinkHandle::new(data_rx, ctrl_tx, clock.clone()));
+            let data_tx = ResilientSender::new(data_tx);
+            data_tx.set_metrics(EdgeMetrics::registered(&obs.registry, f as u32, out));
+            down_data[f].push(data_tx);
+            sinks.push(SinkHandle::new(data_rx, ctrl_tx, clock.clone(), &obs, f as u32, out));
         }
 
         // Persistent per-node infrastructure + node threads.
         let mut nodes = Vec::new();
         for (i, spec) in b.ops.into_iter().enumerate() {
             let log = spec.config.logging.as_ref().map(|lc| StableLog::new(lc.disks.clone()));
+            if let Some(log) = &log {
+                log.attach_obs(LogObs::registered(&obs, i as u32));
+            }
             let checkpoints = spec
                 .config
                 .checkpoint_every
                 .map(|_| Arc::new(CheckpointStore::new(DiskSpec::simulated(Duration::ZERO))));
+            if let Some(store) = &checkpoints {
+                store.attach_obs(CheckpointObs::registered(&obs, i as u32));
+            }
             let persist = NodePersist {
                 id: OperatorId::new(i as u32),
                 operator: spec.operator,
@@ -373,6 +398,7 @@ impl Graph {
                 rng_seed: 0xABCD_0000 + i as u64,
                 clock: clock.clone(),
                 health: Arc::new(NodeHealth::new()),
+                obs: obs.clone(),
             };
             *persist.join.lock() = Some(Node::start(persist.seed(false)));
             nodes.push(persist);
@@ -385,6 +411,7 @@ impl Graph {
             sources,
             sinks,
             stopping: Arc::new(AtomicBool::new(false)),
+            obs,
         }
     }
 }
@@ -406,6 +433,7 @@ pub struct Running {
     sources: Vec<SourceHandle>,
     sinks: Vec<SinkHandle>,
     stopping: Arc<AtomicBool>,
+    obs: Obs,
 }
 
 impl fmt::Debug for Running {
@@ -422,6 +450,35 @@ impl Running {
     /// The graph's clock.
     pub fn clock(&self) -> &SharedClock {
         &self.clock
+    }
+
+    /// The observability bundle every component of this graph reports
+    /// into: the metrics registry and the structured journal.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every engine metric (nodes, edges, log
+    /// writers, checkpoint stores, supervisor).
+    pub fn metrics(&self) -> RegistrySnapshot {
+        self.obs.snapshot()
+    }
+
+    /// The metrics in Prometheus text exposition format, ready to serve
+    /// from a `/metrics` endpoint.
+    pub fn prometheus(&self) -> String {
+        self.obs.prometheus()
+    }
+
+    /// The metrics as a JSON snapshot document.
+    pub fn metrics_json(&self) -> String {
+        self.obs.json()
+    }
+
+    /// The journal's flight-recorder dump (most recent events, oldest
+    /// first) — attach this to failure reports.
+    pub fn journal_dump(&self) -> String {
+        self.obs.journal.render()
     }
 
     /// Handle to a source.
@@ -545,7 +602,7 @@ impl Running {
     /// handle exposes the recovery timeline; dropping it stops monitoring
     /// (nodes keep running).
     pub fn supervise(&self, config: SupervisorConfig) -> Supervisor {
-        Supervisor::spawn(self.nodes.clone(), self.stopping.clone(), config)
+        Supervisor::spawn(self.nodes.clone(), self.stopping.clone(), config, self.obs.clone())
     }
 
     /// Simulates a crash of `op`: the node thread stops and all volatile

@@ -52,6 +52,7 @@ use streammine_common::event::{Event, Value};
 use streammine_common::ids::{EventId, OperatorId};
 use streammine_common::pool::ThreadPool;
 use streammine_common::rng::DetRng;
+use streammine_obs::{Counter, Histogram, Journal, JournalKind, Labels, Obs};
 use streammine_stm::{Serial, StmAbort, StmRuntime, TxnHandle, TxnId};
 use streammine_storage::checkpoint::CheckpointStore;
 use streammine_storage::log::{LogSeq, LogTicket, StableLog};
@@ -97,6 +98,13 @@ struct PendingTxn {
     input_id: EventId,
     port: u32,
     input_ts: u64,
+    /// When the event entered processing; the commit-gate histogram
+    /// measures from here to commit (spec-arrival vs final-commit
+    /// decomposition, §4).
+    started: Instant,
+    /// Rollbacks this event has absorbed so far (its re-execution ordinal,
+    /// reported as the journal's cascade depth).
+    rollbacks: std::sync::atomic::AtomicU64,
     input: Mutex<InputView>,
     handle: TxnHandle,
     /// `(generation, outputs, decisions)` captured by the latest
@@ -152,6 +160,61 @@ struct ProcessedInfo {
     version: u32,
 }
 
+/// Per-node metric handles, registered once at construction. Bumping one
+/// on the hot path is a relaxed atomic op; the registry lock is never
+/// taken after registration.
+#[derive(Clone)]
+struct NodeMetrics {
+    /// Events accepted into processing, per input port.
+    events_in: Vec<Counter>,
+    /// Speculative outputs published before log stability.
+    spec_published: Counter,
+    /// Transactions committed (outputs finalized downstream).
+    spec_finalized: Counter,
+    /// Rollback + re-execution rounds.
+    spec_rollbacks: Counter,
+    /// Upstream replay requests sent (recovery + stall retries).
+    replay_requests: Counter,
+    /// Downstream replay requests served from the link buffer.
+    replay_served: Counter,
+    /// Re-executed outputs swallowed because they were already on the wire.
+    resend_suppressed: Counter,
+    /// Time events sat in a port queue before processing.
+    queue_wait_us: Histogram,
+    /// Operator `process` call duration.
+    process_us: Histogram,
+    /// Append-to-stable latency of decision-log writes, as observed by the
+    /// commit gate (the paper's "one parallel log write" leg).
+    log_wait_us: Histogram,
+    /// Speculative publish → commit time (how long outputs stayed
+    /// speculative).
+    commit_gate_us: Histogram,
+    /// Events per outgoing data frame (micro-batching effectiveness).
+    batch_events: Histogram,
+}
+
+impl NodeMetrics {
+    fn registered(obs: &Obs, op: u32, inputs: usize) -> NodeMetrics {
+        let r = &obs.registry;
+        NodeMetrics {
+            events_in: (0..inputs)
+                .map(|p| r.counter("events.in", Labels::op_port(op, p as u32)))
+                .collect(),
+            spec_published: r.counter("spec.published", Labels::op(op)),
+            spec_finalized: r.counter("spec.finalized", Labels::op(op)),
+            spec_rollbacks: r.counter("spec.rollbacks", Labels::op(op)),
+            replay_requests: r.counter("replay.requests", Labels::op(op)),
+            replay_served: r.counter("replay.served", Labels::op(op)),
+            resend_suppressed: r.counter("resend.suppressed", Labels::op(op)),
+            queue_wait_us: r.histogram("stage.queue_wait_us", Labels::op(op)),
+            process_us: r.histogram("stage.process_us", Labels::op(op)),
+            log_wait_us: r.histogram("stage.log_wait_us", Labels::op(op)),
+            commit_gate_us: r.histogram("stage.commit_gate_us", Labels::op(op)),
+            batch_events: r.histogram("batch.events", Labels::op(op)),
+        }
+    }
+}
+
 pub(crate) struct NodeSeed {
     pub id: OperatorId,
     pub operator: Arc<dyn Operator>,
@@ -163,6 +226,8 @@ pub(crate) struct NodeSeed {
     pub log: Option<StableLog>,
     pub checkpoints: Option<Arc<CheckpointStore>>,
     pub rng_seed: u64,
+    /// Shared observability bundle (metrics registry + journal).
+    pub obs: Obs,
     /// Crash-surviving health record: the loop beats it, the supervisor
     /// watches it.
     pub health: Arc<NodeHealth>,
@@ -186,6 +251,8 @@ pub(crate) struct Node {
     pool: Option<Arc<ThreadPool>>,
     rng: Arc<Mutex<DetRng>>,
     health: Arc<NodeHealth>,
+    obs: Obs,
+    metrics: NodeMetrics,
 
     reorder: Vec<ReorderBuffer>,
     /// Per-port replay progress watchdogs (lost-replay-request retry).
@@ -194,9 +261,10 @@ pub(crate) struct Node {
     /// main loop so a busy node still flushes severed-link queues and
     /// retries replay on schedule.
     last_tick: Instant,
-    /// Per-port queues of `(link_seq, event)` awaiting processing
-    /// (replay-order merge; the link seq feeds checkpoint positions).
-    port_queues: Vec<VecDeque<(u64, Event)>>,
+    /// Per-port queues of `(link_seq, event, enqueued_at)` awaiting
+    /// processing (replay-order merge; the link seq feeds checkpoint
+    /// positions; the enqueue instant feeds the queue-wait histogram).
+    port_queues: Vec<VecDeque<(u64, Event, Instant)>>,
     /// Speculative inputs parked by a non-speculative operator.
     parked: HashMap<EventId, (u32, Event)>,
     replay: Option<ReplayCursor>,
@@ -233,6 +301,7 @@ impl Node {
     /// recovery if a checkpoint or log exists.
     pub fn start(seed: NodeSeed) -> std::thread::JoinHandle<()> {
         let health = seed.health.clone();
+        let journal = seed.obs.journal.clone();
         std::thread::Builder::new()
             .name(format!("node-{}", seed.id))
             .spawn(move || {
@@ -248,7 +317,11 @@ impl Node {
                         .map(String::as_str)
                         .or_else(|| panic.downcast_ref::<&str>().copied())
                         .unwrap_or("<non-string panic>");
-                    eprintln!("[streammine] operator {id} coordinator panicked: {msg}");
+                    journal.warn(
+                        Some(id.index()),
+                        "coordinator-panic",
+                        format!("coordinator panicked: {msg}"),
+                    );
                     // A panicked coordinator is a crash the supervisor can
                     // recover from, not a hung process.
                     health.set_state(NodeState::Crashed);
@@ -300,6 +373,7 @@ impl Node {
         });
         let inputs = seed.up.len();
         let outputs = seed.down.len();
+        let metrics = NodeMetrics::registered(&seed.obs, seed.id.index(), inputs);
         Node {
             id: seed.id,
             operator: seed.operator,
@@ -315,6 +389,8 @@ impl Node {
             pool,
             rng: Arc::new(Mutex::new(DetRng::seed_from(seed.rng_seed))),
             health: seed.health,
+            obs: seed.obs,
+            metrics,
             reorder: (0..inputs).map(|_| ReorderBuffer::new(0)).collect(),
             replay_watch: (0..inputs).map(|_| ReplayWatch::new()).collect(),
             last_tick: Instant::now(),
@@ -371,10 +447,10 @@ impl Node {
                         // Degrade instead of dying: recover from the log
                         // and full upstream replay as if no checkpoint
                         // existed.
-                        eprintln!(
-                            "[streammine] operator {}: checkpoint restore failed ({e}); \
-                             falling back to log + full replay",
-                            self.id
+                        self.obs.journal.warn(
+                            Some(self.id.index()),
+                            "checkpoint-restore-failed",
+                            format!("{e}; falling back to log + full replay"),
                         );
                     }
                 }
@@ -421,10 +497,24 @@ impl Node {
                 for (out, edge) in self.down.iter().enumerate() {
                     self.suppress_sent[out] =
                         edge.events_sent.load(Ordering::Acquire).saturating_sub(sent_baseline[out]);
+                    if self.suppress_sent[out] > 0 {
+                        self.obs.journal.record(
+                            Some(self.id.index()),
+                            JournalKind::ResendSuppressed {
+                                edge: out as u32,
+                                count: self.suppress_sent[out],
+                            },
+                        );
+                    }
                 }
             }
             for (port, edge) in self.up.iter().enumerate() {
                 edge.ctrl_tx.send(Control::ReplayRequest { from: from_positions[port] });
+                self.metrics.replay_requests.incr();
+                self.obs.journal.record(
+                    Some(self.id.index()),
+                    JournalKind::ReplayRequest { port: port as u32, from: from_positions[port] },
+                );
                 // Watch the port until the replay actually lands: the
                 // request can be lost if the upstream crashes before
                 // serving it, and then only a retry unwedges recovery.
@@ -527,6 +617,11 @@ impl Node {
             let stuck = watch.outstanding.is_some() || self.reorder[port].has_held();
             if stuck && now.duration_since(watch.last_progress) >= REPLAY_RETRY {
                 self.up[port].ctrl_tx.send(Control::ReplayRequest { from: next });
+                self.metrics.replay_requests.incr();
+                self.obs.journal.record(
+                    Some(self.id.index()),
+                    JournalKind::ReplayRequest { port: port as u32, from: next },
+                );
                 watch.last_progress = now;
             }
         }
@@ -559,15 +654,16 @@ impl Node {
     fn handle_upstream(&mut self, port: u32, link_seq: u64, msg: Message) {
         match msg {
             Message::Data(event) => {
-                self.port_queues[port as usize].push_back((link_seq, event));
+                self.port_queues[port as usize].push_back((link_seq, event, Instant::now()));
             }
             Message::DataBatch(events) => {
                 // Expand the batch in place: every event shares the
                 // frame's link sequence, so replay positions stay at
                 // whole-batch boundaries.
+                let now = Instant::now();
                 let queue = &mut self.port_queues[port as usize];
                 for event in events {
-                    queue.push_back((link_seq, event));
+                    queue.push_back((link_seq, event, now));
                 }
             }
             Message::Control(Control::Finalize { id, version }) => {
@@ -593,7 +689,13 @@ impl Node {
     fn handle_downstream(&mut self, out: u32, ctrl: Control) {
         match ctrl {
             Control::Ack { upto } => self.down[out as usize].data_tx.ack_upto(upto),
-            Control::ReplayRequest { from } => self.down[out as usize].data_tx.replay_from(from),
+            Control::ReplayRequest { from } => {
+                self.metrics.replay_served.incr();
+                self.obs
+                    .journal
+                    .record(Some(self.id.index()), JournalKind::ReplayServe { edge: out, from });
+                self.down[out as usize].data_tx.replay_from(from);
+            }
             other => debug_assert!(false, "unexpected downstream control {other}"),
         }
     }
@@ -617,7 +719,9 @@ impl Node {
                     // enable logging for precise recovery.
                     match (0..self.port_queues.len()).find(|&p| !self.port_queues[p].is_empty()) {
                         Some(p) => {
-                            let (_seq, event) = self.port_queues[p].pop_front().expect("nonempty");
+                            let (_seq, event, enq) =
+                                self.port_queues[p].pop_front().expect("nonempty");
+                            self.metrics.queue_wait_us.record_duration(enq.elapsed());
                             self.accept_event(p as u32, event, None);
                             continue;
                         }
@@ -627,7 +731,9 @@ impl Node {
                 // Find the logged input-choice; default port 0.
                 let record_port =
                     self.replay.as_ref().and_then(ReplayCursor::peek_input_choice).unwrap_or(0);
-                if let Some((_seq, event)) = self.port_queues[record_port as usize].pop_front() {
+                if let Some((_seq, event, enq)) = self.port_queues[record_port as usize].pop_front()
+                {
+                    self.metrics.queue_wait_us.record_duration(enq.elapsed());
                     let record = self.replay.as_mut().expect("replaying").take(front_serial);
                     self.accept_event(record_port, event, Some(record));
                     continue;
@@ -642,7 +748,8 @@ impl Node {
                 Some(p) => p,
                 None => return,
             };
-            let (_seq, event) = self.port_queues[port].pop_front().expect("nonempty");
+            let (_seq, event, enq) = self.port_queues[port].pop_front().expect("nonempty");
+            self.metrics.queue_wait_us.record_duration(enq.elapsed());
             self.accept_event(port as u32, event, None);
         }
     }
@@ -650,6 +757,9 @@ impl Node {
     /// Routes one data event into processing, handling duplicates,
     /// revisions, and non-speculative parking.
     fn accept_event(&mut self, port: u32, event: Event, replayed: Option<DecisionRecord>) {
+        if let Some(c) = self.metrics.events_in.get(port as usize) {
+            c.incr();
+        }
         // Revision of an in-flight speculative input?
         if let Some(pending) = self.pending.get(&event.id).cloned() {
             let current = pending.input.lock().version;
@@ -682,6 +792,7 @@ impl Node {
     fn process_nonspec(&mut self, port: u32, event: Event, replayed: Option<DecisionRecord>) {
         let serial = self.next_serial;
         self.next_serial += 1;
+        self.obs.journal.record(Some(self.id.index()), JournalKind::Ingest { serial, port });
         let replaying = replayed.is_some();
         let mut decisions = DecisionRecord::new(serial);
         if self.up.len() > 1 {
@@ -707,13 +818,17 @@ impl Node {
             input_port: PortId(port),
             input_ts: event.timestamp,
         };
-        if self.operator.process(&mut ctx, &event).is_err() {
+        let process_start = Instant::now();
+        let process_result = self.operator.process(&mut ctx, &event);
+        self.metrics.process_us.record_duration(process_start.elapsed());
+        if process_result.is_err() {
             // StmAbort cannot legitimately occur outside speculative mode;
             // treat it as an operator bug and drop the event's outputs
             // rather than killing the coordinator.
-            eprintln!(
-                "[streammine] operator {}: plain-mode process aborted on {}; outputs dropped",
-                self.id, event.id
+            self.obs.journal.warn(
+                Some(self.id.index()),
+                "plain-mode-abort",
+                format!("process aborted on {}; outputs dropped", event.id),
             );
         }
         let outputs = assign_output_ids(self.id, serial, event.timestamp, &ctx.outputs, false);
@@ -726,10 +841,13 @@ impl Node {
         match (&self.log, replaying) {
             (Some(log), false) if !decisions.is_empty() => {
                 // Hold outputs until the decision record is stable (§2.4).
+                let appended_at = Instant::now();
                 let ticket = log.append_batch(vec![encode_to_vec(&decisions)]);
                 let intake = self.intake.tx.clone();
+                let log_wait = self.metrics.log_wait_us.clone();
                 let s = serial;
                 ticket.subscribe(move || {
+                    log_wait.record_duration(appended_at.elapsed());
                     let _ = intake.send(Intake::LogStable { serial: s });
                 });
                 self.hold_queue
@@ -745,6 +863,7 @@ impl Node {
     }
 
     fn on_log_stable(&mut self, serial: u64) {
+        self.obs.journal.record(Some(self.id.index()), JournalKind::LogStable { serial });
         // Non-speculative mode: flush the stable prefix in serial order
         // (keeps FIFO downstream).
         while let Some((_s, held)) = self.hold_queue.front() {
@@ -778,6 +897,7 @@ impl Node {
                         // `suppress_sent` field) — do not append a
                         // duplicate copy at a fresh link sequence.
                         self.suppress_sent[out] -= 1;
+                        self.metrics.resend_suppressed.incr();
                         continue;
                     }
                     self.out_batch[out].push(event.clone());
@@ -799,6 +919,7 @@ impl Node {
             1 => Message::Data(events.into_iter().next().expect("len checked")),
             _ => Message::DataBatch(events),
         };
+        self.metrics.batch_events.record(msg.event_count() as u64);
         self.down[out].events_sent.fetch_add(msg.event_count() as u64, Ordering::AcqRel);
         let _ = self.down[out].data_tx.send(msg);
     }
@@ -816,6 +937,7 @@ impl Node {
     fn process_spec(&mut self, port: u32, event: Event, replayed: Option<DecisionRecord>) {
         let serial = self.next_serial;
         self.next_serial += 1;
+        self.obs.journal.record(Some(self.id.index()), JournalKind::Ingest { serial, port });
         let stm = self.stm.as_ref().expect("speculative node has an stm");
         let handle = stm.begin(Serial(serial));
         let pending = Arc::new(PendingTxn {
@@ -823,6 +945,8 @@ impl Node {
             input_id: event.id,
             port,
             input_ts: event.timestamp,
+            started: Instant::now(),
+            rollbacks: std::sync::atomic::AtomicU64::new(0),
             input: Mutex::new(InputView {
                 version: event.version,
                 payload: event.payload.clone(),
@@ -852,6 +976,7 @@ impl Node {
         let rng = self.rng.clone();
         let clock = self.clock.clone();
         let multi_input = self.up.len() > 1;
+        let process_us = self.metrics.process_us.clone();
         let job = {
             let pending = pending.clone();
             move || {
@@ -891,7 +1016,10 @@ impl Node {
                         input_port: PortId(pending.port),
                         input_ts: pending.input_ts,
                     };
-                    operator.process(&mut ctx, &event)?;
+                    let process_start = Instant::now();
+                    let process_result = operator.process(&mut ctx, &event);
+                    process_us.record_duration(process_start.elapsed());
+                    process_result?;
                     // Live draws re-draw on retry; the final attempt's
                     // record is what gets logged and later replayed. The
                     // generation tag orders diff application across
@@ -912,6 +1040,10 @@ impl Node {
             down: self.down.iter().map(|d| d.data_tx.clone()).collect(),
             log: self.log.clone(),
             intake: this_intake,
+            journal: self.obs.journal.clone(),
+            spec_published: self.metrics.spec_published.clone(),
+            log_wait_us: self.metrics.log_wait_us.clone(),
+            batch_events: self.metrics.batch_events.clone(),
         };
         let run = move || {
             if job().is_ok() {
@@ -1013,6 +1145,11 @@ impl Node {
                 }
             }
         }
+        self.metrics.spec_finalized.incr();
+        self.metrics.commit_gate_us.record_duration(pending.started.elapsed());
+        self.obs
+            .journal
+            .record(Some(self.id.index()), JournalKind::Commit { serial: pending.serial });
         let version = pending.input.lock().version;
         self.processed.insert(id, ProcessedInfo { version });
         self.pending.remove(&id);
@@ -1025,6 +1162,12 @@ impl Node {
     fn on_txn_aborted(&mut self, txn: TxnId) {
         let Some(id) = self.pending_by_txn.get(&txn).cloned() else { return };
         let Some(pending) = self.pending.get(&id).cloned() else { return };
+        self.metrics.spec_rollbacks.incr();
+        let depth = pending.rollbacks.fetch_add(1, Ordering::Relaxed) + 1;
+        self.obs.journal.record(
+            Some(self.id.index()),
+            JournalKind::Rollback { serial: pending.serial, cascade_depth: depth as u32 },
+        );
         // Cascade abort: re-execute the event (§3: rollback + re-execution).
         self.spawn_attempt(pending, None);
     }
@@ -1074,7 +1217,7 @@ impl Node {
             .port_queues
             .iter()
             .zip(&self.reorder)
-            .map(|(q, r)| q.front().map(|(seq, _)| *seq).unwrap_or_else(|| r.next_seq()))
+            .map(|(q, r)| q.front().map(|(seq, _, _)| *seq).unwrap_or_else(|| r.next_seq()))
             .collect();
         let covers_log = LogSeq(self.log.as_ref().map(|l| l.appended()).unwrap_or(0));
         // The serialized RNG goes into the checkpoint so the random stream
@@ -1085,13 +1228,17 @@ impl Node {
         // the baseline recovery subtracts to size its resend suppression.
         let outputs_sent: Vec<u64> =
             self.down.iter().map(|e| e.events_sent.load(Ordering::Acquire)).collect();
-        store.save(
+        let cp = store.save(
             covers_log,
             self.next_serial,
             positions.clone(),
             outputs_sent,
             self.registry.snapshot(),
             rng_state,
+        );
+        self.obs.journal.record(
+            Some(self.id.index()),
+            JournalKind::CheckpointSaved { id: cp.id, covers_log: covers_log.0 },
         );
         if let Some(log) = &self.log {
             log.truncate_below(covers_log);
@@ -1110,6 +1257,10 @@ struct NodeSendView {
     down: Vec<streammine_net::ResilientSender<Message>>,
     log: Option<StableLog>,
     intake: Sender<Intake>,
+    journal: Arc<Journal>,
+    spec_published: Counter,
+    log_wait_us: Histogram,
+    batch_events: Histogram,
 }
 
 impl NodeSendView {
@@ -1178,6 +1329,7 @@ impl NodeSendView {
             // messages into one `DataBatch` frame per edge. Control
             // messages (revokes) act as barriers, so relative data/control
             // order on each link is exactly what unbatched sending yields.
+            let mut published = 0u64;
             for (out, edge) in self.down.iter().enumerate() {
                 let mut run: Vec<Event> = Vec::new();
                 for (msg, target) in &to_send {
@@ -1185,14 +1337,24 @@ impl NodeSendView {
                         continue;
                     }
                     match msg {
-                        Message::Data(e) => run.push(e.clone()),
+                        Message::Data(e) => {
+                            run.push(e.clone());
+                            published += 1;
+                        }
                         other => {
-                            flush_run(edge, &mut run);
+                            flush_run(edge, &mut run, &self.batch_events);
                             edge.send(other.clone());
                         }
                     }
                 }
-                flush_run(edge, &mut run);
+                flush_run(edge, &mut run, &self.batch_events);
+            }
+            if published > 0 {
+                self.spec_published.add(published);
+                self.journal.record(
+                    Some(self.id.index()),
+                    JournalKind::SpecPublish { serial: pending.serial, outputs: published as u32 },
+                );
             }
 
             // Log this attempt's decisions inside the same generation-
@@ -1202,10 +1364,13 @@ impl NodeSendView {
             // the surviving generation's.
             if must_log {
                 let log = self.log.as_ref().expect("must_log implies log");
+                let appended_at = Instant::now();
                 let ticket = log.append_batch(vec![encode_to_vec(&decisions)]);
                 let intake = self.intake.clone();
+                let log_wait = self.log_wait_us.clone();
                 let serial = pending.serial;
                 ticket.subscribe(move || {
+                    log_wait.record_duration(appended_at.elapsed());
                     let _ = intake.send(Intake::LogStable { serial });
                 });
                 *pending.log_ticket.lock() = Some(ticket);
@@ -1218,13 +1383,18 @@ impl NodeSendView {
 
 /// Sends a run of consecutive data events on one edge: nothing for an
 /// empty run, plain `Data` for one event, a `DataBatch` frame otherwise.
-fn flush_run(edge: &streammine_net::ResilientSender<Message>, run: &mut Vec<Event>) {
+fn flush_run(
+    edge: &streammine_net::ResilientSender<Message>,
+    run: &mut Vec<Event>,
+    batch_events: &Histogram,
+) {
     let events = std::mem::take(run);
     let msg = match events.len() {
         0 => return,
         1 => Message::Data(events.into_iter().next().expect("len checked")),
         _ => Message::DataBatch(events),
     };
+    batch_events.record(msg.event_count() as u64);
     edge.send(msg);
 }
 

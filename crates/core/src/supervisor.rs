@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use streammine_common::ids::OperatorId;
 use streammine_net::BackoffConfig;
+use streammine_obs::{JournalKind, Labels, Obs};
 
 use crate::graph::NodePersist;
 
@@ -173,6 +174,7 @@ impl Supervisor {
         nodes: Arc<Vec<NodePersist>>,
         stopping: Arc<AtomicBool>,
         config: SupervisorConfig,
+        obs: Obs,
     ) -> Supervisor {
         let events: Arc<Mutex<Vec<RecoveryEvent>>> = Arc::new(Mutex::new(Vec::new()));
         let stop = Arc::new(AtomicBool::new(false));
@@ -182,7 +184,7 @@ impl Supervisor {
             std::thread::Builder::new()
                 .name("supervisor".into())
                 .spawn(move || {
-                    monitor(&nodes, &stopping, &stop, &config, &events);
+                    monitor(&nodes, &stopping, &stop, &config, &events, &obs);
                 })
                 .ok()
         };
@@ -220,6 +222,7 @@ fn monitor(
     stop: &AtomicBool,
     config: &SupervisorConfig,
     events: &Mutex<Vec<RecoveryEvent>>,
+    obs: &Obs,
 ) {
     let now = Instant::now();
     let mut track: Vec<NodeTrack> = nodes
@@ -243,6 +246,17 @@ fn monitor(
                 if now >= at {
                     node.restart();
                     events.lock().push(ev.clone());
+                    // Mirror the event into the registry + journal so the
+                    // recovery timeline is assertable from metrics alone.
+                    let op = node.id().index();
+                    obs.registry.counter("recovery.restarts", Labels::op(op)).incr();
+                    obs.journal.record(
+                        Some(op),
+                        JournalKind::Restart {
+                            attempt: ev.attempt,
+                            backoff_us: ev.backoff.as_micros() as u64,
+                        },
+                    );
                     t.restart_at = None;
                     t.restarted_at = Some(now);
                     t.last_beats = node.health().beats();

@@ -36,7 +36,7 @@
 
 pub mod resilient;
 
-pub use resilient::{BackoffConfig, ResilientSender, SendOutcome};
+pub use resilient::{BackoffConfig, EdgeMetrics, ResilientSender, SendOutcome};
 
 use std::collections::VecDeque;
 use std::fmt;

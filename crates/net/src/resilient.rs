@@ -16,8 +16,53 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use streammine_obs::{Counter, Labels, Registry};
 
 use crate::{LinkError, LinkSender};
+
+/// Per-edge transport counters, registered under `(op, edge)` labels.
+///
+/// `sent` counts messages delivered to the link (first transmissions and
+/// retransmissions alike), `queued` counts sends degraded into buffering
+/// because the link was down, and `retransmits` counts queued messages
+/// later drained onto a healed link.
+#[derive(Clone, Debug)]
+pub struct EdgeMetrics {
+    /// Messages delivered to the underlying link.
+    pub sent: Counter,
+    /// Sends buffered because the link was severed.
+    pub queued: Counter,
+    /// Buffered messages retransmitted after the link healed.
+    pub retransmits: Counter,
+}
+
+impl EdgeMetrics {
+    /// Counters not attached to any registry (the default).
+    pub fn detached() -> EdgeMetrics {
+        EdgeMetrics {
+            sent: Counter::detached(),
+            queued: Counter::detached(),
+            retransmits: Counter::detached(),
+        }
+    }
+
+    /// Registers the counters as `edge.sent` / `edge.queued` /
+    /// `edge.retransmits` labeled with the owning operator and edge index.
+    pub fn registered(registry: &Registry, op: u32, edge: u32) -> EdgeMetrics {
+        let labels = Labels::op_port(op, edge);
+        EdgeMetrics {
+            sent: registry.counter("edge.sent", labels),
+            queued: registry.counter("edge.queued", labels),
+            retransmits: registry.counter("edge.retransmits", labels),
+        }
+    }
+}
+
+impl Default for EdgeMetrics {
+    fn default() -> Self {
+        EdgeMetrics::detached()
+    }
+}
 
 /// Reconnect backoff policy: `base * 2^(failures-1)`, capped at `cap`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +103,7 @@ struct RetryState<T> {
     pending: VecDeque<T>,
     failures: u32,
     next_attempt: Instant,
+    metrics: EdgeMetrics,
 }
 
 /// A [`LinkSender`] that buffers instead of failing while the link is down.
@@ -103,8 +149,14 @@ impl<T: Clone + Send + 'static> ResilientSender<T> {
                 pending: VecDeque::new(),
                 failures: 0,
                 next_attempt: Instant::now(),
+                metrics: EdgeMetrics::detached(),
             })),
         }
+    }
+
+    /// Attaches registered transport counters; shared by all clones.
+    pub fn set_metrics(&self, metrics: EdgeMetrics) {
+        self.state.lock().metrics = metrics;
     }
 
     /// Sends or queues a message; never fails and never reorders.
@@ -118,17 +170,20 @@ impl<T: Clone + Send + 'static> ResilientSender<T> {
             Self::drain(&self.inner, &self.backoff, &mut state);
             if !state.pending.is_empty() {
                 state.pending.push_back(msg);
+                state.metrics.queued.incr();
                 return SendOutcome::Queued;
             }
         }
         match self.inner.send(msg.clone()) {
             Ok(seq) => {
                 state.failures = 0;
+                state.metrics.sent.incr();
                 SendOutcome::Sent(seq)
             }
             Err(LinkError::Disconnected | LinkError::Timeout) => {
                 state.pending.push_back(msg);
                 state.failures += 1;
+                state.metrics.queued.incr();
                 state.next_attempt = Instant::now() + self.backoff.delay(state.failures);
                 SendOutcome::Queued
             }
@@ -157,6 +212,8 @@ impl<T: Clone + Send + 'static> ResilientSender<T> {
                 Ok(_) => {
                     state.pending.pop_front();
                     state.failures = 0;
+                    state.metrics.sent.incr();
+                    state.metrics.retransmits.incr();
                 }
                 Err(_) => {
                     state.failures += 1;
@@ -280,6 +337,29 @@ mod tests {
         // link is healthy again.
         assert_eq!(tx.flush(), 1);
         assert_eq!(tx.failures(), 1);
+    }
+
+    #[test]
+    fn metrics_count_sends_queues_and_retransmits() {
+        let registry = Registry::new();
+        let (tx, rx) = link::<u8>(LinkConfig::instant());
+        let tx = ResilientSender::with_backoff(
+            tx,
+            BackoffConfig { base: Duration::ZERO, cap: Duration::ZERO },
+        );
+        tx.set_metrics(EdgeMetrics::registered(&registry, 2, 0));
+        let labels = Labels::op_port(2, 0);
+        tx.send(1);
+        tx.sever();
+        tx.send(2);
+        tx.send(3);
+        assert_eq!(registry.counter_value("edge.sent", labels), Some(1));
+        assert_eq!(registry.counter_value("edge.queued", labels), Some(2));
+        tx.heal();
+        assert_eq!(tx.flush(), 0);
+        assert_eq!(registry.counter_value("edge.retransmits", labels), Some(2));
+        assert_eq!(registry.counter_value("edge.sent", labels), Some(3));
+        drop(rx);
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! Ring-buffered structured event journal.
+//!
+//! The journal replaces ad-hoc `eprintln!` diagnostics with typed,
+//! timestamped records of the speculation lifecycle: event ingest →
+//! speculative publish → log stable → commit (or rollback, with cascade
+//! depth), plus replay/resend decisions, checkpoints, and supervised
+//! restarts. Records live in a bounded ring so a long run cannot grow
+//! without bound; when a test fails or a chaos run diverges, the tail of
+//! the ring — rendered by [`Journal::render`] — is the flight recorder.
+//!
+//! Recording is gated by a [`Verbosity`] level read with a single relaxed
+//! atomic load, so a disabled journal costs one branch on the hot path.
+//! Nothing is ever printed unless echo is explicitly enabled (or a level
+//! is forced via the `STREAMMINE_OBS` environment variable), keeping test
+//! output silent by default.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// How much the journal records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// Record nothing.
+    Off = 0,
+    /// Record only warnings and supervised restarts (the default).
+    Warn = 1,
+    /// Record the full speculation lifecycle.
+    Trace = 2,
+}
+
+impl Verbosity {
+    fn from_u8(v: u8) -> Verbosity {
+        match v {
+            0 => Verbosity::Off,
+            1 => Verbosity::Warn,
+            _ => Verbosity::Trace,
+        }
+    }
+}
+
+/// What happened. Every variant carries the ids needed to correlate it
+/// with the graph: the owning operator rides on [`JournalEvent::op`],
+/// ports/edges and transaction serials ride here.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalKind {
+    /// An input event entered processing on `port` as transaction `serial`.
+    Ingest {
+        /// Transaction serial assigned to the event.
+        serial: u64,
+        /// Input port it arrived on.
+        port: u32,
+    },
+    /// A speculative attempt published `outputs` events downstream before
+    /// its log write was stable.
+    SpecPublish {
+        /// Transaction serial.
+        serial: u64,
+        /// Number of events published.
+        outputs: u32,
+    },
+    /// The log write covering transaction `serial` became stable.
+    LogStable {
+        /// Transaction serial.
+        serial: u64,
+    },
+    /// Transaction `serial` committed; its outputs are final.
+    Commit {
+        /// Transaction serial.
+        serial: u64,
+    },
+    /// A speculative attempt aborted and will re-execute; `cascade_depth`
+    /// counts how many dependent transactions the rollback dragged along.
+    Rollback {
+        /// Transaction serial.
+        serial: u64,
+        /// Transactions aborted downstream of this one.
+        cascade_depth: u32,
+    },
+    /// Recovery asked upstream `port` to replay from link sequence `from`.
+    ReplayRequest {
+        /// Input port.
+        port: u32,
+        /// First link sequence requested.
+        from: u64,
+    },
+    /// This node served a downstream replay request on output `edge`.
+    ReplayServe {
+        /// Output edge index.
+        edge: u32,
+        /// First link sequence replayed.
+        from: u64,
+    },
+    /// Re-executed outputs on `edge` were suppressed instead of re-sent
+    /// (they were already on the wire before the crash).
+    ResendSuppressed {
+        /// Output edge index.
+        edge: u32,
+        /// Events suppressed.
+        count: u64,
+    },
+    /// A checkpoint was saved.
+    CheckpointSaved {
+        /// Checkpoint id.
+        id: u64,
+        /// The checkpoint covers log records below this sequence.
+        covers_log: u64,
+    },
+    /// The supervisor restarted a crashed node.
+    Restart {
+        /// Restart attempt number for this node.
+        attempt: u32,
+        /// Backoff waited before the restart, in microseconds.
+        backoff_us: u64,
+    },
+    /// Something degraded: a short machine-readable code plus detail.
+    Warn {
+        /// Stable code, e.g. `checkpoint-restore-failed`.
+        code: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl JournalKind {
+    /// The minimum verbosity at which this record is kept.
+    pub fn level(&self) -> Verbosity {
+        match self {
+            JournalKind::Warn { .. } | JournalKind::Restart { .. } => Verbosity::Warn,
+            _ => Verbosity::Trace,
+        }
+    }
+}
+
+/// One journal record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalEvent {
+    /// Monotone sequence number (never resets, survives ring eviction).
+    pub seq: u64,
+    /// Microseconds since the journal was created.
+    pub at_us: u64,
+    /// Owning operator (node) index, when the record is node-scoped.
+    pub op: Option<u32>,
+    /// What happened.
+    pub kind: JournalKind,
+}
+
+impl fmt::Display for JournalEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10}us", self.at_us)?;
+        match self.op {
+            Some(op) => write!(f, " op{op}]")?,
+            None => write!(f, "     ]")?,
+        }
+        match &self.kind {
+            JournalKind::Ingest { serial, port } => {
+                write!(f, " ingest serial={serial} port={port}")
+            }
+            JournalKind::SpecPublish { serial, outputs } => {
+                write!(f, " spec-publish serial={serial} outputs={outputs}")
+            }
+            JournalKind::LogStable { serial } => write!(f, " log-stable serial={serial}"),
+            JournalKind::Commit { serial } => write!(f, " commit serial={serial}"),
+            JournalKind::Rollback { serial, cascade_depth } => {
+                write!(f, " rollback serial={serial} cascade={cascade_depth}")
+            }
+            JournalKind::ReplayRequest { port, from } => {
+                write!(f, " replay-request port={port} from={from}")
+            }
+            JournalKind::ReplayServe { edge, from } => {
+                write!(f, " replay-serve edge={edge} from={from}")
+            }
+            JournalKind::ResendSuppressed { edge, count } => {
+                write!(f, " resend-suppressed edge={edge} count={count}")
+            }
+            JournalKind::CheckpointSaved { id, covers_log } => {
+                write!(f, " checkpoint-saved id={id} covers-log={covers_log}")
+            }
+            JournalKind::Restart { attempt, backoff_us } => {
+                write!(f, " restart attempt={attempt} backoff={backoff_us}us")
+            }
+            JournalKind::Warn { code, detail } => write!(f, " WARN {code}: {detail}"),
+        }
+    }
+}
+
+/// Default ring capacity.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
+
+/// The ring-buffered journal. Shared by every node of a graph.
+pub struct Journal {
+    level: AtomicU8,
+    echo: AtomicBool,
+    ring: Mutex<VecDeque<JournalEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+    seq: AtomicU64,
+    start: Instant,
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("level", &self.level())
+            .field("len", &self.ring.lock().len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::new()
+    }
+}
+
+impl Journal {
+    /// A journal with the default capacity at [`Verbosity::Warn`] (or the
+    /// level named by the `STREAMMINE_OBS` environment variable: `off`,
+    /// `warn`, `trace` — `trace` also echoes to stderr).
+    pub fn new() -> Journal {
+        let mut level = Verbosity::Warn;
+        let mut echo = false;
+        match std::env::var("STREAMMINE_OBS").ok().as_deref() {
+            Some("off") => level = Verbosity::Off,
+            Some("warn") => level = Verbosity::Warn,
+            Some("trace") => {
+                level = Verbosity::Trace;
+                echo = true;
+            }
+            _ => {}
+        }
+        Journal::with_level(DEFAULT_JOURNAL_CAPACITY, level).echoing(echo)
+    }
+
+    /// A journal with explicit capacity and level.
+    pub fn with_level(capacity: usize, level: Verbosity) -> Journal {
+        Journal {
+            level: AtomicU8::new(level as u8),
+            echo: AtomicBool::new(false),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity: capacity.max(1),
+            dropped: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            start: Instant::now(),
+        }
+    }
+
+    fn echoing(self, echo: bool) -> Journal {
+        self.echo.store(echo, Ordering::Relaxed);
+        self
+    }
+
+    /// Current verbosity.
+    pub fn level(&self) -> Verbosity {
+        Verbosity::from_u8(self.level.load(Ordering::Relaxed))
+    }
+
+    /// Changes the verbosity.
+    pub fn set_level(&self, level: Verbosity) {
+        self.level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// Mirrors every kept record to stderr (debugging aid; off by default).
+    pub fn set_echo(&self, echo: bool) {
+        self.echo.store(echo, Ordering::Relaxed);
+    }
+
+    /// Whether records at `level` are currently kept. Callers building an
+    /// expensive record can skip the work when this is false; `record`
+    /// performs the same check itself.
+    pub fn enabled(&self, level: Verbosity) -> bool {
+        self.level.load(Ordering::Relaxed) >= level as u8
+    }
+
+    /// Appends a record if the current verbosity keeps it.
+    pub fn record(&self, op: Option<u32>, kind: JournalKind) {
+        if !self.enabled(kind.level()) {
+            return;
+        }
+        let ev = JournalEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            at_us: self.start.elapsed().as_micros() as u64,
+            op,
+            kind,
+        };
+        if self.echo.load(Ordering::Relaxed) {
+            eprintln!("[obs] {ev}");
+        }
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(ev);
+    }
+
+    /// Convenience: records a [`JournalKind::Warn`].
+    pub fn warn(&self, op: Option<u32>, code: &'static str, detail: String) {
+        self.record(op, JournalKind::Warn { code, detail });
+    }
+
+    /// Copies out the retained records, oldest first.
+    pub fn events(&self) -> Vec<JournalEvent> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Records retained that match a predicate.
+    pub fn count_matching(&self, pred: impl Fn(&JournalEvent) -> bool) -> usize {
+        self.ring.lock().iter().filter(|e| pred(e)).count()
+    }
+
+    /// Records evicted from the ring since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// Drops all retained records (the eviction counter is kept).
+    pub fn clear(&self) {
+        self.ring.lock().clear();
+    }
+
+    /// Renders the retained records as one printable flight-recorder dump.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let ring = self.ring.lock();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== journal ({} records, {} evicted) ===",
+            ring.len(),
+            self.dropped.load(Ordering::Relaxed)
+        );
+        for ev in ring.iter() {
+            let _ = writeln!(out, "{ev}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_journal(cap: usize) -> Journal {
+        Journal::with_level(cap, Verbosity::Trace)
+    }
+
+    #[test]
+    fn off_level_records_nothing() {
+        let j = Journal::with_level(16, Verbosity::Off);
+        j.record(Some(0), JournalKind::Commit { serial: 1 });
+        j.warn(None, "x", "y".into());
+        assert!(j.is_empty());
+        assert!(!j.enabled(Verbosity::Warn));
+    }
+
+    #[test]
+    fn warn_level_keeps_warnings_and_restarts_only() {
+        let j = Journal::with_level(16, Verbosity::Warn);
+        j.record(Some(2), JournalKind::Ingest { serial: 0, port: 0 });
+        j.record(Some(2), JournalKind::SpecPublish { serial: 0, outputs: 3 });
+        j.warn(Some(2), "torn-tail", "dropped 1 group".into());
+        j.record(Some(1), JournalKind::Restart { attempt: 1, backoff_us: 500 });
+        let evs = j.events();
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(evs[0].kind, JournalKind::Warn { code: "torn-tail", .. }));
+        assert!(matches!(evs[1].kind, JournalKind::Restart { attempt: 1, .. }));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let j = trace_journal(4);
+        for serial in 0..10 {
+            j.record(Some(0), JournalKind::Commit { serial });
+        }
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.dropped(), 6);
+        let evs = j.events();
+        assert!(matches!(evs[0].kind, JournalKind::Commit { serial: 6 }));
+        assert!(matches!(evs[3].kind, JournalKind::Commit { serial: 9 }));
+        // Sequence numbers survive eviction.
+        assert_eq!(evs[0].seq, 6);
+    }
+
+    #[test]
+    fn lifecycle_renders_in_order() {
+        let j = trace_journal(64);
+        j.record(Some(0), JournalKind::Ingest { serial: 7, port: 1 });
+        j.record(Some(0), JournalKind::SpecPublish { serial: 7, outputs: 2 });
+        j.record(Some(0), JournalKind::LogStable { serial: 7 });
+        j.record(Some(0), JournalKind::Commit { serial: 7 });
+        let dump = j.render();
+        let ingest = dump.find("ingest serial=7").unwrap();
+        let publish = dump.find("spec-publish serial=7").unwrap();
+        let stable = dump.find("log-stable serial=7").unwrap();
+        let commit = dump.find("commit serial=7").unwrap();
+        assert!(ingest < publish && publish < stable && stable < commit, "{dump}");
+    }
+
+    #[test]
+    fn count_matching_filters() {
+        let j = trace_journal(64);
+        j.record(Some(0), JournalKind::Rollback { serial: 1, cascade_depth: 2 });
+        j.record(Some(1), JournalKind::Rollback { serial: 2, cascade_depth: 0 });
+        j.record(Some(0), JournalKind::Commit { serial: 3 });
+        assert_eq!(j.count_matching(|e| matches!(e.kind, JournalKind::Rollback { .. })), 2);
+        assert_eq!(j.count_matching(|e| e.op == Some(0)), 2);
+    }
+
+    #[test]
+    fn clear_keeps_drop_counter() {
+        let j = trace_journal(2);
+        for serial in 0..5 {
+            j.record(None, JournalKind::LogStable { serial });
+        }
+        assert_eq!(j.dropped(), 3);
+        j.clear();
+        assert!(j.is_empty());
+        assert_eq!(j.dropped(), 3);
+    }
+}

@@ -1,0 +1,96 @@
+//! Unified observability for StreamMine.
+//!
+//! Three pieces, designed so the paper's latency claims are *measurable
+//! from inside the engine* instead of only from benchmark harnesses:
+//!
+//! * [`Registry`] — a lock-free metrics registry of named counters,
+//!   gauges, and fixed-bucket log₂ histograms keyed by `(op, port/edge)`
+//!   [`Labels`]. Every node, edge transport, log writer, and the
+//!   supervisor registers here; the hot path is a relaxed atomic add.
+//! * [`Journal`] — a ring-buffered structured event journal recording the
+//!   speculation lifecycle (ingest → speculative publish → log stable →
+//!   commit/rollback with cascade depth, replay and resend decisions).
+//!   It replaces ad-hoc `eprintln!`s, is silent by default, and its
+//!   [`Journal::render`] dump is the flight recorder for failed tests and
+//!   diverged chaos runs.
+//! * [`export`] — Prometheus text-format and JSON snapshot exporters plus
+//!   a linter ([`export::validate_prometheus`]) used by CI.
+//!
+//! [`Obs`] bundles one registry + one journal; a graph creates one bundle
+//! and threads it everywhere.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod journal;
+pub mod registry;
+
+pub use export::{json, prometheus_text, sanitize_name, validate_prometheus};
+pub use journal::{Journal, JournalEvent, JournalKind, Verbosity, DEFAULT_JOURNAL_CAPACITY};
+pub use registry::{
+    bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, Labels, Registry,
+    RegistrySnapshot, Sample, SampleValue, HISTOGRAM_BUCKETS,
+};
+
+use std::sync::Arc;
+
+/// One observability bundle: the metrics registry and journal shared by
+/// every component of a running graph. Cloning shares both.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    /// The metrics registry.
+    pub registry: Arc<Registry>,
+    /// The structured event journal.
+    pub journal: Arc<Journal>,
+}
+
+impl Obs {
+    /// A fresh bundle (journal level from `STREAMMINE_OBS`, default warn).
+    pub fn new() -> Obs {
+        Obs { registry: Arc::new(Registry::new()), journal: Arc::new(Journal::new()) }
+    }
+
+    /// A bundle whose journal records the full speculation lifecycle.
+    pub fn tracing() -> Obs {
+        Obs {
+            registry: Arc::new(Registry::new()),
+            journal: Arc::new(Journal::with_level(DEFAULT_JOURNAL_CAPACITY, Verbosity::Trace)),
+        }
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The metrics in Prometheus text exposition format.
+    pub fn prometheus(&self) -> String {
+        prometheus_text(&self.snapshot())
+    }
+
+    /// The metrics as a JSON document.
+    pub fn json(&self) -> String {
+        json(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_exports_both_formats() {
+        let obs = Obs::new();
+        obs.registry.counter("events.in", Labels::op(0)).add(7);
+        let text = obs.prometheus();
+        assert!(validate_prometheus(&text).unwrap() >= 1, "{text}");
+        assert!(obs.json().contains("\"value\":7"));
+    }
+
+    #[test]
+    fn tracing_bundle_keeps_lifecycle_records() {
+        let obs = Obs::tracing();
+        obs.journal.record(Some(0), JournalKind::Ingest { serial: 1, port: 0 });
+        assert_eq!(obs.journal.len(), 1);
+    }
+}

@@ -1,0 +1,588 @@
+//! Lock-free metrics registry.
+//!
+//! The registry maps `(name, labels)` pairs to atomic metric cells. The
+//! *hot path* — incrementing a counter, moving a gauge, recording into a
+//! histogram — is a relaxed atomic op on a pre-resolved [`Counter`],
+//! [`Gauge`], or [`Histogram`] handle and never takes a lock. The only
+//! synchronized paths are registration (once per metric, at graph build or
+//! node start) and [`Registry::snapshot`], both behind a short `RwLock`
+//! over the name table.
+//!
+//! Histograms use fixed log₂ buckets: bucket `i` counts values whose bit
+//! length is `i`, i.e. values in `[2^(i-1), 2^i)`, with bucket 0 reserved
+//! for zero. That gives full `u64` range at a fixed 65-slot footprint —
+//! coarse at the top, sub-microsecond resolution where latencies live.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+/// Number of histogram buckets: bucket `i` counts values of bit length `i`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Labels identifying which part of the engine a metric belongs to.
+///
+/// Every engine metric is keyed by at most an operator (node) index and a
+/// port/edge index relative to that operator, matching how the paper's
+/// figures slice latency (per stage, per input). Keeping labels a fixed
+/// `Copy` struct keeps registration allocation-free and lookup `Ord`-able.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Labels {
+    /// Operator (node) index in the graph, if operator-scoped.
+    pub op: Option<u32>,
+    /// Port or edge index relative to the operator, if port-scoped.
+    pub port: Option<u32>,
+}
+
+impl Labels {
+    /// No labels: a process- or graph-wide metric.
+    pub const NONE: Labels = Labels { op: None, port: None };
+
+    /// Labels for an operator-scoped metric.
+    pub fn op(op: u32) -> Labels {
+        Labels { op: Some(op), port: None }
+    }
+
+    /// Labels for a per-port (or per-edge) metric of one operator.
+    pub fn op_port(op: u32, port: u32) -> Labels {
+        Labels { op: Some(op), port: Some(port) }
+    }
+}
+
+impl fmt::Display for Labels {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.op, self.port) {
+            (None, None) => Ok(()),
+            (Some(op), None) => write!(f, "{{op=\"{op}\"}}"),
+            (Some(op), Some(port)) => write!(f, "{{op=\"{op}\",port=\"{port}\"}}"),
+            (None, Some(port)) => write!(f, "{{port=\"{port}\"}}"),
+        }
+    }
+}
+
+/// A monotonically increasing counter handle. Cloning shares the cell.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter not attached to any registry (wiring convenience: callers
+    /// that may run without observability hold a detached cell instead of
+    /// an `Option`).
+    pub fn detached() -> Counter {
+        Counter { cell: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can move both ways. Cloning shares the cell.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn detached() -> Gauge {
+        Gauge { cell: Arc::new(AtomicI64::new(0)) }
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+/// A log₂-bucketed histogram handle. Cloning shares the cells.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+/// Bucket index for a value: its bit length (0 for the value 0).
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`: the largest value it counts.
+pub fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ if i >= 64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry.
+    pub fn detached() -> Histogram {
+        Histogram {
+            core: Arc::new(HistogramCore {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.core.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.core.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds (the engine's latency unit).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_micros() as u64);
+    }
+
+    /// A point-in-time copy of the buckets.
+    ///
+    /// Readers run concurrently with writers; the copy is per-cell atomic,
+    /// so totals may lag individual buckets by in-flight observations but
+    /// never go backwards.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> =
+            self.core.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        HistogramSnapshot { sum: self.core.sum.load(Ordering::Relaxed), buckets }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Per-bucket observation counts (`HISTOGRAM_BUCKETS` entries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Quantile estimate: the inclusive upper bound of the bucket holding
+    /// the ceil nearest-rank observation. `q` is clamped to `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The engine-wide metrics registry.
+///
+/// Registration is idempotent: asking for the same `(name, labels)` pair
+/// again returns a handle to the *same* cell, so independent subsystems
+/// can meet at a shared metric without coordination.
+///
+/// # Panics
+///
+/// Registering a name+labels pair under two different metric kinds is a
+/// programming error and panics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    slots: RwLock<HashMap<(String, Labels), Slot>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn register(&self, name: &str, labels: Labels, make: impl FnOnce() -> Slot) -> Slot {
+        if let Some(slot) = self.slots.read().get(&(name.to_string(), labels)) {
+            return slot.clone();
+        }
+        let mut slots = self.slots.write();
+        slots.entry((name.to_string(), labels)).or_insert_with(make).clone()
+    }
+
+    /// Registers (or re-resolves) a counter.
+    pub fn counter(&self, name: &str, labels: Labels) -> Counter {
+        match self.register(name, labels, || Slot::Counter(Counter::detached())) {
+            Slot::Counter(c) => c,
+            other => panic!("metric {name}{labels} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Registers (or re-resolves) a gauge.
+    pub fn gauge(&self, name: &str, labels: Labels) -> Gauge {
+        match self.register(name, labels, || Slot::Gauge(Gauge::detached())) {
+            Slot::Gauge(g) => g,
+            other => panic!("metric {name}{labels} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Registers (or re-resolves) a histogram.
+    pub fn histogram(&self, name: &str, labels: Labels) -> Histogram {
+        match self.register(name, labels, || Slot::Histogram(Histogram::detached())) {
+            Slot::Histogram(h) => h,
+            other => panic!("metric {name}{labels} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Current value of a registered counter, if present.
+    pub fn counter_value(&self, name: &str, labels: Labels) -> Option<u64> {
+        match self.slots.read().get(&(name.to_string(), labels)) {
+            Some(Slot::Counter(c)) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Sum of a counter across all label sets it is registered under.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.slots
+            .read()
+            .iter()
+            .filter(|((n, _), _)| n == name)
+            .map(|(_, slot)| match slot {
+                Slot::Counter(c) => c.get(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Current value of a registered gauge, if present.
+    pub fn gauge_value(&self, name: &str, labels: Labels) -> Option<i64> {
+        match self.slots.read().get(&(name.to_string(), labels)) {
+            Some(Slot::Gauge(g)) => Some(g.get()),
+            _ => None,
+        }
+    }
+
+    /// Snapshot of a registered histogram, if present.
+    pub fn histogram_snapshot(&self, name: &str, labels: Labels) -> Option<HistogramSnapshot> {
+        match self.slots.read().get(&(name.to_string(), labels)) {
+            Some(Slot::Histogram(h)) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.read().is_empty()
+    }
+
+    /// A point-in-time copy of every metric, sorted by `(name, labels)`.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let slots = self.slots.read();
+        let mut samples: Vec<Sample> = slots
+            .iter()
+            .map(|((name, labels), slot)| Sample {
+                name: name.clone(),
+                labels: *labels,
+                value: match slot {
+                    Slot::Counter(c) => SampleValue::Counter(c.get()),
+                    Slot::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Slot::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        drop(slots);
+        samples.sort_by(|a, b| (&a.name, a.labels).cmp(&(&b.name, b.labels)));
+        RegistrySnapshot { samples }
+    }
+}
+
+/// One metric inside a [`RegistrySnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (dotted, e.g. `recovery.restarts`).
+    pub name: String,
+    /// The label set the metric was registered under.
+    pub labels: Labels,
+    /// The captured value.
+    pub value: SampleValue,
+}
+
+/// The captured value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SampleValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram buckets.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of a whole [`Registry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// All samples, sorted by `(name, labels)`.
+    pub samples: Vec<Sample>,
+}
+
+impl RegistrySnapshot {
+    /// Looks up one sample.
+    pub fn get(&self, name: &str, labels: Labels) -> Option<&SampleValue> {
+        self.samples.iter().find(|s| s.name == name && s.labels == labels).map(|s| &s.value)
+    }
+
+    /// Counter value for one label set, if present.
+    pub fn counter(&self, name: &str, labels: Labels) -> Option<u64> {
+        match self.get(name, labels) {
+            Some(SampleValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Sum of a counter across all label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match &s.value {
+                SampleValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Histogram snapshot for one label set, if present.
+    pub fn histogram(&self, name: &str, labels: Labels) -> Option<&HistogramSnapshot> {
+        match self.get(name, labels) {
+            Some(SampleValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn label_uniqueness_same_key_shares_one_cell() {
+        let reg = Registry::new();
+        let a = reg.counter("events.in", Labels::op_port(1, 0));
+        let b = reg.counter("events.in", Labels::op_port(1, 0));
+        a.incr();
+        b.incr();
+        assert_eq!(a.get(), 2, "same (name, labels) must resolve to one cell");
+        assert_eq!(reg.len(), 1);
+        // A different label set is a different cell.
+        let c = reg.counter("events.in", Labels::op_port(1, 1));
+        c.add(5);
+        assert_eq!(reg.counter_value("events.in", Labels::op_port(1, 0)), Some(2));
+        assert_eq!(reg.counter_value("events.in", Labels::op_port(1, 1)), Some(5));
+        assert_eq!(reg.counter_total("events.in"), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x", Labels::NONE);
+        reg.gauge("x", Labels::NONE);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let reg = Registry::new();
+        let g = reg.gauge("queue.depth", Labels::op(0));
+        g.add(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        g.set(-2);
+        assert_eq!(reg.gauge_value("queue.depth", Labels::op(0)), Some(-2));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket i counts values of bit length i: [2^(i-1), 2^i).
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(10), 1023);
+        assert_eq!(bucket_bound(64), u64::MAX);
+
+        let h = Histogram::detached();
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[1], 1);
+        assert_eq!(snap.buckets[2], 2);
+        assert_eq!(snap.buckets[3], 1);
+        assert_eq!(snap.buckets[10], 1);
+        assert_eq!(snap.buckets[11], 1);
+        assert_eq!(snap.count(), 7);
+        assert_eq!(snap.sum, 1 + 2 + 3 + 4 + 1023 + 1024);
+    }
+
+    #[test]
+    fn histogram_quantiles_use_ceil_nearest_rank() {
+        let h = Histogram::detached();
+        // 99 values in bucket 1 (value 1), 1 value in bucket 11 (1024).
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1024);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), 1);
+        assert_eq!(snap.quantile(0.99), 1);
+        assert_eq!(snap.quantile(1.0), bucket_bound(11));
+        assert!((snap.mean() - (99.0 + 1024.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let snap = Histogram::detached().snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_while_recording_threaded_stress() {
+        let reg = Arc::new(Registry::new());
+        const WRITERS: usize = 4;
+        const PER_WRITER: u64 = 20_000;
+        let mut handles = Vec::new();
+        for w in 0..WRITERS {
+            let reg = reg.clone();
+            handles.push(thread::spawn(move || {
+                let c = reg.counter("stress.count", Labels::op(w as u32));
+                let h = reg.histogram("stress.lat", Labels::op(w as u32));
+                for i in 0..PER_WRITER {
+                    c.incr();
+                    h.record(i % 4096);
+                }
+            }));
+        }
+        // Snapshot concurrently with the writers: totals must be monotone
+        // and never exceed the final total.
+        let reader = {
+            let reg = reg.clone();
+            thread::spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..200 {
+                    let snap = reg.snapshot();
+                    let total = snap.counter_total("stress.count");
+                    assert!(total >= last, "counter total went backwards");
+                    assert!(total <= WRITERS as u64 * PER_WRITER);
+                    for s in &snap.samples {
+                        if let SampleValue::Histogram(h) = &s.value {
+                            assert!(h.count() <= PER_WRITER);
+                        }
+                    }
+                    last = total;
+                    thread::yield_now();
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        reader.join().unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_total("stress.count"), WRITERS as u64 * PER_WRITER);
+        for w in 0..WRITERS {
+            let h = snap.histogram("stress.lat", Labels::op(w as u32)).unwrap();
+            assert_eq!(h.count(), PER_WRITER);
+        }
+    }
+
+    #[test]
+    fn registry_snapshot_is_sorted_and_queryable() {
+        let reg = Registry::new();
+        reg.counter("b.metric", Labels::op(1)).add(2);
+        reg.counter("a.metric", Labels::NONE).add(1);
+        reg.gauge("c.metric", Labels::op_port(0, 3)).set(-9);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.samples.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a.metric", "b.metric", "c.metric"]);
+        assert_eq!(snap.counter("a.metric", Labels::NONE), Some(1));
+        assert_eq!(snap.get("c.metric", Labels::op_port(0, 3)), Some(&SampleValue::Gauge(-9)));
+    }
+}

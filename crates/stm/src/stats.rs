@@ -83,6 +83,24 @@ impl StatsSnapshot {
         }
     }
 
+    /// The counters as `(name, value)` pairs, for generic export into a
+    /// metrics registry without the registry crate depending on the STM's
+    /// field layout. Names are stable and dotted (`stm.<counter>`).
+    pub fn fields(&self) -> [(&'static str, u64); 10] {
+        [
+            ("stm.started", self.started),
+            ("stm.committed", self.committed),
+            ("stm.retries", self.retries),
+            ("stm.aborts_conflict", self.aborts_conflict),
+            ("stm.aborts_stale", self.aborts_stale),
+            ("stm.aborts_cascade", self.aborts_cascade),
+            ("stm.aborts_revoked", self.aborts_revoked),
+            ("stm.spec_reads", self.spec_reads),
+            ("stm.publishes", self.publishes),
+            ("stm.serial_inversions", self.serial_inversions),
+        ]
+    }
+
     /// Difference of two snapshots (for windowed rates).
     pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
@@ -137,6 +155,27 @@ mod tests {
     #[test]
     fn abort_ratio_of_empty_snapshot_is_zero() {
         assert_eq!(StatsSnapshot::default().abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fields_cover_every_counter() {
+        let s = StatsSnapshot {
+            started: 1,
+            committed: 2,
+            retries: 3,
+            aborts_conflict: 4,
+            aborts_stale: 5,
+            aborts_cascade: 6,
+            aborts_revoked: 7,
+            spec_reads: 8,
+            publishes: 9,
+            serial_inversions: 10,
+        };
+        let fields = s.fields();
+        assert_eq!(fields.len(), 10);
+        let total: u64 = fields.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, (1..=10).sum::<u64>(), "a counter is missing from fields()");
+        assert!(fields.iter().all(|(n, _)| n.starts_with("stm.")));
     }
 
     #[test]

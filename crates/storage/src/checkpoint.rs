@@ -19,9 +19,46 @@ use std::time::Duration;
 use parking_lot::Mutex;
 use streammine_common::codec::{decode_from_slice, Decode, DecodeError, Decoder, Encode, Encoder};
 use streammine_common::crc32;
+use streammine_obs::{Counter, Histogram, Journal, Labels, Obs};
 
 use crate::disk::{DiskSpec, StorageDevice};
 use crate::log::LogSeq;
+
+/// Observability hooks for one checkpoint store, attached by the engine.
+/// Without them the store is silent; with them save timing and
+/// degradation counters mirror into the registry and give-up/corruption
+/// events warn through the journal instead of stderr.
+#[derive(Clone, Debug)]
+pub struct CheckpointObs {
+    /// Owning operator index, used as the metric/journal label.
+    pub op: u32,
+    /// Journal receiving degradation warnings.
+    pub journal: Arc<Journal>,
+    /// Device write duration per save, microseconds (`checkpoint.save_us`).
+    pub save_us: Histogram,
+    /// Checkpoints saved (`checkpoint.saves`).
+    pub saves: Counter,
+    /// Mirror of [`CheckpointStore::save_retries`] (`checkpoint.save_retries`).
+    pub save_retries: Counter,
+    /// Mirror of [`CheckpointStore::corrupt_skipped`] (`checkpoint.corrupt_skipped`).
+    pub corrupt_skipped: Counter,
+}
+
+impl CheckpointObs {
+    /// Registers the checkpoint metrics of operator `op` in an [`Obs`]
+    /// bundle.
+    pub fn registered(obs: &Obs, op: u32) -> CheckpointObs {
+        let labels = Labels::op(op);
+        CheckpointObs {
+            op,
+            journal: obs.journal.clone(),
+            save_us: obs.registry.histogram("checkpoint.save_us", labels),
+            saves: obs.registry.counter("checkpoint.saves", labels),
+            save_retries: obs.registry.counter("checkpoint.save_retries", labels),
+            corrupt_skipped: obs.registry.counter("checkpoint.corrupt_skipped", labels),
+        }
+    }
+}
 
 /// One stored checkpoint.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +126,7 @@ pub struct CheckpointStore {
     next_id: Mutex<u64>,
     corrupt_skipped: AtomicU64,
     save_retries: AtomicU64,
+    obs: Mutex<Option<CheckpointObs>>,
 }
 
 impl fmt::Debug for CheckpointStore {
@@ -111,7 +149,14 @@ impl CheckpointStore {
             next_id: Mutex::new(0),
             corrupt_skipped: AtomicU64::new(0),
             save_retries: AtomicU64::new(0),
+            obs: Mutex::new(None),
         }
+    }
+
+    /// Attaches observability hooks (save timing, degradation counters,
+    /// journal warnings).
+    pub fn attach_obs(&self, obs: CheckpointObs) {
+        *self.obs.lock() = Some(obs);
     }
 
     /// Synchronously writes a checkpoint; returns it (with its assigned id).
@@ -145,18 +190,33 @@ impl CheckpointStore {
             rng_state,
         };
         let framed = crc32::frame(cp.encode_to_vec());
+        let obs = self.obs.lock().clone();
+        let save_start = std::time::Instant::now();
+        let mut retries = 0u64;
         let mut delay = Duration::from_micros(100);
         for attempt in 1..=MAX_SAVE_ATTEMPTS {
             if self.device.write_batch(std::slice::from_ref(&framed)).is_ok() {
                 break;
             }
+            retries += 1;
             self.save_retries.fetch_add(1, Ordering::Relaxed);
             if attempt == MAX_SAVE_ATTEMPTS {
-                eprintln!("[checkpoint] giving up on device write after {attempt} attempts");
+                if let Some(obs) = &obs {
+                    obs.journal.warn(
+                        Some(obs.op),
+                        "checkpoint-write-gave-up",
+                        format!("giving up on device write after {attempt} attempts"),
+                    );
+                }
                 break;
             }
             std::thread::sleep(delay);
             delay = (delay * 2).min(Duration::from_millis(5));
+        }
+        if let Some(obs) = &obs {
+            obs.save_us.record_duration(save_start.elapsed());
+            obs.saves.incr();
+            obs.save_retries.add(retries);
         }
         let mut kept = self.kept.lock();
         kept.push(framed);
@@ -180,7 +240,14 @@ impl CheckpointStore {
                 }
             }
             self.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
-            eprintln!("[checkpoint] skipping corrupt checkpoint frame, falling back");
+            if let Some(obs) = self.obs.lock().clone() {
+                obs.corrupt_skipped.incr();
+                obs.journal.warn(
+                    Some(obs.op),
+                    "checkpoint-corrupt-frame",
+                    "skipping corrupt checkpoint frame, falling back".to_string(),
+                );
+            }
         }
         None
     }
@@ -292,6 +359,31 @@ mod tests {
         store.save(LogSeq(1), 1, vec![], vec![], b"only".to_vec(), vec![]);
         assert!(store.corrupt_latest());
         assert!(store.latest().is_none());
+    }
+
+    #[test]
+    fn attached_obs_mirrors_saves_and_corruption() {
+        use streammine_obs::JournalKind;
+        let obs = Obs::tracing();
+        let store = instant_store();
+        store.attach_obs(CheckpointObs::registered(&obs, 5));
+        store.save(LogSeq(1), 1, vec![], vec![], b"a".to_vec(), vec![]);
+        store.save(LogSeq(2), 2, vec![], vec![], b"b".to_vec(), vec![]);
+        assert_eq!(obs.registry.counter_value("checkpoint.saves", Labels::op(5)), Some(2));
+        let save_us = obs.registry.histogram_snapshot("checkpoint.save_us", Labels::op(5)).unwrap();
+        assert_eq!(save_us.count(), 2);
+
+        assert!(store.corrupt_latest());
+        assert!(store.latest().is_some(), "must fall back to the previous checkpoint");
+        assert_eq!(
+            obs.registry.counter_value("checkpoint.corrupt_skipped", Labels::op(5)),
+            Some(1)
+        );
+        let warned = obs.journal.count_matching(|e| {
+            matches!(&e.kind, JournalKind::Warn { code: "checkpoint-corrupt-frame", .. })
+                && e.op == Some(5)
+        });
+        assert_eq!(warned, 1);
     }
 
     #[test]

@@ -39,6 +39,6 @@ pub mod checkpoint;
 pub mod disk;
 pub mod log;
 
-pub use checkpoint::CheckpointStore;
+pub use checkpoint::{CheckpointObs, CheckpointStore};
 pub use disk::{DiskSpec, StorageDevice};
-pub use log::{LogSeq, LogTicket, StableLog};
+pub use log::{LogObs, LogSeq, LogTicket, StableLog};

@@ -21,8 +21,45 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use streammine_common::crc32;
+use streammine_obs::{Counter, Histogram, Journal, Labels, Obs};
 
 use crate::disk::{DiskSpec, StorageDevice};
+
+/// Observability hooks for one log, attached by the engine after
+/// construction. The log keeps working without them (tests, standalone
+/// use); when attached, each device batch records its write duration and
+/// group-commit size, degradation counters mirror into the registry, and
+/// torn-tail truncation warns through the journal instead of stderr.
+#[derive(Clone, Debug)]
+pub struct LogObs {
+    /// Owning operator index, used as the metric/journal label.
+    pub op: u32,
+    /// Journal receiving degradation warnings.
+    pub journal: Arc<Journal>,
+    /// Device write duration per batch, microseconds (`log.write_us`).
+    pub write_us: Histogram,
+    /// Pending groups drained per device batch (`log.batch_groups`).
+    pub batch_groups: Histogram,
+    /// Mirror of [`StableLog::write_retries`] (`log.write_retries`).
+    pub write_retries: Counter,
+    /// Mirror of [`StableLog::corrupt_dropped`] (`log.corrupt_dropped`).
+    pub corrupt_dropped: Counter,
+}
+
+impl LogObs {
+    /// Registers the log metrics of operator `op` in an [`Obs`] bundle.
+    pub fn registered(obs: &Obs, op: u32) -> LogObs {
+        let labels = Labels::op(op);
+        LogObs {
+            op,
+            journal: obs.journal.clone(),
+            write_us: obs.registry.histogram("log.write_us", labels),
+            batch_groups: obs.registry.histogram("log.batch_groups", labels),
+            write_retries: obs.registry.counter("log.write_retries", labels),
+            corrupt_dropped: obs.registry.counter("log.corrupt_dropped", labels),
+        }
+    }
+}
 
 /// Sequence number of a log record (dense, starting at 0).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -166,6 +203,8 @@ struct LogShared {
     corrupt_dropped: AtomicU64,
     /// Device write attempts retried after a transient disk fault.
     write_retries: AtomicU64,
+    /// Observability hooks, when the engine attached them.
+    obs: Mutex<Option<LogObs>>,
 }
 
 /// The stable decision log: N parallel storage points with group commit.
@@ -226,6 +265,7 @@ impl StableLog {
             truncate_watermark: AtomicU64::new(0),
             corrupt_dropped: AtomicU64::new(0),
             write_retries: AtomicU64::new(0),
+            obs: Mutex::new(None),
         });
         let writers = devices
             .iter()
@@ -276,11 +316,19 @@ impl StableLog {
             // Transient disk faults (injected or real) fail the whole
             // batch; retry with a small exponential backoff until the
             // write sticks — the record is not acknowledged before then.
+            let write_start = std::time::Instant::now();
+            let mut retries = 0u64;
             let mut delay = Duration::from_micros(100);
             while dev.write_batch(&bytes).is_err() {
+                retries += 1;
                 shared.write_retries.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(delay);
                 delay = (delay * 2).min(Duration::from_millis(5));
+            }
+            if let Some(obs) = shared.obs.lock().clone() {
+                obs.write_us.record_duration(write_start.elapsed());
+                obs.batch_groups.record(batch.len() as u64);
+                obs.write_retries.add(retries);
             }
             {
                 // Re-read the watermark: a truncation issued during the
@@ -350,10 +398,14 @@ impl StableLog {
             let dropped: usize = stable.range(from..).map(|(_, g)| g.len()).sum();
             stable.retain(|&s, _| s < from);
             self.shared.corrupt_dropped.fetch_add(dropped as u64, Ordering::Relaxed);
-            eprintln!(
-                "[stable-log] corrupt record in group {from}: truncated tail, \
-                 dropped {dropped} record(s)"
-            );
+            if let Some(obs) = self.shared.obs.lock().clone() {
+                obs.corrupt_dropped.add(dropped as u64);
+                obs.journal.warn(
+                    Some(obs.op),
+                    "log-torn-tail",
+                    format!("corrupt record in group {from}: dropped {dropped} record(s)"),
+                );
+            }
         }
         out
     }
@@ -368,6 +420,12 @@ impl StableLog {
     /// corrupt tail is truncated, not returned.
     pub fn stable_groups(&self) -> Vec<(LogSeq, Vec<Vec<u8>>)> {
         self.validated_groups()
+    }
+
+    /// Attaches observability hooks (write timing, group-commit sizes,
+    /// degradation counters, journal warnings). Shared by all clones.
+    pub fn attach_obs(&self, obs: LogObs) {
+        *self.shared.obs.lock() = Some(obs);
     }
 
     /// Records dropped so far by torn-tail truncation.
@@ -606,6 +664,40 @@ mod tests {
         }
         assert!(log.stable_records().is_empty());
         assert_eq!(log.corrupt_dropped(), 3);
+    }
+
+    #[test]
+    fn attached_obs_records_write_timing_and_torn_tail_warning() {
+        use streammine_obs::{JournalKind, Verbosity};
+        let obs = Obs::tracing();
+        let log = fast_log(1);
+        log.attach_obs(LogObs::registered(&obs, 3));
+        for i in 0..5u8 {
+            log.append(vec![i]).wait();
+        }
+        let write_us = obs.registry.histogram_snapshot("log.write_us", Labels::op(3)).unwrap();
+        assert!(write_us.count() >= 1, "device batches must record write durations");
+        // 200us simulated writes land well above zero.
+        assert!(write_us.sum >= 200, "write_us sum {} too small", write_us.sum);
+        let groups = obs.registry.histogram_snapshot("log.batch_groups", Labels::op(3)).unwrap();
+        assert_eq!(groups.sum, 5, "5 groups must pass through group commit");
+
+        assert!(log.corrupt_tail());
+        let _ = log.stable_records();
+        assert_eq!(
+            obs.registry.counter_value("log.corrupt_dropped", Labels::op(3)),
+            Some(1),
+            "torn tail must mirror into the registry"
+        );
+        assert!(obs.journal.enabled(Verbosity::Warn));
+        let warns: Vec<_> = obs
+            .journal
+            .events()
+            .into_iter()
+            .filter(|e| matches!(&e.kind, JournalKind::Warn { code: "log-torn-tail", .. }))
+            .collect();
+        assert_eq!(warns.len(), 1, "one torn-tail warning expected");
+        assert_eq!(warns[0].op, Some(3));
     }
 
     #[test]

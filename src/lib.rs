@@ -19,6 +19,8 @@
 //! * [`recovery`] — baseline recovery protocols for comparison;
 //! * [`chaos`] — deterministic fault injection: seeded fault plans and a
 //!   scheduler driving crashes, link severs, and disk faults;
+//! * [`obs`] — the observability layer: lock-free metrics registry,
+//!   ring-buffered speculation-lifecycle journal, Prometheus/JSON export;
 //! * [`common`] — events, codec, clocks, RNG, statistics.
 //!
 //! # Quickstart
@@ -56,6 +58,7 @@ pub use streammine_chaos as chaos;
 pub use streammine_common as common;
 pub use streammine_core as core;
 pub use streammine_net as net;
+pub use streammine_obs as obs;
 pub use streammine_operators as operators;
 pub use streammine_recovery as recovery;
 pub use streammine_sketch as sketch;

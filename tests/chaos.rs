@@ -125,6 +125,13 @@ fn chaos_grid_preserves_precise_outputs() {
         for ev in supervisor.events() {
             assert_eq!(ev.backoff, config.backoff.delay(ev.attempt), "backoff off-schedule: {ev}");
         }
+        // The metrics registry's account of recovery must agree with the
+        // supervisor's event trail: same restart counts per operator, and
+        // at least one upstream replay request per supervised restart.
+        // (Stop monitoring first so both accounts are frozen.)
+        supervisor.stop();
+        streammine::chaos::verify_recovery_counters(&running.metrics(), &supervisor.events())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", running.journal_dump()));
         running.shutdown();
     }
 }

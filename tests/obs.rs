@@ -1,0 +1,173 @@
+//! Observability integration tests: the metrics registry, the
+//! speculation-lifecycle journal, and the latency-decomposition profile
+//! observed end-to-end through a running graph.
+
+use std::time::Duration;
+
+use streammine::common::event::Value;
+use streammine::core::{GraphBuilder, LoggingConfig, OperatorConfig, Running, SinkId, SourceId};
+use streammine::obs::{validate_prometheus, JournalKind, Labels, Obs};
+use streammine::operators::StampedRelay;
+
+const EVENTS: u64 = 20;
+
+fn pipeline(
+    speculative: bool,
+    log_latency: Duration,
+    obs: Option<Obs>,
+) -> (Running, SourceId, SinkId) {
+    let mut b = GraphBuilder::new();
+    if let Some(obs) = obs {
+        b = b.with_obs(obs);
+    }
+    let cfg = |spec: bool| {
+        if spec {
+            OperatorConfig::speculative(LoggingConfig::simulated(log_latency))
+        } else {
+            OperatorConfig::logged(LoggingConfig::simulated(log_latency))
+        }
+    };
+    let a = b.add_operator(StampedRelay::new(), cfg(speculative));
+    let z = b.add_operator(StampedRelay::new(), cfg(speculative));
+    b.connect(a, z).unwrap();
+    let src = b.source_into(a).unwrap();
+    let sink = b.sink_from(z).unwrap();
+    (b.build().unwrap().start(), src, sink)
+}
+
+fn drive(running: &Running, src: SourceId, sink: SinkId) {
+    for i in 0..EVENTS {
+        running.source(src).push(Value::Int(i as i64));
+    }
+    assert!(running.sink(sink).wait_final(EVENTS as usize, Duration::from_secs(20)));
+    // The sink observes the last Finalize slightly before the committing
+    // node's coordinator meters it; give the counters a moment to converge.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while std::time::Instant::now() < deadline {
+        let snap = running.metrics();
+        let settled = (0..2u32).all(|op| {
+            snap.counter("spec.finalized", Labels::op(op)).unwrap_or(0) >= EVENTS
+                || snap.counter("spec.published", Labels::op(op)).unwrap_or(0) == 0
+        });
+        if settled {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn registry_meters_every_stage_of_a_speculative_pipeline() {
+    let (running, src, sink) = pipeline(true, Duration::from_millis(1), None);
+    drive(&running, src, sink);
+    let snap = running.metrics();
+    for op in 0..2u32 {
+        assert_eq!(
+            snap.counter("events.in", Labels::op_port(op, 0)),
+            Some(EVENTS),
+            "op{op} ingress count"
+        );
+        assert!(
+            snap.counter("spec.published", Labels::op(op)).unwrap_or(0) >= EVENTS,
+            "op{op} published speculative outputs"
+        );
+        assert_eq!(
+            snap.counter("spec.finalized", Labels::op(op)),
+            Some(EVENTS),
+            "op{op} finalized every txn"
+        );
+        for h in
+            ["stage.queue_wait_us", "stage.process_us", "stage.log_wait_us", "stage.commit_gate_us"]
+        {
+            let hist = snap.histogram(h, Labels::op(op)).unwrap_or_else(|| panic!("{h} op{op}"));
+            assert_eq!(hist.count(), EVENTS, "{h} op{op} sample count");
+        }
+    }
+    // Sink-side decomposition histograms saw every event.
+    let sink_final: u64 = snap
+        .samples
+        .iter()
+        .filter(|s| s.name == "sink.final_us")
+        .filter_map(|s| snap.histogram("sink.final_us", s.labels))
+        .map(|h| h.count())
+        .sum();
+    assert_eq!(sink_final, EVENTS, "sink.final_us sample count");
+    running.shutdown();
+}
+
+#[test]
+fn prometheus_exposition_is_lint_clean() {
+    let (running, src, sink) = pipeline(true, Duration::from_millis(1), None);
+    drive(&running, src, sink);
+    let prom = running.prometheus();
+    let samples = validate_prometheus(&prom).expect("exposition must be well-formed");
+    assert!(samples > 20, "expected a substantive exposition, got {samples} samples");
+    assert!(prom.contains("# TYPE events_in counter"), "missing counter TYPE line:\n{prom}");
+    assert!(
+        prom.contains("# TYPE stage_process_us histogram"),
+        "missing histogram TYPE line:\n{prom}"
+    );
+    let json = running.metrics_json();
+    assert!(json.contains("\"events.in\""), "JSON export missing metric: {json}");
+    running.shutdown();
+}
+
+#[test]
+fn tracing_journal_captures_speculation_lifecycle() {
+    let (running, src, sink) = pipeline(true, Duration::from_millis(1), Some(Obs::tracing()));
+    drive(&running, src, sink);
+    let journal = &running.obs().journal;
+    let count = |pred: &dyn Fn(&JournalKind) -> bool| journal.count_matching(|e| pred(&e.kind));
+    assert!(count(&|k| matches!(k, JournalKind::Ingest { .. })) >= EVENTS as usize);
+    assert!(count(&|k| matches!(k, JournalKind::SpecPublish { .. })) >= EVENTS as usize);
+    assert!(count(&|k| matches!(k, JournalKind::LogStable { .. })) >= EVENTS as usize);
+    assert!(count(&|k| matches!(k, JournalKind::Commit { .. })) >= EVENTS as usize);
+    let dump = running.journal_dump();
+    assert!(dump.contains("spec-publish"), "render should show lifecycle events:\n{dump}");
+    running.shutdown();
+}
+
+#[test]
+fn journal_is_silent_by_default() {
+    let (running, src, sink) = pipeline(true, Duration::from_millis(1), None);
+    drive(&running, src, sink);
+    // Default verbosity keeps the trace ring empty: zero journal overhead
+    // on the hot path unless tracing is requested.
+    assert!(running.obs().journal.is_empty(), "default journal must stay empty");
+    running.shutdown();
+}
+
+#[test]
+fn decomposition_shows_spec_arrival_independent_of_log_latency() {
+    // With a 40 ms decision log, a speculative relay's first output must
+    // reach the sink well before the log is stable; the non-speculative
+    // pipeline pays both log writes before anything arrives. Bounds are
+    // generous (half / one log latency) to stay robust on slow CI.
+    let log = Duration::from_millis(40);
+    let log_us = log.as_micros() as u64;
+    let first_arrival_p50 = |speculative: bool| -> u64 {
+        let (running, src, sink) = pipeline(speculative, log, None);
+        drive(&running, src, sink);
+        let snap = running.metrics();
+        let p50 = snap
+            .samples
+            .iter()
+            .filter(|s| s.name == "sink.first_arrival_us")
+            .filter_map(|s| snap.histogram("sink.first_arrival_us", s.labels))
+            .find(|h| h.count() > 0)
+            .expect("sink.first_arrival_us recorded")
+            .quantile(0.5);
+        running.shutdown();
+        p50
+    };
+    let spec = first_arrival_p50(true);
+    let nonspec = first_arrival_p50(false);
+    assert!(
+        spec < log_us / 2,
+        "speculative first arrival {spec} us should hide the {log_us} us log"
+    );
+    assert!(
+        nonspec >= log_us,
+        "non-spec first arrival {nonspec} us should pay the {log_us} us log"
+    );
+}
