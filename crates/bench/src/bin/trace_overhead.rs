@@ -1,0 +1,125 @@
+//! Tracing overhead gate: causal tracing must be (nearly) free when it is
+//! not sampling, and cheap at the default 1-in-64 rate.
+//!
+//! Drives a hot three-relay pipeline (no logging, no simulated sleeps —
+//! maximally sensitive to per-event bookkeeping) in three configurations:
+//!
+//! * `off`     — tracer disabled (the default `Obs`): one relaxed atomic
+//!   load per source event, nothing downstream;
+//! * `1-in-64` — the default sampling rate (`Obs::sampled`, the production
+//!   tracing configuration: journal stays silent);
+//! * `all`     — sample-rate 1, every event traced (informational only).
+//!
+//! The gated configurations run interleaved in `TRIALS` back-to-back
+//! pairs, and the verdict is the *best paired ratio*: an intrinsic
+//! regression shows up in every pair, while scheduler noise (which dwarfs
+//! the effect under test on shared CI runners) rarely hits the same pair
+//! twice. The gate fails the process — and CI — if even the best pair
+//! shows the sampled configuration more than `TRACE_OVERHEAD_PCT` percent
+//! (default 3) below the tracer-off baseline.
+//!
+//! Writes `TRACE_overhead.json` with all three throughputs and the gate
+//! verdict.
+//!
+//! ```text
+//! cargo run --release -p streammine-bench --bin trace_overhead
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use streammine_common::event::Value;
+use streammine_core::{GraphBuilder, OperatorConfig, Running, SinkId, SourceId};
+use streammine_obs::Obs;
+use streammine_operators::StampedRelay;
+
+const EVENTS: u64 = 20_000;
+const TRIALS: usize = 5;
+const DRAIN: Duration = Duration::from_secs(60);
+const DEFAULT_TOLERANCE_PCT: f64 = 3.0;
+
+fn pipeline(obs: Option<Obs>) -> (Running, SourceId, SinkId) {
+    let mut b = GraphBuilder::new();
+    if let Some(obs) = obs {
+        b = b.with_obs(obs);
+    }
+    let a = b.add_operator(StampedRelay::new(), OperatorConfig::plain());
+    let m = b.add_operator(StampedRelay::new(), OperatorConfig::plain());
+    let z = b.add_operator(StampedRelay::new(), OperatorConfig::plain());
+    b.connect(a, m).expect("edge");
+    b.connect(m, z).expect("edge");
+    let src = b.source_into(a).expect("source");
+    let sink = b.sink_from(z).expect("sink");
+    (b.build().expect("graph").start(), src, sink)
+}
+
+/// One timed drain of the pipeline; returns throughput in events/s.
+fn run_once(label: &str, trial: usize, obs: Option<Obs>) -> f64 {
+    let (running, src, sink) = pipeline(obs);
+    let start = Instant::now();
+    let source = running.source(src);
+    for i in 0..EVENTS {
+        source.push(Value::Int(i as i64));
+    }
+    assert!(
+        running.sink(sink).wait_final(EVENTS as usize, DRAIN),
+        "{label} trial {trial}: drain stalled at {}/{EVENTS}",
+        running.sink(sink).final_count()
+    );
+    let rate = EVENTS as f64 / start.elapsed().as_secs_f64();
+    eprintln!("  {label} trial {trial}: {rate:>10.0} ev/s");
+    running.shutdown();
+    rate
+}
+
+fn main() {
+    let tolerance_pct: f64 = std::env::var("TRACE_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TOLERANCE_PCT);
+
+    // Interleave the gated configurations so machine-load drift during the
+    // run biases both halves of every pair equally.
+    let mut pairs = Vec::with_capacity(TRIALS);
+    eprintln!("interleaved off / 1-in-64 ({TRIALS} paired trials, {EVENTS} events each):");
+    for trial in 0..TRIALS {
+        let off = run_once("off", trial, None);
+        let sampled = run_once("1-in-64", trial, Some(Obs::sampled(64)));
+        pairs.push((off, sampled));
+    }
+    eprintln!("tracer sampling every event (informational):");
+    let all = (0..TRIALS).map(|t| run_once("all", t, Some(Obs::sampled(1)))).fold(0.0f64, f64::max);
+
+    let off = pairs.iter().fold(0.0f64, |b, p| b.max(p.0));
+    let sampled = pairs.iter().fold(0.0f64, |b, p| b.max(p.1));
+    let best_ratio = pairs.iter().fold(0.0f64, |b, (o, s)| b.max(s / o));
+    let regression_pct = (1.0 - best_ratio) * 100.0;
+    let pass = regression_pct <= tolerance_pct;
+    eprintln!(
+        "off {off:.0} ev/s, 1-in-64 {sampled:.0} ev/s (best-pair {regression_pct:+.2}% \
+         regression, tolerance {tolerance_pct}%), all {all:.0} ev/s"
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"snapshot\": \"trace_overhead\",");
+    let _ = writeln!(json, "  \"events_per_trial\": {EVENTS},");
+    let _ = writeln!(json, "  \"trials\": {TRIALS},");
+    let _ = writeln!(json, "  \"off_ev_per_s\": {off:.1},");
+    let _ = writeln!(json, "  \"sampled_1_in_64_ev_per_s\": {sampled:.1},");
+    let _ = writeln!(json, "  \"all_ev_per_s\": {all:.1},");
+    let _ = writeln!(json, "  \"regression_pct\": {regression_pct:.3},");
+    let _ = writeln!(json, "  \"tolerance_pct\": {tolerance_pct},");
+    let _ = writeln!(json, "  \"pass\": {pass}");
+    let _ = writeln!(json, "}}");
+    std::fs::write("TRACE_overhead.json", json).expect("write TRACE_overhead.json");
+    eprintln!("wrote TRACE_overhead.json");
+
+    if !pass {
+        eprintln!(
+            "FAIL: 1-in-64 sampling costs {regression_pct:.2}% throughput \
+             (tolerance {tolerance_pct}%)"
+        );
+        std::process::exit(1);
+    }
+}

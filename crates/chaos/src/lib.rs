@@ -28,4 +28,4 @@ pub mod verify;
 pub use plan::{FaultEvent, FaultKind, FaultPlan, Topology};
 pub use scheduler::FaultScheduler;
 pub use target::ChaosTarget;
-pub use verify::verify_recovery_counters;
+pub use verify::{verify_recovery_counters, verify_rollback_traces};

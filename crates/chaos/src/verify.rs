@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use streammine_core::RecoveryEvent;
-use streammine_obs::{Labels, RegistrySnapshot};
+use streammine_obs::{Labels, RegistrySnapshot, Tracer};
 
 /// Checks that the registry's recovery counters match the supervisor's
 /// event trail:
@@ -58,6 +58,57 @@ pub fn verify_recovery_counters(
         let op = sample.labels.op.unwrap_or(u32::MAX);
         if !per_op.contains_key(&op) {
             return Err(format!("registry has recovery.restarts for op{op} with no events"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks the tracer's rollback attribution is complete and internally
+/// consistent — the acceptance bar for a traced chaos run:
+///
+/// * every rollback record names an originating determinant that is a
+///   retained span (the tracer never attributes a cascade to a span it
+///   dropped or invented);
+/// * the determinant is the rolled-back span itself or one of its
+///   transitive dependencies (attribution never points sideways);
+/// * the invalidated set is non-empty and contains the rolled-back span
+///   (a rollback always invalidates at least its own work);
+/// * every invalidated span is retained and belongs to the same trace.
+///
+/// # Errors
+///
+/// Returns a description of the first inconsistency found.
+pub fn verify_rollback_traces(tracer: &Tracer) -> Result<(), String> {
+    let spans: HashMap<u64, _> = tracer.spans().into_iter().map(|s| (s.span_id, s)).collect();
+    for (i, rb) in tracer.rollbacks().iter().enumerate() {
+        let span = spans
+            .get(&rb.span_id)
+            .ok_or_else(|| format!("rollback {i}: rolled-back span {} not retained", rb.span_id))?;
+        let det = spans.get(&rb.determinant).ok_or_else(|| {
+            format!("rollback {i}: determinant span {} not retained", rb.determinant)
+        })?;
+        if rb.determinant != rb.span_id && !span.deps.contains(&rb.determinant) {
+            return Err(format!(
+                "rollback {i}: determinant op{}#{} is not among the dependencies of op{}#{}",
+                det.op, det.serial, span.op, span.serial
+            ));
+        }
+        if rb.invalidated.is_empty() {
+            return Err(format!("rollback {i}: empty invalidated set"));
+        }
+        if !rb.invalidated.contains(&rb.span_id) {
+            return Err(format!("rollback {i}: invalidated set omits the rolled-back span itself"));
+        }
+        for inv in &rb.invalidated {
+            let s = spans
+                .get(inv)
+                .ok_or_else(|| format!("rollback {i}: invalidated span {inv} not retained"))?;
+            if s.trace_id != rb.trace_id {
+                return Err(format!(
+                    "rollback {i}: invalidated span op{}#{} belongs to trace {} not {}",
+                    s.op, s.serial, s.trace_id, rb.trace_id
+                ));
+            }
         }
     }
     Ok(())
@@ -108,5 +159,20 @@ mod tests {
         r.counter("recovery.restarts", Labels::op(3)).incr();
         let err = verify_recovery_counters(&r.snapshot(), &[]).unwrap_err();
         assert!(err.contains("no events"), "{err}");
+    }
+
+    #[test]
+    fn consistent_rollback_traces_pass() {
+        let t = Tracer::sampling(1);
+        let trace = t.sample(9, 0).unwrap();
+        let s0 = t.begin_span(trace, 0, 0, 1, 0);
+        let _s1 = t.begin_span(trace, s0, 1, 1, 0);
+        t.record_rollback(1, 1);
+        assert!(verify_rollback_traces(&t).is_ok());
+    }
+
+    #[test]
+    fn empty_tracer_passes_vacuously() {
+        assert!(verify_rollback_traces(&Tracer::sampling(1)).is_ok());
     }
 }

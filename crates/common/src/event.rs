@@ -281,11 +281,53 @@ impl Decode for Value {
     }
 }
 
+/// Causal trace context riding on a sampled event.
+///
+/// `id` names the end-to-end trace (derived deterministically from the
+/// source operator and sequence number, so a precise recovery reproduces
+/// the identical context) and `parent` names the span — keyed by
+/// `(operator, serial)` — whose processing emitted this event, `0` for an
+/// event stamped at a source. Untraced events carry no context at all:
+/// the unsampled hot path pays one `Option` discriminant, nothing more.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace identity, shared by every span the traced event touches.
+    pub id: u64,
+    /// Span id of the causal parent hop (`0` = stamped at a source).
+    pub parent: u64,
+}
+
+impl TraceCtx {
+    /// A root context as stamped by a source (no causal parent).
+    pub fn root(id: u64) -> TraceCtx {
+        TraceCtx { id, parent: 0 }
+    }
+
+    /// A child context: same trace, emitted by span `parent`.
+    pub fn child(&self, parent: u64) -> TraceCtx {
+        TraceCtx { id: self.id, parent }
+    }
+}
+
+impl Encode for TraceCtx {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.id);
+        enc.put_u64(self.parent);
+    }
+}
+
+impl Decode for TraceCtx {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(TraceCtx { id: dec.get_u64()?, parent: dec.get_u64()? })
+    }
+}
+
 /// A data event flowing through the graph.
 ///
-/// Equality compares full content (id, version, timestamp, speculative flag
-/// and payload), which is what the precise-recovery tests rely on: a precise
-/// recovery must reproduce *identical* events.
+/// Equality compares full content (id, version, timestamp, speculative flag,
+/// payload and trace context), which is what the precise-recovery tests rely
+/// on: a precise recovery must reproduce *identical* events — including the
+/// deterministic trace context.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
     /// Stable identity (creating operator + sequence number).
@@ -299,17 +341,26 @@ pub struct Event {
     pub speculative: bool,
     /// The payload.
     pub payload: Value,
+    /// Causal trace context (`None` for unsampled events).
+    pub trace: Option<TraceCtx>,
 }
 
 impl Event {
     /// Creates a *final* event with version 0.
     pub fn new(id: EventId, timestamp: Timestamp, payload: Value) -> Self {
-        Event { id, version: 0, timestamp, speculative: false, payload }
+        Event { id, version: 0, timestamp, speculative: false, payload, trace: None }
     }
 
     /// Creates a *speculative* event with version 0.
     pub fn speculative(id: EventId, timestamp: Timestamp, payload: Value) -> Self {
-        Event { id, version: 0, timestamp, speculative: true, payload }
+        Event { id, version: 0, timestamp, speculative: true, payload, trace: None }
+    }
+
+    /// Returns this event with the given trace context attached.
+    #[must_use]
+    pub fn traced(mut self, trace: Option<TraceCtx>) -> Event {
+        self.trace = trace;
+        self
     }
 
     /// Returns `true` if the event is final (will never change).
@@ -328,7 +379,8 @@ impl Event {
     }
 
     /// Returns a re-emission of this event with new content and a bumped
-    /// version, still speculative.
+    /// version, still speculative. The trace context is preserved: a
+    /// revision is the same causal event.
     pub fn reissue(&self, payload: Value) -> Event {
         Event {
             id: self.id,
@@ -336,6 +388,7 @@ impl Event {
             timestamp: self.timestamp,
             speculative: true,
             payload,
+            trace: self.trace,
         }
     }
 }
@@ -361,6 +414,13 @@ impl Encode for Event {
         enc.put_u64(self.timestamp);
         enc.put_u8(u8::from(self.speculative));
         self.payload.encode(enc);
+        match &self.trace {
+            None => enc.put_u8(0),
+            Some(ctx) => {
+                enc.put_u8(1);
+                ctx.encode(enc);
+            }
+        }
     }
 }
 
@@ -372,6 +432,11 @@ impl Decode for Event {
             timestamp: dec.get_u64()?,
             speculative: dec.get_u8()? != 0,
             payload: Value::decode(dec)?,
+            trace: match dec.get_u8()? {
+                0 => None,
+                1 => Some(TraceCtx::decode(dec)?),
+                tag => return Err(DecodeError::InvalidTag { type_name: "TraceCtx", tag }),
+            },
         })
     }
 }
@@ -458,8 +523,24 @@ mod tests {
             timestamp: 1_000_000,
             speculative: true,
             payload: Value::record(vec![Value::Int(5), Value::Str("x".into())]),
+            trace: None,
         };
         assert_eq!(roundtrip(&ev).unwrap(), ev);
+    }
+
+    #[test]
+    fn traced_event_roundtrips_and_trace_survives_transitions() {
+        let ctx = TraceCtx::root(0xDEAD_BEEF);
+        let ev = Event::speculative(id(4), 10, Value::Int(1)).traced(Some(ctx));
+        assert_eq!(roundtrip(&ev).unwrap(), ev);
+        // Finalize keeps the context; reissue keeps it too (a revision is
+        // the same causal event); a child context keeps the trace id.
+        assert_eq!(ev.finalized().trace, Some(ctx));
+        assert_eq!(ev.reissue(Value::Int(2)).trace, Some(ctx));
+        let child = ctx.child(77);
+        assert_eq!(child.id, ctx.id);
+        assert_eq!(child.parent, 77);
+        assert_eq!(roundtrip(&child).unwrap(), child);
     }
 
     #[test]

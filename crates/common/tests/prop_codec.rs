@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use streammine_common::codec::{decode_from_slice, encode_to_vec, roundtrip};
-use streammine_common::event::{Event, Value};
+use streammine_common::event::{Event, TraceCtx, Value};
 use streammine_common::ids::{EventId, OperatorId};
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -21,14 +21,30 @@ fn value_strategy() -> impl Strategy<Value = Value> {
     })
 }
 
+fn trace_strategy() -> impl Strategy<Value = Option<TraceCtx>> {
+    prop_oneof![
+        Just(None),
+        (any::<u64>(), any::<u64>()).prop_map(|(id, parent)| Some(TraceCtx { id, parent })),
+    ]
+}
+
 fn event_strategy() -> impl Strategy<Value = Event> {
-    (any::<u32>(), any::<u64>(), any::<u32>(), any::<u64>(), any::<bool>(), value_strategy())
-        .prop_map(|(op, seq, version, ts, speculative, payload)| Event {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<bool>(),
+        value_strategy(),
+        trace_strategy(),
+    )
+        .prop_map(|(op, seq, version, ts, speculative, payload, trace)| Event {
             id: EventId::new(OperatorId::new(op), seq),
             version,
             timestamp: ts,
             speculative,
             payload,
+            trace,
         })
 }
 

@@ -14,10 +14,10 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use streammine_common::clock::SharedClock;
-use streammine_common::event::{Event, Timestamp, Value};
+use streammine_common::event::{Event, Timestamp, TraceCtx, Value};
 use streammine_common::ids::{EventId, OperatorId};
 use streammine_net::{LinkReceiver, LinkSender};
-use streammine_obs::{Histogram, Labels, Obs};
+use streammine_obs::{Histogram, Labels, Obs, Tracer};
 
 use crate::message::{Control, Message};
 
@@ -32,6 +32,10 @@ pub struct SourceHandle {
     tx: LinkSender<Message>,
     clock: SharedClock,
     next_seq: AtomicU64,
+    /// Sampling tracer: pushed events that pass the (deterministic,
+    /// sequence-based) sampling check are stamped with a root trace
+    /// context.
+    tracer: Arc<Tracer>,
     _responder: Option<JoinHandle<()>>,
 }
 
@@ -50,6 +54,7 @@ impl SourceHandle {
         tx: LinkSender<Message>,
         ctrl_rx: LinkReceiver<Control>,
         clock: SharedClock,
+        obs: &Obs,
     ) -> Self {
         let responder = {
             let tx = tx.clone();
@@ -66,7 +71,21 @@ impl SourceHandle {
                 })
                 .ok()
         };
-        SourceHandle { id, tx, clock, next_seq: AtomicU64::new(0), _responder: responder }
+        SourceHandle {
+            id,
+            tx,
+            clock,
+            next_seq: AtomicU64::new(0),
+            tracer: obs.tracer.clone(),
+            _responder: responder,
+        }
+    }
+
+    /// The root trace context for the event at `seq`, when sampled. The
+    /// decision is a pure function of `(source op, seq)`, so recovery
+    /// replays reproduce it exactly.
+    fn stamp(&self, seq: u64) -> Option<TraceCtx> {
+        self.tracer.sample(self.id.index(), seq).map(TraceCtx::root)
     }
 
     /// The operator id under which this source's events are identified.
@@ -107,6 +126,7 @@ impl SourceHandle {
                     timestamp,
                     speculative: false,
                     payload,
+                    trace: self.stamp(seq),
                 }
             })
             .collect();
@@ -123,17 +143,31 @@ impl SourceHandle {
     fn push_inner(&self, payload: Value, speculative: bool) -> EventId {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let id = EventId::new(self.id, seq);
-        let event =
-            Event { id, version: 0, timestamp: self.clock.now_micros(), speculative, payload };
+        let event = Event {
+            id,
+            version: 0,
+            timestamp: self.clock.now_micros(),
+            speculative,
+            payload,
+            trace: self.stamp(seq),
+        };
         let _ = self.tx.send(Message::Data(event));
         id
     }
 
     /// Replaces a previously pushed speculative event with new content
-    /// (bumped version), as when `E1′` becomes `E1″` in §3.1.
+    /// (bumped version), as when `E1′` becomes `E1″` in §3.1. The revision
+    /// carries the same trace context as the original push (same id → same
+    /// sampling decision).
     pub fn revise(&self, id: EventId, version: u32, payload: Value) {
-        let event =
-            Event { id, version, timestamp: self.clock.now_micros(), speculative: true, payload };
+        let event = Event {
+            id,
+            version,
+            timestamp: self.clock.now_micros(),
+            speculative: true,
+            payload,
+            trace: self.stamp(id.seq),
+        };
         let _ = self.tx.send(Message::Data(event));
     }
 
@@ -180,16 +214,20 @@ struct SinkState {
     first_arrival_us: Histogram,
     /// Source-push → final latency (direct final arrival or finalize).
     final_us: Histogram,
+    /// Causal tracer for sampled events: first-arrival and final
+    /// completion records plus critical-path attribution.
+    tracer: Arc<Tracer>,
 }
 
 impl SinkState {
-    fn new(first_arrival_us: Histogram, final_us: Histogram) -> SinkState {
+    fn new(first_arrival_us: Histogram, final_us: Histogram, tracer: Arc<Tracer>) -> SinkState {
         SinkState {
             records: HashMap::new(),
             final_order: Vec::new(),
             revoked: Vec::new(),
             first_arrival_us,
             final_us,
+            tracer,
         }
     }
 
@@ -208,7 +246,11 @@ impl SinkState {
             }
         });
         if fresh {
-            self.first_arrival_us.record(now.saturating_sub(entry.event.timestamp));
+            let latency = now.saturating_sub(entry.event.timestamp);
+            self.first_arrival_us.record(latency);
+            if let Some(ctx) = entry.event.trace {
+                self.tracer.sink_first_arrival(ctx.id, ctx.parent, latency);
+            }
         }
         if event.version >= entry.event.version {
             if event.version > entry.event.version {
@@ -220,7 +262,11 @@ impl SinkState {
         if is_final && entry.final_at_us.is_none() {
             entry.final_at_us = Some(now);
             entry.event.speculative = false;
-            self.final_us.record(now.saturating_sub(entry.event.timestamp));
+            let latency = now.saturating_sub(entry.event.timestamp);
+            self.final_us.record(latency);
+            if let Some(ctx) = entry.event.trace {
+                self.tracer.sink_final(ctx.id, ctx.parent, latency);
+            }
             self.final_order.push(id);
         }
     }
@@ -258,6 +304,7 @@ impl SinkHandle {
         let state: Arc<Mutex<SinkState>> = Arc::new(Mutex::new(SinkState::new(
             obs.registry.histogram("sink.first_arrival_us", labels),
             obs.registry.histogram("sink.final_us", labels),
+            obs.tracer.clone(),
         )));
         let cv = Arc::new(Condvar::new());
         let eof = Arc::new(AtomicU64::new(0));
@@ -287,8 +334,11 @@ impl SinkHandle {
                                     {
                                         entry.final_at_us = Some(now);
                                         entry.event.speculative = false;
-                                        st.final_us
-                                            .record(now.saturating_sub(entry.event.timestamp));
+                                        let latency = now.saturating_sub(entry.event.timestamp);
+                                        st.final_us.record(latency);
+                                        if let Some(ctx) = entry.event.trace {
+                                            st.tracer.sink_final(ctx.id, ctx.parent, latency);
+                                        }
                                         st.final_order.push(id);
                                     }
                                 }
@@ -407,7 +457,8 @@ mod tests {
         let (data_tx, data_rx) = link::<Message>(LinkConfig::instant());
         let (src_ctrl_tx, src_ctrl_rx) = link::<Control>(LinkConfig::instant());
         let (sink_ctrl_tx, _sink_ctrl_rx) = link::<Control>(LinkConfig::instant());
-        let source = SourceHandle::new(OperatorId::new(0), data_tx, src_ctrl_rx, clock.clone());
+        let source =
+            SourceHandle::new(OperatorId::new(0), data_tx, src_ctrl_rx, clock.clone(), &Obs::new());
         let sink = SinkHandle::new(data_rx, sink_ctrl_tx, clock, &Obs::new(), 0, 0);
         let _ = src_ctrl_tx;
         (source, sink)
@@ -511,7 +562,7 @@ mod tests {
         let clock: SharedClock = shared(SystemClock::new());
         let (data_tx, data_rx) = link::<Message>(LinkConfig::instant());
         let (ctrl_tx, ctrl_rx) = link::<Control>(LinkConfig::instant());
-        let source = SourceHandle::new(OperatorId::new(0), data_tx, ctrl_rx, clock);
+        let source = SourceHandle::new(OperatorId::new(0), data_tx, ctrl_rx, clock, &Obs::new());
         source.push(Value::Int(1));
         source.push(Value::Int(2));
         // Consume both, then ask for replay from 0 like a recovering node.

@@ -351,7 +351,7 @@ impl Graph {
             pumps[t].push(pump_data(port, data_rx, intakes[t].tx.clone()));
             up_ctrl[t].push(ResilientSender::new(ctrl_tx));
             let source_id = OperatorId::new((n + i) as u32);
-            sources.push(SourceHandle::new(source_id, data_tx, ctrl_rx, clock.clone()));
+            sources.push(SourceHandle::new(source_id, data_tx, ctrl_rx, clock.clone(), &b.obs));
         }
 
         // Sinks.
@@ -479,6 +479,27 @@ impl Running {
     /// first) — attach this to failure reports.
     pub fn journal_dump(&self) -> String {
         self.obs.journal.render()
+    }
+
+    /// The causal traces recorded so far as Chrome trace-event JSON,
+    /// loadable directly in Perfetto (<https://ui.perfetto.dev>) or
+    /// `chrome://tracing`. Empty unless the graph was built with a traced
+    /// [`Obs`] bundle (e.g. `Obs::traced(64)`).
+    pub fn chrome_trace(&self) -> String {
+        self.obs.tracer.chrome_trace()
+    }
+
+    /// Starts a blocking HTTP scrape endpoint on `addr` (use
+    /// `"127.0.0.1:0"` for an ephemeral port) serving `/metrics`
+    /// (Prometheus), `/metrics.json`, `/journal`, and `/traces` live from
+    /// this graph's observability bundle. The endpoint runs on one
+    /// background thread until the returned handle is stopped or dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error if the address is unavailable.
+    pub fn serve_http(&self, addr: &str) -> std::io::Result<streammine_obs::HttpServer> {
+        streammine_obs::serve(&self.obs, addr)
     }
 
     /// Handle to a source.

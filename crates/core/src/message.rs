@@ -204,6 +204,27 @@ mod tests {
     }
 
     #[test]
+    fn traced_events_roundtrip_through_messages_and_batches() {
+        use streammine_common::event::TraceCtx;
+        // The trace context rides inside the event codec, so framed
+        // messages and batches carry it with no transport-level changes.
+        let root = Event::new(id(), 1, Value::Int(4)).traced(Some(TraceCtx::root(77)));
+        let child =
+            Event::speculative(id(), 2, Value::Int(5)).traced(Some(TraceCtx::root(77).child(42)));
+        let m = Message::Data(root.clone());
+        assert_eq!(roundtrip(&m).unwrap(), m);
+        let batch = Message::DataBatch(vec![root.clone(), child.clone()]);
+        let back = roundtrip(&batch).unwrap();
+        assert_eq!(back, batch);
+        let Message::DataBatch(events) = back else { panic!("batch frame changed kind") };
+        assert_eq!(events[0].trace, Some(TraceCtx { id: 77, parent: 0 }));
+        assert_eq!(events[1].trace, Some(TraceCtx { id: 77, parent: 42 }));
+        // Untraced events stay untraced: the flag byte distinguishes them.
+        let bare = Event::new(id(), 3, Value::Null);
+        assert_eq!(roundtrip(&bare).unwrap().trace, None);
+    }
+
+    #[test]
     fn as_event_filters_control() {
         let e = Event::new(id(), 1, Value::Null);
         assert!(Message::Data(e).as_event().is_some());

@@ -48,11 +48,11 @@ use crossbeam_channel::Sender;
 use parking_lot::Mutex;
 use streammine_common::clock::SharedClock;
 use streammine_common::codec::{decode_from_slice, encode_to_vec};
-use streammine_common::event::{Event, Value};
+use streammine_common::event::{Event, TraceCtx, Value};
 use streammine_common::ids::{EventId, OperatorId};
 use streammine_common::pool::ThreadPool;
 use streammine_common::rng::DetRng;
-use streammine_obs::{Counter, Histogram, Journal, JournalKind, Labels, Obs};
+use streammine_obs::{span_key, Counter, Histogram, Journal, JournalKind, Labels, Obs, Tracer};
 use streammine_stm::{Serial, StmAbort, StmRuntime, TxnHandle, TxnId};
 use streammine_storage::checkpoint::CheckpointStore;
 use streammine_storage::log::{LogSeq, LogTicket, StableLog};
@@ -124,6 +124,10 @@ struct PendingTxn {
     /// otherwise a commit's finalize can overtake the attempt's revised
     /// outputs on the wire.
     attempts_pending: std::sync::atomic::AtomicU64,
+    /// Causal trace context of the input event, when it was sampled for
+    /// tracing. Downstream outputs carry a child context whose parent is
+    /// this hop's span.
+    trace: Option<TraceCtx>,
 }
 
 /// Output held by a non-speculative operator until its log is stable.
@@ -131,6 +135,8 @@ struct HeldOutput {
     ticket: LogTicket,
     outputs: Vec<(Event, Option<u32>)>,
     input_port: u32,
+    /// Trace id of the input event, when sampled for tracing.
+    trace: Option<u64>,
 }
 
 /// Watches one input port for replay progress: while a recovery replay
@@ -721,8 +727,9 @@ impl Node {
                         Some(p) => {
                             let (_seq, event, enq) =
                                 self.port_queues[p].pop_front().expect("nonempty");
-                            self.metrics.queue_wait_us.record_duration(enq.elapsed());
-                            self.accept_event(p as u32, event, None);
+                            let queue_wait = enq.elapsed();
+                            self.metrics.queue_wait_us.record_duration(queue_wait);
+                            self.accept_event(p as u32, event, None, queue_wait);
                             continue;
                         }
                         None => return,
@@ -733,9 +740,10 @@ impl Node {
                     self.replay.as_ref().and_then(ReplayCursor::peek_input_choice).unwrap_or(0);
                 if let Some((_seq, event, enq)) = self.port_queues[record_port as usize].pop_front()
                 {
-                    self.metrics.queue_wait_us.record_duration(enq.elapsed());
+                    let queue_wait = enq.elapsed();
+                    self.metrics.queue_wait_us.record_duration(queue_wait);
                     let record = self.replay.as_mut().expect("replaying").take(front_serial);
-                    self.accept_event(record_port, event, Some(record));
+                    self.accept_event(record_port, event, Some(record), queue_wait);
                     continue;
                 }
                 return; // wait for the replayed event to arrive
@@ -749,14 +757,21 @@ impl Node {
                 None => return,
             };
             let (_seq, event, enq) = self.port_queues[port].pop_front().expect("nonempty");
-            self.metrics.queue_wait_us.record_duration(enq.elapsed());
-            self.accept_event(port as u32, event, None);
+            let queue_wait = enq.elapsed();
+            self.metrics.queue_wait_us.record_duration(queue_wait);
+            self.accept_event(port as u32, event, None, queue_wait);
         }
     }
 
     /// Routes one data event into processing, handling duplicates,
     /// revisions, and non-speculative parking.
-    fn accept_event(&mut self, port: u32, event: Event, replayed: Option<DecisionRecord>) {
+    fn accept_event(
+        &mut self,
+        port: u32,
+        event: Event,
+        replayed: Option<DecisionRecord>,
+        queue_wait: Duration,
+    ) {
         if let Some(c) = self.metrics.events_in.get(port as usize) {
             c.incr();
         }
@@ -779,9 +794,9 @@ impl Node {
                 self.parked.insert(event.id, (port, event));
                 return;
             }
-            self.process_nonspec(port, event, replayed);
+            self.process_nonspec(port, event, replayed, queue_wait);
         } else {
-            self.process_spec(port, event, replayed);
+            self.process_spec(port, event, replayed, queue_wait);
         }
     }
 
@@ -789,10 +804,30 @@ impl Node {
     // Non-speculative path
     // -----------------------------------------------------------------
 
-    fn process_nonspec(&mut self, port: u32, event: Event, replayed: Option<DecisionRecord>) {
+    fn process_nonspec(
+        &mut self,
+        port: u32,
+        event: Event,
+        replayed: Option<DecisionRecord>,
+        queue_wait: Duration,
+    ) {
         let serial = self.next_serial;
         self.next_serial += 1;
-        self.obs.journal.record(Some(self.id.index()), JournalKind::Ingest { serial, port });
+        let trace_id = event.trace.map(|c| c.id);
+        if let Some(ctx) = event.trace {
+            self.obs.tracer.begin_span(
+                ctx.id,
+                ctx.parent,
+                self.id.index(),
+                serial,
+                queue_wait.as_micros() as u64,
+            );
+        }
+        self.obs.journal.record_traced(
+            Some(self.id.index()),
+            trace_id,
+            JournalKind::Ingest { serial, port },
+        );
         let replaying = replayed.is_some();
         let mut decisions = DecisionRecord::new(serial);
         if self.up.len() > 1 {
@@ -820,7 +855,15 @@ impl Node {
         };
         let process_start = Instant::now();
         let process_result = self.operator.process(&mut ctx, &event);
-        self.metrics.process_us.record_duration(process_start.elapsed());
+        let process_took = process_start.elapsed();
+        self.metrics.process_us.record_duration(process_took);
+        if event.trace.is_some() {
+            self.obs.tracer.record_process(
+                self.id.index(),
+                serial,
+                process_took.as_micros() as u64,
+            );
+        }
         if process_result.is_err() {
             // StmAbort cannot legitimately occur outside speculative mode;
             // treat it as an operator bug and drop the event's outputs
@@ -831,7 +874,9 @@ impl Node {
                 format!("process aborted on {}; outputs dropped", event.id),
             );
         }
-        let outputs = assign_output_ids(self.id, serial, event.timestamp, &ctx.outputs, false);
+        let child = event.trace.map(|c| c.child(span_key(self.id.index(), serial)));
+        let outputs =
+            assign_output_ids(self.id, serial, event.timestamp, &ctx.outputs, false, child);
         let decisions = std::mem::take(&mut ctx.decisions);
         drop(ctx);
 
@@ -845,17 +890,28 @@ impl Node {
                 let ticket = log.append_batch(vec![encode_to_vec(&decisions)]);
                 let intake = self.intake.tx.clone();
                 let log_wait = self.metrics.log_wait_us.clone();
+                let tracer = event.trace.is_some().then(|| self.obs.tracer.clone());
+                let op = self.id.index();
                 let s = serial;
                 ticket.subscribe(move || {
-                    log_wait.record_duration(appended_at.elapsed());
+                    let waited = appended_at.elapsed();
+                    log_wait.record_duration(waited);
+                    if let Some(tracer) = &tracer {
+                        tracer.record_log_wait(op, s, waited.as_micros() as u64);
+                    }
                     let _ = intake.send(Intake::LogStable { serial: s });
                 });
-                self.hold_queue
-                    .push_back((serial, HeldOutput { ticket, outputs, input_port: port }));
+                self.hold_queue.push_back((
+                    serial,
+                    HeldOutput { ticket, outputs, input_port: port, trace: trace_id },
+                ));
             }
             _ => {
                 // Deterministic (nothing logged) or replaying (decisions
                 // already stable): forward immediately.
+                if event.trace.is_some() {
+                    self.obs.tracer.record_commit(self.id.index(), serial, 0);
+                }
                 self.send_outputs_final(outputs);
             }
         }
@@ -863,14 +919,31 @@ impl Node {
     }
 
     fn on_log_stable(&mut self, serial: u64) {
-        self.obs.journal.record(Some(self.id.index()), JournalKind::LogStable { serial });
+        let trace_id = self
+            .pending_by_serial
+            .get(&serial)
+            .and_then(|id| self.pending.get(id))
+            .and_then(|p| p.trace.map(|c| c.id))
+            .or_else(|| {
+                self.hold_queue.iter().find(|(s, _)| *s == serial).and_then(|(_, h)| h.trace)
+            });
+        self.obs.journal.record_traced(
+            Some(self.id.index()),
+            trace_id,
+            JournalKind::LogStable { serial },
+        );
         // Non-speculative mode: flush the stable prefix in serial order
         // (keeps FIFO downstream).
         while let Some((_s, held)) = self.hold_queue.front() {
             if !held.ticket.is_stable() {
                 break;
             }
-            let (_s, held) = self.hold_queue.pop_front().expect("nonempty");
+            let (s, held) = self.hold_queue.pop_front().expect("nonempty");
+            if held.trace.is_some() {
+                // A held output turning loose is the non-speculative commit
+                // point: log stable, outputs final downstream.
+                self.obs.tracer.record_commit(self.id.index(), s, 0);
+            }
             self.send_outputs_final(held.outputs);
             let _ = held.input_port;
         }
@@ -934,10 +1007,29 @@ impl Node {
     // Speculative path
     // -----------------------------------------------------------------
 
-    fn process_spec(&mut self, port: u32, event: Event, replayed: Option<DecisionRecord>) {
+    fn process_spec(
+        &mut self,
+        port: u32,
+        event: Event,
+        replayed: Option<DecisionRecord>,
+        queue_wait: Duration,
+    ) {
         let serial = self.next_serial;
         self.next_serial += 1;
-        self.obs.journal.record(Some(self.id.index()), JournalKind::Ingest { serial, port });
+        if let Some(ctx) = event.trace {
+            self.obs.tracer.begin_span(
+                ctx.id,
+                ctx.parent,
+                self.id.index(),
+                serial,
+                queue_wait.as_micros() as u64,
+            );
+        }
+        self.obs.journal.record_traced(
+            Some(self.id.index()),
+            event.trace.map(|c| c.id),
+            JournalKind::Ingest { serial, port },
+        );
         let stm = self.stm.as_ref().expect("speculative node has an stm");
         let handle = stm.begin(Serial(serial));
         let pending = Arc::new(PendingTxn {
@@ -959,6 +1051,7 @@ impl Node {
             sent: Mutex::new(Vec::new()),
             finalized: AtomicBool::new(false),
             attempts_pending: std::sync::atomic::AtomicU64::new(0),
+            trace: event.trace,
         });
         self.pending.insert(event.id, pending.clone());
         self.pending_by_txn.insert(handle.id(), event.id);
@@ -977,6 +1070,8 @@ impl Node {
         let clock = self.clock.clone();
         let multi_input = self.up.len() > 1;
         let process_us = self.metrics.process_us.clone();
+        let attempt_tracer = pending.trace.is_some().then(|| self.obs.tracer.clone());
+        let op_index = self.id.index();
         let job = {
             let pending = pending.clone();
             move || {
@@ -995,6 +1090,7 @@ impl Node {
                         timestamp: pending.input_ts,
                         speculative: view.speculative,
                         payload: view.payload,
+                        trace: pending.trace,
                     };
                     let replaying_now = replay_queue.is_some();
                     let generation = txn.generation();
@@ -1018,7 +1114,15 @@ impl Node {
                     };
                     let process_start = Instant::now();
                     let process_result = operator.process(&mut ctx, &event);
-                    process_us.record_duration(process_start.elapsed());
+                    let process_took = process_start.elapsed();
+                    process_us.record_duration(process_took);
+                    if let Some(tracer) = &attempt_tracer {
+                        tracer.record_process(
+                            op_index,
+                            pending.serial,
+                            process_took.as_micros() as u64,
+                        );
+                    }
                     process_result?;
                     // Live draws re-draw on retry; the final attempt's
                     // record is what gets logged and later replayed. The
@@ -1041,6 +1145,7 @@ impl Node {
             log: self.log.clone(),
             intake: this_intake,
             journal: self.obs.journal.clone(),
+            tracer: self.obs.tracer.clone(),
             spec_published: self.metrics.spec_published.clone(),
             log_wait_us: self.metrics.log_wait_us.clone(),
             batch_events: self.metrics.batch_events.clone(),
@@ -1079,7 +1184,7 @@ impl Node {
             let mut event = event;
             if event.version == version {
                 event.speculative = false;
-                self.accept_event(port, event, None);
+                self.accept_event(port, event, None, Duration::ZERO);
             }
             return;
         }
@@ -1146,10 +1251,16 @@ impl Node {
             }
         }
         self.metrics.spec_finalized.incr();
-        self.metrics.commit_gate_us.record_duration(pending.started.elapsed());
-        self.obs
-            .journal
-            .record(Some(self.id.index()), JournalKind::Commit { serial: pending.serial });
+        let gate = pending.started.elapsed();
+        self.metrics.commit_gate_us.record_duration(gate);
+        if pending.trace.is_some() {
+            self.obs.tracer.record_commit(self.id.index(), pending.serial, gate.as_micros() as u64);
+        }
+        self.obs.journal.record_traced(
+            Some(self.id.index()),
+            pending.trace.map(|c| c.id),
+            JournalKind::Commit { serial: pending.serial },
+        );
         let version = pending.input.lock().version;
         self.processed.insert(id, ProcessedInfo { version });
         self.pending.remove(&id);
@@ -1164,8 +1275,14 @@ impl Node {
         let Some(pending) = self.pending.get(&id).cloned() else { return };
         self.metrics.spec_rollbacks.incr();
         let depth = pending.rollbacks.fetch_add(1, Ordering::Relaxed) + 1;
-        self.obs.journal.record(
+        if pending.trace.is_some() {
+            // Attribute the cascade to its originating determinant (the
+            // deepest still-uncommitted ancestor span).
+            self.obs.tracer.record_rollback(self.id.index(), pending.serial);
+        }
+        self.obs.journal.record_traced(
             Some(self.id.index()),
+            pending.trace.map(|c| c.id),
             JournalKind::Rollback { serial: pending.serial, cascade_depth: depth as u32 },
         );
         // Cascade abort: re-execute the event (§3: rollback + re-execution).
@@ -1258,6 +1375,7 @@ struct NodeSendView {
     log: Option<StableLog>,
     intake: Sender<Intake>,
     journal: Arc<Journal>,
+    tracer: Arc<Tracer>,
     spec_published: Counter,
     log_wait_us: Histogram,
     batch_events: Histogram,
@@ -1278,8 +1396,9 @@ impl NodeSendView {
         // anymore. For gate-ready transactions the commit — and thus the
         // finalize — follows within microseconds.
         let must_log = !decisions.is_empty() && self.log.is_some();
+        let child = pending.trace.map(|c| c.child(span_key(self.id.index(), pending.serial)));
         let new_events =
-            assign_output_ids(self.id, pending.serial, pending.input_ts, &outputs, true);
+            assign_output_ids(self.id, pending.serial, pending.input_ts, &outputs, true, child);
 
         // Diff against previously sent outputs (re-execution produces a
         // revision; identical payloads need no resend).
@@ -1351,8 +1470,9 @@ impl NodeSendView {
             }
             if published > 0 {
                 self.spec_published.add(published);
-                self.journal.record(
+                self.journal.record_traced(
                     Some(self.id.index()),
+                    pending.trace.map(|c| c.id),
                     JournalKind::SpecPublish { serial: pending.serial, outputs: published as u32 },
                 );
             }
@@ -1368,9 +1488,15 @@ impl NodeSendView {
                 let ticket = log.append_batch(vec![encode_to_vec(&decisions)]);
                 let intake = self.intake.clone();
                 let log_wait = self.log_wait_us.clone();
+                let tracer = pending.trace.is_some().then(|| self.tracer.clone());
+                let op = self.id.index();
                 let serial = pending.serial;
                 ticket.subscribe(move || {
-                    log_wait.record_duration(appended_at.elapsed());
+                    let waited = appended_at.elapsed();
+                    log_wait.record_duration(waited);
+                    if let Some(tracer) = &tracer {
+                        tracer.record_log_wait(op, serial, waited.as_micros() as u64);
+                    }
                     let _ = intake.send(Intake::LogStable { serial });
                 });
                 *pending.log_ticket.lock() = Some(ticket);
@@ -1421,6 +1547,7 @@ fn assign_output_ids(
     ts: u64,
     payloads: &[(Option<u32>, Value)],
     speculative: bool,
+    trace: Option<TraceCtx>,
 ) -> Vec<(Event, Option<u32>)> {
     assert!(
         (payloads.len() as u64) < MAX_OUTPUTS_PER_EVENT,
@@ -1437,6 +1564,7 @@ fn assign_output_ids(
                     timestamp: ts,
                     speculative,
                     payload: p.clone(),
+                    trace,
                 },
                 *target,
             )
@@ -1452,8 +1580,8 @@ mod tests {
     fn output_ids_are_deterministic_and_ordered() {
         let op = OperatorId::new(3);
         let payloads = vec![(None, Value::Int(1)), (Some(2), Value::Int(2))];
-        let a = assign_output_ids(op, 5, 99, &payloads, true);
-        let b = assign_output_ids(op, 5, 99, &payloads, true);
+        let a = assign_output_ids(op, 5, 99, &payloads, true, None);
+        let b = assign_output_ids(op, 5, 99, &payloads, true, None);
         assert_eq!(a, b);
         assert_eq!(a[0].0.id.seq, (5 << 16));
         assert_eq!(a[1].0.id.seq, (5 << 16) | 1);
@@ -1467,6 +1595,14 @@ mod tests {
     #[should_panic(expected = "too many outputs")]
     fn too_many_outputs_panics() {
         let payloads = vec![(None, Value::Null); MAX_OUTPUTS_PER_EVENT as usize];
-        let _ = assign_output_ids(OperatorId::new(0), 0, 0, &payloads, false);
+        let _ = assign_output_ids(OperatorId::new(0), 0, 0, &payloads, false, None);
+    }
+
+    #[test]
+    fn output_ids_carry_the_child_trace_context() {
+        let ctx = TraceCtx { id: 77, parent: span_key(3, 5) };
+        let outs =
+            assign_output_ids(OperatorId::new(3), 5, 99, &[(None, Value::Int(1))], true, Some(ctx));
+        assert_eq!(outs[0].0.trace, Some(ctx));
     }
 }

@@ -278,6 +278,36 @@ mod tests {
     use crate::{link, LinkConfig};
 
     #[test]
+    fn concurrent_edge_registration_converges_on_shared_cells() {
+        use std::sync::Arc;
+        let registry = Arc::new(Registry::new());
+        // Every thread registers the same (op, edge) cells and bumps them:
+        // registration is idempotent, so the totals must all land on one
+        // counter per name regardless of interleaving.
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let m = EdgeMetrics::registered(&registry, 1, 2);
+                        m.sent.incr();
+                        m.queued.incr();
+                        m.retransmits.incr();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = registry.snapshot();
+        for name in ["edge.sent", "edge.queued", "edge.retransmits"] {
+            assert_eq!(snap.counter(name, Labels::op_port(1, 2)), Some(800), "{name}");
+        }
+        assert_eq!(snap.samples.len(), 3, "no duplicate cells from racing registrations");
+    }
+
+    #[test]
     fn severed_sends_queue_and_flush_in_order() {
         let (tx, rx) = link::<u8>(LinkConfig::instant());
         let tx = ResilientSender::with_backoff(

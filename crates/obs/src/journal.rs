@@ -133,6 +133,13 @@ impl JournalKind {
             _ => Verbosity::Trace,
         }
     }
+
+    /// Whether the record is lifecycle-critical: kept in a pinned region
+    /// the ring never evicts, so a long chaos run cannot truncate the
+    /// restart/checkpoint history a post-mortem needs.
+    pub fn pinned(&self) -> bool {
+        matches!(self, JournalKind::Restart { .. } | JournalKind::CheckpointSaved { .. })
+    }
 }
 
 /// One journal record.
@@ -144,6 +151,10 @@ pub struct JournalEvent {
     pub at_us: u64,
     /// Owning operator (node) index, when the record is node-scoped.
     pub op: Option<u32>,
+    /// Causal trace id of the event this record concerns, when the event
+    /// was sampled for tracing. Rendered into every line so a grep on one
+    /// trace id reconstructs the event's full path through the journal.
+    pub trace: Option<u64>,
     /// What happened.
     pub kind: JournalKind,
 }
@@ -183,18 +194,67 @@ impl fmt::Display for JournalEvent {
                 write!(f, " restart attempt={attempt} backoff={backoff_us}us")
             }
             JournalKind::Warn { code, detail } => write!(f, " WARN {code}: {detail}"),
+        }?;
+        if let Some(trace) = self.trace {
+            write!(f, " trace={trace}")?;
         }
+        Ok(())
     }
 }
 
 /// Default ring capacity.
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
 
+/// Capacity of the pinned region holding lifecycle-critical records
+/// (restarts, checkpoints). These are never displaced by ordinary
+/// lifecycle traffic; only other pinned records can evict them.
+pub const PINNED_JOURNAL_CAPACITY: usize = 256;
+
+#[derive(Default)]
+struct Rings {
+    /// Ordinary lifecycle records, evicted oldest-first at capacity.
+    ring: VecDeque<JournalEvent>,
+    /// Lifecycle-critical records ([`JournalKind::pinned`]), kept apart so
+    /// a flood of commits cannot truncate the restart history.
+    pinned: VecDeque<JournalEvent>,
+}
+
+impl Rings {
+    /// All retained records merged by sequence number, oldest first.
+    fn merged(&self) -> Vec<JournalEvent> {
+        let mut out = Vec::with_capacity(self.ring.len() + self.pinned.len());
+        let (mut a, mut b) = (self.ring.iter().peekable(), self.pinned.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if x.seq <= y.seq {
+                        out.push((*x).clone());
+                        a.next();
+                    } else {
+                        out.push((*y).clone());
+                        b.next();
+                    }
+                }
+                (Some(_), None) => {
+                    out.extend(a.cloned());
+                    break;
+                }
+                (None, Some(_)) => {
+                    out.extend(b.cloned());
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+        out
+    }
+}
+
 /// The ring-buffered journal. Shared by every node of a graph.
 pub struct Journal {
     level: AtomicU8,
     echo: AtomicBool,
-    ring: Mutex<VecDeque<JournalEvent>>,
+    rings: Mutex<Rings>,
     capacity: usize,
     dropped: AtomicU64,
     seq: AtomicU64,
@@ -205,7 +265,7 @@ impl fmt::Debug for Journal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Journal")
             .field("level", &self.level())
-            .field("len", &self.ring.lock().len())
+            .field("len", &self.len())
             .field("dropped", &self.dropped())
             .finish()
     }
@@ -241,7 +301,7 @@ impl Journal {
         Journal {
             level: AtomicU8::new(level as u8),
             echo: AtomicBool::new(false),
-            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            rings: Mutex::new(Rings::default()),
             capacity: capacity.max(1),
             dropped: AtomicU64::new(0),
             seq: AtomicU64::new(0),
@@ -278,6 +338,12 @@ impl Journal {
 
     /// Appends a record if the current verbosity keeps it.
     pub fn record(&self, op: Option<u32>, kind: JournalKind) {
+        self.record_traced(op, None, kind);
+    }
+
+    /// Appends a record tagged with the causal trace id of the event it
+    /// concerns, so `journal_dump` lines can be grepped per trace.
+    pub fn record_traced(&self, op: Option<u32>, trace: Option<u64>, kind: JournalKind) {
         if !self.enabled(kind.level()) {
             return;
         }
@@ -285,17 +351,26 @@ impl Journal {
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
             at_us: self.start.elapsed().as_micros() as u64,
             op,
+            trace,
             kind,
         };
         if self.echo.load(Ordering::Relaxed) {
             eprintln!("[obs] {ev}");
         }
-        let mut ring = self.ring.lock();
-        if ring.len() == self.capacity {
-            ring.pop_front();
-            self.dropped.fetch_add(1, Ordering::Relaxed);
+        let mut rings = self.rings.lock();
+        if ev.kind.pinned() {
+            if rings.pinned.len() == PINNED_JOURNAL_CAPACITY {
+                rings.pinned.pop_front();
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            rings.pinned.push_back(ev);
+        } else {
+            if rings.ring.len() == self.capacity {
+                rings.ring.pop_front();
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            rings.ring.push_back(ev);
         }
-        ring.push_back(ev);
     }
 
     /// Convenience: records a [`JournalKind::Warn`].
@@ -303,14 +378,17 @@ impl Journal {
         self.record(op, JournalKind::Warn { code, detail });
     }
 
-    /// Copies out the retained records, oldest first.
+    /// Copies out the retained records (including the pinned region),
+    /// oldest first.
     pub fn events(&self) -> Vec<JournalEvent> {
-        self.ring.lock().iter().cloned().collect()
+        self.rings.lock().merged()
     }
 
     /// Records retained that match a predicate.
     pub fn count_matching(&self, pred: impl Fn(&JournalEvent) -> bool) -> usize {
-        self.ring.lock().iter().filter(|e| pred(e)).count()
+        let rings = self.rings.lock();
+        rings.ring.iter().filter(|e| pred(e)).count()
+            + rings.pinned.iter().filter(|e| pred(e)).count()
     }
 
     /// Records evicted from the ring since creation.
@@ -320,31 +398,37 @@ impl Journal {
 
     /// Records currently retained.
     pub fn len(&self) -> usize {
-        self.ring.lock().len()
+        let rings = self.rings.lock();
+        rings.ring.len() + rings.pinned.len()
     }
 
     /// Whether no records are retained.
     pub fn is_empty(&self) -> bool {
-        self.ring.lock().is_empty()
+        let rings = self.rings.lock();
+        rings.ring.is_empty() && rings.pinned.is_empty()
     }
 
     /// Drops all retained records (the eviction counter is kept).
     pub fn clear(&self) {
-        self.ring.lock().clear();
+        let mut rings = self.rings.lock();
+        rings.ring.clear();
+        rings.pinned.clear();
     }
 
     /// Renders the retained records as one printable flight-recorder dump.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
-        let ring = self.ring.lock();
+        let rings = self.rings.lock();
+        let merged = rings.merged();
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "=== journal ({} records, {} evicted) ===",
-            ring.len(),
-            self.dropped.load(Ordering::Relaxed)
+            "=== journal ({} records, {} evicted, {} pinned) ===",
+            merged.len(),
+            self.dropped.load(Ordering::Relaxed),
+            rings.pinned.len()
         );
-        for ev in ring.iter() {
+        for ev in &merged {
             let _ = writeln!(out, "{ev}");
         }
         out
@@ -419,6 +503,54 @@ mod tests {
         j.record(Some(0), JournalKind::Commit { serial: 3 });
         assert_eq!(j.count_matching(|e| matches!(e.kind, JournalKind::Rollback { .. })), 2);
         assert_eq!(j.count_matching(|e| e.op == Some(0)), 2);
+    }
+
+    #[test]
+    fn pinned_region_survives_ring_truncation() {
+        let j = trace_journal(4);
+        j.record(Some(1), JournalKind::Restart { attempt: 1, backoff_us: 100 });
+        j.record(Some(0), JournalKind::CheckpointSaved { id: 1, covers_log: 9 });
+        // Flood with ordinary traffic far past the ring capacity.
+        for serial in 0..50 {
+            j.record(Some(0), JournalKind::Commit { serial });
+        }
+        let evs = j.events();
+        // The restart + checkpoint are still there, oldest first.
+        assert!(matches!(evs[0].kind, JournalKind::Restart { attempt: 1, .. }));
+        assert!(matches!(evs[1].kind, JournalKind::CheckpointSaved { id: 1, .. }));
+        assert_eq!(j.len(), 4 + 2);
+        assert_eq!(
+            j.count_matching(|e| matches!(e.kind, JournalKind::Restart { .. })),
+            1,
+            "post-mortem must always see the restart"
+        );
+        let dump = j.render();
+        assert!(dump.contains("restart attempt=1"), "{dump}");
+        assert!(dump.contains("2 pinned"), "{dump}");
+    }
+
+    #[test]
+    fn merged_view_orders_pinned_and_ordinary_by_seq() {
+        let j = trace_journal(64);
+        j.record(Some(0), JournalKind::Ingest { serial: 1, port: 0 });
+        j.record(Some(0), JournalKind::Restart { attempt: 1, backoff_us: 10 });
+        j.record(Some(0), JournalKind::Commit { serial: 1 });
+        let seqs: Vec<u64> = j.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn trace_ids_render_into_lines() {
+        let j = trace_journal(64);
+        j.record_traced(Some(0), Some(0xDEAD), JournalKind::Ingest { serial: 3, port: 0 });
+        j.record_traced(Some(1), Some(0xDEAD), JournalKind::Commit { serial: 8 });
+        j.record(Some(0), JournalKind::Commit { serial: 4 });
+        let dump = j.render();
+        let tagged: Vec<&str> =
+            dump.lines().filter(|l| l.contains(&format!("trace={}", 0xDEAD))).collect();
+        assert_eq!(tagged.len(), 2, "{dump}");
+        assert!(tagged[0].contains("ingest serial=3"));
+        assert!(tagged[1].contains("commit serial=8"));
     }
 
     #[test]

@@ -15,39 +15,63 @@
 //!   diverged chaos runs.
 //! * [`export`] — Prometheus text-format and JSON snapshot exporters plus
 //!   a linter ([`export::validate_prometheus`]) used by CI.
+//! * [`Tracer`] — sampling-based per-event causal tracing: speculation
+//!   lineage, rollback blast-radius attribution, critical-path analysis,
+//!   exported as Chrome trace-event JSON for Perfetto.
+//! * [`http`] — a minimal blocking scrape endpoint serving all of the
+//!   above live (`/metrics`, `/metrics.json`, `/journal`, `/traces`).
 //!
-//! [`Obs`] bundles one registry + one journal; a graph creates one bundle
-//! and threads it everywhere.
+//! [`Obs`] bundles one registry + one journal + one tracer; a graph
+//! creates one bundle and threads it everywhere.
 
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod http;
 pub mod journal;
 pub mod registry;
+pub mod trace;
 
 pub use export::{json, prometheus_text, sanitize_name, validate_prometheus};
-pub use journal::{Journal, JournalEvent, JournalKind, Verbosity, DEFAULT_JOURNAL_CAPACITY};
+pub use http::{serve, HttpServer};
+pub use journal::{
+    Journal, JournalEvent, JournalKind, Verbosity, DEFAULT_JOURNAL_CAPACITY,
+    PINNED_JOURNAL_CAPACITY,
+};
 pub use registry::{
     bucket_bound, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, Labels, Registry,
     RegistrySnapshot, Sample, SampleValue, HISTOGRAM_BUCKETS,
 };
+pub use trace::{
+    span_key, trace_key, validate_chrome_trace, CriticalPath, RollbackRecord, Span, TraceSummary,
+    Tracer, DEFAULT_SAMPLE_ONE_IN,
+};
 
 use std::sync::Arc;
 
-/// One observability bundle: the metrics registry and journal shared by
-/// every component of a running graph. Cloning shares both.
+/// One observability bundle: the metrics registry, journal, and causal
+/// tracer shared by every component of a running graph. Cloning shares
+/// all three.
 #[derive(Clone, Debug, Default)]
 pub struct Obs {
     /// The metrics registry.
     pub registry: Arc<Registry>,
     /// The structured event journal.
     pub journal: Arc<Journal>,
+    /// The causal event tracer (disabled unless built via [`Obs::traced`]
+    /// or explicitly enabled).
+    pub tracer: Arc<Tracer>,
 }
 
 impl Obs {
-    /// A fresh bundle (journal level from `STREAMMINE_OBS`, default warn).
+    /// A fresh bundle (journal level from `STREAMMINE_OBS`, default warn;
+    /// tracer disabled).
     pub fn new() -> Obs {
-        Obs { registry: Arc::new(Registry::new()), journal: Arc::new(Journal::new()) }
+        Obs {
+            registry: Arc::new(Registry::new()),
+            journal: Arc::new(Journal::new()),
+            tracer: Arc::new(Tracer::new()),
+        }
     }
 
     /// A bundle whose journal records the full speculation lifecycle.
@@ -55,6 +79,32 @@ impl Obs {
         Obs {
             registry: Arc::new(Registry::new()),
             journal: Arc::new(Journal::with_level(DEFAULT_JOURNAL_CAPACITY, Verbosity::Trace)),
+            tracer: Arc::new(Tracer::new()),
+        }
+    }
+
+    /// A bundle with the causal tracer enabled, sampling one source event
+    /// in `sample_one_in` (rounded up to a power of two; `1` = trace
+    /// every event), and the journal at full lifecycle verbosity so trace
+    /// ids appear in `journal_dump` lines.
+    pub fn traced(sample_one_in: u64) -> Obs {
+        Obs {
+            registry: Arc::new(Registry::new()),
+            journal: Arc::new(Journal::with_level(DEFAULT_JOURNAL_CAPACITY, Verbosity::Trace)),
+            tracer: Arc::new(Tracer::sampling(sample_one_in)),
+        }
+    }
+
+    /// A bundle with the causal tracer enabled but the journal at its
+    /// default (silent) verbosity — the production tracing configuration,
+    /// whose hot-path cost is one relaxed atomic check per source event
+    /// plus per-*sampled*-event span bookkeeping. [`Obs::traced`] adds the
+    /// full lifecycle journal on top, which meters every event.
+    pub fn sampled(sample_one_in: u64) -> Obs {
+        Obs {
+            registry: Arc::new(Registry::new()),
+            journal: Arc::new(Journal::new()),
+            tracer: Arc::new(Tracer::sampling(sample_one_in)),
         }
     }
 

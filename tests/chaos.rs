@@ -296,6 +296,135 @@ fn upstream_replay_does_not_duplicate_outputs_after_downstream_crash() {
     running.shutdown();
 }
 
+/// Tracing at sample-rate 1 must not perturb precise recovery — and must
+/// itself *be* precise. Comparing `(id, payload, trace)` between a traced
+/// failure-free run and traced faulted runs proves trace ids, span parents,
+/// and sampling decisions are all reproduced bit-exactly by recovery.
+/// (Timestamps are wall-clock and excluded, as in the untraced grid.)
+#[test]
+fn traced_chaos_grid_reproduces_trace_contexts_exactly() {
+    use streammine::obs::{validate_chrome_trace, Obs};
+    let traced_pipeline = || {
+        let mut b = GraphBuilder::new().with_obs(Obs::traced(1));
+        let cfg =
+            || OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG)).with_checkpoint_every(7);
+        let op0 = b.add_operator(RandomTagger, cfg());
+        let op1 = b.add_operator(RandomTagger, cfg());
+        let op2 = b.add_operator(RandomTagger, cfg());
+        b.connect(op0, op1).unwrap();
+        b.connect(op1, op2).unwrap();
+        let src = b.source_into(op0).unwrap();
+        let sink = b.sink_from(op2).unwrap();
+        (b.build().unwrap().start(), src, sink)
+    };
+
+    let traced_outputs = |events: Vec<Event>| {
+        assert!(events.iter().all(|e| e.trace.is_some()), "rate-1 sampling must stamp every event");
+        events.into_iter().map(|e| (e.id, e.payload, e.trace)).collect::<Vec<_>>()
+    };
+    let reference = {
+        let (running, src, sink) = traced_pipeline();
+        for i in 0..STEPS {
+            running.source(src).push(Value::Int(i as i64));
+        }
+        assert!(running.sink(sink).wait_final(STEPS as usize, Duration::from_secs(20)));
+        let out = traced_outputs(running.sink(sink).final_events_by_id());
+        running.shutdown();
+        out
+    };
+
+    for seed in 0..4 {
+        let (running, src, sink) = traced_pipeline();
+        let supervisor = running.supervise(SupervisorConfig::aggressive());
+        let topo = Topology::probe(&running);
+        let mut sched = FaultScheduler::new(FaultPlan::random(seed, STEPS, &topo));
+        for step in 0..STEPS {
+            sched.advance(step, &running);
+            running.source(src).push(Value::Int(step as i64));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        sched.finish(&running);
+        assert!(
+            running.sink(sink).wait_final(STEPS as usize, Duration::from_secs(60)),
+            "seed {seed}: stalled at {}/{STEPS} under plan {}",
+            running.sink(sink).final_count(),
+            sched.plan()
+        );
+        let out = traced_outputs(running.sink(sink).final_events_by_id());
+        assert_eq!(out.len(), reference.len(), "seed {seed}: traced output count diverged");
+        for (i, (o, r)) in out.iter().zip(reference.iter()).enumerate() {
+            assert_eq!(o, r, "seed {seed}: traced output {i} diverged (trace context included)");
+        }
+        supervisor.stop();
+        // The tracer's books must stay internally consistent under faults,
+        // and the chrome export must remain loadable.
+        streammine::chaos::verify_rollback_traces(&running.obs().tracer)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert!(!running.obs().tracer.spans().is_empty(), "seed {seed}: no spans retained");
+        validate_chrome_trace(&running.chrome_trace())
+            .unwrap_or_else(|e| panic!("seed {seed}: chrome trace invalid: {e}"));
+        running.shutdown();
+    }
+}
+
+/// Rollback attribution under chaos: a traced speculative pipeline takes a
+/// scripted disk stall while a speculative input is revised mid-flight.
+/// Every rolled-back output must carry a trace naming the originating
+/// determinant and the full set of spans the cascade invalidated.
+#[test]
+fn traced_rollback_under_chaos_names_determinant_and_blast_radius() {
+    use streammine::chaos::{FaultEvent, FaultKind};
+    use streammine::obs::Obs;
+    let mut b = GraphBuilder::new().with_obs(Obs::traced(1));
+    let cfg = || OperatorConfig::speculative(LoggingConfig::simulated(FAST_LOG));
+    let op0 = b.add_operator(RandomTagger, cfg());
+    let op1 = b.add_operator(RandomTagger, cfg());
+    b.connect(op0, op1).unwrap();
+    let src = b.source_into(op0).unwrap();
+    let sink = b.sink_from(op1).unwrap();
+    let running = b.build().unwrap().start();
+
+    let mut sched = FaultScheduler::new(FaultPlan::scripted(vec![FaultEvent {
+        step: 1,
+        kind: FaultKind::DiskStall { op: 1, millis: 5 },
+    }]));
+    sched.advance(0, &running);
+    let id = running.source(src).push_speculative(Value::Int(1));
+    // Wait until the speculative version has propagated to the sink so the
+    // revision genuinely rolls back in-flight work at both hops.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while running.sink(sink).seen_count() == 0 {
+        assert!(std::time::Instant::now() < deadline, "speculative emission never arrived");
+        std::thread::yield_now();
+    }
+    sched.advance(1, &running);
+    running.source(src).revise(id, 1, Value::Int(2));
+    running.source(src).finalize(id, 1);
+    sched.finish(&running);
+    assert!(running.sink(sink).wait_final(1, Duration::from_secs(20)));
+
+    let tracer = &running.obs().tracer;
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while tracer.rollbacks().is_empty() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let rollbacks = tracer.rollbacks();
+    assert!(!rollbacks.is_empty(), "the revision must roll back at least one span");
+    streammine::chaos::verify_rollback_traces(tracer)
+        .unwrap_or_else(|e| panic!("{e}\n{}", running.journal_dump()));
+    for rb in &rollbacks {
+        assert_ne!(rb.determinant, 0, "rollback must name its originating determinant");
+        assert!(!rb.invalidated.is_empty(), "rollback must list its invalidated spans");
+    }
+    // The cascade is queryable as blast radius per determinant.
+    let blast = tracer.blast_radius();
+    assert!(
+        blast.values().any(|spans| !spans.is_empty()),
+        "blast radius must attribute invalidated spans to a determinant"
+    );
+    running.shutdown();
+}
+
 /// Scripted plans drive the same injection surface: a sever/heal window on
 /// the middle edge plus a disk stall must only delay, never corrupt.
 #[test]

@@ -138,6 +138,84 @@ fn journal_is_silent_by_default() {
 }
 
 #[test]
+fn concurrent_registration_is_idempotent_and_lint_clean_under_scrape() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use streammine::obs::{json, prometheus_text, Registry};
+
+    const THREADS: u32 = 8;
+    const ROUNDS: u64 = 200;
+    let registry = Arc::new(Registry::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    // A scraper hammers the exporters while registration races below; every
+    // intermediate exposition must already be lint-clean.
+    let scraper = {
+        let registry = Arc::clone(&registry);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let snap = registry.snapshot();
+                validate_prometheus(&prometheus_text(&snap))
+                    .unwrap_or_else(|e| panic!("mid-race exposition invalid: {e}"));
+                let _ = json(&snap);
+                scrapes += 1;
+            }
+            scrapes
+        })
+    };
+
+    // Every thread registers the *same* (name, op, port) cells, every round:
+    // registration must be idempotent, so all increments land on one cell.
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    for op in 0..3u32 {
+                        registry.counter("race.events", Labels::op_port(op, 0)).incr();
+                        registry.histogram("race.latency_us", Labels::op(op)).record(i);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().unwrap();
+    assert!(scrapes > 0, "scraper never ran");
+
+    let snap = registry.snapshot();
+    for op in 0..3u32 {
+        assert_eq!(
+            snap.counter("race.events", Labels::op_port(op, 0)),
+            Some(THREADS as u64 * ROUNDS),
+            "op{op}: racing registrations must converge on a single counter cell"
+        );
+        assert_eq!(
+            snap.histogram("race.latency_us", Labels::op(op)).map(|h| h.count()),
+            Some(THREADS as u64 * ROUNDS),
+            "op{op}: racing registrations must converge on a single histogram cell"
+        );
+    }
+    // No duplicate (name, labels) samples survived the race.
+    for (i, a) in snap.samples.iter().enumerate() {
+        for b in &snap.samples[i + 1..] {
+            assert!(
+                !(a.name == b.name && a.labels == b.labels),
+                "duplicate sample {}{:?} after concurrent registration",
+                a.name,
+                a.labels
+            );
+        }
+    }
+    validate_prometheus(&prometheus_text(&snap)).expect("final exposition must be lint-clean");
+}
+
+#[test]
 fn decomposition_shows_spec_arrival_independent_of_log_latency() {
     // With a 40 ms decision log, a speculative relay's first output must
     // reach the sink well before the log is stable; the non-speculative

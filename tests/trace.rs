@@ -1,0 +1,187 @@
+//! Causal-tracing integration tests: critical-path attribution across a
+//! multi-hop speculative graph, trace-id reconstruction from the journal,
+//! the live HTTP telemetry endpoints, and the Chrome trace export.
+
+use std::io::{Read as _, Write as _};
+use std::time::Duration;
+
+use streammine::common::event::Value;
+use streammine::core::{GraphBuilder, LoggingConfig, OperatorConfig, Running, SinkId, SourceId};
+use streammine::obs::{validate_chrome_trace, validate_prometheus, Obs};
+use streammine::operators::StampedRelay;
+
+const EVENTS: u64 = 8;
+const SLOW_LOG: Duration = Duration::from_millis(40);
+const FAST_LOG: Duration = Duration::from_millis(1);
+
+/// src → relay → relay → relay → sink, all speculative, traced at rate 1.
+/// The middle operator's decision log is ~40x slower than its neighbours,
+/// so it must dominate every sink-side critical path.
+fn slow_middle_pipeline() -> (Running, SourceId, SinkId) {
+    let mut b = GraphBuilder::new().with_obs(Obs::traced(1));
+    let cfg = |log: Duration| OperatorConfig::speculative(LoggingConfig::simulated(log));
+    let a = b.add_operator(StampedRelay::new(), cfg(FAST_LOG));
+    let m = b.add_operator(StampedRelay::new(), cfg(SLOW_LOG));
+    let z = b.add_operator(StampedRelay::new(), cfg(FAST_LOG));
+    b.connect(a, m).unwrap();
+    b.connect(m, z).unwrap();
+    let src = b.source_into(a).unwrap();
+    let sink = b.sink_from(z).unwrap();
+    (b.build().unwrap().start(), src, sink)
+}
+
+fn drive(running: &Running, src: SourceId, sink: SinkId) {
+    for i in 0..EVENTS {
+        running.source(src).push(Value::Int(i as i64));
+    }
+    assert!(running.sink(sink).wait_final(EVENTS as usize, Duration::from_secs(30)));
+}
+
+/// §4-style latency decomposition, attributed per event: with one slow
+/// decision log in the middle of a three-hop speculative chain, the sink's
+/// final-latency critical path must name that log on every trace — and the
+/// speculative first arrival must land long before the slow log is stable
+/// (first-arrival records never include a log-wait stage).
+#[test]
+fn critical_path_names_the_slow_decision_log() {
+    let (running, src, sink) = slow_middle_pipeline();
+    drive(&running, src, sink);
+    let slow_us = SLOW_LOG.as_micros() as u64;
+
+    // Summaries land when the commit gate opens; give them a beat to settle.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while (running.obs().tracer.summaries().iter().filter(|s| s.critical.is_some()).count() as u64)
+        < EVENTS
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let summaries = running.obs().tracer.summaries();
+    let finals: Vec<_> = summaries.iter().filter(|s| s.critical.is_some()).collect();
+    assert!(finals.len() as u64 >= EVENTS, "expected {EVENTS} finalized summaries: {summaries:?}");
+    for s in &finals {
+        let critical = s.critical.as_ref().unwrap();
+        assert_eq!(
+            critical.op, 1,
+            "critical path must name the slow middle log, got op{}: {s:?}",
+            critical.op
+        );
+        assert!(
+            critical.log_wait_us >= slow_us / 2,
+            "critical log-wait {}us should reflect the {slow_us}us log",
+            critical.log_wait_us
+        );
+        let first = s.first_arrival_us.expect("speculative run records a first arrival");
+        assert!(
+            first < critical.log_wait_us,
+            "first arrival {first}us must precede the critical log wait {}us",
+            critical.log_wait_us
+        );
+        assert!(first < slow_us / 2, "first arrival {first}us should hide the {slow_us}us log");
+        assert!(
+            s.final_us >= slow_us / 2,
+            "final latency {}us cannot beat the {slow_us}us stable-log gate",
+            s.final_us
+        );
+    }
+    running.shutdown();
+}
+
+/// Satellite: grep-ability. Every hop journals its lifecycle with the
+/// event's trace id, so filtering the journal dump on one trace id
+/// reconstructs that event's full path through the graph.
+#[test]
+fn journal_grep_by_trace_id_reconstructs_event_path() {
+    let (running, src, sink) = slow_middle_pipeline();
+    drive(&running, src, sink);
+
+    let summaries = running.obs().tracer.summaries();
+    let trace_id = summaries.first().expect("at least one traced event").trace_id;
+    let needle = format!(" trace={trace_id}");
+    let dump = running.journal_dump();
+    let lines: Vec<&str> = dump.lines().filter(|l| l.contains(&needle)).collect();
+    assert!(
+        lines.len() >= 3,
+        "trace {trace_id} should appear at every hop, found {} lines:\n{dump}",
+        lines.len()
+    );
+    for op in 0..3 {
+        let tag = format!("op{op}]");
+        assert!(
+            lines.iter().any(|l| l.contains(&tag)),
+            "trace {trace_id} missing hop op{op}:\n{}",
+            lines.join("\n")
+        );
+    }
+    // The path covers the whole lifecycle, not just ingestion.
+    for stage in ["ingest", "spec-publish", "commit"] {
+        assert!(
+            lines.iter().any(|l| l.contains(stage)),
+            "trace {trace_id} missing `{stage}` records:\n{}",
+            lines.join("\n")
+        );
+    }
+    running.shutdown();
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to telemetry endpoint");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let (head, body) = response.split_once("\r\n\r\n").expect("well-formed HTTP response");
+    (head.to_string(), body.to_string())
+}
+
+/// The live HTTP endpoint serves all four telemetry views of a running,
+/// traced graph: Prometheus metrics, JSON metrics, the journal dump, and
+/// the Chrome trace export.
+#[test]
+fn http_endpoint_serves_live_telemetry() {
+    let (running, src, sink) = slow_middle_pipeline();
+    drive(&running, src, sink);
+    let server = running.serve_http("127.0.0.1:0").expect("bind telemetry endpoint");
+    let addr = server.local_addr();
+
+    let (head, prom) = http_get(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    validate_prometheus(&prom).expect("live /metrics must be lint-clean");
+    assert!(prom.contains("events_in"), "live exposition missing counters:\n{prom}");
+
+    let (_, json) = http_get(addr, "/metrics.json");
+    assert!(json.contains("\"events.in\""), "JSON metrics missing counter: {json}");
+
+    let (_, journal) = http_get(addr, "/journal");
+    assert!(journal.contains("spec-publish"), "journal view missing lifecycle:\n{journal}");
+    assert!(journal.contains("trace="), "journal view missing trace ids:\n{journal}");
+
+    let (_, traces) = http_get(addr, "/traces");
+    let events = validate_chrome_trace(&traces).expect("live /traces must be valid");
+    assert!(events > 0, "trace export should carry events");
+
+    let (head, _) = http_get(addr, "/nope");
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    server.stop();
+    running.shutdown();
+}
+
+/// The Chrome export of a real run is syntactically valid and carries the
+/// per-hop slices, metadata names, and sink instants Perfetto renders.
+#[test]
+fn chrome_trace_export_is_perfetto_loadable() {
+    let (running, src, sink) = slow_middle_pipeline();
+    drive(&running, src, sink);
+    // Let the last commit-gate spans close before exporting.
+    std::thread::sleep(Duration::from_millis(50));
+    let trace = running.chrome_trace();
+    let events = validate_chrome_trace(&trace).expect("chrome trace must validate");
+    // 3 hops x EVENTS complete slices, plus process metadata and instants.
+    assert!(events as u64 >= 3 * EVENTS, "expected a slice per hop, got {events} events");
+    assert!(trace.contains("\"displayTimeUnit\""), "missing displayTimeUnit");
+    assert!(trace.contains("\"ph\":\"X\""), "missing complete slices");
+    assert!(trace.contains("\"ph\":\"M\""), "missing process metadata");
+    running.shutdown();
+}
