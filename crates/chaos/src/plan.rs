@@ -59,6 +59,26 @@ pub enum FaultKind {
         /// Stall window length in milliseconds.
         millis: u64,
     },
+    /// Stall sink `sink`'s collector for `millis` milliseconds — the
+    /// slow-consumer nemesis. The sink stops draining its link, the
+    /// link's credits run dry, and backpressure propagates upstream.
+    StallSink {
+        /// Sink index.
+        sink: usize,
+        /// Stall window length in milliseconds.
+        millis: u64,
+    },
+    /// Add `extra_ms` of propagation delay to every data delivery on
+    /// edge `edge` for the next `window_ms` milliseconds (a congestion
+    /// spike; FIFO order preserved).
+    DelaySpike {
+        /// Edge index.
+        edge: usize,
+        /// Extra per-message delay in milliseconds.
+        extra_ms: u64,
+        /// Spike window length in milliseconds.
+        window_ms: u64,
+    },
 }
 
 impl fmt::Display for FaultKind {
@@ -74,6 +94,10 @@ impl fmt::Display for FaultKind {
             }
             FaultKind::DiskHeal { op } => write!(f, "disk-heal(op{op})"),
             FaultKind::DiskStall { op, millis } => write!(f, "disk-stall(op{op}, {millis}ms)"),
+            FaultKind::StallSink { sink, millis } => write!(f, "stall-sink(s{sink}, {millis}ms)"),
+            FaultKind::DelaySpike { edge, extra_ms, window_ms } => {
+                write!(f, "delay-spike(e{edge}, +{extra_ms}ms/{window_ms}ms)")
+            }
         }
     }
 }
@@ -102,6 +126,8 @@ pub struct Topology {
     pub edges: usize,
     /// Operators with durable storage (disk-fault candidates).
     pub storage_ops: Vec<u32>,
+    /// Number of sinks (slow-consumer stall candidates).
+    pub sinks: usize,
 }
 
 impl Topology {
@@ -109,7 +135,7 @@ impl Topology {
     pub fn probe(target: &impl ChaosTarget) -> Topology {
         let operators = target.operator_count() as u32;
         let storage_ops = (0..operators).filter(|&op| target.has_storage(op)).collect();
-        Topology { operators, edges: target.edge_count(), storage_ops }
+        Topology { operators, edges: target.edge_count(), storage_ops, sinks: target.sink_count() }
     }
 }
 
@@ -250,6 +276,88 @@ impl FaultPlan {
         FaultPlan { seed, events }
     }
 
+    /// Draws a random *network-nemesis* plan over `steps` steps: only
+    /// link-layer faults — slow-consumer sink stalls, congestion delay
+    /// spikes, asymmetric partitions (data severed while acks flow), and
+    /// ack starvation (acks severed while data flows). No crashes and no
+    /// storage faults, so the plan exercises the flow-control and
+    /// retransmission machinery in isolation.
+    ///
+    /// The same `(seed, steps, topology)` always yields the same plan,
+    /// and every sever window is closed by `steps` at the latest.
+    pub fn random_network(seed: u64, steps: u64, topo: &Topology) -> FaultPlan {
+        let mut rng = DetRng::seed_from(seed ^ 0x4E7E_514B);
+        let mut events = Vec::new();
+        let mut severed_data: Vec<Option<u64>> = vec![None; topo.edges];
+        let mut severed_ctrl: Vec<Option<u64>> = vec![None; topo.edges];
+        for step in 0..steps {
+            for (edge, open) in severed_data.iter_mut().enumerate() {
+                if open.map(|until| step >= until).unwrap_or(false) {
+                    events.push(FaultEvent { step, kind: FaultKind::HealData { edge } });
+                    *open = None;
+                }
+            }
+            for (edge, open) in severed_ctrl.iter_mut().enumerate() {
+                if open.map(|until| step >= until).unwrap_or(false) {
+                    events.push(FaultEvent { step, kind: FaultKind::RestoreAcks { edge } });
+                    *open = None;
+                }
+            }
+            // Network turbulence is denser than the mixed plan's faults:
+            // roughly one event every three steps.
+            if !rng.next_bool(0.35) {
+                continue;
+            }
+            match rng.next_below(4) {
+                0 if topo.sinks > 0 => {
+                    let sink = rng.next_below(topo.sinks as u64) as usize;
+                    let millis = 1 + rng.next_below(8);
+                    events.push(FaultEvent { step, kind: FaultKind::StallSink { sink, millis } });
+                }
+                1 if topo.edges > 0 => {
+                    let edge = rng.next_below(topo.edges as u64) as usize;
+                    let extra_ms = 1 + rng.next_below(5);
+                    let window_ms = 1 + rng.next_below(8);
+                    events.push(FaultEvent {
+                        step,
+                        kind: FaultKind::DelaySpike { edge, extra_ms, window_ms },
+                    });
+                }
+                // Asymmetric partition: data path cut, control path alive.
+                2 if topo.edges > 0 => {
+                    let edge = rng.next_below(topo.edges as u64) as usize;
+                    if severed_data[edge].is_none() {
+                        let window = 1 + rng.next_below(MAX_WINDOW);
+                        events.push(FaultEvent { step, kind: FaultKind::SeverData { edge } });
+                        severed_data[edge] = Some((step + window).min(steps.saturating_sub(1)));
+                    }
+                }
+                // Ack starvation: control path cut, data path alive.
+                3 if topo.edges > 0 => {
+                    let edge = rng.next_below(topo.edges as u64) as usize;
+                    if severed_ctrl[edge].is_none() {
+                        let window = 1 + rng.next_below(MAX_WINDOW);
+                        events.push(FaultEvent { step, kind: FaultKind::DelayAcks { edge } });
+                        severed_ctrl[edge] = Some((step + window).min(steps.saturating_sub(1)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (edge, open) in severed_data.iter().enumerate() {
+            if open.is_some() {
+                events.push(FaultEvent { step: steps, kind: FaultKind::HealData { edge } });
+            }
+        }
+        for (edge, open) in severed_ctrl.iter().enumerate() {
+            if open.is_some() {
+                events.push(FaultEvent { step: steps, kind: FaultKind::RestoreAcks { edge } });
+            }
+        }
+        events.sort_by_key(|e| e.step);
+        FaultPlan { seed, events }
+    }
+
     /// Whether the plan leaves every sever / disk-fault window closed.
     pub fn windows_closed(&self) -> bool {
         let mut data = std::collections::HashSet::new();
@@ -292,7 +400,7 @@ mod tests {
     use super::*;
 
     fn topo() -> Topology {
-        Topology { operators: 3, edges: 2, storage_ops: vec![0, 1, 2] }
+        Topology { operators: 3, edges: 2, storage_ops: vec![0, 1, 2], sinks: 1 }
     }
 
     #[test]
@@ -357,10 +465,56 @@ mod tests {
                     FaultKind::SeverData { edge }
                     | FaultKind::HealData { edge }
                     | FaultKind::DelayAcks { edge }
-                    | FaultKind::RestoreAcks { edge } => assert!(edge < t.edges),
+                    | FaultKind::RestoreAcks { edge }
+                    | FaultKind::DelaySpike { edge, .. } => assert!(edge < t.edges),
+                    FaultKind::StallSink { sink, .. } => assert!(sink < t.sinks),
                 }
             }
         }
+    }
+
+    #[test]
+    fn network_plans_are_reproducible_and_network_only() {
+        for seed in 0..32u64 {
+            let a = FaultPlan::random_network(seed, 40, &topo());
+            let b = FaultPlan::random_network(seed, 40, &topo());
+            assert_eq!(a, b, "seed {seed} not reproducible");
+            assert!(a.windows_closed(), "seed {seed} leaves a window open: {a}");
+            for ev in &a.events {
+                assert!(
+                    matches!(
+                        ev.kind,
+                        FaultKind::StallSink { .. }
+                            | FaultKind::DelaySpike { .. }
+                            | FaultKind::SeverData { .. }
+                            | FaultKind::HealData { .. }
+                            | FaultKind::DelayAcks { .. }
+                            | FaultKind::RestoreAcks { .. }
+                    ),
+                    "seed {seed}: non-network fault {ev}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn network_plans_hit_every_network_fault_kind_across_seeds() {
+        let (mut stalls, mut spikes, mut partitions, mut starvations) = (0, 0, 0, 0);
+        for seed in 0..16u64 {
+            for ev in &FaultPlan::random_network(seed, 40, &topo()).events {
+                match ev.kind {
+                    FaultKind::StallSink { .. } => stalls += 1,
+                    FaultKind::DelaySpike { .. } => spikes += 1,
+                    FaultKind::SeverData { .. } => partitions += 1,
+                    FaultKind::DelayAcks { .. } => starvations += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(stalls > 0, "no sink stalls across 16 seeds");
+        assert!(spikes > 0, "no delay spikes across 16 seeds");
+        assert!(partitions > 0, "no data partitions across 16 seeds");
+        assert!(starvations > 0, "no ack starvation across 16 seeds");
     }
 
     #[test]

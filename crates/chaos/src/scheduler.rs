@@ -77,6 +77,14 @@ fn inject(kind: FaultKind, target: &impl ChaosTarget) {
         FaultKind::DiskStall { op, millis } => {
             target.stall_storage(op, Duration::from_millis(millis))
         }
+        FaultKind::StallSink { sink, millis } => {
+            target.stall_sink(sink, Duration::from_millis(millis))
+        }
+        FaultKind::DelaySpike { edge, extra_ms, window_ms } => target.delay_spike(
+            edge,
+            Duration::from_millis(extra_ms),
+            Duration::from_millis(window_ms),
+        ),
     }
 }
 
@@ -129,6 +137,19 @@ mod tests {
         fn stall_storage(&self, op: u32, window: Duration) {
             self.record(format!("stall {op} {}ms", window.as_millis()));
         }
+        fn sink_count(&self) -> usize {
+            1
+        }
+        fn stall_sink(&self, sink: usize, window: Duration) {
+            self.record(format!("stall-sink {sink} {}ms", window.as_millis()));
+        }
+        fn delay_spike(&self, edge: usize, extra: Duration, window: Duration) {
+            self.record(format!(
+                "delay-spike {edge} +{}ms/{}ms",
+                extra.as_millis(),
+                window.as_millis()
+            ));
+        }
     }
 
     #[test]
@@ -157,6 +178,11 @@ mod tests {
             FaultEvent { step: 0, kind: FaultKind::DelayAcks { edge: 1 } },
             FaultEvent { step: 0, kind: FaultKind::RestoreAcks { edge: 1 } },
             FaultEvent { step: 0, kind: FaultKind::DiskHeal { op: 2 } },
+            FaultEvent { step: 0, kind: FaultKind::StallSink { sink: 0, millis: 3 } },
+            FaultEvent {
+                step: 0,
+                kind: FaultKind::DelaySpike { edge: 1, extra_ms: 2, window_ms: 5 },
+            },
         ]);
         let target = MockTarget::default();
         let mut sched = FaultScheduler::new(plan);
@@ -167,11 +193,13 @@ mod tests {
         assert!(calls.contains(&"stall 2 7ms".to_string()));
         assert!(calls.contains(&"sever-ctrl 1".to_string()));
         assert!(calls.contains(&"heal-ctrl 1".to_string()));
+        assert!(calls.contains(&"stall-sink 0 3ms".to_string()));
+        assert!(calls.contains(&"delay-spike 1 +2ms/5ms".to_string()));
     }
 
     #[test]
     fn injected_timeline_matches_plan_for_random_plans() {
-        let topo = Topology { operators: 3, edges: 2, storage_ops: vec![0, 2] };
+        let topo = Topology { operators: 3, edges: 2, storage_ops: vec![0, 2], sinks: 1 };
         for seed in 0..16u64 {
             let plan = FaultPlan::random(seed, 30, &topo);
             let target = MockTarget::default();

@@ -34,6 +34,21 @@ pub trait ChaosTarget {
     fn set_storage_fault_rate(&self, op: u32, rate: f64);
     /// Stalls `op`'s storage writes for the next `window`.
     fn stall_storage(&self, op: u32, window: Duration);
+    /// Number of stallable sinks (slow-consumer targets). Defaults to 0
+    /// for targets without sinks.
+    fn sink_count(&self) -> usize {
+        0
+    }
+    /// Stalls sink `sink`'s consumer for `window`: it stops draining its
+    /// link, starving the upstream edge of delivery credits. Default no-op.
+    fn stall_sink(&self, sink: usize, window: Duration) {
+        let _ = (sink, window);
+    }
+    /// Adds `extra` propagation delay to data deliveries on edge `edge`
+    /// for the next `window` (congestion spike). Default no-op.
+    fn delay_spike(&self, edge: usize, extra: Duration, window: Duration) {
+        let _ = (edge, extra, window);
+    }
 }
 
 impl ChaosTarget for Running {
@@ -76,5 +91,17 @@ impl ChaosTarget for Running {
 
     fn stall_storage(&self, op: u32, window: Duration) {
         Running::stall_storage(self, OperatorId::new(op), window);
+    }
+
+    fn sink_count(&self) -> usize {
+        Running::sink_count(self)
+    }
+
+    fn stall_sink(&self, sink: usize, window: Duration) {
+        Running::stall_sink(self, sink, window);
+    }
+
+    fn delay_spike(&self, edge: usize, extra: Duration, window: Duration) {
+        Running::delay_spike_edge(self, edge, extra, window);
     }
 }

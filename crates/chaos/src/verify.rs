@@ -13,16 +13,28 @@
 use std::collections::HashMap;
 
 use streammine_core::RecoveryEvent;
-use streammine_obs::{Labels, RegistrySnapshot, Tracer};
+use streammine_obs::{JournalEvent, JournalKind, Labels, RegistrySnapshot, Tracer};
 
 /// Checks that the registry's recovery counters match the supervisor's
-/// event trail:
+/// event trail and that the journal's backpressure episodes reconcile
+/// with the registry:
 ///
 /// * `recovery.restarts{op}` equals the number of [`RecoveryEvent`]s for
 ///   that operator — no more, no fewer;
 /// * every restarted operator issued at least one upstream
 ///   `replay.requests{op}` (a restart without a replay request would mean
-///   recovery skipped the paper's upstream-replay step).
+///   recovery skipped the paper's upstream-replay step);
+/// * per operator, journal `BackpressureResume` records never outnumber
+///   stall entries (`BackpressureStall` + `SpecCapHit`) — a resume
+///   without a stall is impossible;
+/// * per operator, the `backpressure.stalls{op}` counter is at least the
+///   journal's stall-entry count (the counter is bumped exactly when a
+///   stall record is written; the ring journal may have evicted old
+///   records, but can never hold *more* stalls than were metered).
+///
+/// Strict stall == resume equality is deliberately not enforced here: a
+/// node crashed mid-stall loses its volatile stall state and never writes
+/// the matching resume, which is correct behavior under chaos.
 ///
 /// # Errors
 ///
@@ -30,6 +42,7 @@ use streammine_obs::{Labels, RegistrySnapshot, Tracer};
 pub fn verify_recovery_counters(
     snap: &RegistrySnapshot,
     events: &[RecoveryEvent],
+    journal: &[JournalEvent],
 ) -> Result<(), String> {
     let mut per_op: HashMap<u32, u64> = HashMap::new();
     for ev in events {
@@ -58,6 +71,39 @@ pub fn verify_recovery_counters(
         let op = sample.labels.op.unwrap_or(u32::MAX);
         if !per_op.contains_key(&op) {
             return Err(format!("registry has recovery.restarts for op{op} with no events"));
+        }
+    }
+    // Backpressure reconciliation: stall entries vs resumes vs counters.
+    let mut stalls: HashMap<u32, u64> = HashMap::new();
+    let mut resumes: HashMap<u32, u64> = HashMap::new();
+    for ev in journal {
+        let Some(op) = ev.op else { continue };
+        match ev.kind {
+            JournalKind::BackpressureStall { .. } | JournalKind::SpecCapHit { .. } => {
+                *stalls.entry(op).or_insert(0) += 1;
+            }
+            JournalKind::BackpressureResume { .. } => {
+                *resumes.entry(op).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    for (&op, &resumed) in &resumes {
+        let stalled = stalls.get(&op).copied().unwrap_or(0);
+        if resumed > stalled {
+            return Err(format!(
+                "op{op}: journal has {resumed} backpressure resumes but only {stalled} stall \
+                 entries"
+            ));
+        }
+    }
+    for (&op, &stalled) in &stalls {
+        let counted = snap.counter("backpressure.stalls", Labels::op(op)).unwrap_or(0);
+        if counted < stalled {
+            return Err(format!(
+                "op{op}: journal has {stalled} stall entries but backpressure.stalls counted \
+                 only {counted}"
+            ));
         }
     }
     Ok(())
@@ -131,7 +177,7 @@ mod tests {
         r.counter("recovery.restarts", Labels::op(1)).add(2);
         r.counter("replay.requests", Labels::op(1)).add(2);
         let events = vec![event(1, 1), event(1, 2)];
-        assert!(verify_recovery_counters(&r.snapshot(), &events).is_ok());
+        assert!(verify_recovery_counters(&r.snapshot(), &events, &[]).is_ok());
     }
 
     #[test]
@@ -140,7 +186,7 @@ mod tests {
         r.counter("recovery.restarts", Labels::op(1)).incr();
         r.counter("replay.requests", Labels::op(1)).incr();
         let events = vec![event(1, 1), event(1, 2)];
-        let err = verify_recovery_counters(&r.snapshot(), &events).unwrap_err();
+        let err = verify_recovery_counters(&r.snapshot(), &events, &[]).unwrap_err();
         assert!(err.contains("registry counted 1"), "{err}");
     }
 
@@ -149,7 +195,7 @@ mod tests {
         let r = Registry::new();
         r.counter("recovery.restarts", Labels::op(0)).incr();
         let events = vec![event(0, 1)];
-        let err = verify_recovery_counters(&r.snapshot(), &events).unwrap_err();
+        let err = verify_recovery_counters(&r.snapshot(), &events, &[]).unwrap_err();
         assert!(err.contains("replay.requests"), "{err}");
     }
 
@@ -157,8 +203,48 @@ mod tests {
     fn phantom_registry_restarts_fail() {
         let r = Registry::new();
         r.counter("recovery.restarts", Labels::op(3)).incr();
-        let err = verify_recovery_counters(&r.snapshot(), &[]).unwrap_err();
+        let err = verify_recovery_counters(&r.snapshot(), &[], &[]).unwrap_err();
         assert!(err.contains("no events"), "{err}");
+    }
+
+    fn journal_events(op: u32, kinds: Vec<JournalKind>) -> Vec<JournalEvent> {
+        let j = streammine_obs::Journal::new();
+        for kind in kinds {
+            j.record(Some(op), kind);
+        }
+        j.events()
+    }
+
+    #[test]
+    fn reconciled_backpressure_episodes_pass() {
+        let r = Registry::new();
+        r.counter("backpressure.stalls", Labels::op(2)).add(2);
+        let journal = journal_events(
+            2,
+            vec![
+                JournalKind::BackpressureStall { edge: 0 },
+                JournalKind::BackpressureResume { stall_us: 17 },
+                JournalKind::SpecCapHit { open: 8, retained: 64 },
+            ],
+        );
+        assert!(verify_recovery_counters(&r.snapshot(), &[], &journal).is_ok());
+    }
+
+    #[test]
+    fn resume_without_stall_fails() {
+        let r = Registry::new();
+        let journal = journal_events(1, vec![JournalKind::BackpressureResume { stall_us: 5 }]);
+        let err = verify_recovery_counters(&r.snapshot(), &[], &journal).unwrap_err();
+        assert!(err.contains("1 backpressure resumes"), "{err}");
+    }
+
+    #[test]
+    fn unmetered_stall_records_fail() {
+        let r = Registry::new();
+        // Journal says a stall happened but the counter never moved.
+        let journal = journal_events(0, vec![JournalKind::BackpressureStall { edge: 1 }]);
+        let err = verify_recovery_counters(&r.snapshot(), &[], &journal).unwrap_err();
+        assert!(err.contains("counted only 0"), "{err}");
     }
 
     #[test]

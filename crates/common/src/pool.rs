@@ -2,8 +2,12 @@
 //!
 //! Operator runtimes use this for optimistic parallelization: the coordinator
 //! submits one closure per in-flight transaction. The pool is deliberately
-//! simple — a bounded crossbeam channel feeding N workers — because task
-//! granularity in StreamMine is coarse (one event's processing).
+//! simple — an unbounded crossbeam channel feeding N workers — because task
+//! granularity in StreamMine is coarse (one event's processing). The queue
+//! is unbounded by construction but intrinsically bounded in practice:
+//! every submitter caps its own in-flight work (the speculator's window,
+//! the node's `max_open_speculations`), so at most that many tasks are
+//! ever queued.
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};

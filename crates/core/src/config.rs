@@ -27,6 +27,34 @@ impl LoggingConfig {
     }
 }
 
+/// Overload-robustness knobs of one node: intake sizing and speculation
+/// admission control (the in-memory analogue of the paper's
+/// bounded-optimism discussion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeConfig {
+    /// Capacity of the node's data intake lane. Pump threads feeding the
+    /// coordinator block when it fills, propagating backpressure onto the
+    /// upstream link instead of growing memory.
+    pub intake_capacity: usize,
+    /// Maximum concurrently open speculative transactions. At the cap the
+    /// node stops admitting new speculative work and paces itself by log
+    /// stability instead (paper §2 semantics) — it never aborts.
+    pub max_open_speculations: usize,
+    /// Maximum speculative output events retained (published but not yet
+    /// finalized) before the node stalls further speculative publication.
+    pub max_retained_spec_outputs: usize,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            intake_capacity: 4096,
+            max_open_speculations: 256,
+            max_retained_spec_outputs: 4096,
+        }
+    }
+}
+
 /// Configuration of one operator instance (§2.3: "each operator can be
 /// configured as being speculative or not").
 #[derive(Debug, Clone)]
@@ -45,6 +73,8 @@ pub struct OperatorConfig {
     pub checkpoint_every: Option<u64>,
     /// STM tuning (speculative mode).
     pub stm: StmConfig,
+    /// Overload robustness: intake sizing and speculation admission caps.
+    pub node: NodeConfig,
 }
 
 impl Default for OperatorConfig {
@@ -55,6 +85,7 @@ impl Default for OperatorConfig {
             logging: None,
             checkpoint_every: None,
             stm: StmConfig::default(),
+            node: NodeConfig::default(),
         }
     }
 }
@@ -105,6 +136,14 @@ impl OperatorConfig {
         self
     }
 
+    /// Sets the overload-robustness knobs (intake capacity, speculation
+    /// admission caps).
+    #[must_use]
+    pub fn with_node(mut self, node: NodeConfig) -> Self {
+        self.node = node;
+        self
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -126,6 +165,17 @@ impl OperatorConfig {
         }
         if self.checkpoint_every == Some(0) {
             return Err(Error::Config("checkpoint interval must be positive".into()));
+        }
+        if self.node.intake_capacity == 0 {
+            return Err(Error::Config("intake capacity must be at least 1".into()));
+        }
+        if self.node.max_open_speculations == 0 {
+            return Err(Error::Config("max open speculations must be at least 1".into()));
+        }
+        if self.node.max_retained_spec_outputs == 0 {
+            return Err(Error::Config(
+                "max retained speculative outputs must be at least 1".into(),
+            ));
         }
         Ok(())
     }
@@ -161,6 +211,18 @@ mod tests {
         assert!(matches!(c.validate(), Err(Error::Config(_))));
 
         let c = OperatorConfig::plain().with_checkpoint_every(0);
+        assert!(matches!(c.validate(), Err(Error::Config(_))));
+
+        let c = OperatorConfig::plain()
+            .with_node(NodeConfig { intake_capacity: 0, ..NodeConfig::default() });
+        assert!(matches!(c.validate(), Err(Error::Config(_))));
+
+        let c = OperatorConfig::plain()
+            .with_node(NodeConfig { max_open_speculations: 0, ..NodeConfig::default() });
+        assert!(matches!(c.validate(), Err(Error::Config(_))));
+
+        let c = OperatorConfig::plain()
+            .with_node(NodeConfig { max_retained_spec_outputs: 0, ..NodeConfig::default() });
         assert!(matches!(c.validate(), Err(Error::Config(_))));
     }
 

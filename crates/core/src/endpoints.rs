@@ -16,7 +16,7 @@ use parking_lot::{Condvar, Mutex};
 use streammine_common::clock::SharedClock;
 use streammine_common::event::{Event, Timestamp, TraceCtx, Value};
 use streammine_common::ids::{EventId, OperatorId};
-use streammine_net::{LinkReceiver, LinkSender};
+use streammine_net::{LinkError, LinkReceiver, LinkSender};
 use streammine_obs::{Histogram, Labels, Obs, Tracer};
 
 use crate::message::{Control, Message};
@@ -63,7 +63,9 @@ impl SourceHandle {
                 .spawn(move || {
                     while let Ok((_seq, ctrl)) = ctrl_rx.recv() {
                         match ctrl {
-                            Control::ReplayRequest { from } => tx.replay_from(from),
+                            Control::ReplayRequest { from } => {
+                                tx.replay_from(from);
+                            }
                             Control::Ack { upto } => tx.ack_upto(upto),
                             _ => {}
                         }
@@ -78,6 +80,21 @@ impl SourceHandle {
             next_seq: AtomicU64::new(0),
             tracer: obs.tracer.clone(),
             _responder: responder,
+        }
+    }
+
+    /// Sends one frame, blocking while the edge is saturated. A source is
+    /// the outermost producer: when the graph pushes back there is nowhere
+    /// further upstream to shed load to, so the push call itself blocks —
+    /// exactly how an overloaded publisher experiences backpressure.
+    /// Disconnects (severed link, shut-down graph) drop the frame, as
+    /// before.
+    fn send_blocking(&self, msg: Message) {
+        loop {
+            match self.tx.send(msg.clone()) {
+                Ok(_) | Err(LinkError::Disconnected) => return,
+                Err(_) => std::thread::sleep(Duration::from_micros(100)),
+            }
         }
     }
 
@@ -136,7 +153,7 @@ impl SourceHandle {
         } else {
             Message::DataBatch(events)
         };
-        let _ = self.tx.send(msg);
+        self.send_blocking(msg);
         ids
     }
 
@@ -151,7 +168,7 @@ impl SourceHandle {
             payload,
             trace: self.stamp(seq),
         };
-        let _ = self.tx.send(Message::Data(event));
+        self.send_blocking(Message::Data(event));
         id
     }
 
@@ -168,22 +185,22 @@ impl SourceHandle {
             payload,
             trace: self.stamp(id.seq),
         };
-        let _ = self.tx.send(Message::Data(event));
+        self.send_blocking(Message::Data(event));
     }
 
     /// Finalizes a previously pushed speculative event.
     pub fn finalize(&self, id: EventId, version: u32) {
-        let _ = self.tx.send(Message::Control(Control::Finalize { id, version }));
+        self.send_blocking(Message::Control(Control::Finalize { id, version }));
     }
 
     /// Revokes a previously pushed speculative event.
     pub fn revoke(&self, id: EventId) {
-        let _ = self.tx.send(Message::Control(Control::Revoke { id }));
+        self.send_blocking(Message::Control(Control::Revoke { id }));
     }
 
     /// Signals end of stream.
     pub fn eof(&self) {
-        let _ = self.tx.send(Message::Control(Control::Eof));
+        self.send_blocking(Message::Control(Control::Eof));
     }
 
     /// Number of events pushed so far.
@@ -272,12 +289,21 @@ impl SinkState {
     }
 }
 
+/// How many data/control frames a sink consumes between `Ack`s to its
+/// upstream. Acks trim the upstream's replay-retention buffer (the
+/// end-to-end credit grant piggybacked on the control link), so the
+/// interval bounds retained memory without an ack per frame.
+const SINK_ACK_INTERVAL: u64 = 16;
+
 /// Observes a graph edge, recording arrivals and finalizations.
 pub struct SinkHandle {
     clock: SharedClock,
     state: Arc<Mutex<SinkState>>,
     cv: Arc<Condvar>,
     eof: Arc<AtomicU64>,
+    /// Slow-consumer injection: the collector stops draining its link
+    /// until this deadline, holding the link's delivery credits hostage.
+    stall_until: Arc<Mutex<Option<std::time::Instant>>>,
     _collector: Option<JoinHandle<()>>,
 }
 
@@ -308,16 +334,35 @@ impl SinkHandle {
         )));
         let cv = Arc::new(Condvar::new());
         let eof = Arc::new(AtomicU64::new(0));
+        let stall_until: Arc<Mutex<Option<std::time::Instant>>> = Arc::new(Mutex::new(None));
         let collector = {
             let state = state.clone();
             let cv = cv.clone();
             let clock = clock.clone();
             let eof = eof.clone();
+            let stall_until = stall_until.clone();
             std::thread::Builder::new()
                 .name("sink-collector".into())
                 .spawn(move || {
-                    let _ctrl_tx = ctrl_tx; // kept alive for future ack support
-                    while let Ok((_seq, msg)) = rx.recv() {
+                    let mut frames: u64 = 0;
+                    loop {
+                        // Chaos hook: a stalled sink simply stops calling
+                        // recv(), so the upstream link's in-flight credits
+                        // stay consumed and the edge saturates.
+                        let stall = stall_until.lock().take();
+                        if let Some(until) = stall {
+                            let now = std::time::Instant::now();
+                            if now < until {
+                                std::thread::sleep(until - now);
+                            }
+                        }
+                        let Ok((seq, msg)) = rx.recv() else { break };
+                        frames += 1;
+                        if frames.is_multiple_of(SINK_ACK_INTERVAL) {
+                            // Periodic cumulative ack: trims upstream
+                            // replay retention (end-to-end credit grant).
+                            let _ = ctrl_tx.send(Control::Ack { upto: seq + 1 });
+                        }
                         let now = clock.now_micros();
                         let mut s = state.lock();
                         match msg {
@@ -358,7 +403,16 @@ impl SinkHandle {
                 })
                 .ok()
         };
-        SinkHandle { clock, state, cv, eof, _collector: collector }
+        SinkHandle { clock, state, cv, eof, stall_until, _collector: collector }
+    }
+
+    /// Stalls the collector for `window` starting at its next loop
+    /// iteration: the slow-consumer nemesis. While stalled the sink holds
+    /// the link's delivery credits, saturating the upstream edge and
+    /// propagating backpressure into the graph. Delivery resumes (with
+    /// every message intact) when the window expires.
+    pub fn stall_for(&self, window: Duration) {
+        *self.stall_until.lock() = Some(std::time::Instant::now() + window);
     }
 
     /// Number of events that reached final state.

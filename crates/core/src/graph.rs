@@ -16,7 +16,7 @@ use parking_lot::Mutex;
 use streammine_common::clock::{shared, SharedClock, SystemClock};
 use streammine_common::error::{Error, Result};
 use streammine_common::ids::OperatorId;
-use streammine_net::{link, EdgeMetrics, LinkConfig, ResilientSender};
+use streammine_net::{link, EdgeMetrics, LinkConfig, ResilientSender, SenderLimits};
 use streammine_obs::{Obs, RegistrySnapshot};
 use streammine_storage::checkpoint::{CheckpointObs, CheckpointStore};
 use streammine_storage::disk::DiskSpec;
@@ -53,6 +53,7 @@ pub struct GraphBuilder {
     sinks: Vec<OperatorId>,   // source operator of each sink
     clock: SharedClock,
     link_config: LinkConfig,
+    sender_limits: SenderLimits,
     obs: Obs,
 }
 
@@ -83,6 +84,7 @@ impl GraphBuilder {
             sinks: Vec::new(),
             clock: shared(SystemClock::new()),
             link_config: LinkConfig::instant(),
+            sender_limits: SenderLimits::default(),
             obs: Obs::new(),
         }
     }
@@ -109,6 +111,15 @@ impl GraphBuilder {
     #[must_use]
     pub fn with_links(mut self, config: LinkConfig) -> Self {
         self.link_config = config;
+        self
+    }
+
+    /// Overrides the saturation caps applied to every data edge's
+    /// [`ResilientSender`] (overload experiments tighten these to force
+    /// backpressure early).
+    #[must_use]
+    pub fn with_sender_limits(mut self, limits: SenderLimits) -> Self {
+        self.sender_limits = limits;
         self
     }
 
@@ -292,7 +303,7 @@ impl NodePersist {
         if let Some(join) = self.join.lock().take() {
             let _ = join.join();
         }
-        while self.intake.rx.try_recv().is_ok() {}
+        self.intake.drain();
         self.health.reset();
         *self.join.lock() = Some(Node::start(self.seed(true)));
     }
@@ -306,7 +317,11 @@ impl Graph {
         let obs = b.obs.clone();
         let n = b.ops.len();
 
-        let intakes: Vec<IntakeHandle> = (0..n).map(|_| IntakeHandle::new()).collect();
+        // Intake data lanes are sized per operator: a slow coordinator
+        // fills its lane, its pumps block, and its upstream links
+        // saturate — credit-based backpressure end to end.
+        let intakes: Vec<IntakeHandle> =
+            b.ops.iter().map(|s| IntakeHandle::new(s.config.node.intake_capacity)).collect();
         let mut up_ctrl: Vec<Vec<ResilientSender<Control>>> = (0..n).map(|_| Vec::new()).collect();
         let mut down_data: Vec<Vec<ResilientSender<Message>>> =
             (0..n).map(|_| Vec::new()).collect();
@@ -321,15 +336,18 @@ impl Graph {
             let t = to.index() as usize;
             let (data_tx, data_rx) = link::<Message>(b.link_config.clone());
             let (ctrl_tx, ctrl_rx) = link::<Control>(b.link_config.clone());
-            let data_tx = ResilientSender::new(data_tx);
+            let data_tx = ResilientSender::new(data_tx).with_limits(b.sender_limits.clone());
             let ctrl_tx = ResilientSender::new(ctrl_tx);
             let port = next_port[t];
             next_port[t] += 1;
             let out = next_out[f];
             next_out[f] += 1;
             data_tx.set_metrics(EdgeMetrics::registered(&obs.registry, f as u32, out));
-            pumps[t].push(pump_data(port, data_rx, intakes[t].tx.clone()));
-            pumps[f].push(pump_ctrl(out, ctrl_rx, intakes[f].tx.clone()));
+            // Data rides the bounded lane (pumps block when the intake is
+            // full — that is the hop-by-hop backpressure); control must
+            // never block, so it rides the unbounded lane.
+            pumps[t].push(pump_data(port, data_rx, intakes[t].data_tx.clone()));
+            pumps[f].push(pump_ctrl(out, ctrl_rx, intakes[f].ctrl_tx.clone()));
             edges.push(EdgeHandle {
                 from: *from,
                 to: *to,
@@ -348,7 +366,7 @@ impl Graph {
             let (ctrl_tx, ctrl_rx) = link::<Control>(b.link_config.clone());
             let port = next_port[t];
             next_port[t] += 1;
-            pumps[t].push(pump_data(port, data_rx, intakes[t].tx.clone()));
+            pumps[t].push(pump_data(port, data_rx, intakes[t].data_tx.clone()));
             up_ctrl[t].push(ResilientSender::new(ctrl_tx));
             let source_id = OperatorId::new((n + i) as u32);
             sources.push(SourceHandle::new(source_id, data_tx, ctrl_rx, clock.clone(), &b.obs));
@@ -362,8 +380,8 @@ impl Graph {
             let (ctrl_tx, ctrl_rx) = link::<Control>(b.link_config.clone());
             let out = next_out[f];
             next_out[f] += 1;
-            pumps[f].push(pump_ctrl(out, ctrl_rx, intakes[f].tx.clone()));
-            let data_tx = ResilientSender::new(data_tx);
+            pumps[f].push(pump_ctrl(out, ctrl_rx, intakes[f].ctrl_tx.clone()));
+            let data_tx = ResilientSender::new(data_tx).with_limits(b.sender_limits.clone());
             data_tx.set_metrics(EdgeMetrics::registered(&obs.registry, f as u32, out));
             down_data[f].push(data_tx);
             sinks.push(SinkHandle::new(data_rx, ctrl_tx, clock.clone(), &obs, f as u32, out));
@@ -588,6 +606,32 @@ impl Running {
         self.edges[i].ctrl.heal();
     }
 
+    /// Number of sinks (chaos-injection targets for slow-consumer stalls).
+    pub fn sink_count(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Stalls sink `i`'s collector for `window`: it stops draining its
+    /// link, so the upstream edge's credits run dry and backpressure
+    /// propagates into the graph — the slow-consumer nemesis.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range sink index.
+    pub fn stall_sink(&self, i: usize, window: Duration) {
+        self.sinks[i].stall_for(window);
+    }
+
+    /// Adds `extra` propagation delay to every data delivery on edge `i`
+    /// starting within the next `window` (a congestion spike).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range edge index.
+    pub fn delay_spike_edge(&self, i: usize, extra: Duration, window: Duration) {
+        self.edges[i].data.delay_spike(extra, window);
+    }
+
     /// Sets the transient write-fault probability on every storage device
     /// of `op` (decision-log disks and checkpoint device). No-op for an
     /// operator without durable storage.
@@ -635,12 +679,14 @@ impl Running {
     /// Panics on an unknown operator.
     pub fn crash(&self, op: OperatorId) {
         let node = &self.nodes[op.index() as usize];
-        let _ = node.intake.tx.send(Intake::Command(NodeCommand::Crash));
+        // Commands ride the control lane: a node stalled on backpressure
+        // still sees the crash immediately.
+        let _ = node.intake.ctrl_tx.send(Intake::Command(NodeCommand::Crash));
         if let Some(join) = node.join.lock().take() {
             let _ = join.join();
         }
         // In-flight intake messages die with the process.
-        while node.intake.rx.try_recv().is_ok() {}
+        node.intake.drain();
     }
 
     /// Restarts a crashed operator: restores the latest checkpoint, replays
@@ -662,7 +708,7 @@ impl Running {
         // exits below could be mistaken for anything else.
         self.stopping.store(true, Ordering::Release);
         for node in self.nodes.iter() {
-            let _ = node.intake.tx.send(Intake::Command(NodeCommand::Shutdown));
+            let _ = node.intake.ctrl_tx.send(Intake::Command(NodeCommand::Shutdown));
         }
         for node in self.nodes.iter() {
             if let Some(join) = node.join.lock().take() {

@@ -40,7 +40,7 @@
 //!    the wire.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -52,7 +52,9 @@ use streammine_common::event::{Event, TraceCtx, Value};
 use streammine_common::ids::{EventId, OperatorId};
 use streammine_common::pool::ThreadPool;
 use streammine_common::rng::DetRng;
-use streammine_obs::{span_key, Counter, Histogram, Journal, JournalKind, Labels, Obs, Tracer};
+use streammine_obs::{
+    span_key, Counter, Gauge, Histogram, Journal, JournalKind, Labels, Obs, Tracer,
+};
 use streammine_stm::{Serial, StmAbort, StmRuntime, TxnHandle, TxnId};
 use streammine_storage::checkpoint::CheckpointStore;
 use streammine_storage::log::{LogSeq, LogTicket, StableLog};
@@ -158,6 +160,16 @@ impl ReplayWatch {
     }
 }
 
+/// Why the overload gate closed (see [`Node::overload_reason`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallReason {
+    /// A downstream edge is saturated (credit window / sender caps).
+    Edge(u32),
+    /// Speculation admission control: too many open transactions or
+    /// retained speculative outputs.
+    SpecCap { open: usize, retained: usize },
+}
+
 /// What a node remembers about an input event it fully processed.
 #[derive(Debug, Clone, Copy)]
 struct ProcessedInfo {
@@ -197,6 +209,18 @@ struct NodeMetrics {
     commit_gate_us: Histogram,
     /// Events per outgoing data frame (micro-batching effectiveness).
     batch_events: Histogram,
+    /// Backpressure / admission-control stall episodes entered.
+    backpressure_stalls: Counter,
+    /// Duration of finished stall episodes.
+    backpressure_stall_us: Histogram,
+    /// Times speculation admission control engaged (a cap was hit).
+    spec_cap_hits: Counter,
+    /// Open speculative transactions right now.
+    spec_open: Gauge,
+    /// Published-but-unfinalized speculative outputs right now.
+    spec_retained: Gauge,
+    /// Messages queued on the bounded data intake lane.
+    intake_depth: Gauge,
 }
 
 impl NodeMetrics {
@@ -217,6 +241,12 @@ impl NodeMetrics {
             log_wait_us: r.histogram("stage.log_wait_us", Labels::op(op)),
             commit_gate_us: r.histogram("stage.commit_gate_us", Labels::op(op)),
             batch_events: r.histogram("batch.events", Labels::op(op)),
+            backpressure_stalls: r.counter("backpressure.stalls", Labels::op(op)),
+            backpressure_stall_us: r.histogram("backpressure.stall_us", Labels::op(op)),
+            spec_cap_hits: r.counter("spec.cap_hits", Labels::op(op)),
+            spec_open: r.gauge("spec.open", Labels::op(op)),
+            spec_retained: r.gauge("spec.retained", Labels::op(op)),
+            intake_depth: r.gauge("node.intake_depth", Labels::op(op)),
         }
     }
 }
@@ -300,6 +330,17 @@ pub(crate) struct Node {
     recovering: bool,
     running: bool,
     crashed: bool,
+    /// When the current backpressure / admission-control stall began
+    /// (`None`: flowing normally). While set, the coordinator serves only
+    /// the control lane — data stays queued on the bounded intake lane and
+    /// in `port_queues`, pumps block, and the upstream saturates in turn.
+    stall_since: Option<Instant>,
+    /// Running count of published-but-unfinalized speculative output
+    /// events across all pending transactions (updated by worker threads
+    /// in `after_publish`, decremented on commit/revoke). Drives the
+    /// `max_retained_spec_outputs` admission cap without walking `pending`
+    /// on the hot path.
+    spec_retained: Arc<AtomicI64>,
 }
 
 impl Node {
@@ -350,8 +391,12 @@ impl Node {
             let (commit_tx, commit_rx) = crossbeam_channel::unbounded::<TxnId>();
             rt.set_abort_sink(abort_tx);
             rt.set_commit_sink(commit_tx);
-            // Forward STM notifications into the intake.
-            let intake = seed.intake.tx.clone();
+            // Forward STM notifications into the intake's control lane.
+            // The abort/commit channels themselves are unbounded but
+            // intrinsically bounded: at most `max_open_speculations`
+            // transactions are in flight (admission control), each with at
+            // most one outstanding notification per state change.
+            let intake = seed.intake.ctrl_tx.clone();
             std::thread::Builder::new()
                 .name(format!("stm-aborts-{}", seed.id))
                 .spawn(move || {
@@ -362,7 +407,7 @@ impl Node {
                     }
                 })
                 .expect("spawn abort pump");
-            let intake = seed.intake.tx.clone();
+            let intake = seed.intake.ctrl_tx.clone();
             std::thread::Builder::new()
                 .name(format!("stm-commits-{}", seed.id))
                 .spawn(move || {
@@ -416,6 +461,8 @@ impl Node {
             recovering,
             running: true,
             crashed: false,
+            stall_since: None,
+            spec_retained: Arc::new(AtomicI64::new(0)),
         }
     }
 
@@ -539,23 +586,36 @@ impl Node {
 
     fn run(&mut self) {
         while self.running {
+            // While stalled on backpressure or an admission cap, only the
+            // control lane is served: data stays queued on the bounded
+            // intake lane, so its pumps block and the upstream link's
+            // credit window stays consumed — backpressure propagates hop
+            // by hop. Control keeps flowing, so the node still serves
+            // downstream replay requests and receives the acks, commits
+            // and log-stability callbacks that end the stall.
+            let accept_data = self.stall_since.is_none();
             // Adaptive flush: buffered outputs only hit the wire when the
             // intake has drained (about to block) or a buffer reached the
             // size threshold. Under low load the intake is empty after
             // every event, so each output flushes immediately as a plain
             // `Data` message and latency is unchanged; under backlog the
             // buffers fill toward `BATCH_MAX_EVENTS`-sized frames.
-            let intake = match self.intake.rx.try_recv() {
+            let intake = match self.intake.try_recv(accept_data) {
                 Ok(i) => i,
                 Err(crossbeam_channel::TryRecvError::Empty) => {
                     self.flush_out_batches();
                     // Block with a bounded timeout so an idle node still
                     // beats its heartbeat and retries buffered sends on
                     // severed-then-healed links.
-                    match self.intake.rx.recv_timeout(HEARTBEAT_INTERVAL) {
+                    match self.intake.recv_timeout(HEARTBEAT_INTERVAL, accept_data) {
                         Ok(i) => i,
                         Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
                             self.tick();
+                            // A stall can end without any intake message
+                            // (the consumer draining the link frees
+                            // credits silently); re-check here so queued
+                            // work resumes within one heartbeat.
+                            self.drain_ready_events();
                             continue;
                         }
                         Err(crossbeam_channel::RecvTimeoutError::Disconnected) => break,
@@ -601,6 +661,92 @@ impl Node {
             edge.ctrl_tx.flush();
         }
         self.retry_stalled_replay();
+        self.metrics.intake_depth.set(self.intake.data_depth() as i64);
+        self.metrics.spec_open.set(self.pending.len() as i64);
+        self.metrics.spec_retained.set(self.spec_retained.load(Ordering::Relaxed).max(0));
+    }
+
+    // -----------------------------------------------------------------
+    // Overload control: credit-backed backpressure + speculation
+    // admission (bounded optimism).
+    // -----------------------------------------------------------------
+
+    /// Why the node must stop pulling new data events, if it must.
+    fn overload_reason(&self) -> Option<StallReason> {
+        // Outputs already produced but held for log stability will land on
+        // every downstream sender once their records turn stable; counting
+        // them against the cap keeps the pending queue bounded by
+        // `pending_cap` + one event's outputs, instead of overshooting by
+        // everything admitted inside a stability window. (Event count is
+        // conservative: micro-batching can coalesce them into fewer
+        // frames, never more.)
+        let held: usize = self.hold_queue.iter().map(|(_, h)| h.outputs.len()).sum();
+        for (out, edge) in self.down.iter().enumerate() {
+            if edge.data_tx.is_saturated_with(held) {
+                return Some(StallReason::Edge(out as u32));
+            }
+        }
+        if self.config.speculative {
+            let open = self.pending.len();
+            let retained = self.spec_retained.load(Ordering::Relaxed).max(0) as usize;
+            if open >= self.config.node.max_open_speculations
+                || retained >= self.config.node.max_retained_spec_outputs
+            {
+                return Some(StallReason::SpecCap { open, retained });
+            }
+        }
+        None
+    }
+
+    /// Evaluates the overload gate, entering or ending a stall episode.
+    /// Returns `true` while the node must not pull data. Control-plane
+    /// work (replay serving, acks, commits, log callbacks) is never
+    /// gated — that asymmetry is what makes the credit protocol
+    /// deadlock-free: a stalled consumer still grants credits and replay.
+    fn check_overload(&mut self) -> bool {
+        match self.overload_reason() {
+            Some(reason) => {
+                self.enter_stall(reason);
+                true
+            }
+            None => {
+                self.exit_stall();
+                false
+            }
+        }
+    }
+
+    fn enter_stall(&mut self, reason: StallReason) {
+        if self.stall_since.is_some() {
+            return; // already inside an episode
+        }
+        self.stall_since = Some(Instant::now());
+        self.metrics.backpressure_stalls.incr();
+        match reason {
+            StallReason::Edge(edge) => {
+                self.obs
+                    .journal
+                    .record(Some(self.id.index()), JournalKind::BackpressureStall { edge });
+            }
+            StallReason::SpecCap { open, retained } => {
+                self.metrics.spec_cap_hits.incr();
+                self.obs.journal.record(
+                    Some(self.id.index()),
+                    JournalKind::SpecCapHit { open: open as u32, retained: retained as u64 },
+                );
+            }
+        }
+    }
+
+    fn exit_stall(&mut self) {
+        let Some(since) = self.stall_since.take() else { return };
+        let stalled = since.elapsed();
+        self.metrics.backpressure_stall_us.record_duration(stalled);
+        self.obs.journal.record(
+            Some(self.id.index()),
+            JournalKind::BackpressureResume { stall_us: stalled.as_micros() as u64 },
+        );
+        self.obs.tracer.record_backpressure(self.id.index(), stalled.as_micros() as u64);
     }
 
     /// Re-requests upstream replay for any input port that is stuck: either
@@ -710,6 +856,16 @@ impl Node {
     /// order; live, in arrival order.
     fn drain_ready_events(&mut self) {
         loop {
+            // Overload gate first: while a downstream edge is saturated or
+            // a speculation cap is hit, admit nothing — queued events wait
+            // in `port_queues` and on the bounded intake lane, and the
+            // node paces itself by downstream drain / log stability
+            // instead of speculating further (it never aborts admitted
+            // work). Applies to replay identically: replayed input obeys
+            // the same credit window as live input.
+            if self.check_overload() {
+                return;
+            }
             // Replay phase: the next event must come from the logged port.
             if let Some(cursor) = &self.replay {
                 if cursor.is_done() {
@@ -888,7 +1044,10 @@ impl Node {
                 // Hold outputs until the decision record is stable (§2.4).
                 let appended_at = Instant::now();
                 let ticket = log.append_batch(vec![encode_to_vec(&decisions)]);
-                let intake = self.intake.tx.clone();
+                // Control lane: the subscribe callback can fire
+                // synchronously on this very thread when the serial is
+                // already stable — a bounded lane would self-deadlock.
+                let intake = self.intake.ctrl_tx.clone();
                 let log_wait = self.metrics.log_wait_us.clone();
                 let tracer = event.trace.is_some().then(|| self.obs.tracer.clone());
                 let op = self.id.index();
@@ -1138,7 +1297,7 @@ impl Node {
         // `finish_attempt`, which must run on the coordinator; workers send
         // the result back through the intake only implicitly (publish →
         // outputs are sent directly from the worker below).
-        let this_intake = self.intake.tx.clone();
+        let this_intake = self.intake.ctrl_tx.clone();
         let node_view = NodeSendView {
             id: self.id,
             down: self.down.iter().map(|d| d.data_tx.clone()).collect(),
@@ -1149,6 +1308,7 @@ impl Node {
             spec_published: self.metrics.spec_published.clone(),
             log_wait_us: self.metrics.log_wait_us.clone(),
             batch_events: self.metrics.batch_events.clone(),
+            spec_retained: self.spec_retained.clone(),
         };
         let run = move || {
             if job().is_ok() {
@@ -1210,11 +1370,16 @@ impl Node {
             self.pending_by_txn.remove(&pending.handle.id());
             self.pending_by_serial.remove(&pending.serial);
             // Revoke our outputs downstream, then drop the transaction.
-            for (event, target) in pending.sent.lock().iter() {
-                for (out, edge) in self.down.iter().enumerate() {
-                    if target.map(|t| t as usize == out).unwrap_or(true) {
-                        let _ =
-                            edge.data_tx.send(Message::Control(Control::Revoke { id: event.id }));
+            {
+                let sent = pending.sent.lock();
+                self.spec_retained.fetch_sub(sent.len() as i64, Ordering::Relaxed);
+                for (event, target) in sent.iter() {
+                    for (out, edge) in self.down.iter().enumerate() {
+                        if target.map(|t| t as usize == out).unwrap_or(true) {
+                            let _ = edge
+                                .data_tx
+                                .send(Message::Control(Control::Revoke { id: event.id }));
+                        }
                     }
                 }
             }
@@ -1237,6 +1402,9 @@ impl Node {
         {
             let sent = pending.sent.lock();
             pending.finalized.store(true, Ordering::Release);
+            // Finalized outputs stop counting against the retained-
+            // speculation admission cap.
+            self.spec_retained.fetch_sub(sent.len() as i64, Ordering::Relaxed);
             for (event, target) in sent.iter() {
                 if event.speculative {
                     for (out, edge) in self.down.iter().enumerate() {
@@ -1379,6 +1547,8 @@ struct NodeSendView {
     spec_published: Counter,
     log_wait_us: Histogram,
     batch_events: Histogram,
+    /// Shared retained-speculative-output count (admission control input).
+    spec_retained: Arc<AtomicI64>,
 }
 
 impl NodeSendView {
@@ -1415,6 +1585,7 @@ impl NodeSendView {
                 return;
             }
             pending.applied_gen.store(generation, Ordering::Release);
+            let sent_before = sent.len();
             let mut to_send: Vec<(Message, Option<u32>)> = Vec::new();
             for (k, (new_ev, target)) in new_events.iter().enumerate() {
                 match sent.get(k) {
@@ -1444,6 +1615,9 @@ impl NodeSendView {
                 let (gone, target) = sent.pop().expect("nonempty");
                 to_send.push((Message::Control(Control::Revoke { id: gone.id }), target));
             }
+            // Keep the retained-speculative-output count current for the
+            // admission gate (revisions replace in place: no change).
+            self.spec_retained.fetch_add(sent.len() as i64 - sent_before as i64, Ordering::Relaxed);
             // Route the diff to each edge, coalescing consecutive data
             // messages into one `DataBatch` frame per edge. Control
             // messages (revokes) act as barriers, so relative data/control

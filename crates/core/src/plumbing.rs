@@ -1,20 +1,39 @@
 //! Node plumbing: link endpoints, intake merging, and per-link FIFO
 //! reordering.
 //!
-//! Each operator runs a single coordinator loop fed by one *intake*
-//! channel. Small forwarder threads pump every upstream data link and every
-//! downstream control link into the intake, so the coordinator can block on
-//! one receiver. The plumbing survives operator crashes — links, sequence
-//! counters and retained output buffers are exactly the state that lives
-//! *outside* the failed process in the paper's model.
+//! Each operator runs a single coordinator loop fed by one *intake*.
+//! Small forwarder threads pump every upstream data link and every
+//! downstream control link into the intake. The intake has **two lanes**:
+//!
+//! * a **bounded data lane** fed only by the data pumps — when the
+//!   coordinator stops draining it (backpressure stall), the pumps block,
+//!   the upstream link's credit window stays consumed, and the producer
+//!   saturates in turn: backpressure propagates hop by hop instead of
+//!   growing memory;
+//! * an **unbounded control lane** for everything else (acks, replay
+//!   requests, commit/abort notifications, log-stability callbacks,
+//!   engine commands). It must never block: log tickets fire their
+//!   callbacks *synchronously on the caller's thread* when the serial is
+//!   already stable, so the coordinator itself sends into this lane — a
+//!   bounded lane could self-deadlock. It is intrinsically bounded
+//!   anyway: every message class is capped by bounded in-flight state
+//!   (open transactions, the hold queue, per-edge ctrl-link credit
+//!   windows), not by external producers.
+//!
+//! Receives service the control lane first so a stalled node keeps
+//! serving replay requests and credit grants — the deadlock-freedom core
+//! of the credit protocol. The plumbing survives operator crashes —
+//! links, sequence counters and retained output buffers are exactly the
+//! state that lives *outside* the failed process in the paper's model.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam_channel::{Receiver, Sender};
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use streammine_net::{LinkReceiver, ResilientSender};
 use streammine_stm::TxnId;
 
@@ -175,17 +194,96 @@ impl ReorderBuffer {
     }
 }
 
-/// The channel pair feeding a node's coordinator. Survives crashes.
+/// How long a blocking intake receive waits on the control lane before
+/// polling the data lane again (there is no multi-channel select in the
+/// channel stand-in; the slice bounds the added data latency while idle).
+const INTAKE_POLL_SLICE: Duration = Duration::from_micros(500);
+
+/// The two-lane channel bundle feeding a node's coordinator. Survives
+/// crashes. See the module docs for the lane semantics.
 #[derive(Debug, Clone)]
 pub(crate) struct IntakeHandle {
-    pub tx: Sender<Intake>,
-    pub rx: Receiver<Intake>,
+    /// Bounded data lane: data pumps only. A blocking send here *is* the
+    /// backpressure mechanism.
+    pub data_tx: Sender<Intake>,
+    data_rx: Receiver<Intake>,
+    /// Unbounded control lane: everything that must never block.
+    pub ctrl_tx: Sender<Intake>,
+    ctrl_rx: Receiver<Intake>,
 }
 
 impl IntakeHandle {
-    pub fn new() -> Self {
-        let (tx, rx) = crossbeam_channel::unbounded();
-        IntakeHandle { tx, rx }
+    /// Creates an intake whose data lane holds at most `data_capacity`
+    /// messages (`NodeConfig::intake_capacity`).
+    pub fn new(data_capacity: usize) -> Self {
+        let (data_tx, data_rx) = crossbeam_channel::bounded(data_capacity.max(1));
+        let (ctrl_tx, ctrl_rx) = crossbeam_channel::unbounded();
+        IntakeHandle { data_tx, data_rx, ctrl_tx, ctrl_rx }
+    }
+
+    /// Non-blocking receive; control lane first. With `accept_data ==
+    /// false` (backpressure stall) the data lane is left untouched so its
+    /// pumps stay blocked.
+    pub fn try_recv(&self, accept_data: bool) -> Result<Intake, TryRecvError> {
+        match self.ctrl_rx.try_recv() {
+            Ok(m) => return Ok(m),
+            Err(TryRecvError::Disconnected) => return Err(TryRecvError::Disconnected),
+            Err(TryRecvError::Empty) => {}
+        }
+        if accept_data {
+            self.data_rx.try_recv()
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Blocking receive with a timeout; control lane first. Polls the two
+    /// lanes in [`INTAKE_POLL_SLICE`] slices since the channel stand-in
+    /// has no select.
+    pub fn recv_timeout(
+        &self,
+        timeout: Duration,
+        accept_data: bool,
+    ) -> Result<Intake, RecvTimeoutError> {
+        if !accept_data {
+            return self.ctrl_rx.recv_timeout(timeout);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.try_recv(true) {
+                Ok(m) => return Ok(m),
+                Err(TryRecvError::Disconnected) => return Err(RecvTimeoutError::Disconnected),
+                Err(TryRecvError::Empty) => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            match self.ctrl_rx.recv_timeout(INTAKE_POLL_SLICE.min(deadline - now)) {
+                Ok(m) => return Ok(m),
+                Err(RecvTimeoutError::Disconnected) => return Err(RecvTimeoutError::Disconnected),
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+        }
+    }
+
+    /// Discards everything queued on both lanes (crash simulation:
+    /// in-flight intake messages die with the process). Draining the data
+    /// lane also unblocks any pump waiting on a full lane.
+    pub fn drain(&self) -> usize {
+        let mut n = 0;
+        while self.ctrl_rx.try_recv().is_ok() {
+            n += 1;
+        }
+        while self.data_rx.try_recv().is_ok() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Messages currently queued on the bounded data lane.
+    pub fn data_depth(&self) -> usize {
+        self.data_rx.len()
     }
 }
 
@@ -236,10 +334,10 @@ mod tests {
     #[test]
     fn data_pump_forwards_with_port_tag() {
         let (tx, rx) = link::<Message>(LinkConfig::instant());
-        let intake = IntakeHandle::new();
-        let _h = pump_data(3, rx, intake.tx.clone());
+        let intake = IntakeHandle::new(16);
+        let _h = pump_data(3, rx, intake.data_tx.clone());
         tx.send(msg(7)).unwrap();
-        match intake.rx.recv().unwrap() {
+        match intake.recv_timeout(Duration::from_secs(5), true).unwrap() {
             Intake::Upstream { port, link_seq, msg: Message::Data(e) } => {
                 assert_eq!(port, 3);
                 assert_eq!(link_seq, 0);
@@ -252,15 +350,52 @@ mod tests {
     #[test]
     fn ctrl_pump_forwards_with_out_tag() {
         let (tx, rx) = link::<Control>(LinkConfig::instant());
-        let intake = IntakeHandle::new();
-        let _h = pump_ctrl(1, rx, intake.tx.clone());
+        let intake = IntakeHandle::new(16);
+        let _h = pump_ctrl(1, rx, intake.ctrl_tx.clone());
         tx.send(Control::Ack { upto: 9 }).unwrap();
-        match intake.rx.recv().unwrap() {
+        match intake.recv_timeout(Duration::from_secs(5), true).unwrap() {
             Intake::Downstream { out, ctrl: Control::Ack { upto } } => {
                 assert_eq!(out, 1);
                 assert_eq!(upto, 9);
             }
             other => panic!("unexpected intake {other:?}"),
         }
+    }
+
+    #[test]
+    fn control_lane_is_served_before_data() {
+        let intake = IntakeHandle::new(16);
+        intake.data_tx.send(Intake::Upstream { port: 0, link_seq: 0, msg: msg(1) }).unwrap();
+        intake.ctrl_tx.send(Intake::LogStable { serial: 5 }).unwrap();
+        // Control wins even though data arrived first.
+        assert!(matches!(intake.try_recv(true), Ok(Intake::LogStable { serial: 5 })));
+        assert!(matches!(intake.try_recv(true), Ok(Intake::Upstream { .. })));
+    }
+
+    #[test]
+    fn stalled_receive_leaves_data_lane_untouched() {
+        let intake = IntakeHandle::new(16);
+        intake.data_tx.send(Intake::Upstream { port: 0, link_seq: 0, msg: msg(1) }).unwrap();
+        assert!(intake.try_recv(false).is_err(), "data must stay queued while stalled");
+        assert_eq!(intake.data_depth(), 1);
+        assert!(matches!(intake.try_recv(true), Ok(Intake::Upstream { .. })));
+    }
+
+    #[test]
+    fn full_data_lane_blocks_pump_until_drained() {
+        let (tx, rx) = link::<Message>(LinkConfig::instant());
+        let intake = IntakeHandle::new(1);
+        let _h = pump_data(0, rx, intake.data_tx.clone());
+        tx.send(msg(1)).unwrap();
+        tx.send(msg(2)).unwrap();
+        tx.send(msg(3)).unwrap();
+        // Lane capacity 1: the pump holds one message blocked in send; the
+        // third stays on the link until the coordinator drains.
+        let first = intake.recv_timeout(Duration::from_secs(5), true).unwrap();
+        assert!(matches!(first, Intake::Upstream { link_seq: 0, .. }));
+        let second = intake.recv_timeout(Duration::from_secs(5), true).unwrap();
+        assert!(matches!(second, Intake::Upstream { link_seq: 1, .. }));
+        let third = intake.recv_timeout(Duration::from_secs(5), true).unwrap();
+        assert!(matches!(third, Intake::Upstream { link_seq: 2, .. }));
     }
 }

@@ -16,16 +16,19 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use streammine_obs::{Counter, Labels, Registry};
+use streammine_obs::{Counter, Gauge, Labels, Registry};
 
 use crate::{LinkError, LinkSender};
 
-/// Per-edge transport counters, registered under `(op, edge)` labels.
+/// Per-edge transport metrics, registered under `(op, edge)` labels.
 ///
 /// `sent` counts messages delivered to the link (first transmissions and
 /// retransmissions alike), `queued` counts sends degraded into buffering
-/// because the link was down, and `retransmits` counts queued messages
-/// later drained onto a healed link.
+/// because the link was down, `retransmits` counts queued messages later
+/// drained onto a healed link, and `saturated` counts sends that hit the
+/// edge's saturation caps. The gauges track live queue depths: `pending`
+/// (retry queue), `pending_hwm` (its high-water mark), `retained`
+/// (unacked replay buffer), and `credits` (link window remaining).
 #[derive(Clone, Debug)]
 pub struct EdgeMetrics {
     /// Messages delivered to the underlying link.
@@ -34,26 +37,48 @@ pub struct EdgeMetrics {
     pub queued: Counter,
     /// Buffered messages retransmitted after the link healed.
     pub retransmits: Counter,
+    /// Sends that found the edge saturated (over its pending/retained cap).
+    pub saturated: Counter,
+    /// Current retry-queue depth.
+    pub pending: Gauge,
+    /// High-water mark of the retry queue.
+    pub pending_hwm: Gauge,
+    /// Messages retained by the link awaiting acknowledgment.
+    pub retained: Gauge,
+    /// Normal-class link credits remaining.
+    pub credits: Gauge,
 }
 
 impl EdgeMetrics {
-    /// Counters not attached to any registry (the default).
+    /// Metrics not attached to any registry (the default).
     pub fn detached() -> EdgeMetrics {
         EdgeMetrics {
             sent: Counter::detached(),
             queued: Counter::detached(),
             retransmits: Counter::detached(),
+            saturated: Counter::detached(),
+            pending: Gauge::detached(),
+            pending_hwm: Gauge::detached(),
+            retained: Gauge::detached(),
+            credits: Gauge::detached(),
         }
     }
 
-    /// Registers the counters as `edge.sent` / `edge.queued` /
-    /// `edge.retransmits` labeled with the owning operator and edge index.
+    /// Registers the metrics as `edge.sent` / `edge.queued` /
+    /// `edge.retransmits` / `edge.saturated` / `edge.pending` /
+    /// `edge.pending_hwm` / `edge.retained` / `edge.credits` labeled with
+    /// the owning operator and edge index.
     pub fn registered(registry: &Registry, op: u32, edge: u32) -> EdgeMetrics {
         let labels = Labels::op_port(op, edge);
         EdgeMetrics {
             sent: registry.counter("edge.sent", labels),
             queued: registry.counter("edge.queued", labels),
             retransmits: registry.counter("edge.retransmits", labels),
+            saturated: registry.counter("edge.saturated", labels),
+            pending: registry.gauge("edge.pending", labels),
+            pending_hwm: registry.gauge("edge.pending_hwm", labels),
+            retained: registry.gauge("edge.retained", labels),
+            credits: registry.gauge("edge.credits", labels),
         }
     }
 }
@@ -90,6 +115,29 @@ impl BackoffConfig {
     }
 }
 
+/// Saturation caps on a [`ResilientSender`]'s buffers.
+///
+/// Both caps are *soft*: a send over the cap is still accepted (dropping
+/// it would lose data and break determinism) but reports
+/// [`SendOutcome::Saturated`] so the producer stops generating new work.
+/// The hard memory bound is therefore `pending_cap` plus the producer's
+/// bounded in-flight overshoot (open transactions + hold queue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SenderLimits {
+    /// Retry-queue depth at which the edge reports saturation.
+    pub pending_cap: usize,
+    /// Retained (unacked) buffer depth at which the edge reports
+    /// saturation. Defaults to `usize::MAX` (off): operators that never
+    /// checkpoint never ack, so a finite default would wedge them.
+    pub retained_cap: usize,
+}
+
+impl Default for SenderLimits {
+    fn default() -> Self {
+        SenderLimits { pending_cap: 1024, retained_cap: usize::MAX }
+    }
+}
+
 /// Outcome of a [`ResilientSender::send`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SendOutcome {
@@ -97,6 +145,10 @@ pub enum SendOutcome {
     Sent(u64),
     /// The link is down; the message is queued for retransmission.
     Queued,
+    /// The message was accepted (queued — never dropped) but the edge is
+    /// saturated: the link window or a [`SenderLimits`] cap is exhausted.
+    /// The producer must stop generating output until the edge drains.
+    Saturated,
 }
 
 struct RetryState<T> {
@@ -104,12 +156,14 @@ struct RetryState<T> {
     failures: u32,
     next_attempt: Instant,
     metrics: EdgeMetrics,
+    pending_hwm: usize,
 }
 
 /// A [`LinkSender`] that buffers instead of failing while the link is down.
 pub struct ResilientSender<T> {
     inner: LinkSender<T>,
     backoff: BackoffConfig,
+    limits: SenderLimits,
     state: Arc<Mutex<RetryState<T>>>,
 }
 
@@ -118,6 +172,7 @@ impl<T> Clone for ResilientSender<T> {
         ResilientSender {
             inner: self.inner.clone(),
             backoff: self.backoff.clone(),
+            limits: self.limits.clone(),
             state: self.state.clone(),
         }
     }
@@ -135,7 +190,7 @@ impl<T> fmt::Debug for ResilientSender<T> {
 }
 
 impl<T: Clone + Send + 'static> ResilientSender<T> {
-    /// Wraps a raw sender with the default backoff policy.
+    /// Wraps a raw sender with the default backoff policy and limits.
     pub fn new(inner: LinkSender<T>) -> Self {
         Self::with_backoff(inner, BackoffConfig::default())
     }
@@ -145,13 +200,23 @@ impl<T: Clone + Send + 'static> ResilientSender<T> {
         ResilientSender {
             inner,
             backoff,
+            limits: SenderLimits::default(),
             state: Arc::new(Mutex::new(RetryState {
                 pending: VecDeque::new(),
                 failures: 0,
                 next_attempt: Instant::now(),
                 metrics: EdgeMetrics::detached(),
+                pending_hwm: 0,
             })),
         }
+    }
+
+    /// Overrides the saturation caps (applies to this handle and clones
+    /// made from it afterwards).
+    #[must_use]
+    pub fn with_limits(mut self, limits: SenderLimits) -> Self {
+        self.limits = limits;
+        self
     }
 
     /// Attaches registered transport counters; shared by all clones.
@@ -159,11 +224,13 @@ impl<T: Clone + Send + 'static> ResilientSender<T> {
         self.state.lock().metrics = metrics;
     }
 
-    /// Sends or queues a message; never fails and never reorders.
+    /// Sends or queues a message; never fails, never drops, never reorders.
     ///
     /// If older messages are already queued they are flushed first so FIFO
-    /// order is preserved; if the link is still down the message joins the
-    /// queue.
+    /// order is preserved; if the link is still down (or its credit window
+    /// exhausted) the message joins the queue. [`SendOutcome::Saturated`]
+    /// tells the producer to stop generating output — the message itself
+    /// is still accepted.
     pub fn send(&self, msg: T) -> SendOutcome {
         let mut state = self.state.lock();
         if !state.pending.is_empty() {
@@ -171,23 +238,67 @@ impl<T: Clone + Send + 'static> ResilientSender<T> {
             if !state.pending.is_empty() {
                 state.pending.push_back(msg);
                 state.metrics.queued.incr();
-                return SendOutcome::Queued;
+                let outcome = self.queued_outcome(&mut state);
+                self.update_gauges(&mut state);
+                return outcome;
             }
         }
-        match self.inner.send(msg.clone()) {
+        let outcome = match self.inner.send(msg.clone()) {
             Ok(seq) => {
                 state.failures = 0;
                 state.metrics.sent.incr();
-                SendOutcome::Sent(seq)
+                if self.over_caps(&state) {
+                    state.metrics.saturated.incr();
+                    SendOutcome::Saturated
+                } else {
+                    SendOutcome::Sent(seq)
+                }
+            }
+            Err(LinkError::Saturated) => {
+                // Backpressure, not a broken link: queue without counting a
+                // failure so the next flush retries immediately — the
+                // consumer draining (not time passing) is what frees space.
+                state.pending.push_back(msg);
+                state.metrics.queued.incr();
+                state.next_attempt = Instant::now();
+                state.metrics.saturated.incr();
+                SendOutcome::Saturated
             }
             Err(LinkError::Disconnected | LinkError::Timeout) => {
                 state.pending.push_back(msg);
                 state.failures += 1;
                 state.metrics.queued.incr();
                 state.next_attempt = Instant::now() + self.backoff.delay(state.failures);
-                SendOutcome::Queued
+                self.queued_outcome(&mut state)
             }
+        };
+        self.update_gauges(&mut state);
+        outcome
+    }
+
+    fn queued_outcome(&self, state: &mut RetryState<T>) -> SendOutcome {
+        if self.over_caps(state) {
+            state.metrics.saturated.incr();
+            SendOutcome::Saturated
+        } else {
+            SendOutcome::Queued
         }
+    }
+
+    fn over_caps(&self, state: &RetryState<T>) -> bool {
+        state.pending.len() >= self.limits.pending_cap
+            || self.inner.retained_len() >= self.limits.retained_cap
+    }
+
+    fn update_gauges(&self, state: &mut RetryState<T>) {
+        let pending = state.pending.len();
+        state.metrics.pending.set(pending as i64);
+        if pending > state.pending_hwm {
+            state.pending_hwm = pending;
+            state.metrics.pending_hwm.set(pending as i64);
+        }
+        state.metrics.retained.set(self.inner.retained_len() as i64);
+        state.metrics.credits.set(self.inner.credits_available());
     }
 
     /// Attempts to retransmit queued messages; returns how many remain.
@@ -197,12 +308,14 @@ impl<T: Clone + Send + 'static> ResilientSender<T> {
     pub fn flush(&self) -> usize {
         let mut state = self.state.lock();
         if state.pending.is_empty() {
+            self.update_gauges(&mut state);
             return 0;
         }
         if Instant::now() < state.next_attempt {
             return state.pending.len();
         }
         Self::drain(&self.inner, &self.backoff, &mut state);
+        self.update_gauges(&mut state);
         state.pending.len()
     }
 
@@ -214,6 +327,11 @@ impl<T: Clone + Send + 'static> ResilientSender<T> {
                     state.failures = 0;
                     state.metrics.sent.incr();
                     state.metrics.retransmits.incr();
+                }
+                Err(LinkError::Saturated) => {
+                    // Not a failure; retry as soon as the consumer drains.
+                    state.next_attempt = Instant::now();
+                    return;
                 }
                 Err(_) => {
                     state.failures += 1;
@@ -229,15 +347,43 @@ impl<T: Clone + Send + 'static> ResilientSender<T> {
         self.state.lock().pending.len()
     }
 
+    /// Whether the edge is over a saturation cap (retry queue at
+    /// `pending_cap`, or retained buffer at `retained_cap`). Producers
+    /// poll this to decide whether to stall output generation.
+    pub fn is_saturated(&self) -> bool {
+        self.is_saturated_with(0)
+    }
+
+    /// Like [`ResilientSender::is_saturated`], but counts `inflight`
+    /// messages the producer has already committed to emitting — outputs
+    /// held for log stability, say — against the pending cap. Admission
+    /// gates use this so deferred publication cannot overshoot the cap by
+    /// a whole stability window's worth of admissions: without the
+    /// headroom check, every event admitted while its predecessors' logs
+    /// are still in flight lands on the queue *after* the gate said there
+    /// was room.
+    pub fn is_saturated_with(&self, inflight: usize) -> bool {
+        let state = self.state.lock();
+        state.pending.len() + inflight >= self.limits.pending_cap
+            || self.inner.retained_len() >= self.limits.retained_cap
+    }
+
+    /// The saturation caps in effect on this handle.
+    pub fn limits(&self) -> &SenderLimits {
+        &self.limits
+    }
+
     /// Consecutive failed attempts since the last successful send.
     pub fn failures(&self) -> u32 {
         self.state.lock().failures
     }
 
     /// Re-delivers retained messages with link sequence `>= from` (replay
-    /// bypasses the severed flag, like a fresh TCP connection).
-    pub fn replay_from(&self, from: u64) {
-        self.inner.replay_from(from);
+    /// bypasses the severed flag, like a fresh TCP connection), drawing
+    /// from the link's reserved replay credit class. Returns how many
+    /// messages were re-sent; see [`LinkSender::replay_from`].
+    pub fn replay_from(&self, from: u64) -> usize {
+        self.inner.replay_from(from)
     }
 
     /// Drops retained messages below `upto` (downstream acknowledged them).
@@ -269,6 +415,18 @@ impl<T: Clone + Send + 'static> ResilientSender<T> {
     /// Whether the underlying link is severed.
     pub fn is_severed(&self) -> bool {
         self.inner.is_severed()
+    }
+
+    /// Injects a transient delivery-delay spike on the underlying link:
+    /// sends within the next `window` take `extra` additional delay
+    /// (chaos injection; see [`LinkSender::delay_spike`]).
+    pub fn delay_spike(&self, extra: Duration, window: Duration) {
+        self.inner.delay_spike(extra, window);
+    }
+
+    /// Clears an active delay spike early.
+    pub fn clear_delay_spike(&self) {
+        self.inner.clear_delay_spike();
     }
 }
 
@@ -304,7 +462,8 @@ mod tests {
         for name in ["edge.sent", "edge.queued", "edge.retransmits"] {
             assert_eq!(snap.counter(name, Labels::op_port(1, 2)), Some(800), "{name}");
         }
-        assert_eq!(snap.samples.len(), 3, "no duplicate cells from racing registrations");
+        // 4 counters + 4 gauges per edge, one cell each.
+        assert_eq!(snap.samples.len(), 8, "no duplicate cells from racing registrations");
     }
 
     #[test]
@@ -389,6 +548,64 @@ mod tests {
         assert_eq!(tx.flush(), 0);
         assert_eq!(registry.counter_value("edge.retransmits", labels), Some(2));
         assert_eq!(registry.counter_value("edge.sent", labels), Some(3));
+        drop(rx);
+    }
+
+    #[test]
+    fn saturated_link_queues_without_backoff_penalty() {
+        let cfg = LinkConfig::instant().with_capacity(1).with_replay_reserve(1);
+        let (tx, rx) = link::<u8>(cfg);
+        let tx = ResilientSender::with_backoff(
+            tx,
+            BackoffConfig { base: Duration::from_secs(60), cap: Duration::from_secs(60) },
+        );
+        assert_eq!(tx.send(1), SendOutcome::Sent(0));
+        // Window exhausted: the send is accepted but reports saturation,
+        // and no reconnect backoff starts (the link is healthy).
+        assert_eq!(tx.send(2), SendOutcome::Saturated);
+        assert_eq!(tx.failures(), 0);
+        assert_eq!(tx.pending_len(), 1);
+        // The consumer draining frees the window; flush retries at once
+        // (no 60s backoff window in the way).
+        assert_eq!(rx.recv().unwrap().1, 1);
+        assert_eq!(tx.flush(), 0);
+        assert_eq!(rx.recv().unwrap().1, 2);
+    }
+
+    #[test]
+    fn pending_cap_reports_saturation_and_hwm() {
+        let registry = Registry::new();
+        let (tx, _rx) = link::<u8>(LinkConfig::instant());
+        let tx = ResilientSender::with_backoff(
+            tx,
+            BackoffConfig { base: Duration::ZERO, cap: Duration::ZERO },
+        )
+        .with_limits(SenderLimits { pending_cap: 2, retained_cap: usize::MAX });
+        tx.set_metrics(EdgeMetrics::registered(&registry, 0, 0));
+        tx.sever();
+        assert_eq!(tx.send(1), SendOutcome::Queued);
+        assert!(!tx.is_saturated());
+        assert_eq!(tx.send(2), SendOutcome::Saturated);
+        assert!(tx.is_saturated());
+        assert_eq!(tx.send(3), SendOutcome::Saturated, "over-cap sends are still accepted");
+        assert_eq!(tx.pending_len(), 3, "soft cap: nothing is dropped");
+        let labels = Labels::op_port(0, 0);
+        assert_eq!(registry.gauge_value("edge.pending", labels), Some(3));
+        assert_eq!(registry.gauge_value("edge.pending_hwm", labels), Some(3));
+        assert_eq!(registry.counter_value("edge.saturated", labels), Some(2));
+    }
+
+    #[test]
+    fn retained_cap_reports_saturation_until_acked() {
+        let (tx, rx) = link::<u8>(LinkConfig::instant());
+        let tx = ResilientSender::new(tx)
+            .with_limits(SenderLimits { pending_cap: 1024, retained_cap: 2 });
+        assert_eq!(tx.send(1), SendOutcome::Sent(0));
+        assert_eq!(tx.send(2), SendOutcome::Saturated);
+        assert!(tx.is_saturated());
+        tx.ack_upto(2);
+        assert!(!tx.is_saturated());
+        assert_eq!(tx.send(3), SendOutcome::Sent(2));
         drop(rx);
     }
 

@@ -1,8 +1,9 @@
 //! Property-based tests for the link substrate: FIFO order, replay
-//! equivalence, ack/retention consistency.
+//! equivalence, ack/retention consistency, backoff arithmetic, and
+//! credit-accounting invariants.
 
 use proptest::prelude::*;
-use streammine_net::{link, LinkConfig};
+use streammine_net::{link, BackoffConfig, LinkConfig};
 
 proptest! {
     #[test]
@@ -10,7 +11,12 @@ proptest! {
         count in 1usize..80,
         jitter in 0.0f64..0.95,
     ) {
-        let cfg = LinkConfig { delay: std::time::Duration::from_micros(50), jitter, seed: 7 };
+        let cfg = LinkConfig {
+            delay: std::time::Duration::from_micros(50),
+            jitter,
+            seed: 7,
+            ..LinkConfig::instant()
+        };
         let (tx, rx) = link::<usize>(cfg);
         for i in 0..count {
             tx.send(i).unwrap();
@@ -66,6 +72,79 @@ proptest! {
             replayed += 1;
         }
         prop_assert_eq!(replayed, count - ack);
+    }
+
+    #[test]
+    fn backoff_delay_never_overflows_and_stays_capped(
+        base_us in 0u64..10_000_000,
+        cap_us in 0u64..60_000_000,
+        failures in 0u32..u32::MAX,
+    ) {
+        let cfg = BackoffConfig {
+            base: std::time::Duration::from_micros(base_us),
+            cap: std::time::Duration::from_micros(cap_us),
+        };
+        // Must not panic for any failure count (shift/multiply overflow)
+        // and must never exceed the cap.
+        let d = cfg.delay(failures);
+        prop_assert!(d <= cfg.cap.max(std::time::Duration::ZERO) || failures == 0 && d.is_zero());
+        if failures > 0 {
+            prop_assert!(d <= cfg.cap);
+        }
+    }
+
+    #[test]
+    fn backoff_delay_is_monotone_up_to_the_cap(
+        base_us in 1u64..1_000_000,
+        cap_us in 1u64..120_000_000,
+        failures in 1u32..64,
+    ) {
+        let cfg = BackoffConfig {
+            base: std::time::Duration::from_micros(base_us),
+            cap: std::time::Duration::from_micros(cap_us),
+        };
+        let prev = cfg.delay(failures);
+        let next = cfg.delay(failures + 1);
+        prop_assert!(next >= prev, "delay({}) = {prev:?} > delay({}) = {next:?}",
+            failures, failures + 1);
+    }
+
+    #[test]
+    fn credit_accounting_never_negative_or_leaked(
+        capacity in 1usize..12,
+        reserve in 1usize..6,
+        ops in proptest::collection::vec(0u8..4, 1..120),
+    ) {
+        let cfg = LinkConfig::instant().with_capacity(capacity).with_replay_reserve(reserve);
+        let (tx, rx) = link::<u64>(cfg);
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                // Live send: consumes a normal credit or saturates.
+                0 => {
+                    if tx.send(next).is_ok() {
+                        next += 1;
+                    }
+                }
+                // Consume one delivery: returns its credit.
+                1 => { let _ = rx.try_recv(); }
+                // Replay everything retained: draws only replay credits.
+                2 => { tx.replay_from(0); }
+                // Ack everything: trims retention (grant-by-ack).
+                _ => { tx.ack_upto(next); }
+            }
+            // Invariant: both pools stay within [0, configured size] at
+            // every step — no negative balances, no manufactured credits.
+            let c = tx.credits_available();
+            let r = tx.replay_credits_available();
+            prop_assert!((0..=capacity as i64).contains(&c), "normal credits {c}");
+            prop_assert!((0..=reserve as i64).contains(&r), "replay credits {r}");
+        }
+        // Draining every in-flight message must restore both pools in
+        // full: credits can neither leak nor duplicate.
+        while let Ok(Some(_)) = rx.try_recv() {}
+        prop_assert_eq!(tx.credits_available(), capacity as i64);
+        prop_assert_eq!(tx.replay_credits_available(), reserve as i64);
     }
 
     #[test]

@@ -116,6 +116,29 @@ pub enum JournalKind {
         /// Backoff waited before the restart, in microseconds.
         backoff_us: u64,
     },
+    /// The node stopped pulling new data events because output edge
+    /// `edge` is saturated (its credit window or sender caps are
+    /// exhausted); upstream pumps block and backpressure propagates.
+    BackpressureStall {
+        /// Saturated output edge index.
+        edge: u32,
+    },
+    /// The node resumed pulling data after a backpressure or
+    /// admission-control stall lasting `stall_us` microseconds.
+    BackpressureResume {
+        /// Stall duration in microseconds.
+        stall_us: u64,
+    },
+    /// Speculation admission control engaged: the node hit its cap on
+    /// `open` concurrent transactions or `retained` unfinalized
+    /// speculative outputs, and paces by log stability instead of
+    /// speculating further (it never aborts).
+    SpecCapHit {
+        /// Open speculative transactions at the hit.
+        open: u32,
+        /// Retained (published, unfinalized) speculative outputs.
+        retained: u64,
+    },
     /// Something degraded: a short machine-readable code plus detail.
     Warn {
         /// Stable code, e.g. `checkpoint-restore-failed`.
@@ -129,7 +152,14 @@ impl JournalKind {
     /// The minimum verbosity at which this record is kept.
     pub fn level(&self) -> Verbosity {
         match self {
-            JournalKind::Warn { .. } | JournalKind::Restart { .. } => Verbosity::Warn,
+            // Overload episodes are operationally significant and rare
+            // (one record per stall episode, not per event), so they are
+            // kept at the default verbosity like warnings and restarts.
+            JournalKind::Warn { .. }
+            | JournalKind::Restart { .. }
+            | JournalKind::BackpressureStall { .. }
+            | JournalKind::BackpressureResume { .. }
+            | JournalKind::SpecCapHit { .. } => Verbosity::Warn,
             _ => Verbosity::Trace,
         }
     }
@@ -192,6 +222,15 @@ impl fmt::Display for JournalEvent {
             }
             JournalKind::Restart { attempt, backoff_us } => {
                 write!(f, " restart attempt={attempt} backoff={backoff_us}us")
+            }
+            JournalKind::BackpressureStall { edge } => {
+                write!(f, " backpressure-stall edge={edge}")
+            }
+            JournalKind::BackpressureResume { stall_us } => {
+                write!(f, " backpressure-resume stalled={stall_us}us")
+            }
+            JournalKind::SpecCapHit { open, retained } => {
+                write!(f, " spec-cap-hit open={open} retained={retained}")
             }
             JournalKind::Warn { code, detail } => write!(f, " WARN {code}: {detail}"),
         }?;
@@ -493,6 +532,21 @@ mod tests {
         let stable = dump.find("log-stable serial=7").unwrap();
         let commit = dump.find("commit serial=7").unwrap();
         assert!(ingest < publish && publish < stable && stable < commit, "{dump}");
+    }
+
+    #[test]
+    fn overload_records_survive_the_default_warn_level() {
+        let j = Journal::with_level(16, Verbosity::Warn);
+        j.record(Some(1), JournalKind::BackpressureStall { edge: 0 });
+        j.record(Some(1), JournalKind::SpecCapHit { open: 256, retained: 4096 });
+        j.record(Some(1), JournalKind::BackpressureResume { stall_us: 1234 });
+        j.record(Some(1), JournalKind::Commit { serial: 0 }); // trace-only
+        let evs = j.events();
+        assert_eq!(evs.len(), 3, "stall/resume/cap-hit must be kept at Warn");
+        let dump = j.render();
+        assert!(dump.contains("backpressure-stall edge=0"), "{dump}");
+        assert!(dump.contains("spec-cap-hit open=256 retained=4096"), "{dump}");
+        assert!(dump.contains("backpressure-resume stalled=1234us"), "{dump}");
     }
 
     #[test]

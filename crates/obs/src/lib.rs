@@ -43,8 +43,8 @@ pub use registry::{
     RegistrySnapshot, Sample, SampleValue, HISTOGRAM_BUCKETS,
 };
 pub use trace::{
-    span_key, trace_key, validate_chrome_trace, CriticalPath, RollbackRecord, Span, TraceSummary,
-    Tracer, DEFAULT_SAMPLE_ONE_IN,
+    span_key, trace_key, validate_chrome_trace, BackpressureRecord, CriticalPath, RollbackRecord,
+    Span, TraceSummary, Tracer, DEFAULT_SAMPLE_ONE_IN,
 };
 
 use std::sync::Arc;

@@ -157,6 +157,20 @@ pub struct TraceSummary {
     pub critical: Option<CriticalPath>,
 }
 
+/// One backpressure stall episode at an operator: the coordinator stopped
+/// pulling data (saturated downstream edge or speculation admission cap)
+/// for `stall_us`. Latency added by overload is attributable to these
+/// windows rather than to processing or log waits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackpressureRecord {
+    /// Tracer-clock µs at which the stall *ended*.
+    pub at_us: u64,
+    /// Operator that stalled.
+    pub op: u32,
+    /// Stall duration, µs.
+    pub stall_us: u64,
+}
+
 #[derive(Default)]
 struct TraceState {
     spans: HashMap<u64, Span>,
@@ -164,6 +178,7 @@ struct TraceState {
     order: Vec<u64>,
     rollbacks: Vec<RollbackRecord>,
     summaries: Vec<TraceSummary>,
+    backpressure: Vec<BackpressureRecord>,
     /// First-arrival latency per `(trace, emitting span)`, consumed by the
     /// matching final record.
     first_arrivals: HashMap<(u64, u64), u64>,
@@ -456,6 +471,25 @@ impl Tracer {
         self.state.lock().summaries.clone()
     }
 
+    /// Records a finished backpressure stall at `op` lasting `stall_us`:
+    /// a window during which the coordinator pulled no data (saturated
+    /// downstream edge or speculation admission cap).
+    pub fn record_backpressure(&self, op: u32, stall_us: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let at_us = self.now_us();
+        let mut s = self.state.lock();
+        if s.backpressure.len() < MAX_RECORDS {
+            s.backpressure.push(BackpressureRecord { at_us, op, stall_us });
+        }
+    }
+
+    /// Copies out every backpressure stall episode.
+    pub fn backpressure_waits(&self) -> Vec<BackpressureRecord> {
+        self.state.lock().backpressure.clone()
+    }
+
     /// Aggregated blast radius: determinant span → every span its
     /// revisions invalidated, across all recorded rollbacks.
     pub fn blast_radius(&self) -> HashMap<u64, Vec<u64>> {
@@ -572,6 +606,20 @@ impl Tracer {
                 let _ = write!(out, "{sp}");
             }
             out.push_str("]}}");
+        }
+        for bp in &s.backpressure {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"name\":\"backpressure op{}\",\"cat\":\"backpressure\",\
+                 \"pid\":{},\"tid\":47806,\"ts\":{},\"dur\":{},\
+                 \"args\":{{\"stall_us\":{}}}}}",
+                bp.op,
+                bp.op,
+                bp.at_us.saturating_sub(bp.stall_us),
+                bp.stall_us.max(1),
+                bp.stall_us,
+            );
         }
         for (i, sum) in s.summaries.iter().enumerate() {
             sep(&mut out);
@@ -951,6 +999,25 @@ mod tests {
                 == 1,
             "metadata events need no ts"
         );
+    }
+
+    #[test]
+    fn backpressure_waits_record_and_export() {
+        let t = Tracer::sampling(1);
+        t.record_backpressure(2, 1_500);
+        t.record_backpressure(2, 300);
+        let waits = t.backpressure_waits();
+        assert_eq!(waits.len(), 2);
+        assert_eq!(waits[0].op, 2);
+        assert_eq!(waits[0].stall_us, 1_500);
+        let json = t.chrome_trace();
+        validate_chrome_trace(&json).expect("valid chrome trace");
+        assert!(json.contains("\"backpressure op2\""), "{json}");
+        assert!(json.contains("\"stall_us\":1500"), "{json}");
+        // A disabled tracer records nothing.
+        let off = Tracer::new();
+        off.record_backpressure(0, 99);
+        assert!(off.backpressure_waits().is_empty());
     }
 
     #[test]

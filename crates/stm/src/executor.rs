@@ -118,6 +118,11 @@ impl Speculator {
             window,
             parked: Mutex::new(VecDeque::new()),
         });
+        // Unbounded, but intrinsically bounded: each channel carries at
+        // most one entry per live transaction, and the speculation window
+        // caps live transactions at `window`. A bounded channel here could
+        // deadlock — the abort sink fires from commit/validation paths
+        // that must never block on the monitor draining.
         let (abort_tx, abort_rx) = crossbeam_channel::unbounded::<TxnId>();
         runtime.set_abort_sink(abort_tx);
         let (completion_tx, completion_rx) = crossbeam_channel::unbounded::<TxnHandle>();

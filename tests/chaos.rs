@@ -130,8 +130,61 @@ fn chaos_grid_preserves_precise_outputs() {
         // at least one upstream replay request per supervised restart.
         // (Stop monitoring first so both accounts are frozen.)
         supervisor.stop();
-        streammine::chaos::verify_recovery_counters(&running.metrics(), &supervisor.events())
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", running.journal_dump()));
+        streammine::chaos::verify_recovery_counters(
+            &running.metrics(),
+            &supervisor.events(),
+            &running.obs().journal.events(),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", running.journal_dump()));
+        running.shutdown();
+    }
+}
+
+/// The network nemesis: a grid of seeded link-layer fault schedules —
+/// slow-consumer sink stalls, congestion delay spikes, asymmetric data
+/// partitions, and ack starvation — against the same pipeline. None of it
+/// may change a single output byte: flow control and retransmission must
+/// only ever *delay* delivery. The journal's backpressure episodes must
+/// also reconcile with the metrics registry.
+#[test]
+fn network_nemesis_grid_preserves_precise_outputs() {
+    let reference = failure_free_reference();
+    for seed in 0..SEEDS {
+        let (running, src, sink) = pipeline();
+        let topo = Topology::probe(&running);
+        assert_eq!(topo.sinks, 1, "probe must see the sink");
+        let plan = FaultPlan::random_network(seed, STEPS, &topo);
+        assert_eq!(plan, FaultPlan::random_network(seed, STEPS, &topo));
+        let mut sched = FaultScheduler::new(plan);
+
+        for step in 0..STEPS {
+            sched.advance(step, &running);
+            running.source(src).push(Value::Int(step as i64));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        sched.finish(&running);
+
+        assert!(
+            running.sink(sink).wait_final(STEPS as usize, Duration::from_secs(60)),
+            "seed {seed}: stalled at {}/{} under plan {}\n{}",
+            running.sink(sink).final_count(),
+            STEPS,
+            sched.plan(),
+            running.journal_dump()
+        );
+        let out = payloads(&running.sink(sink).final_events_by_id());
+        assert_eq!(
+            out,
+            reference,
+            "seed {seed}: outputs diverged under network plan {}",
+            sched.plan()
+        );
+        streammine::chaos::verify_recovery_counters(
+            &running.metrics(),
+            &[],
+            &running.obs().journal.events(),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", running.journal_dump()));
         running.shutdown();
     }
 }

@@ -1,15 +1,18 @@
 //! Offline stand-in for the `crossbeam-channel` crate.
 //!
-//! Implements the multi-producer multi-consumer unbounded channel subset
-//! this workspace uses: `unbounded()`, cloneable `Sender`/`Receiver`,
-//! blocking/non-blocking/timed receives, and crossbeam's disconnection
-//! semantics (recv drains remaining messages after all senders drop; send
-//! fails once all receivers drop).
+//! Implements the multi-producer multi-consumer channel subset this
+//! workspace uses: `unbounded()`, `bounded()`, cloneable
+//! `Sender`/`Receiver`, blocking/non-blocking/timed receives,
+//! non-blocking `try_send`, and crossbeam's disconnection semantics
+//! (recv drains remaining messages after all senders drop; send fails
+//! once all receivers drop).
 //!
-//! Built on a `Mutex<VecDeque>` + `Condvar`. StreamMine's channels carry
-//! coarse-grained work (whole events or batches), so lock-based MPMC is
-//! plenty; the hot-path batching added in the transport layer keeps the
-//! per-message cost amortized regardless of channel implementation.
+//! Built on a `Mutex<VecDeque>` + two `Condvar`s (one for receivers
+//! waiting on messages, one for senders waiting on capacity).
+//! StreamMine's channels carry coarse-grained work (whole events or
+//! batches), so lock-based MPMC is plenty; the hot-path batching added
+//! in the transport layer keeps the per-message cost amortized
+//! regardless of channel implementation.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -19,7 +22,12 @@ use std::time::{Duration, Instant};
 
 struct Shared<T> {
     queue: Mutex<VecDeque<T>>,
+    /// Wakes receivers when a message is pushed (or senders disconnect).
     cv: Condvar,
+    /// Wakes blocked senders when capacity frees up (or receivers drop).
+    send_cv: Condvar,
+    /// `usize::MAX` for unbounded channels.
+    cap: usize,
     senders: AtomicUsize,
     receivers: AtomicUsize,
 }
@@ -30,15 +38,34 @@ impl<T> Shared<T> {
     }
 }
 
-/// Creates an unbounded MPMC channel.
-pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
         queue: Mutex::new(VecDeque::new()),
         cv: Condvar::new(),
+        send_cv: Condvar::new(),
+        cap,
         senders: AtomicUsize::new(1),
         receivers: AtomicUsize::new(1),
     });
     (Sender { shared: shared.clone() }, Receiver { shared })
+}
+
+/// Creates an unbounded MPMC channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(usize::MAX)
+}
+
+/// Creates a bounded MPMC channel holding at most `cap` messages.
+/// [`Sender::send`] blocks while the channel is full;
+/// [`Sender::try_send`] fails fast with [`TrySendError::Full`].
+///
+/// # Panics
+///
+/// Panics when `cap` is zero (rendezvous channels are not supported by
+/// this stand-in; nothing in the workspace uses them).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "zero-capacity (rendezvous) channels are not supported");
+    channel(cap)
 }
 
 /// Error returned by [`Sender::send`] when all receivers are gone; carries
@@ -58,6 +85,53 @@ impl<T> fmt::Display for SendError<T> {
 }
 
 impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Sender::try_send`]; carries the unsent message.
+pub enum TrySendError<T> {
+    /// The channel is bounded and at capacity.
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+impl<T> TrySendError<T> {
+    /// Recovers the message that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySendError::Full(msg) | TrySendError::Disconnected(msg) => msg,
+        }
+    }
+
+    /// Whether this error is [`TrySendError::Full`].
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySendError::Full(_))
+    }
+
+    /// Whether this error is [`TrySendError::Disconnected`].
+    pub fn is_disconnected(&self) -> bool {
+        matches!(self, TrySendError::Disconnected(_))
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("sending on a full channel"),
+            TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T> std::error::Error for TrySendError<T> {}
 
 /// Error returned by [`Receiver::recv`] when the channel is empty and all
 /// senders are gone.
@@ -123,7 +197,8 @@ pub struct Sender<T> {
 }
 
 impl<T> Sender<T> {
-    /// Appends a message to the queue.
+    /// Appends a message to the queue. On a bounded channel, blocks while
+    /// the channel is full until a receiver makes room.
     ///
     /// # Errors
     ///
@@ -132,9 +207,43 @@ impl<T> Sender<T> {
         if self.shared.receivers.load(Ordering::Acquire) == 0 {
             return Err(SendError(msg));
         }
-        self.shared.lock().push_back(msg);
+        let mut q = self.shared.lock();
+        while q.len() >= self.shared.cap {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(msg));
+            }
+            q = self.shared.send_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+        q.push_back(msg);
+        drop(q);
         self.shared.cv.notify_one();
         Ok(())
+    }
+
+    /// Non-blocking send: fails fast instead of waiting for capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] when a bounded channel is at capacity;
+    /// [`TrySendError::Disconnected`] when all receivers are gone. Both
+    /// carry the unsent message.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        if self.shared.receivers.load(Ordering::Acquire) == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        let mut q = self.shared.lock();
+        if q.len() >= self.shared.cap {
+            return Err(TrySendError::Full(msg));
+        }
+        q.push_back(msg);
+        drop(q);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    /// The channel's capacity, or `None` for unbounded channels.
+    pub fn capacity(&self) -> Option<usize> {
+        (self.shared.cap != usize::MAX).then_some(self.shared.cap)
     }
 
     /// Number of messages currently queued.
@@ -187,6 +296,8 @@ impl<T> Receiver<T> {
         let mut q = self.shared.lock();
         loop {
             if let Some(msg) = q.pop_front() {
+                drop(q);
+                self.shared.send_cv.notify_one();
                 return Ok(msg);
             }
             if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -205,6 +316,8 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut q = self.shared.lock();
         if let Some(msg) = q.pop_front() {
+            drop(q);
+            self.shared.send_cv.notify_one();
             return Ok(msg);
         }
         if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -226,6 +339,8 @@ impl<T> Receiver<T> {
         let mut q = self.shared.lock();
         loop {
             if let Some(msg) = q.pop_front() {
+                drop(q);
+                self.shared.send_cv.notify_one();
                 return Ok(msg);
             }
             if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -264,7 +379,11 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+        if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last receiver gone: wake senders blocked on a full channel so
+            // they observe the disconnect instead of waiting forever.
+            self.shared.send_cv.notify_all();
+        }
     }
 }
 
@@ -322,6 +441,51 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         tx.send(42).unwrap();
         assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn bounded_try_send_full_then_disconnected() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(tx.try_send(3).unwrap_err().is_full());
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert!(tx.try_send(4).unwrap_err().is_disconnected());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_recv_makes_room() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks: channel full
+            tx.send(3).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_send_unblocks_on_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(10));
+        drop(rx);
+        assert!(h.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn capacity_reporting() {
+        let (tx, _rx) = bounded::<u8>(4);
+        assert_eq!(tx.capacity(), Some(4));
+        let (tx, _rx) = unbounded::<u8>();
+        assert_eq!(tx.capacity(), None);
     }
 
     #[test]
