@@ -1,0 +1,71 @@
+//! Log-device wait-time floor diagnostic.
+//!
+//! Measures the append→stable latency distribution of a [`StableLog`] in
+//! isolation — no operators, no STM — at a fixed append rate. This is the
+//! hard floor under every end-to-end figure number: an event cannot become
+//! final before its decision is stable.
+//!
+//! With one 2 ms simulated device at 1500 appends/s the writer saturates
+//! (100% duty cycle) and each append inherits a ~1 ms queueing residual on
+//! top of its own write: measured p50 ≈ 3131 µs. Striping over more devices
+//! (the paper's parallel logging, its Figure 2) removes the residual:
+//! p50 ≈ 2665 µs with two devices, ≈ 2333 µs with three. This measurement
+//! is why the Figure 6/7 harness runs `LOG_DISKS = 3`.
+//!
+//! ```text
+//! cargo run --release -p streammine-bench --example logwait
+//! LOGWAIT_DISKS=1 LOGWAIT_RATE=1500 cargo run --release -p streammine-bench --example logwait
+//! ```
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use streammine_storage::disk::DiskSpec;
+use streammine_storage::StableLog;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let disks = env_usize("LOGWAIT_DISKS", streammine_bench::LOG_DISKS);
+    let rate = env_usize("LOGWAIT_RATE", 1500) as f64;
+    let events = env_usize("LOGWAIT_EVENTS", 1200) as u64;
+
+    let log = StableLog::new(vec![DiskSpec::simulated(streammine_bench::LOG_LATENCY); disks]);
+    let lat: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let gap = Duration::from_secs_f64(1.0 / rate);
+    let start = Instant::now();
+    let mut tickets = Vec::new();
+    for i in 0..events {
+        let t0 = Instant::now();
+        let ticket = log.append(vec![i as u8]);
+        let lat = lat.clone();
+        // Capture elapsed inside the stability callback: waiting on tickets
+        // sequentially afterwards would fold queue time into the sample.
+        ticket.subscribe(move || {
+            lat.lock().unwrap().push(t0.elapsed().as_micros() as f64);
+        });
+        tickets.push(ticket);
+        let due = start + gap.mul_f64((i + 1) as f64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+    }
+    for ticket in tickets {
+        ticket.wait();
+    }
+
+    let mut lat = lat.lock().unwrap().clone();
+    lat.sort_by(|a, b| a.total_cmp(b));
+    let p = |q: f64| lat[(q * (lat.len() - 1) as f64) as usize];
+    println!(
+        "append->stable @{rate}/s over {disks} device(s): \
+         p10 {:.0} p50 {:.0} p90 {:.0} p99 {:.0} (µs)",
+        p(0.10),
+        p(0.50),
+        p(0.90),
+        p(0.99)
+    );
+}

@@ -1,0 +1,297 @@
+//! Enforced performance-regression gate for the Figure 6/7 hot path.
+//!
+//! Re-runs the `perf_snapshot` scenarios (union → sketch at fixed input
+//! rates, non-speculative vs 2-thread speculative) and compares them
+//! against the checked-in baselines `BENCH_fig6.json` / `BENCH_fig7.json`.
+//! Each scenario runs **three trials** and each metric is gated on its
+//! *best* trial (lowest p50, lowest p99, highest delivered rate): a real
+//! regression shifts every trial, while scheduler noise — which dominates
+//! the p99 of sub-second runs — rarely hits all three. The process exits
+//! nonzero — failing CI — when any scenario regresses beyond tolerance:
+//!
+//! | metric          | tolerance            | env override         |
+//! |-----------------|----------------------|----------------------|
+//! | p50 latency     | ≤ baseline × 1.10    | `PERF_GATE_P50_TOL`  |
+//! | p99 latency     | ≤ baseline × 1.15    | `PERF_GATE_P99_TOL`  |
+//! | delivered rate  | ≥ baseline × 0.85    | `PERF_GATE_RATE_TOL` |
+//!
+//! `PERF_GATE_INJECT_US=<µs>` adds synthetic latency to every measured
+//! percentile — a self-test knob proving the gate actually trips (used once
+//! during development and available for CI canaries).
+//!
+//! A machine-readable comparison report is written to
+//! `PERF_GATE_REPORT.json` (uploaded as a CI artifact), and the run asserts
+//! that the speculative configurations exported nonzero
+//! `stm.fastpath.hits` — the striped-lock read path must be live in the
+//! exact workload the gate times.
+//!
+//! ```text
+//! cargo run --release -p streammine-bench --bin perf_gate
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use streammine_bench::{drive_at_rate, union_sketch_obs};
+use streammine_common::stats::summarize;
+use streammine_obs::{Obs, SampleValue};
+
+const RUN_FOR: Duration = Duration::from_millis(800);
+const DRAIN: Duration = Duration::from_secs(15);
+const TRIALS: usize = 3;
+
+/// Same configurations as `perf_snapshot` (the baselines must match).
+const CONFIGS: [(&str, bool, usize); 2] = [("non-spec", false, 1), ("spec-2t", true, 2)];
+
+struct Baseline {
+    config: String,
+    rate: f64,
+    p50_us: f64,
+    p99_us: f64,
+    events_per_sec: f64,
+}
+
+struct Measured {
+    p50_us: f64,
+    p99_us: f64,
+    events_per_sec: f64,
+    fastpath_hits: i64,
+    fastpath_fallbacks: i64,
+}
+
+struct Comparison {
+    figure: &'static str,
+    config: String,
+    rate: f64,
+    base: Baseline,
+    got: Measured,
+    failures: Vec<String>,
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    match std::env::var(name) {
+        Ok(v) => v.parse().unwrap_or_else(|_| panic!("{name} must be a number, got {v:?}")),
+        Err(_) => default,
+    }
+}
+
+/// Extracts `"key": <number>` from one scenario line of the snapshot JSON.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts `"key": "<string>"` from one scenario line.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Parses the checked-in snapshot format (written by `perf_snapshot`):
+/// one scenario object per line inside `"scenarios": [ ... ]`.
+fn load_baselines(path: &str) -> Vec<Baseline> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e} (run perf_snapshot first)"));
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(config) = json_str(line, "config") else { continue };
+        out.push(Baseline {
+            config,
+            rate: json_num(line, "rate_ev_per_s").expect("rate field"),
+            p50_us: json_num(line, "p50_latency_us").expect("p50 field"),
+            p99_us: json_num(line, "p99_latency_us").expect("p99 field"),
+            events_per_sec: json_num(line, "events_per_sec").expect("rate field"),
+        });
+    }
+    assert!(!out.is_empty(), "no scenarios parsed from {path}");
+    out
+}
+
+/// Runs one scenario once, returning its summary plus the run's exported
+/// STM fast-path counters (summed across operators).
+fn run_once(speculative: bool, threads: usize, sketch_logs: bool, rate: f64) -> Measured {
+    let obs = Obs::new();
+    let registry = obs.registry.clone();
+    let (running, src, sink) = union_sketch_obs(speculative, threads, sketch_logs, Some(obs));
+    let (mut lat, _in_rate, out_rate) = drive_at_rate(&running, src, sink, rate, RUN_FOR, DRAIN);
+    running.shutdown();
+    let summary = summarize(&mut lat);
+    let gauge_total = |name: &str| {
+        registry
+            .snapshot()
+            .samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| match s.value {
+                SampleValue::Gauge(v) => v,
+                _ => 0,
+            })
+            .sum()
+    };
+    let inject = env_f64("PERF_GATE_INJECT_US", 0.0);
+    Measured {
+        p50_us: summary.p50_us + inject,
+        p99_us: summary.p99_us + inject,
+        events_per_sec: out_rate,
+        fastpath_hits: gauge_total("stm.fastpath.hits"),
+        fastpath_fallbacks: gauge_total("stm.fastpath.fallbacks"),
+    }
+}
+
+/// Best-of-`TRIALS` per metric: minimum latencies, maximum delivered rate.
+/// A genuine regression reproduces in every trial and still trips the gate;
+/// a one-off scheduler stall in a single trial does not.
+fn run_best(speculative: bool, threads: usize, sketch_logs: bool, rate: f64) -> Measured {
+    let trials: Vec<Measured> =
+        (0..TRIALS).map(|_| run_once(speculative, threads, sketch_logs, rate)).collect();
+    Measured {
+        p50_us: trials.iter().map(|t| t.p50_us).fold(f64::INFINITY, f64::min),
+        p99_us: trials.iter().map(|t| t.p99_us).fold(f64::INFINITY, f64::min),
+        events_per_sec: trials.iter().map(|t| t.events_per_sec).fold(0.0, f64::max),
+        fastpath_hits: trials.iter().map(|t| t.fastpath_hits).max().unwrap_or(0),
+        fastpath_fallbacks: trials.iter().map(|t| t.fastpath_fallbacks).max().unwrap_or(0),
+    }
+}
+
+fn gate_figure(
+    figure: &'static str,
+    baseline_path: &str,
+    sketch_logs: bool,
+    comparisons: &mut Vec<Comparison>,
+) {
+    let p50_tol = env_f64("PERF_GATE_P50_TOL", 1.10);
+    let p99_tol = env_f64("PERF_GATE_P99_TOL", 1.15);
+    let rate_tol = env_f64("PERF_GATE_RATE_TOL", 0.85);
+    for base in load_baselines(baseline_path) {
+        let Some(&(name, speculative, threads)) =
+            CONFIGS.iter().find(|(n, _, _)| *n == base.config)
+        else {
+            panic!("{baseline_path}: unknown config {:?}", base.config);
+        };
+        eprintln!("{figure} {name} @ {:.0} ev/s ({TRIALS} trials)...", base.rate);
+        let got = run_best(speculative, threads, sketch_logs, base.rate);
+        let mut failures = Vec::new();
+        if got.p50_us > base.p50_us * p50_tol {
+            failures.push(format!(
+                "p50 {:.0}µs > {:.0}µs (baseline {:.0} × {p50_tol})",
+                got.p50_us,
+                base.p50_us * p50_tol,
+                base.p50_us
+            ));
+        }
+        if got.p99_us > base.p99_us * p99_tol {
+            failures.push(format!(
+                "p99 {:.0}µs > {:.0}µs (baseline {:.0} × {p99_tol})",
+                got.p99_us,
+                base.p99_us * p99_tol,
+                base.p99_us
+            ));
+        }
+        if got.events_per_sec < base.events_per_sec * rate_tol {
+            failures.push(format!(
+                "out rate {:.0} ev/s < {:.0} ev/s (baseline {:.0} × {rate_tol})",
+                got.events_per_sec,
+                base.events_per_sec * rate_tol,
+                base.events_per_sec
+            ));
+        }
+        let status = if failures.is_empty() { "ok" } else { "REGRESSED" };
+        eprintln!(
+            "  p50 {:.0}/{:.0}µs p99 {:.0}/{:.0}µs out {:.0}/{:.0} ev/s fastpath {}h/{}f — {status}",
+            got.p50_us,
+            base.p50_us,
+            got.p99_us,
+            base.p99_us,
+            got.events_per_sec,
+            base.events_per_sec,
+            got.fastpath_hits,
+            got.fastpath_fallbacks,
+        );
+        let config = base.config.clone();
+        let rate = base.rate;
+        comparisons.push(Comparison { figure, config, rate, base, got, failures });
+    }
+}
+
+fn write_report(path: &str, comparisons: &[Comparison]) {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(
+        out,
+        "  \"tolerances\": {{\"p50\": {}, \"p99\": {}, \"rate\": {}}},",
+        env_f64("PERF_GATE_P50_TOL", 1.10),
+        env_f64("PERF_GATE_P99_TOL", 1.15),
+        env_f64("PERF_GATE_RATE_TOL", 0.85)
+    );
+    let _ = writeln!(out, "  \"injected_us\": {},", env_f64("PERF_GATE_INJECT_US", 0.0));
+    let _ = writeln!(out, "  \"scenarios\": [");
+    for (i, c) in comparisons.iter().enumerate() {
+        let comma = if i + 1 < comparisons.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"figure\": \"{}\", \"config\": \"{}\", \"rate_ev_per_s\": {:.0}, \
+             \"baseline\": {{\"p50_us\": {:.1}, \"p99_us\": {:.1}, \"events_per_sec\": {:.1}}}, \
+             \"measured\": {{\"p50_us\": {:.1}, \"p99_us\": {:.1}, \"events_per_sec\": {:.1}, \
+             \"fastpath_hits\": {}, \"fastpath_fallbacks\": {}}}, \
+             \"status\": \"{}\", \"failures\": [{}]}}{comma}",
+            c.figure,
+            c.config,
+            c.rate,
+            c.base.p50_us,
+            c.base.p99_us,
+            c.base.events_per_sec,
+            c.got.p50_us,
+            c.got.p99_us,
+            c.got.events_per_sec,
+            c.got.fastpath_hits,
+            c.got.fastpath_fallbacks,
+            if c.failures.is_empty() { "ok" } else { "regressed" },
+            c.failures
+                .iter()
+                .map(|f| format!("\"{}\"", f.replace('"', "'")))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
+fn main() {
+    let mut comparisons = Vec::new();
+    eprintln!("perf gate: fig6 (latency vs rate, only union logs)");
+    gate_figure("fig6", "BENCH_fig6.json", false, &mut comparisons);
+    eprintln!("perf gate: fig7 (throughput vs rate, both log)");
+    gate_figure("fig7", "BENCH_fig7.json", true, &mut comparisons);
+
+    write_report("PERF_GATE_REPORT.json", &comparisons);
+    eprintln!("wrote PERF_GATE_REPORT.json");
+
+    // The campaign's acceptance criterion: the fast path is live in the
+    // gated workload, not just in unit tests.
+    let hits: i64 =
+        comparisons.iter().filter(|c| c.config == "spec-2t").map(|c| c.got.fastpath_hits).sum();
+    if hits == 0 {
+        eprintln!("FAIL: speculative runs exported zero stm.fastpath.hits");
+        std::process::exit(1);
+    }
+
+    let regressed: Vec<&Comparison> =
+        comparisons.iter().filter(|c| !c.failures.is_empty()).collect();
+    if !regressed.is_empty() {
+        eprintln!("\nperf gate FAILED ({} scenario(s) regressed):", regressed.len());
+        for c in regressed {
+            for f in &c.failures {
+                eprintln!("  {} {} @ {:.0} ev/s: {f}", c.figure, c.config, c.rate);
+            }
+        }
+        std::process::exit(1);
+    }
+    eprintln!("perf gate passed ({} scenarios within tolerance)", comparisons.len());
+}

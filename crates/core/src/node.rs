@@ -44,7 +44,6 @@ use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::Sender;
 use parking_lot::Mutex;
 use streammine_common::clock::SharedClock;
 use streammine_common::codec::{decode_from_slice, encode_to_vec};
@@ -55,7 +54,7 @@ use streammine_common::rng::DetRng;
 use streammine_obs::{
     span_key, Counter, Gauge, Histogram, Journal, JournalKind, Labels, Obs, Tracer,
 };
-use streammine_stm::{Serial, StmAbort, StmRuntime, TxnHandle, TxnId};
+use streammine_stm::{Serial, StatsSnapshot, StmAbort, StmRuntime, TxnHandle, TxnId};
 use streammine_storage::checkpoint::CheckpointStore;
 use streammine_storage::log::{LogSeq, LogTicket, StableLog};
 
@@ -63,7 +62,9 @@ use crate::config::OperatorConfig;
 use crate::determinant::{DecisionRecord, Determinant, ReplayCursor};
 use crate::message::{Control, Message};
 use crate::operator::{OpCtx, Operator, PortId, SetupCtx};
-use crate::plumbing::{DownEdge, Intake, IntakeHandle, NodeCommand, ReorderBuffer, UpEdge};
+use crate::plumbing::{
+    DownEdge, Intake, IntakeHandle, IntakeSender, NodeCommand, ReorderBuffer, UpEdge,
+};
 use crate::state::{StateAccess, StateRegistry};
 use crate::supervisor::{NodeHealth, NodeState, HEARTBEAT_INTERVAL};
 
@@ -221,10 +222,14 @@ struct NodeMetrics {
     spec_retained: Gauge,
     /// Messages queued on the bounded data intake lane.
     intake_depth: Gauge,
+    /// STM runtime counters (`stm.*`, including `stm.fastpath.*`),
+    /// refreshed from [`StatsSnapshot::fields`] each tick. Empty on
+    /// non-speculative nodes. Same order as `fields()`.
+    stm_gauges: Vec<Gauge>,
 }
 
 impl NodeMetrics {
-    fn registered(obs: &Obs, op: u32, inputs: usize) -> NodeMetrics {
+    fn registered(obs: &Obs, op: u32, inputs: usize, speculative: bool) -> NodeMetrics {
         let r = &obs.registry;
         NodeMetrics {
             events_in: (0..inputs)
@@ -247,6 +252,15 @@ impl NodeMetrics {
             spec_open: r.gauge("spec.open", Labels::op(op)),
             spec_retained: r.gauge("spec.retained", Labels::op(op)),
             intake_depth: r.gauge("node.intake_depth", Labels::op(op)),
+            stm_gauges: if speculative {
+                StatsSnapshot::default()
+                    .fields()
+                    .iter()
+                    .map(|(name, _)| r.gauge(name, Labels::op(op)))
+                    .collect()
+            } else {
+                Vec::new()
+            },
         }
     }
 }
@@ -291,6 +305,9 @@ pub(crate) struct Node {
     metrics: NodeMetrics,
 
     reorder: Vec<ReorderBuffer>,
+    /// Reusable buffer for messages the reorder buffer releases; drained
+    /// immediately after each `offer_into`, kept for its capacity.
+    reorder_scratch: Vec<(u64, Message)>,
     /// Per-port replay progress watchdogs (lost-replay-request retry).
     replay_watch: Vec<ReplayWatch>,
     /// Last time periodic maintenance ([`Node::tick`]) ran; checked in the
@@ -424,7 +441,8 @@ impl Node {
         });
         let inputs = seed.up.len();
         let outputs = seed.down.len();
-        let metrics = NodeMetrics::registered(&seed.obs, seed.id.index(), inputs);
+        let metrics =
+            NodeMetrics::registered(&seed.obs, seed.id.index(), inputs, seed.config.speculative);
         Node {
             id: seed.id,
             operator: seed.operator,
@@ -443,6 +461,7 @@ impl Node {
             obs: seed.obs,
             metrics,
             reorder: (0..inputs).map(|_| ReorderBuffer::new(0)).collect(),
+            reorder_scratch: Vec::new(),
             replay_watch: (0..inputs).map(|_| ReplayWatch::new()).collect(),
             last_tick: Instant::now(),
             port_queues: (0..inputs).map(|_| VecDeque::new()).collect(),
@@ -664,6 +683,12 @@ impl Node {
         self.metrics.intake_depth.set(self.intake.data_depth() as i64);
         self.metrics.spec_open.set(self.pending.len() as i64);
         self.metrics.spec_retained.set(self.spec_retained.load(Ordering::Relaxed).max(0));
+        if let Some(stm) = &self.stm {
+            let fields = stm.stats().fields();
+            for ((_, value), gauge) in fields.iter().zip(&self.metrics.stm_gauges) {
+                gauge.set(*value as i64);
+            }
+        }
     }
 
     // -----------------------------------------------------------------
@@ -782,10 +807,15 @@ impl Node {
     fn handle_intake(&mut self, intake: Intake) {
         match intake {
             Intake::Upstream { port, link_seq, msg } => {
-                let deliverable = self.reorder[port as usize].offer(link_seq, msg);
-                for (seq, msg) in deliverable {
+                // Reusable deliverable buffer: taken out of `self` so
+                // `handle_upstream` can borrow the node mutably while we
+                // drain it, then put back with its capacity intact.
+                let mut deliverable = std::mem::take(&mut self.reorder_scratch);
+                self.reorder[port as usize].offer_into(link_seq, msg, &mut deliverable);
+                for (seq, msg) in deliverable.drain(..) {
                     self.handle_upstream(port, seq, msg);
                 }
+                self.reorder_scratch = deliverable;
             }
             Intake::Downstream { out, ctrl } => self.handle_downstream(out, ctrl),
             Intake::TxnCommitted(txn) => self.on_txn_committed(txn),
@@ -1145,11 +1175,14 @@ impl Node {
     /// (identical wire behavior to unbatched operation), several as one
     /// `DataBatch`.
     fn flush_edge(&mut self, out: usize) {
-        let events = std::mem::take(&mut self.out_batch[out]);
+        let events = &mut self.out_batch[out];
         let msg = match events.len() {
             0 => return,
-            1 => Message::Data(events.into_iter().next().expect("len checked")),
-            _ => Message::DataBatch(events),
+            // Pop the lone event and keep the buffer (and its capacity);
+            // only the multi-event frame has to hand the Vec itself over
+            // the wire.
+            1 => Message::Data(events.pop().expect("len checked")),
+            _ => Message::DataBatch(std::mem::take(events)),
         };
         self.metrics.batch_events.record(msg.event_count() as u64);
         self.down[out].events_sent.fetch_add(msg.event_count() as u64, Ordering::AcqRel);
@@ -1541,7 +1574,7 @@ struct NodeSendView {
     id: OperatorId,
     down: Vec<streammine_net::ResilientSender<Message>>,
     log: Option<StableLog>,
-    intake: Sender<Intake>,
+    intake: IntakeSender,
     journal: Arc<Journal>,
     tracer: Arc<Tracer>,
     spec_published: Counter,
@@ -1688,11 +1721,12 @@ fn flush_run(
     run: &mut Vec<Event>,
     batch_events: &Histogram,
 ) {
-    let events = std::mem::take(run);
-    let msg = match events.len() {
+    let msg = match run.len() {
         0 => return,
-        1 => Message::Data(events.into_iter().next().expect("len checked")),
-        _ => Message::DataBatch(events),
+        // As in `flush_edge`: a lone event is popped so the run buffer
+        // keeps its capacity; a batch frame must own its Vec.
+        1 => Message::Data(run.pop().expect("len checked")),
+        _ => Message::DataBatch(std::mem::take(run)),
     };
     batch_events.record(msg.event_count() as u64);
     edge.send(msg);

@@ -203,6 +203,9 @@ where
     pub fn insert(&self, txn: &mut Txn<'_>, key: K, value: V) -> Result<Option<V>, StmAbort> {
         let var = self.bucket_of(&key);
         let bucket = txn.read(var)?;
+        // Required copy-on-write: the read handle is shared with every
+        // concurrent reader, so a mutation must build its own bucket to
+        // hand to `write` (the STM stores whole values, not diffs).
         let mut new = (*bucket).clone();
         let prev = match new.iter_mut().find(|(k, _)| *k == key) {
             Some(slot) => Some(std::mem::replace(&mut slot.1, value)),

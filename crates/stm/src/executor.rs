@@ -180,8 +180,9 @@ impl Speculator {
         let completion_tx = self.completion_tx.clone();
         let pool = self.pool.clone();
         let dispatch: Dispatch = Box::new(move || {
-            let b = body.clone();
-            match runtime.reexecute(&handle, move |txn| b(txn)) {
+            // `body` moves straight into the transaction closure: the
+            // dispatch is FnOnce and the registry holds its own Arc.
+            match runtime.reexecute(&handle, move |txn| body(txn)) {
                 Ok(()) => {
                     handle.authorize();
                     let _ = completion_tx.send(handle);
@@ -243,15 +244,13 @@ impl Speculator {
                 let frontier = shared.completed.load(Ordering::SeqCst);
                 let near_frontier = handle.serial().0 <= frontier + 2;
                 if near_frontier {
-                    let b = body.clone();
-                    if runtime.reexecute(&handle, move |txn| b(txn)).is_ok() {
+                    if runtime.reexecute(&handle, move |txn| body(txn)).is_ok() {
                         handle.authorize();
                     }
                 } else {
                     let runtime = runtime.clone();
                     pool.execute(move || {
-                        let b = body.clone();
-                        if runtime.reexecute(&handle, move |txn| b(txn)).is_ok() {
+                        if runtime.reexecute(&handle, move |txn| body(txn)).is_ok() {
                             handle.authorize();
                         }
                     });

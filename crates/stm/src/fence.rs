@@ -1,0 +1,102 @@
+//! Hot-path allocation fence.
+//!
+//! The STM's steady-state sections (publish, commit pump, commit
+//! application) are designed to perform zero heap allocation. This module
+//! provides the thread-local flag those sections raise while they run, plus
+//! the query the counting-allocator test uses to attribute allocations: an
+//! allocation observed while [`in_stm_hot_path`] returns `true` is a
+//! regression.
+//!
+//! The flag costs one thread-local bool write per section entry/exit and has
+//! no effect on its own — enforcement lives in the test binary that installs
+//! a counting `#[global_allocator]` (see `crates/bench/tests/alloc_steady.rs`).
+
+use std::cell::Cell;
+
+thread_local! {
+    static IN_HOT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Returns `true` while the current thread is inside an STM hot section
+/// (publish, commit pump, or commit application).
+///
+/// Intended for allocation-accounting tests: a counting global allocator can
+/// call this from `alloc()` to count only hot-path allocations.
+pub fn in_stm_hot_path() -> bool {
+    IN_HOT.with(|f| f.get())
+}
+
+/// RAII guard marking the current thread as inside an STM hot section.
+///
+/// Nesting-safe: the guard restores the previous flag value on drop, so an
+/// outer section stays marked when an inner one exits.
+pub(crate) struct HotSection {
+    prev: bool,
+}
+
+impl HotSection {
+    pub(crate) fn enter() -> Self {
+        let prev = IN_HOT.with(|f| f.replace(true));
+        HotSection { prev }
+    }
+}
+
+impl Drop for HotSection {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_HOT.with(|f| f.set(prev));
+    }
+}
+
+/// RAII guard that *clears* the hot flag for a cold sub-section (abort and
+/// cascade processing) nested inside a hot one. Aborts are the protocol's
+/// cold path: they may allocate (cascade closures, sink notifications), and
+/// the allocation fence must not attribute that to the commit path.
+pub(crate) struct ColdSection {
+    prev: bool,
+}
+
+impl ColdSection {
+    pub(crate) fn enter() -> Self {
+        let prev = IN_HOT.with(|f| f.replace(false));
+        ColdSection { prev }
+    }
+}
+
+impl Drop for ColdSection {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_HOT.with(|f| f.set(prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_tracks_guard_lifetime_and_nests() {
+        assert!(!in_stm_hot_path());
+        {
+            let _g = HotSection::enter();
+            assert!(in_stm_hot_path());
+            {
+                let _inner = HotSection::enter();
+                assert!(in_stm_hot_path());
+            }
+            assert!(in_stm_hot_path(), "inner exit must not clear outer section");
+        }
+        assert!(!in_stm_hot_path());
+    }
+
+    #[test]
+    fn cold_section_suspends_hot_flag() {
+        let _hot = HotSection::enter();
+        assert!(in_stm_hot_path());
+        {
+            let _cold = ColdSection::enter();
+            assert!(!in_stm_hot_path());
+        }
+        assert!(in_stm_hot_path());
+    }
+}

@@ -17,6 +17,11 @@ use crate::txn::TxnState;
 use crate::types::{AbortReason, CommitOrder, Serial, TxnId, TxnStatus};
 
 /// Per-transaction node.
+///
+/// Edge sets are plain vectors: a transaction observes at most a handful of
+/// open predecessors, and vectors keep their capacity when the node is
+/// recycled through the graph's spare-node pool — the dependency edges added
+/// during publish then allocate nothing in steady state.
 #[derive(Debug)]
 pub(crate) struct TxnNode {
     pub serial: Serial,
@@ -27,9 +32,9 @@ pub(crate) struct TxnNode {
     /// Set while `Active` to tell the executing body to stop.
     pub doomed: Option<AbortReason>,
     /// Open transactions this one must wait for (and dies with).
-    pub deps: HashSet<TxnId>,
+    pub deps: Vec<TxnId>,
     /// Transactions that observed this one's published writes.
-    pub dependents: HashSet<TxnId>,
+    pub dependents: Vec<TxnId>,
     /// Owner granted commit authorization (inputs final, logs stable).
     pub authorized: bool,
     /// Number of outstanding dependencies at publish time; used by the
@@ -37,6 +42,23 @@ pub(crate) struct TxnNode {
     pub publish_deps: usize,
     /// Shared per-transaction state (read/write buffers, doomed flag).
     pub state: Arc<TxnState>,
+}
+
+/// Bound on the spare-node pool; enough to cover the live-transaction
+/// high-water mark of any realistic operator without pinning memory.
+const SPARE_NODE_CAP: usize = 128;
+
+fn vec_remove_id(v: &mut Vec<TxnId>, id: TxnId) {
+    if let Some(pos) = v.iter().position(|x| *x == id) {
+        v.swap_remove(pos);
+    }
+}
+
+/// Placeholder state for parked spare nodes (see [`Graph::remove`]).
+fn dummy_state() -> &'static Arc<TxnState> {
+    use std::sync::OnceLock;
+    static DUMMY: OnceLock<Arc<TxnState>> = OnceLock::new();
+    DUMMY.get_or_init(|| Arc::new(TxnState::new(TxnId(u64::MAX), Serial(u64::MAX))))
 }
 
 /// The dependency graph + commit frontier. Not thread-safe by itself; the
@@ -47,10 +69,15 @@ pub(crate) struct Graph {
     /// All not-yet-committed (and not discarded) transactions by serial;
     /// drives `CommitOrder::Timestamp` and the publish frontier.
     pub uncommitted: BTreeMap<Serial, TxnId>,
+    /// Recycled nodes; their edge vectors keep warmed-up capacity.
+    spare: Vec<TxnNode>,
+    /// Reusable id buffer for edge clearing / eligibility scans.
+    scratch: Vec<TxnId>,
 }
 
 impl Graph {
-    /// Inserts a fresh node in `Active` state.
+    /// Inserts a fresh node in `Active` state, reusing a pooled node when
+    /// one is available.
     ///
     /// # Panics
     ///
@@ -61,20 +88,32 @@ impl Graph {
             assert!(*prev == id, "duplicate serial {serial} for {prev} and {id}");
         }
         self.uncommitted.insert(serial, id);
-        self.nodes.insert(
-            id,
-            TxnNode {
+        let node = match self.spare.pop() {
+            Some(mut n) => {
+                n.serial = serial;
+                n.status = TxnStatus::Active;
+                n.generation = 0;
+                n.doomed = None;
+                n.deps.clear();
+                n.dependents.clear();
+                n.authorized = false;
+                n.publish_deps = 0;
+                n.state = state;
+                n
+            }
+            None => TxnNode {
                 serial,
                 status: TxnStatus::Active,
                 generation: 0,
                 doomed: None,
-                deps: HashSet::new(),
-                dependents: HashSet::new(),
+                deps: Vec::new(),
+                dependents: Vec::new(),
                 authorized: false,
                 publish_deps: 0,
                 state,
             },
-        );
+        };
+        self.nodes.insert(id, node);
     }
 
     /// Immutable node access.
@@ -106,8 +145,11 @@ impl Graph {
         if !to_alive {
             return;
         }
-        self.node_mut(from).deps.insert(to);
-        self.node_mut(to).dependents.insert(from);
+        let deps = &mut self.node_mut(from).deps;
+        if !deps.contains(&to) {
+            deps.push(to);
+            self.node_mut(to).dependents.push(from);
+        }
     }
 
     /// Computes the cascade closure rooted at `root`: `root` plus every
@@ -130,45 +172,69 @@ impl Graph {
         order
     }
 
-    /// Detaches `id` from all its edges (both directions).
+    /// Detaches `id` from all its edges (both directions). Edge vectors are
+    /// cleared in place (capacity retained); the neighbour ids transit
+    /// through the graph-level scratch buffer, so no allocation occurs once
+    /// warm.
     pub fn clear_edges(&mut self, id: TxnId) {
-        let (deps, dependents) = {
-            let node = self.node_mut(id);
-            (std::mem::take(&mut node.deps), std::mem::take(&mut node.dependents))
-        };
-        for d in deps {
+        // Neither neighbour scan borrows the node itself, so stage the ids
+        // through `scratch` (taken/restored to appease the borrow checker).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        if let Some(node) = self.nodes.get_mut(&id) {
+            scratch.extend_from_slice(&node.deps);
+            node.deps.clear();
+        }
+        for &d in &scratch {
             if let Some(n) = self.nodes.get_mut(&d) {
-                n.dependents.remove(&id);
+                vec_remove_id(&mut n.dependents, id);
             }
         }
-        for d in dependents {
+        scratch.clear();
+        if let Some(node) = self.nodes.get_mut(&id) {
+            scratch.extend_from_slice(&node.dependents);
+            node.dependents.clear();
+        }
+        for &d in &scratch {
             if let Some(n) = self.nodes.get_mut(&d) {
-                n.deps.remove(&id);
+                vec_remove_id(&mut n.deps, id);
             }
         }
+        self.scratch = scratch;
     }
 
     /// Removes `id` from every other node's `deps` set (called on commit),
-    /// returning dependents that may now be commit-eligible.
-    pub fn resolve_dependents(&mut self, id: TxnId) -> Vec<TxnId> {
-        let dependents: Vec<TxnId> = {
-            let node = self.node_mut(id);
-            std::mem::take(&mut node.dependents).into_iter().collect()
-        };
-        for &d in &dependents {
+    /// freeing dependents that may now be commit-eligible. Allocation-free:
+    /// the reverse edges are cleared in place via the scratch buffer; the
+    /// commit pump rescans eligibility afterwards rather than chasing the
+    /// freed list.
+    pub fn resolve_dependents(&mut self, id: TxnId) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        if let Some(node) = self.nodes.get_mut(&id) {
+            scratch.extend_from_slice(&node.dependents);
+            node.dependents.clear();
+        }
+        for &d in &scratch {
             if let Some(n) = self.nodes.get_mut(&d) {
-                n.deps.remove(&id);
+                vec_remove_id(&mut n.deps, id);
             }
         }
-        dependents
+        self.scratch = scratch;
     }
 
-    /// Drops the node entirely (after abort+discard or commit).
+    /// Drops the node entirely (after abort+discard or commit) and parks it
+    /// in the spare pool for reuse. The state handle is swapped for a shared
+    /// dummy so a parked node does not pin the (poolable) `TxnState`.
     pub fn remove(&mut self, id: TxnId) {
         self.clear_edges(id);
-        if let Some(node) = self.nodes.remove(&id) {
+        if let Some(mut node) = self.nodes.remove(&id) {
             if self.uncommitted.get(&node.serial) == Some(&id) {
                 self.uncommitted.remove(&node.serial);
+            }
+            if self.spare.len() < SPARE_NODE_CAP {
+                node.state = dummy_state().clone();
+                self.spare.push(node);
             }
         }
     }
@@ -202,8 +268,27 @@ impl Graph {
     }
 
     /// All transactions currently eligible to commit.
+    #[cfg(test)]
     pub fn eligible(&self, order: CommitOrder) -> Vec<TxnId> {
         self.uncommitted.values().copied().filter(|&id| self.commit_eligible(id, order)).collect()
+    }
+
+    /// Collects every commit-eligible transaction into `out`, marking each
+    /// `Committing` and cloning its state handle. Replaces the allocating
+    /// `eligible()` on the pump path: `out` is a caller-owned reusable
+    /// buffer, ids transit through the graph scratch.
+    pub fn take_eligible_into(&mut self, order: CommitOrder, out: &mut Vec<Arc<TxnState>>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend(
+            self.uncommitted.values().copied().filter(|&id| self.commit_eligible(id, order)),
+        );
+        for &id in &scratch {
+            let node = self.node_mut(id);
+            node.status = TxnStatus::Committing;
+            out.push(node.state.clone());
+        }
+        self.scratch = scratch;
     }
 
     /// Serials of all live (uncommitted, undiscarded) transactions with
@@ -320,11 +405,45 @@ mod tests {
         let mut g = graph_with(3);
         g.add_dep(TxnId(1), TxnId(0));
         g.add_dep(TxnId(2), TxnId(0));
-        let mut freed = g.resolve_dependents(TxnId(0));
-        freed.sort();
-        assert_eq!(freed, vec![TxnId(1), TxnId(2)]);
+        g.resolve_dependents(TxnId(0));
         assert!(g.node(TxnId(1)).deps.is_empty());
+        assert!(g.node(TxnId(2)).deps.is_empty());
         assert!(g.node(TxnId(0)).dependents.is_empty());
+    }
+
+    #[test]
+    fn take_eligible_into_marks_committing_and_reuses_buffer() {
+        let mut g = graph_with(3);
+        for i in 0..3 {
+            open(&mut g, i);
+            auth(&mut g, i);
+        }
+        let mut batch = Vec::new();
+        g.take_eligible_into(CommitOrder::Conflict, &mut batch);
+        assert_eq!(batch.len(), 3);
+        for i in 0..3 {
+            assert_eq!(g.node(TxnId(i)).status, TxnStatus::Committing);
+        }
+        // Nothing left eligible: a second sweep must add nothing.
+        batch.clear();
+        g.take_eligible_into(CommitOrder::Conflict, &mut batch);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn removed_nodes_are_recycled_through_spare_pool() {
+        let mut g = graph_with(2);
+        g.add_dep(TxnId(1), TxnId(0));
+        g.remove(TxnId(0));
+        assert_eq!(g.spare.len(), 1);
+        assert!(g.node(TxnId(1)).deps.is_empty());
+        // Reinsertion drains the pool and yields a clean node.
+        g.insert(TxnId(5), Serial(5), Arc::new(TxnState::new(TxnId(5), Serial(5))));
+        assert!(g.spare.is_empty());
+        let n = g.node(TxnId(5));
+        assert_eq!(n.status, TxnStatus::Active);
+        assert!(n.deps.is_empty() && n.dependents.is_empty());
+        assert!(n.doomed.is_none() && !n.authorized);
     }
 
     #[test]

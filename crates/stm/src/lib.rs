@@ -55,6 +55,7 @@
 
 mod collections;
 mod executor;
+mod fence;
 mod graph;
 mod handle;
 mod runtime;
@@ -65,6 +66,7 @@ mod var;
 
 pub use collections::{TArray, TMap};
 pub use executor::Speculator;
+pub use fence::in_stm_hot_path;
 pub use handle::TxnHandle;
 pub use runtime::{StmConfig, StmRuntime};
 pub use stats::StatsSnapshot;

@@ -26,13 +26,33 @@
 //!
 //! # Locking discipline
 //!
-//! Three lock classes exist: per-variable metadata, the global dependency
-//! graph, and per-transaction buffers. They are **never nested**: every
-//! operation takes them strictly sequentially (collect under one lock,
-//! apply under the next). Cross-lock races are closed by registration
-//! ground truth (readers/writers register under the variable lock *before*
-//! acting on what they saw) plus doom flags re-checked under the graph lock
-//! at publish/commit decision points.
+//! Four lock classes exist, ordered: **per-transaction buffer → {per-variable
+//! metadata, dependency graph} → value stripe**. A thread holds at most one
+//! buffer lock (its own transaction's), may nest variable metadata or the
+//! graph under it, and may nest a value stripe under variable metadata. The
+//! graph and variable metadata are never held together, and nothing is ever
+//! acquired *after* a stripe. Holding the buffer across the metadata and
+//! graph sections lets publish/commit/cleanup iterate the read/write sets in
+//! place — no per-operation snapshot vectors, which is what makes the hot
+//! path allocation-free (see `fence`). Cross-lock races are closed by
+//! registration ground truth (readers/writers register under the variable
+//! lock *before* acting on what they saw) plus doom flags re-checked under
+//! the graph lock at publish/commit decision points.
+//!
+//! # Fast-path reads
+//!
+//! Each variable carries a packed word `(version << 1) | writers_present`
+//! (see [`VarCell`]). When the word shows no registered writers, a read
+//! clones the committed value under the striped value lock and re-checks the
+//! word — avoiding the metadata mutex entirely and registering **no** reader
+//! record. The invisible read is validated at the transaction's own publish:
+//! the version must be unchanged and no published earlier writer may have
+//! appeared; the read is then registered as a regular committed read (so
+//! later publishes can doom it while the transaction waits in the open
+//! state). Any intervening writer is caught by exactly one of: the version
+//! check (writer committed), the visible-writer check (writer published), or
+//! the writer's own publish-time reader scan (writer published after our
+//! registration). Failures fall back to [`AbortReason::StaleRead`] retries.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,6 +61,7 @@ use std::time::Duration;
 use crossbeam_channel::Sender;
 use parking_lot::{Condvar, Mutex};
 
+use crate::fence::{ColdSection, HotSection};
 use crate::graph::Graph;
 use crate::handle::TxnHandle;
 use crate::stats::{StatsSnapshot, StmStats};
@@ -48,7 +69,11 @@ use crate::txn::{Txn, TxnState, WriteEntry, TERMINAL_COMMITTED, TERMINAL_DISCARD
 use crate::types::{
     AbortReason, CommitOrder, DependencyMode, Serial, StmAbort, TxnId, TxnStatus, VarId,
 };
-use crate::var::{DynValue, ReadKind, ReaderRec, TVar, VarCell, VarMeta, WriterRec};
+use crate::var::{DynValue, ReadKind, ReaderRec, TVar, VarCell, WriterRec};
+
+/// Bound on the transaction-state pool; covers the live-transaction
+/// high-water mark of an operator without pinning memory indefinitely.
+const TXN_POOL_CAP: usize = 256;
 
 /// Tuning knobs for a runtime.
 #[derive(Debug, Clone)]
@@ -61,6 +86,11 @@ pub struct StmConfig {
     pub backoff_base: Duration,
     /// Upper bound for the back-off.
     pub backoff_max: Duration,
+    /// Enable the striped-lock fast path for reads of variables with no
+    /// registered writers (see the module docs). Disable to force every
+    /// read through the metadata mutex — used by equivalence tests and as
+    /// an ablation knob.
+    pub fastpath: bool,
 }
 
 impl Default for StmConfig {
@@ -70,6 +100,7 @@ impl Default for StmConfig {
             dependency_mode: DependencyMode::default(),
             backoff_base: Duration::from_micros(20),
             backoff_max: Duration::from_millis(2),
+            fastpath: true,
         }
     }
 }
@@ -92,6 +123,9 @@ pub(crate) struct RuntimeInner {
     abort_sink: Mutex<Option<Sender<TxnId>>>,
     commit_sink: Mutex<Option<Sender<TxnId>>>,
     shutdown: AtomicBool,
+    /// Recycled transaction states; their buffer vectors keep warmed-up
+    /// capacity, so `begin` allocates nothing in steady state.
+    txn_pool: Mutex<Vec<Arc<TxnState>>>,
 }
 
 impl std::fmt::Debug for RuntimeInner {
@@ -128,6 +162,7 @@ impl StmRuntime {
                 abort_sink: Mutex::new(None),
                 commit_sink: Mutex::new(None),
                 shutdown: AtomicBool::new(false),
+                txn_pool: Mutex::new(Vec::with_capacity(TXN_POOL_CAP)),
             }),
         }
     }
@@ -140,10 +175,7 @@ impl StmRuntime {
     /// Allocates a new transactional variable holding `initial`.
     pub fn new_var<T: Send + Sync + 'static>(&self, initial: T) -> TVar<T> {
         let id = VarId(self.inner.next_var.fetch_add(1, Ordering::Relaxed));
-        TVar {
-            cell: Arc::new(VarCell { id, meta: Mutex::new(VarMeta::new(Arc::new(initial))) }),
-            _pd: std::marker::PhantomData,
-        }
+        TVar { cell: Arc::new(VarCell::new(id, Arc::new(initial))), _pd: std::marker::PhantomData }
     }
 
     /// Begins a transaction at `serial` without running anything yet.
@@ -156,7 +188,7 @@ impl StmRuntime {
     /// Panics if `serial` is already registered to a live transaction.
     pub fn begin(&self, serial: Serial) -> TxnHandle {
         let id = TxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed));
-        let state = Arc::new(TxnState::new(id, serial));
+        let state = self.inner.alloc_state(id, serial);
         self.inner.graph.lock().insert(id, serial, state.clone());
         state.trace(|| format!("begin serial={}", serial.0));
         self.inner.stats.started.fetch_add(1, Ordering::Relaxed);
@@ -374,6 +406,10 @@ impl StmRuntime {
 
 /// Outcome aggregation used by abort processing: per-transaction cleanup
 /// work to perform after the graph lock is released.
+///
+/// Empty `Vec::new` does not allocate; the vectors grow only when aborts
+/// actually occur (the protocol's cold path, excluded from the allocation
+/// fence via [`ColdSection`]).
 struct AbortActions {
     cleanups: Vec<Arc<TxnState>>,
     notifies: Vec<TxnId>,
@@ -396,17 +432,53 @@ impl RuntimeInner {
         cell: &Arc<VarCell>,
     ) -> Result<DynValue, StmAbort> {
         st.check_doom()?;
-        if let Some(e) = st.buf.lock().writes.get(&cell.id) {
-            return Ok(e.value.clone());
+        {
+            let buf = st.buf.lock();
+            if let Some(e) = buf.write_for(cell.id) {
+                // Arc bump, not a deep copy: values are shared `DynValue`
+                // handles throughout (as is every `.clone()` below).
+                return Ok(e.value.clone());
+            }
         }
         let serial = st.serial;
         let me = st.id;
+        // Fast path: the packed word shows no registered writers, so the
+        // committed value is the only value any reader could observe. Clone
+        // it under the value stripe and confirm the word did not move — an
+        // unchanged word proves no writer registered and no commit landed
+        // across the clone. The read stays invisible (no reader record)
+        // until this transaction's own publish validates and registers it.
+        if self.config.fastpath {
+            let w1 = cell.fast_word();
+            if w1 & 1 == 0 {
+                let fast = cell.committed_try_clone().filter(|_| cell.fast_word() == w1);
+                match fast {
+                    Some(value) => {
+                        self.stats.fastpath_hits.fetch_add(1, Ordering::Relaxed);
+                        let mut buf = st.buf.lock();
+                        if !buf.has_read(cell.id) {
+                            buf.reads.push((cell.clone(), ReadKind::Fast(w1 >> 1)));
+                        }
+                        return Ok(value);
+                    }
+                    // Stripe contended or word moved: take the slow path.
+                    None => {
+                        self.stats.fastpath_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
         // Ghost records of aborted-but-not-yet-re-executed writers are
         // skipped rather than retried against: their owner may be starved
         // behind us in a worker pool, so waiting for it can livelock.
+        // (Empty `Vec::new` does not allocate; pushes happen only on the
+        // ghost-record path.)
         let mut skip: Vec<TxnId> = Vec::new();
         loop {
-            let (value, kind) = {
+            // Register under the metadata lock, but capture the committed
+            // value *outside* it (under the stripe only) — the metadata
+            // critical section stays a few word-sized operations.
+            let (spec_value, kind) = {
                 let mut meta = cell.meta.lock();
                 // Lazy validation: an *active* earlier writer's buffer is
                 // private, so we read past it (latest published or
@@ -419,7 +491,7 @@ impl RuntimeInner {
                         let kind = ReadKind::Spec(w.txn, w.serial, w.generation);
                         let value = w.published.clone().expect("visible writer must be published");
                         meta.upsert_reader(ReaderRec { serial, txn: me, kind });
-                        (value, kind)
+                        (Some(value), kind)
                     }
                     _ => {
                         if let Some(lcs) = meta.last_commit_serial {
@@ -429,9 +501,23 @@ impl RuntimeInner {
                         }
                         let kind = ReadKind::Committed(meta.version);
                         meta.upsert_reader(ReaderRec { serial, txn: me, kind });
-                        (meta.committed.clone(), kind)
+                        (None, kind)
                     }
                 }
+            };
+            let value = match (spec_value, kind) {
+                (Some(v), _) => v,
+                (None, ReadKind::Committed(version)) => {
+                    let v = cell.committed_clone();
+                    // A commit may have replaced the value after we dropped
+                    // the metadata lock; re-run the protocol so the
+                    // registered version and the captured value agree.
+                    if cell.meta.lock().version != version {
+                        continue;
+                    }
+                    v
+                }
+                (None, _) => unreachable!("committed branch always records Committed"),
             };
             if let ReadKind::Spec(writer, _, generation) = kind {
                 let mut g = self.graph.lock();
@@ -472,7 +558,7 @@ impl RuntimeInner {
                 }
             }
             let mut buf = st.buf.lock();
-            if buf.read_vars.insert(cell.id) {
+            if !buf.has_read(cell.id) {
                 buf.reads.push((cell.clone(), kind));
             }
             return Ok(value);
@@ -486,24 +572,20 @@ impl RuntimeInner {
         value: DynValue,
     ) -> Result<(), StmAbort> {
         st.check_doom()?;
-        let first_write = {
+        {
             let mut buf = st.buf.lock();
-            match buf.writes.entry(cell.id) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    e.get_mut().value = value.clone();
-                    false
-                }
-                std::collections::hash_map::Entry::Vacant(v) => {
-                    v.insert(WriteEntry { cell: cell.clone(), value: value.clone() });
-                    true
-                }
+            if let Some(e) = buf.writes.iter_mut().find(|e| e.cell.id == cell.id) {
+                // Repeat write: replace the buffered value, registration
+                // already done on the first write.
+                e.value = value;
+                return Ok(());
             }
-        };
-        if !first_write {
-            return Ok(());
+            buf.writes.push(WriteEntry { cell: cell.clone(), value });
         }
         let serial = st.serial;
         let me = st.id;
+        // Empty `Vec::new` does not allocate; pushes happen only when
+        // another *published* writer overlaps this variable.
         let mut forward_deps: Vec<TxnId> = Vec::new();
         let mut reverse_deps: Vec<TxnId> = Vec::new();
         {
@@ -530,6 +612,7 @@ impl RuntimeInner {
                 generation: st.generation.load(Ordering::Acquire),
                 published: None,
             });
+            cell.resync_fast(&meta);
         }
         if !forward_deps.is_empty() || !reverse_deps.is_empty() {
             let mut g = self.graph.lock();
@@ -545,32 +628,70 @@ impl RuntimeInner {
 
     /// Transitions an executed transaction to the open state, making its
     /// write buffer visible to later transactions.
+    ///
+    /// Holds the transaction's buffer lock across the whole operation (lock
+    /// order: buffer → {metadata, graph}), iterating the write set in place
+    /// and staging dooms/dependencies in the buffer's reusable scratch
+    /// vectors — the entire publish allocates nothing in steady state.
     pub(crate) fn publish(&self, st: &Arc<TxnState>) -> Result<(), StmAbort> {
+        let _hot = HotSection::enter();
         st.check_doom()?;
         let serial = st.serial;
         let me = st.id;
-        let entries: Vec<(Arc<VarCell>, DynValue)> = {
-            let buf = st.buf.lock();
-            buf.writes.values().map(|e| (e.cell.clone(), e.value.clone())).collect()
-        };
-        let mut dooms: Vec<TxnId> = Vec::new();
-        let mut forward_deps: Vec<TxnId> = Vec::new();
-        let mut reverse_deps: Vec<TxnId> = Vec::new();
         let my_gen = st.generation.load(Ordering::Acquire);
-        for (cell, value) in &entries {
+        let mut buf = st.buf.lock();
+        let crate::txn::TxnBuf { writes, reads, publish_dooms, publish_fwd, publish_rev } =
+            &mut *buf;
+        publish_dooms.clear();
+        publish_fwd.clear();
+        publish_rev.clear();
+        // Pass 1: validate invisible fast-path reads and convert them to
+        // registered committed reads. Our own writer records are still
+        // unpublished, so they cannot satisfy the visible-writer check.
+        for (cell, kind) in reads.iter_mut() {
+            let ReadKind::Fast(v) = *kind else { continue };
             let mut meta = cell.meta.lock();
+            if meta.version != v {
+                // A writer committed since the read; the snapshot is stale.
+                return Err(StmAbort { reason: AbortReason::StaleRead });
+            }
+            match meta.visible_writer_excluding(serial, &[]) {
+                Some(w) if w.txn != me => {
+                    // An earlier writer published a superseding value we
+                    // never saw (we were invisible to its reader scan).
+                    return Err(StmAbort { reason: AbortReason::StaleRead });
+                }
+                _ => {}
+            }
+            if let Some(lcs) = meta.last_commit_serial {
+                if lcs > serial {
+                    self.stats.serial_inversions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let registered = ReadKind::Committed(v);
+            meta.upsert_reader(ReaderRec { serial, txn: me, kind: registered });
+            *kind = registered;
+        }
+        // Pass 2: publish the write buffer; collect stale readers to doom
+        // and writer-writer ordering edges.
+        for e in writes.iter() {
+            let mut meta = e.cell.meta.lock();
             meta.upsert_writer(WriterRec {
                 serial,
                 txn: me,
                 generation: my_gen,
-                published: Some(value.clone()),
+                // Arc bump; the buffer keeps its handle for apply_commit.
+                published: Some(e.value.clone()),
             });
             for r in &meta.readers {
                 if r.txn == me || r.serial <= serial {
                     continue;
                 }
                 let stale = match r.kind {
-                    ReadKind::Committed(_) => true,
+                    // `Fast` never appears in a reader record (fast reads
+                    // register as `Committed` at their publish), but it is
+                    // stale by the same rule.
+                    ReadKind::Committed(_) | ReadKind::Fast(_) => true,
                     // Read of an older writer, or of a rolled-back
                     // generation of *this* transaction.
                     ReadKind::Spec(wtxn, writer_serial, wgen) => {
@@ -578,7 +699,7 @@ impl RuntimeInner {
                     }
                 };
                 if stale {
-                    dooms.push(r.txn);
+                    publish_dooms.push(r.txn);
                 }
             }
             for other in &meta.writers {
@@ -586,14 +707,15 @@ impl RuntimeInner {
                     continue;
                 }
                 if other.serial > serial {
-                    reverse_deps.push(other.txn);
+                    publish_rev.push(other.txn);
                 } else if other.published.is_some() {
-                    forward_deps.push(other.txn);
+                    publish_fwd.push(other.txn);
                 }
             }
+            e.cell.resync_fast(&meta);
         }
-        dooms.sort();
-        dooms.dedup();
+        publish_dooms.sort_unstable();
+        publish_dooms.dedup();
         let mut actions = AbortActions::new();
         let result = {
             let mut g = self.graph.lock();
@@ -601,18 +723,19 @@ impl RuntimeInner {
             match doomed {
                 Some(reason) => Err(StmAbort { reason }),
                 None => {
-                    for w in forward_deps {
+                    for &w in publish_fwd.iter() {
                         g.add_dep(me, w);
                     }
-                    for w in reverse_deps {
+                    for &w in publish_rev.iter() {
                         g.add_dep(w, me);
                     }
                     if self.config.dependency_mode == DependencyMode::TaintAll {
+                        // Non-default mode; the collect here is accepted.
                         for w in g.open_earlier(serial) {
                             g.add_dep(me, w);
                         }
                     }
-                    for d in dooms {
+                    for &d in publish_dooms.iter() {
                         self.doom_locked(&mut g, d, AbortReason::StaleRead, &mut actions);
                     }
                     let node = g.node_mut(me);
@@ -623,6 +746,7 @@ impl RuntimeInner {
                 }
             }
         };
+        drop(buf);
         self.cv.notify_all();
         self.finish_abort_actions(actions);
         match result {
@@ -782,6 +906,7 @@ impl RuntimeInner {
         if !g.contains(root) {
             return;
         }
+        let _cold = ColdSection::enter();
         let closure = g.cascade_closure(root);
         for (i, &id) in closure.iter().enumerate() {
             let is_root = i == 0;
@@ -866,23 +991,28 @@ impl RuntimeInner {
     }
 
     /// Drains the transaction's buffers and removes its variable
-    /// registrations. Caller must hold the execution flag (or otherwise
-    /// guarantee no concurrent executor).
+    /// registrations, iterating the sets in place under the buffer lock
+    /// (lock order: buffer → metadata). Caller must hold the execution flag
+    /// (or otherwise guarantee no concurrent executor).
     pub(crate) fn cleanup_txn(&self, st: &Arc<TxnState>) {
-        let cells = {
-            let mut buf = st.buf.lock();
-            let cells = buf.touched_cells();
-            buf.writes.clear();
-            buf.reads.clear();
-            buf.read_vars.clear();
-            cells
-        };
-        for cell in cells {
+        let mut buf = st.buf.lock();
+        for e in buf.writes.iter() {
+            let mut meta = e.cell.meta.lock();
+            meta.remove_txn(st.id);
+            e.cell.resync_fast(&meta);
+        }
+        for (cell, _) in buf.reads.iter() {
+            if buf.has_write(cell.id) {
+                continue; // already deregistered above
+            }
+            // Reader records don't affect the fast word; no resync needed.
             cell.meta.lock().remove_txn(st.id);
         }
+        buf.clear();
     }
 
     fn finish_abort_actions(&self, actions: AbortActions) {
+        let _cold = ColdSection::enter();
         for st in &actions.cleanups {
             self.cleanup_txn(st);
         }
@@ -892,6 +1022,36 @@ impl RuntimeInner {
                     let _ = sink.send(id);
                 }
             }
+        }
+    }
+
+    /// Pops a reusable transaction state from the pool, or allocates one.
+    ///
+    /// A pooled `Arc` may still be referenced briefly (a handle owner or a
+    /// sink consumer racing the recycle); candidates that fail `get_mut`
+    /// rotate to the bottom of the stack, bounded so a pool of pinned
+    /// states degrades to plain allocation rather than spinning.
+    fn alloc_state(&self, id: TxnId, serial: Serial) -> Arc<TxnState> {
+        let mut pool = self.txn_pool.lock();
+        for _ in 0..4 {
+            let Some(mut cand) = pool.pop() else { break };
+            match Arc::get_mut(&mut cand) {
+                Some(st) => {
+                    st.reset(id, serial);
+                    return cand;
+                }
+                None => pool.insert(0, cand),
+            }
+        }
+        drop(pool);
+        Arc::new(TxnState::new(id, serial))
+    }
+
+    /// Parks a terminal transaction's state for reuse (bounded).
+    fn recycle_state(&self, st: Arc<TxnState>) {
+        let mut pool = self.txn_pool.lock();
+        if pool.len() < TXN_POOL_CAP {
+            pool.push(st);
         }
     }
 
@@ -912,50 +1072,57 @@ impl RuntimeInner {
     // ---------------------------------------------------------------------
 
     /// Commits every eligible transaction, looping until a fixed point.
+    ///
+    /// The batch buffer is thread-local and reused across calls; eligible
+    /// states are taken straight out of the graph (marked `Committing`)
+    /// without an intermediate id list.
     pub(crate) fn pump(&self) {
+        thread_local! {
+            static BATCH: std::cell::Cell<Vec<Arc<TxnState>>> =
+                const { std::cell::Cell::new(Vec::new()) };
+        }
+        let _hot = HotSection::enter();
+        let mut batch = BATCH.with(|b| b.take());
         loop {
-            let batch: Vec<Arc<TxnState>> = {
-                let mut g = self.graph.lock();
-                let ids = g.eligible(self.config.commit_order);
-                ids.into_iter()
-                    .map(|id| {
-                        let node = g.node_mut(id);
-                        node.status = TxnStatus::Committing;
-                        node.state.clone()
-                    })
-                    .collect()
-            };
+            batch.clear();
+            self.graph.lock().take_eligible_into(self.config.commit_order, &mut batch);
             if batch.is_empty() {
-                return;
+                break;
             }
-            for st in batch {
+            for st in batch.drain(..) {
                 self.apply_commit(&st);
+                self.recycle_state(st);
             }
             self.cv.notify_all();
         }
+        BATCH.with(|b| b.set(batch));
     }
 
+    /// Applies one transaction's writes to the committed slots and retires
+    /// it. Iterates the write/read sets in place under the buffer lock
+    /// (lock order: buffer → metadata → stripe); allocation-free.
     fn apply_commit(&self, st: &Arc<TxnState>) {
-        let (writes, reads) = {
-            let mut buf = st.buf.lock();
-            let writes: Vec<WriteEntry> = buf.writes.drain().map(|(_, e)| e).collect();
-            let reads = std::mem::take(&mut buf.reads);
-            buf.read_vars.clear();
-            (writes, reads)
-        };
-        for e in &writes {
-            let mut meta = e.cell.meta.lock();
-            meta.committed = e.value.clone();
-            meta.version += 1;
-            meta.last_commit_serial = Some(match meta.last_commit_serial {
-                Some(prev) if prev > st.serial => prev,
-                _ => st.serial,
-            });
-            meta.remove_txn(st.id);
+        {
+            let buf = st.buf.lock();
+            for e in buf.writes.iter() {
+                let mut meta = e.cell.meta.lock();
+                e.cell.set_committed(e.value.clone());
+                meta.version += 1;
+                meta.last_commit_serial = Some(match meta.last_commit_serial {
+                    Some(prev) if prev > st.serial => prev,
+                    _ => st.serial,
+                });
+                meta.remove_txn(st.id);
+                e.cell.resync_fast(&meta);
+            }
+            for (cell, _) in buf.reads.iter() {
+                if buf.has_write(cell.id) {
+                    continue; // deregistered with the write above
+                }
+                cell.meta.lock().remove_txn(st.id);
+            }
         }
-        for (cell, _) in &reads {
-            cell.meta.lock().remove_txn(st.id);
-        }
+        st.buf.lock().clear();
         {
             let mut g = self.graph.lock();
             if let Some(node) = g.nodes.get_mut(&st.id) {
@@ -968,6 +1135,12 @@ impl RuntimeInner {
         }
         self.stats.committed.fetch_add(1, Ordering::Relaxed);
         if let Some(sink) = &*self.commit_sink.lock() {
+            // The notification channel is owned by the embedding layer and
+            // unbounded: a send occasionally allocates a fresh block inside
+            // the channel (amortized). That is the caller's buffer, not the
+            // commit path's working set, so it is excluded from the
+            // allocation fence.
+            let _cold = crate::fence::ColdSection::enter();
             let _ = sink.send(st.id);
         }
     }

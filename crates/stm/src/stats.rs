@@ -19,6 +19,8 @@ pub(crate) struct StmStats {
     pub spec_reads: AtomicU64,
     pub publishes: AtomicU64,
     pub serial_inversions: AtomicU64,
+    pub fastpath_hits: AtomicU64,
+    pub fastpath_fallbacks: AtomicU64,
 }
 
 impl StmStats {
@@ -34,6 +36,8 @@ impl StmStats {
             spec_reads: self.spec_reads.load(Ordering::Relaxed),
             publishes: self.publishes.load(Ordering::Relaxed),
             serial_inversions: self.serial_inversions.load(Ordering::Relaxed),
+            fastpath_hits: self.fastpath_hits.load(Ordering::Relaxed),
+            fastpath_fallbacks: self.fastpath_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -64,6 +68,11 @@ pub struct StatsSnapshot {
     /// Reads that observed state committed by a later-serial transaction
     /// (possible only under `CommitOrder::Conflict`; diagnostic).
     pub serial_inversions: u64,
+    /// Reads served by the striped-lock fast path (no per-var mutex).
+    pub fastpath_hits: u64,
+    /// Reads that attempted the fast path but fell back to the per-var
+    /// mutex (stripe contention or a version/writer change mid-read).
+    pub fastpath_fallbacks: u64,
 }
 
 impl StatsSnapshot {
@@ -86,7 +95,7 @@ impl StatsSnapshot {
     /// The counters as `(name, value)` pairs, for generic export into a
     /// metrics registry without the registry crate depending on the STM's
     /// field layout. Names are stable and dotted (`stm.<counter>`).
-    pub fn fields(&self) -> [(&'static str, u64); 10] {
+    pub fn fields(&self) -> [(&'static str, u64); 12] {
         [
             ("stm.started", self.started),
             ("stm.committed", self.committed),
@@ -98,6 +107,8 @@ impl StatsSnapshot {
             ("stm.spec_reads", self.spec_reads),
             ("stm.publishes", self.publishes),
             ("stm.serial_inversions", self.serial_inversions),
+            ("stm.fastpath.hits", self.fastpath_hits),
+            ("stm.fastpath.fallbacks", self.fastpath_fallbacks),
         ]
     }
 
@@ -114,6 +125,8 @@ impl StatsSnapshot {
             spec_reads: self.spec_reads - earlier.spec_reads,
             publishes: self.publishes - earlier.publishes,
             serial_inversions: self.serial_inversions - earlier.serial_inversions,
+            fastpath_hits: self.fastpath_hits - earlier.fastpath_hits,
+            fastpath_fallbacks: self.fastpath_fallbacks - earlier.fastpath_fallbacks,
         }
     }
 }
@@ -170,11 +183,13 @@ mod tests {
             spec_reads: 8,
             publishes: 9,
             serial_inversions: 10,
+            fastpath_hits: 11,
+            fastpath_fallbacks: 12,
         };
         let fields = s.fields();
-        assert_eq!(fields.len(), 10);
+        assert_eq!(fields.len(), 12);
         let total: u64 = fields.iter().map(|(_, v)| v).sum();
-        assert_eq!(total, (1..=10).sum::<u64>(), "a counter is missing from fields()");
+        assert_eq!(total, (1..=12).sum::<u64>(), "a counter is missing from fields()");
         assert!(fields.iter().all(|(n, _)| n.starts_with("stm.")));
     }
 

@@ -1,6 +1,5 @@
 //! Transaction state and the body-facing [`Txn`] API.
 
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -24,34 +23,53 @@ impl fmt::Debug for WriteEntry {
 }
 
 /// Read and write sets of one transaction attempt.
+///
+/// Stream-operator transactions touch a handful of variables, so both sets
+/// are plain vectors scanned linearly — no hashing, no per-transaction
+/// hash-map allocation, and the capacity survives `clear()` so a pooled
+/// [`TxnState`] reaches zero steady-state allocation. The `publish_*`
+/// fields are scratch space for [`RuntimeInner::publish`], reused across
+/// attempts for the same reason.
 #[derive(Debug, Default)]
 pub(crate) struct TxnBuf {
     /// Write buffer: all stores are private here until publish (§3: "all
     /// writes are buffered and no modification is performed to the actual
-    /// data until the transaction commits").
-    pub writes: HashMap<VarId, WriteEntry>,
+    /// data until the transaction commits"). At most one entry per var.
+    pub writes: Vec<WriteEntry>,
     /// Variables read (for registration cleanup) with how they were read.
+    /// At most one entry per var (first read wins).
     pub reads: Vec<(Arc<VarCell>, ReadKind)>,
-    /// Guard against duplicate reader registrations.
-    pub read_vars: HashSet<VarId>,
+    /// Publish scratch: transactions doomed by this publish.
+    pub publish_dooms: Vec<TxnId>,
+    /// Publish scratch: forward dependencies discovered at publish.
+    pub publish_fwd: Vec<TxnId>,
+    /// Publish scratch: reverse dependencies discovered at publish.
+    pub publish_rev: Vec<TxnId>,
 }
 
 impl TxnBuf {
-    /// All distinct cells this attempt touched (for deregistration).
-    pub fn touched_cells(&self) -> Vec<Arc<VarCell>> {
-        let mut seen = HashSet::new();
-        let mut cells = Vec::new();
-        for e in self.writes.values() {
-            if seen.insert(e.cell.id) {
-                cells.push(e.cell.clone());
-            }
-        }
-        for (c, _) in &self.reads {
-            if seen.insert(c.id) {
-                cells.push(c.clone());
-            }
-        }
-        cells
+    /// The buffered write for `id`, if any.
+    pub fn write_for(&self, id: VarId) -> Option<&WriteEntry> {
+        self.writes.iter().find(|e| e.cell.id == id)
+    }
+
+    /// Whether a read of `id` is already recorded.
+    pub fn has_read(&self, id: VarId) -> bool {
+        self.reads.iter().any(|(c, _)| c.id == id)
+    }
+
+    /// Whether a write to `id` is buffered.
+    pub fn has_write(&self, id: VarId) -> bool {
+        self.writes.iter().any(|e| e.cell.id == id)
+    }
+
+    /// Clears all sets, keeping their capacity for the next attempt.
+    pub fn clear(&mut self) {
+        self.writes.clear();
+        self.reads.clear();
+        self.publish_dooms.clear();
+        self.publish_fwd.clear();
+        self.publish_rev.clear();
     }
 }
 
@@ -129,6 +147,22 @@ impl TxnState {
             #[cfg(debug_assertions)]
             history: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Re-initializes a pooled state for a fresh transaction. Only callable
+    /// with exclusive access (`Arc::get_mut`), which proves no handle, node
+    /// or executor still references the previous incarnation.
+    pub fn reset(&mut self, id: TxnId, serial: Serial) {
+        self.id = id;
+        self.serial = serial;
+        *self.doomed.get_mut() = false;
+        *self.doom_reason.get_mut() = 0;
+        *self.terminal.get_mut() = TERMINAL_NONE;
+        *self.generation.get_mut() = 0;
+        *self.executing.get_mut() = false;
+        self.buf.get_mut().clear();
+        #[cfg(debug_assertions)]
+        self.history.get_mut().clear();
     }
 
     /// Appends a lifecycle note in debug builds (no-op in release).
@@ -312,13 +346,31 @@ mod tests {
     }
 
     #[test]
-    fn touched_cells_dedups_reads_and_writes() {
-        use crate::var::VarMeta;
-        let cell =
-            Arc::new(VarCell { id: VarId(1), meta: Mutex::new(VarMeta::new(Arc::new(0i64))) });
+    fn buf_clear_keeps_capacity() {
+        let cell = Arc::new(VarCell::new(VarId(1), Arc::new(0i64)));
         let mut buf = TxnBuf::default();
         buf.reads.push((cell.clone(), ReadKind::Committed(0)));
-        buf.writes.insert(VarId(1), WriteEntry { cell: cell.clone(), value: Arc::new(1i64) });
-        assert_eq!(buf.touched_cells().len(), 1);
+        buf.writes.push(WriteEntry { cell: cell.clone(), value: Arc::new(1i64) });
+        assert!(buf.has_read(VarId(1)));
+        assert!(buf.has_write(VarId(1)));
+        assert!(buf.write_for(VarId(1)).is_some());
+        let (rc, wc) = (buf.reads.capacity(), buf.writes.capacity());
+        buf.clear();
+        assert!(!buf.has_read(VarId(1)));
+        assert!(buf.write_for(VarId(1)).is_none());
+        assert_eq!(buf.reads.capacity(), rc, "clear must retain capacity");
+        assert_eq!(buf.writes.capacity(), wc, "clear must retain capacity");
+    }
+
+    #[test]
+    fn reset_rearms_pooled_state() {
+        let mut s = TxnState::new(TxnId(1), Serial(0));
+        s.doom(AbortReason::Conflict);
+        s.terminal.store(TERMINAL_COMMITTED, Ordering::Release);
+        s.reset(TxnId(2), Serial(9));
+        assert_eq!(s.id, TxnId(2));
+        assert_eq!(s.serial, Serial(9));
+        assert!(s.check_doom().is_ok());
+        assert_eq!(s.terminal.load(Ordering::Acquire), TERMINAL_NONE);
     }
 }

@@ -16,8 +16,10 @@
 //! array approximates.
 
 use std::any::Any;
+use std::cell::UnsafeCell;
 use std::fmt;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -27,11 +29,56 @@ use crate::types::{Serial, TxnId, VarId};
 /// Type-erased shared value slot.
 pub(crate) type DynValue = Arc<dyn Any + Send + Sync>;
 
+// ---------------------------------------------------------------------------
+// Striped value locks (the paper's "lock array")
+// ---------------------------------------------------------------------------
+
+/// Number of stripes in the value-lock array. Power of two so the stripe
+/// index is a mask of the variable id.
+const STRIPE_COUNT: usize = 64;
+
+/// One stripe: a spinlock guarding the committed-value slots of every
+/// variable hashing to it. Critical sections are a single `Arc`
+/// clone/assignment, so spinning (never parking) is the right trade.
+struct Stripe {
+    locked: AtomicBool,
+}
+
+impl Stripe {
+    fn try_lock(&self) -> bool {
+        !self.locked.swap(true, Ordering::Acquire)
+    }
+
+    fn lock(&self) {
+        while self.locked.swap(true, Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+    }
+
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+#[allow(clippy::declare_interior_mutable_const)] // const used only as array initializer
+const STRIPE_INIT: Stripe = Stripe { locked: AtomicBool::new(false) };
+static STRIPES: [Stripe; STRIPE_COUNT] = [STRIPE_INIT; STRIPE_COUNT];
+
+fn stripe_of(id: VarId) -> &'static Stripe {
+    &STRIPES[(id.raw() as usize) & (STRIPE_COUNT - 1)]
+}
+
 /// How a transaction observed a variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum ReadKind {
     /// Read the committed value (at the recorded version).
     Committed(u64),
+    /// Read the committed value (at the recorded version) through the
+    /// striped-lock fast path *without* registering a reader record. The
+    /// transaction validates the version and registers itself under the
+    /// variable lock at its own publish; until then the read is invisible
+    /// to other transactions.
+    Fast(u64),
     /// Read the published-but-uncommitted value of an open transaction
     /// (writer id, writer serial, writer generation). The generation lets a
     /// republish distinguish readers of the *current* value from readers of
@@ -59,13 +106,14 @@ pub(crate) struct WriterRec {
     pub published: Option<DynValue>,
 }
 
-/// Shared metadata + value of one variable. This is the unit the paper's
-/// lock array protects.
+/// Shared conflict metadata of one variable. The committed value itself
+/// lives on the [`VarCell`], guarded by the striped value locks, so the
+/// fast read path never takes this mutex.
 pub(crate) struct VarMeta {
-    pub committed: DynValue,
     pub version: u64,
-    /// Serial of the transaction whose commit produced `committed`, if any.
-    /// Used only to detect serial inversions under `CommitOrder::Conflict`.
+    /// Serial of the transaction whose commit produced the committed value,
+    /// if any. Used only to detect serial inversions under
+    /// `CommitOrder::Conflict`.
     pub last_commit_serial: Option<Serial>,
     /// Uncommitted writers, kept sorted by serial.
     pub writers: Vec<WriterRec>,
@@ -75,13 +123,17 @@ pub(crate) struct VarMeta {
 
 impl VarMeta {
     /// Fresh metadata for a new variable.
-    pub fn new(initial: DynValue) -> Self {
+    ///
+    /// The record vectors reserve a couple of slots up front so the *first*
+    /// writer/reader registration of a cold variable — which can happen
+    /// inside the allocation-fenced publish — does not allocate. Growth
+    /// beyond that is a genuine high-water mark and persists.
+    pub fn new() -> Self {
         VarMeta {
-            committed: initial,
             version: 0,
             last_commit_serial: None,
-            writers: Vec::new(),
-            readers: Vec::new(),
+            writers: Vec::with_capacity(2),
+            readers: Vec::with_capacity(2),
         }
     }
 }
@@ -139,9 +191,89 @@ impl VarMeta {
 }
 
 /// Untyped interior of a variable.
+///
+/// # Fast word
+///
+/// `fast` packs `(version << 1) | writers_present` and is kept in sync with
+/// `meta` by [`VarCell::resync_fast`], called under the meta lock after any
+/// mutation of `version` or the writer set. Read-only transactions use it
+/// seqlock-style: load the word, clone the committed value under the stripe
+/// lock, re-load the word — an unchanged word with a clear writers bit
+/// proves the clone is the committed value at that version, with no
+/// uncommitted writer whose value could have been visible instead.
 pub(crate) struct VarCell {
     pub id: VarId,
+    /// `(version << 1) | (writers non-empty)`; see the type docs.
+    fast: AtomicU64,
+    /// The committed value, guarded by `stripe_of(id)` — NOT by `meta`.
+    /// Lock order: `meta` may be held while taking the stripe; never the
+    /// reverse.
+    value: UnsafeCell<DynValue>,
     pub meta: Mutex<VarMeta>,
+}
+
+// SAFETY: `value` is only accessed while holding the stripe spinlock for
+// this cell's id (see `committed_*` methods), which serializes all access.
+unsafe impl Sync for VarCell {}
+
+impl VarCell {
+    /// Creates a cell holding `initial` as the committed value.
+    pub fn new(id: VarId, initial: DynValue) -> Self {
+        VarCell {
+            id,
+            fast: AtomicU64::new(0),
+            value: UnsafeCell::new(initial),
+            meta: Mutex::new(VarMeta::new()),
+        }
+    }
+
+    /// Current fast word: `(version << 1) | writers_present`.
+    pub fn fast_word(&self) -> u64 {
+        self.fast.load(Ordering::Acquire)
+    }
+
+    /// Re-derives the fast word from `meta`. Must be called (under the meta
+    /// lock) after any change to `meta.version` or `meta.writers`.
+    pub fn resync_fast(&self, meta: &VarMeta) {
+        self.fast
+            .store((meta.version << 1) | u64::from(!meta.writers.is_empty()), Ordering::Release);
+    }
+
+    /// Clones the committed value under the stripe lock. Returns `None`
+    /// instead of spinning when the stripe is contended (the caller falls
+    /// back to the slow path).
+    pub fn committed_try_clone(&self) -> Option<DynValue> {
+        let stripe = stripe_of(self.id);
+        if !stripe.try_lock() {
+            return None;
+        }
+        // SAFETY: stripe lock held.
+        let v = unsafe { (*self.value.get()).clone() };
+        stripe.unlock();
+        Some(v)
+    }
+
+    /// Clones the committed value (blocking on the stripe).
+    pub fn committed_clone(&self) -> DynValue {
+        let stripe = stripe_of(self.id);
+        stripe.lock();
+        // SAFETY: stripe lock held.
+        let v = unsafe { (*self.value.get()).clone() };
+        stripe.unlock();
+        v
+    }
+
+    /// Replaces the committed value under the stripe lock. Callers must
+    /// hold the meta lock (commit/restore discipline) so concurrent commits
+    /// cannot interleave.
+    pub fn set_committed(&self, value: DynValue) {
+        let stripe = stripe_of(self.id);
+        stripe.lock();
+        // SAFETY: stripe lock held. The old value drops after unlock.
+        let old = unsafe { std::mem::replace(&mut *self.value.get(), value) };
+        stripe.unlock();
+        drop(old);
+    }
 }
 
 impl fmt::Debug for VarCell {
@@ -200,8 +332,7 @@ impl<T: Send + Sync + 'static> TVar<T> {
     /// Published-but-uncommitted speculative values are not visible here;
     /// use this for initialization, checkpointing and assertions only.
     pub fn load(&self) -> Arc<T> {
-        let meta = self.cell.meta.lock();
-        meta.committed.clone().downcast::<T>().expect("type confusion in TVar")
+        self.cell.committed_clone().downcast::<T>().expect("type confusion in TVar")
     }
 
     /// Committed version counter (bumps once per committed write).
@@ -225,8 +356,9 @@ impl<T: Send + Sync + 'static> TVar<T> {
             "restore() while transactions are in flight on {}",
             self.cell.id
         );
-        meta.committed = Arc::new(value);
+        self.cell.set_committed(Arc::new(value));
         meta.version += 1;
+        self.cell.resync_fast(&meta);
     }
 }
 
@@ -235,7 +367,7 @@ mod tests {
     use super::*;
 
     fn cell() -> VarMeta {
-        VarMeta::new(Arc::new(0i64))
+        VarMeta::new()
     }
 
     fn w(serial: u64, txn: u64, published: bool) -> WriterRec {
