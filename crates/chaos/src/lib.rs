@@ -17,15 +17,22 @@
 //! [`ChaosTarget`] is implemented for the engine's
 //! [`Running`](streammine_core::Running) graph; the trait keeps this crate
 //! decoupled so harnesses can also drive mock targets in unit tests.
+//!
+//! For the multi-process runtime, [`ProcFaultPlan`] draws schedules of
+//! *real* faults — worker SIGKILLs, dropped listeners, one-way inbound
+//! partitions, heartbeat suppression — against a
+//! `streammine_core::dist::Cluster`.
 
 #![warn(missing_docs)]
 
 pub mod plan;
+pub mod proc_plan;
 pub mod scheduler;
 mod target;
 pub mod verify;
 
 pub use plan::{FaultEvent, FaultKind, FaultPlan, Topology};
+pub use proc_plan::{ProcFaultEvent, ProcFaultKind, ProcFaultPlan};
 pub use scheduler::FaultScheduler;
 pub use target::ChaosTarget;
 pub use verify::{verify_recovery_counters, verify_rollback_traces};

@@ -1,0 +1,303 @@
+//! Process-level fault plans for the distributed (multi-process) runtime.
+//!
+//! The in-process [`FaultPlan`](crate::FaultPlan) injects faults through
+//! engine hooks; a [`ProcFaultPlan`] targets a
+//! `streammine_core::dist::Cluster` instead, where faults are *real*:
+//! SIGKILL of worker OS processes, dropped TCP listeners, one-way inbound
+//! socket partitions, and heartbeat suppression (which makes a healthy
+//! worker look dead to the control plane). Like its in-process sibling, a
+//! plan is a pure value drawn from a seeded RNG, so a failing distributed
+//! run can be replayed exactly.
+
+use std::fmt;
+
+use streammine_common::rng::DetRng;
+
+/// One kind of injectable process-level fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcFaultKind {
+    /// SIGKILL worker `worker`'s OS process. The control plane observes
+    /// the exit, fences the dead incarnation, and respawns.
+    KillWorker {
+        /// Worker index.
+        worker: u32,
+    },
+    /// Drop worker `worker`'s data listener for `millis` ms: new
+    /// connections are refused and existing ones severed, so upstream
+    /// senders reconnect with resend-from-ack.
+    ListenerDrop {
+        /// Worker index.
+        worker: u32,
+        /// Blackhole window length in milliseconds.
+        millis: u64,
+    },
+    /// One-way partition: worker `worker` stops *delivering* frames that
+    /// arrive on inbound edge `edge` for `millis` ms while its own output
+    /// and heartbeats keep flowing.
+    PartitionInbound {
+        /// Worker index.
+        worker: u32,
+        /// Inbound edge id.
+        edge: u32,
+        /// Partition window length in milliseconds.
+        millis: u64,
+    },
+    /// Suppress worker `worker`'s heartbeats for `millis` ms. If the
+    /// window outlives the lease timeout the control plane must treat the
+    /// silent-but-alive worker as failed and fence it before respawning.
+    PauseBeats {
+        /// Worker index.
+        worker: u32,
+        /// Suppression window length in milliseconds.
+        millis: u64,
+    },
+}
+
+impl fmt::Display for ProcFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcFaultKind::KillWorker { worker } => write!(f, "kill(w{worker})"),
+            ProcFaultKind::ListenerDrop { worker, millis } => {
+                write!(f, "listener-drop(w{worker}, {millis}ms)")
+            }
+            ProcFaultKind::PartitionInbound { worker, edge, millis } => {
+                write!(f, "partition-in(w{worker}, e{edge}, {millis}ms)")
+            }
+            ProcFaultKind::PauseBeats { worker, millis } => {
+                write!(f, "pause-beats(w{worker}, {millis}ms)")
+            }
+        }
+    }
+}
+
+/// A process-level fault scheduled at a plan step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcFaultEvent {
+    /// The step at (or after) which the fault fires.
+    pub step: u64,
+    /// What to inject.
+    pub kind: ProcFaultKind,
+}
+
+impl fmt::Display for ProcFaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} {}", self.step, self.kind)
+    }
+}
+
+/// A reproducible process-level fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcFaultPlan {
+    /// The generating seed (0 for scripted plans).
+    pub seed: u64,
+    /// The schedule, sorted by step.
+    pub events: Vec<ProcFaultEvent>,
+}
+
+impl fmt::Display for ProcFaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc-plan(seed={})", self.seed)?;
+        for ev in &self.events {
+            write!(f, " {ev}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Steps that must pass after any kill or beat-suppression before the next
+/// one may fire — a respawned process needs time to re-handshake and replay
+/// before the plan knocks the pipeline over again (the paper's
+/// single-failure discipline, applied per recovery window).
+const KILL_COOLDOWN: u64 = 10;
+
+/// Longest window (ms) a listener drop or inbound partition stays open.
+/// Short relative to the lease timeout so pure network faults do not
+/// masquerade as process death.
+const MAX_NET_WINDOW_MS: u64 = 120;
+
+impl ProcFaultPlan {
+    /// A hand-scripted plan. Events are sorted by step.
+    pub fn scripted(mut events: Vec<ProcFaultEvent>) -> ProcFaultPlan {
+        events.sort_by_key(|e| e.step);
+        ProcFaultPlan { seed: 0, events }
+    }
+
+    /// Draws a random plan over `steps` steps against `workers` worker
+    /// processes, where worker `w`'s inbound data edge is `w` (the linear
+    /// chain layout `Cluster` uses).
+    ///
+    /// The same `(seed, steps, workers)` always yields the same plan.
+    /// Invariants: kills and beat suppressions share one cooldown (one
+    /// recovery in flight at a time), network windows are bounded by
+    /// [`MAX_NET_WINDOW_MS`], and no event fires in the final
+    /// `KILL_COOLDOWN` steps so the run can quiesce.
+    pub fn random(seed: u64, steps: u64, workers: u32) -> ProcFaultPlan {
+        let mut rng = DetRng::seed_from(seed ^ 0xD157_C4A5);
+        let mut events = Vec::new();
+        let mut next_disruption_ok = 2u64; // let the cluster boot first
+        let quiesce_from = steps.saturating_sub(KILL_COOLDOWN);
+        for step in 0..quiesce_from {
+            // Roughly one fault every five steps — distributed recovery is
+            // slower than in-process restarts, so plans are sparser.
+            if !rng.next_bool(0.2) || workers == 0 {
+                continue;
+            }
+            let worker = rng.next_below(u64::from(workers)) as u32;
+            match rng.next_below(4) {
+                0 if step >= next_disruption_ok => {
+                    events
+                        .push(ProcFaultEvent { step, kind: ProcFaultKind::KillWorker { worker } });
+                    next_disruption_ok = step + KILL_COOLDOWN;
+                }
+                1 => {
+                    let millis = 20 + rng.next_below(MAX_NET_WINDOW_MS - 20);
+                    events.push(ProcFaultEvent {
+                        step,
+                        kind: ProcFaultKind::ListenerDrop { worker, millis },
+                    });
+                }
+                2 => {
+                    let millis = 20 + rng.next_below(MAX_NET_WINDOW_MS - 20);
+                    events.push(ProcFaultEvent {
+                        step,
+                        kind: ProcFaultKind::PartitionInbound { worker, edge: worker, millis },
+                    });
+                }
+                3 if step >= next_disruption_ok => {
+                    // Long enough to overrun a 250 ms lease: forces the
+                    // crash-vs-partition distinction to resolve as expiry.
+                    let millis = 300 + rng.next_below(200);
+                    events.push(ProcFaultEvent {
+                        step,
+                        kind: ProcFaultKind::PauseBeats { worker, millis },
+                    });
+                    next_disruption_ok = step + KILL_COOLDOWN;
+                }
+                _ => {}
+            }
+        }
+        events.sort_by_key(|e| e.step);
+        ProcFaultPlan { seed, events }
+    }
+
+    /// Number of kill events in the plan.
+    pub fn kill_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, ProcFaultKind::KillWorker { .. })).count()
+    }
+
+    /// Number of events that force a restart (kills + lease-length beat
+    /// suppressions).
+    pub fn restart_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    ProcFaultKind::KillWorker { .. } | ProcFaultKind::PauseBeats { .. }
+                )
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_reproducible() {
+        for seed in 0..32u64 {
+            let a = ProcFaultPlan::random(seed, 40, 3);
+            let b = ProcFaultPlan::random(seed, 40, 3);
+            assert_eq!(a, b, "seed {seed} not reproducible");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(ProcFaultPlan::random(1, 40, 3), ProcFaultPlan::random(2, 40, 3));
+    }
+
+    #[test]
+    fn disruptions_respect_shared_cooldown() {
+        for seed in 0..64u64 {
+            let plan = ProcFaultPlan::random(seed, 80, 3);
+            let disruptions: Vec<u64> = plan
+                .events
+                .iter()
+                .filter(|e| {
+                    matches!(
+                        e.kind,
+                        ProcFaultKind::KillWorker { .. } | ProcFaultKind::PauseBeats { .. }
+                    )
+                })
+                .map(|e| e.step)
+                .collect();
+            for pair in disruptions.windows(2) {
+                assert!(
+                    pair[1] - pair[0] >= KILL_COOLDOWN,
+                    "seed {seed}: disruptions at {} and {} too close",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn events_target_valid_workers_and_leave_quiesce_room() {
+        for seed in 0..32u64 {
+            let steps = 40;
+            let plan = ProcFaultPlan::random(seed, steps, 3);
+            let mut last = 0;
+            for ev in &plan.events {
+                assert!(ev.step >= last, "seed {seed}: events not sorted");
+                last = ev.step;
+                assert!(ev.step < steps - KILL_COOLDOWN, "seed {seed}: no quiesce room ({ev})");
+                let (worker, window) = match ev.kind {
+                    ProcFaultKind::KillWorker { worker } => (worker, None),
+                    ProcFaultKind::ListenerDrop { worker, millis } => (worker, Some(millis)),
+                    ProcFaultKind::PartitionInbound { worker, edge, millis } => {
+                        assert_eq!(edge, worker, "seed {seed}: chain edge mismatch ({ev})");
+                        (worker, Some(millis))
+                    }
+                    ProcFaultKind::PauseBeats { worker, .. } => (worker, None),
+                };
+                assert!(worker < 3, "seed {seed}: worker out of range ({ev})");
+                if let Some(ms) = window {
+                    assert!(ms <= MAX_NET_WINDOW_MS, "seed {seed}: window too long ({ev})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plans_hit_every_fault_kind_across_seeds() {
+        let (mut kills, mut drops, mut partitions, mut pauses) = (0, 0, 0, 0);
+        for seed in 0..24u64 {
+            for ev in &ProcFaultPlan::random(seed, 60, 3).events {
+                match ev.kind {
+                    ProcFaultKind::KillWorker { .. } => kills += 1,
+                    ProcFaultKind::ListenerDrop { .. } => drops += 1,
+                    ProcFaultKind::PartitionInbound { .. } => partitions += 1,
+                    ProcFaultKind::PauseBeats { .. } => pauses += 1,
+                }
+            }
+        }
+        assert!(kills > 0, "no kills across seeds");
+        assert!(drops > 0, "no listener drops across seeds");
+        assert!(partitions > 0, "no inbound partitions across seeds");
+        assert!(pauses > 0, "no beat suppressions across seeds");
+    }
+
+    #[test]
+    fn scripted_plans_sort_by_step() {
+        let plan = ProcFaultPlan::scripted(vec![
+            ProcFaultEvent { step: 9, kind: ProcFaultKind::KillWorker { worker: 1 } },
+            ProcFaultEvent { step: 3, kind: ProcFaultKind::ListenerDrop { worker: 0, millis: 50 } },
+        ]);
+        assert_eq!(plan.events[0].step, 3);
+        assert_eq!(plan.kill_count(), 1);
+        assert_eq!(plan.restart_count(), 1);
+    }
+}

@@ -1,0 +1,537 @@
+//! The multi-process launcher: one OS process per operator, supervised.
+//!
+//! [`Cluster::launch`] spawns a chain of worker processes (one
+//! [`NodeSpec`] each), hosts the graph's endpoints (source, sink) and the
+//! [control plane](super::control) in the calling process, and runs a
+//! **monitor** that turns two failure signals into restarts:
+//!
+//! * a child **exit** (`try_wait`) — a crash, e.g. the nemesis's SIGKILL;
+//! * a **lease expiry** — no heartbeat inside the lease window while the
+//!   process still runs: a partition (or a wedged process), killed and
+//!   restarted just like a crash but counted separately.
+//!
+//! A restart bumps the worker's incarnation and raises the control
+//! plane's expected epoch *before* the replacement spawns, so a zombie of
+//! the old incarnation is fenced rather than allowed to double-drive the
+//! topology. The restarted process rebuilds its node from the spec
+//! (checkpoint-free), re-handshakes its edges, and the combination of
+//! upstream retention replay + handshake resend-suppression yields output
+//! byte-identical to a failure-free run.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use streammine_common::clock::{shared, SystemClock};
+use streammine_common::ids::OperatorId;
+use streammine_net::{link, LinkConfig, LinkError, TcpTransport, Transport};
+use streammine_obs::{Counter, Labels, Obs, TransportMetrics};
+
+use crate::dist::bridge::{Acceptor, InEdge, OutBridge};
+use crate::dist::control::{ControlPlane, CtrlEvent};
+use crate::dist::spec::{WorkerSpec, SPEC_ENV};
+use crate::dist::wire::{CtrlMsg, FaultCmd};
+use crate::endpoints::{SinkHandle, SourceHandle};
+use crate::message::{Control, Message};
+
+/// One operator slot in the cluster chain.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Operator name, resolved by the worker binary's registry.
+    pub operator: String,
+    /// Simulated stable-log write latency, microseconds.
+    pub log_micros: u64,
+    /// Replicated decision-log disks.
+    pub disks: u32,
+}
+
+/// Configuration of a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// The operator chain, upstream to downstream. One process each.
+    pub operators: Vec<NodeSpec>,
+    /// Path to the worker binary (calls [`super::worker_main`]).
+    pub worker_bin: PathBuf,
+    /// Worker heartbeat interval.
+    pub beat: Duration,
+    /// Silence after which a lease is declared expired.
+    pub lease_timeout: Duration,
+    /// Monitor poll interval.
+    pub poll: Duration,
+    /// Per-worker RNG seed base: worker `i` gets `base + i`. Matches the
+    /// in-process graph's convention so a single-process run of the same
+    /// chain is the byte-identical reference.
+    pub rng_seed_base: u64,
+}
+
+impl ClusterSpec {
+    /// A chain of `operators` with the default timing (20 ms beats,
+    /// 250 ms leases, 25 ms monitor poll) and the in-process RNG seeds.
+    pub fn new(operators: Vec<NodeSpec>, worker_bin: PathBuf) -> ClusterSpec {
+        ClusterSpec {
+            operators,
+            worker_bin,
+            beat: Duration::from_millis(20),
+            lease_timeout: Duration::from_millis(250),
+            poll: Duration::from_millis(25),
+            rng_seed_base: 0xABCD_0000,
+        }
+    }
+}
+
+struct WorkerSlot {
+    child: Option<Child>,
+    incarnation: u64,
+    spawned_at: Instant,
+    /// Set once this incarnation's `Hello` arrived (lease checks start
+    /// only then — a booting process is not "partitioned").
+    seen_hello: bool,
+}
+
+/// Recovery bookkeeping shared between the monitor and the test API.
+struct Counters {
+    crash_detected: Counter,
+    lease_expired: Counter,
+    restarts: Counter,
+    crashes: AtomicU64,
+    expiries: AtomicU64,
+    total_restarts: AtomicU64,
+}
+
+struct MonitorShared {
+    slots: Mutex<Vec<WorkerSlot>>,
+    addrs: Mutex<Vec<Option<String>>>,
+    counters: Counters,
+    stopping: AtomicBool,
+}
+
+/// A running multi-process cluster: endpoints, nemesis handles, and the
+/// supervising monitor.
+pub struct Cluster {
+    source: SourceHandle,
+    sink: SinkHandle,
+    obs: Obs,
+    plane: Arc<ControlPlane>,
+    shared: Arc<MonitorShared>,
+    shutdown: Arc<AtomicBool>,
+    sink_acceptor: Acceptor,
+    n: usize,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("workers", &self.n)
+            .field("restarts", &self.restarts())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Spawns the worker processes and starts the monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a listener cannot bind or a process cannot
+    /// spawn.
+    pub fn launch(spec: ClusterSpec) -> Result<Cluster, String> {
+        let n = spec.operators.len();
+        if n == 0 {
+            return Err("cluster needs at least one operator".into());
+        }
+        let obs = Obs::new();
+        let clock = shared(SystemClock::new());
+        let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let plane = Arc::new(
+            ControlPlane::start(transport.clone(), "127.0.0.1:0", shutdown.clone())
+                .map_err(|e| format!("control listener: {e}"))?,
+        );
+
+        // Sink: real SinkHandle on a local link, fed by an acceptor for
+        // the last edge (id = n). Delivery preserves remote sequence
+        // numbers (in-order from 0), so the sink's cumulative acks refer
+        // to the sequences the last worker retained.
+        let (sink_data_tx, sink_data_rx) = link::<Message>(LinkConfig::instant());
+        let (sink_ctrl_tx, sink_ctrl_rx) = link::<Control>(LinkConfig::instant());
+        let sink =
+            SinkHandle::new(sink_data_rx, sink_ctrl_tx, clock.clone(), &obs, (n - 1) as u32, 0);
+        let sink_acceptor = Acceptor::start(
+            transport.clone(),
+            "127.0.0.1:0",
+            vec![InEdge {
+                edge: n as u32,
+                deliver: Box::new(move |_seq, msg| loop {
+                    match sink_data_tx.send(msg.clone()) {
+                        Ok(_) | Err(LinkError::Disconnected) => return,
+                        Err(_) => std::thread::sleep(Duration::from_micros(100)),
+                    }
+                }),
+                ctrl_rx: sink_ctrl_rx,
+                metrics: TransportMetrics::registered(&obs.registry, (n - 1) as u32, n as u32),
+            }],
+            shutdown.clone(),
+        )
+        .map_err(|e| format!("sink listener: {e}"))?;
+
+        // Source: real SourceHandle on a local link; its consumer side is
+        // a bridge dialing worker 0 (edge 0). The source's responder
+        // thread answers replay requests arriving back over the socket.
+        let (src_data_tx, src_data_rx) = link::<Message>(LinkConfig::instant());
+        let (src_ctrl_tx, src_ctrl_rx) = link::<Control>(LinkConfig::instant());
+        let source = SourceHandle::new(
+            OperatorId::new(n as u32),
+            src_data_tx.clone(),
+            src_ctrl_rx,
+            clock,
+            &obs,
+        );
+        let src_slot: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        OutBridge {
+            edge: 0,
+            incarnation: 0, // the parent process never restarts
+            transport: transport.clone(),
+            addr: src_slot.clone(),
+            data_rx: src_data_rx,
+            replay: {
+                let tx = src_data_tx.clone();
+                Box::new(move |from| tx.replay_from(from))
+            },
+            ctrl_sink: Box::new(move |c| {
+                let _ = src_ctrl_tx.send(c);
+            }),
+            metrics: TransportMetrics::registered(&obs.registry, n as u32, 0),
+            shutdown: shutdown.clone(),
+            first_welcome: None,
+        }
+        .start();
+
+        let counters = Counters {
+            crash_detected: obs.registry.counter("control.crash_detected", Labels::NONE),
+            lease_expired: obs.registry.counter("control.lease_expired", Labels::NONE),
+            restarts: obs.registry.counter("recovery.restarts", Labels::NONE),
+            crashes: AtomicU64::new(0),
+            expiries: AtomicU64::new(0),
+            total_restarts: AtomicU64::new(0),
+        };
+        let shared = Arc::new(MonitorShared {
+            slots: Mutex::new(Vec::new()),
+            addrs: Mutex::new(vec![None; n]),
+            counters,
+            stopping: AtomicBool::new(false),
+        });
+
+        // First generation of children.
+        {
+            let mut slots = shared.slots.lock();
+            for i in 0..n {
+                let child = spawn_worker(&spec, i, 0, plane.local_addr())?;
+                slots.push(WorkerSlot {
+                    child: Some(child),
+                    incarnation: 0,
+                    spawned_at: Instant::now(),
+                    seen_hello: false,
+                });
+            }
+        }
+
+        // Monitor: lease/exit watching + wiring pushes.
+        {
+            let shared = shared.clone();
+            let plane = plane.clone();
+            let spec = spec.clone();
+            let src_slot = src_slot.clone();
+            let sink_addr = sink_acceptor.local_addr().to_string();
+            std::thread::Builder::new()
+                .name("cluster-monitor".into())
+                .spawn(move || monitor(shared, plane, spec, src_slot, sink_addr))
+                .expect("spawn cluster monitor");
+        }
+
+        Ok(Cluster { source, sink, obs, plane, shared, shutdown, sink_acceptor, n })
+    }
+
+    /// The cluster's source endpoint.
+    pub fn source(&self) -> &SourceHandle {
+        &self.source
+    }
+
+    /// The cluster's sink endpoint.
+    pub fn sink(&self) -> &SinkHandle {
+        &self.sink
+    }
+
+    /// The parent process's observability bundle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Blocks until every worker holds a lease and is wired end to end.
+    pub fn wait_connected(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            let all_up = self.shared.addrs.lock().iter().all(Option::is_some);
+            if all_up {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        false
+    }
+
+    /// Nemesis: SIGKILL worker `i`'s process. The monitor detects the
+    /// exit and restarts it with a bumped incarnation.
+    pub fn kill_worker(&self, i: usize) {
+        let mut slots = self.shared.slots.lock();
+        if let Some(child) = slots[i].child.as_mut() {
+            let _ = child.kill();
+        }
+    }
+
+    /// Nemesis: worker `i` drops its data listener (refusing + severing
+    /// connections) for `window`.
+    pub fn drop_listener(&self, i: usize, window: Duration) {
+        let cmd = CtrlMsg::Fault(FaultCmd::ListenerDrop { millis: window.as_millis() as u64 });
+        self.plane.send_to(i as u32, &cmd);
+    }
+
+    /// Nemesis: one-way partition of worker `i`'s inbound edge for
+    /// `window` (its outbound control keeps flowing).
+    pub fn partition_inbound(&self, i: usize, window: Duration) {
+        let cmd = CtrlMsg::Fault(FaultCmd::PauseInbound {
+            edge: i as u32,
+            millis: window.as_millis() as u64,
+        });
+        self.plane.send_to(i as u32, &cmd);
+    }
+
+    /// Nemesis: worker `i` stops heartbeating for `window` while running
+    /// normally — drives the lease-expiry (partition) recovery path.
+    pub fn pause_beats(&self, i: usize, window: Duration) {
+        let cmd = CtrlMsg::Fault(FaultCmd::PauseBeats { millis: window.as_millis() as u64 });
+        self.plane.send_to(i as u32, &cmd);
+    }
+
+    /// In-order progress of the sink edge: `(next expected link seq,
+    /// events delivered)`. The event count only moves when a frame arrives
+    /// in order, so it is the cluster's end-to-end progress watermark.
+    pub fn sink_cursor(&self) -> (u64, u64) {
+        self.sink_acceptor.cursor(self.n as u32)
+    }
+
+    /// The data-plane address a worker's current incarnation listens on,
+    /// if it holds a live lease.
+    pub fn worker_addr(&self, worker: u32) -> Option<String> {
+        self.plane.lease(worker).map(|l| l.data_addr)
+    }
+
+    /// Total worker restarts so far.
+    pub fn restarts(&self) -> u64 {
+        self.shared.counters.total_restarts.load(Ordering::Acquire)
+    }
+
+    /// Restarts triggered by an observed process exit.
+    pub fn crashes_detected(&self) -> u64 {
+        self.shared.counters.crashes.load(Ordering::Acquire)
+    }
+
+    /// Restarts triggered by lease expiry (partition-style).
+    pub fn leases_expired(&self) -> u64 {
+        self.shared.counters.expiries.load(Ordering::Acquire)
+    }
+
+    /// Stops every worker and the parent-side machinery.
+    pub fn shutdown(&self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        for i in 0..self.n {
+            self.plane.send_to(i as u32, &CtrlMsg::Shutdown);
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        {
+            let mut slots = self.shared.slots.lock();
+            for slot in slots.iter_mut() {
+                if let Some(child) = slot.child.as_mut() {
+                    while Instant::now() < deadline {
+                        match child.try_wait() {
+                            Ok(Some(_)) => break,
+                            Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+                            Err(_) => break,
+                        }
+                    }
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                slot.child = None;
+            }
+        }
+        self.shutdown.store(true, Ordering::Release);
+        self.plane.poke();
+        self.sink_acceptor.poke();
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if !self.shared.stopping.load(Ordering::Acquire) {
+            self.shutdown();
+        }
+    }
+}
+
+fn spawn_worker(
+    spec: &ClusterSpec,
+    i: usize,
+    incarnation: u64,
+    ctrl_addr: &str,
+) -> Result<Child, String> {
+    let op = &spec.operators[i];
+    let wspec = WorkerSpec {
+        worker: i as u32,
+        incarnation,
+        ctrl_addr: ctrl_addr.to_string(),
+        operator: op.operator.clone(),
+        rng_seed: spec.rng_seed_base + i as u64,
+        log_micros: op.log_micros,
+        disks: op.disks,
+        in_edges: vec![i as u32],
+        out_edges: vec![(i + 1) as u32],
+        beat_millis: spec.beat.as_millis() as u64,
+    };
+    Command::new(&spec.worker_bin)
+        .env(SPEC_ENV, wspec.to_hex())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn worker {i}: {e}"))
+}
+
+/// The monitor loop: watches exits and leases, restarts dead workers,
+/// pushes wiring on topology changes.
+fn monitor(
+    shared: Arc<MonitorShared>,
+    plane: Arc<ControlPlane>,
+    spec: ClusterSpec,
+    src_slot: Arc<Mutex<Option<String>>>,
+    sink_addr: String,
+) {
+    let n = spec.operators.len();
+    loop {
+        if shared.stopping.load(Ordering::Acquire) {
+            return;
+        }
+
+        // Drain control-plane events: record addresses, push wiring.
+        while let Ok(ev) = plane.events().try_recv() {
+            let CtrlEvent::WorkerUp { worker, incarnation, data_addr } = ev;
+            let i = worker as usize;
+            if i >= n {
+                continue;
+            }
+            {
+                let mut slots = shared.slots.lock();
+                if slots[i].incarnation != incarnation {
+                    continue; // stale Hello raced a restart; it gets fenced
+                }
+                slots[i].seen_hello = true;
+            }
+            shared.addrs.lock()[i] = Some(data_addr.clone());
+            if i == 0 {
+                *src_slot.lock() = Some(data_addr.clone());
+            }
+            // Wire this worker's out-edge…
+            let downstream = if i == n - 1 {
+                Some(sink_addr.clone())
+            } else {
+                shared.addrs.lock()[i + 1].clone()
+            };
+            if let Some(addr) = downstream {
+                plane.send_to(worker, &CtrlMsg::Wire { outs: vec![(worker + 1, addr)] });
+            }
+            // …and refresh the upstream neighbor's, which now dials here.
+            if i > 0 {
+                plane.send_to((i - 1) as u32, &CtrlMsg::Wire { outs: vec![(worker, data_addr)] });
+            }
+        }
+
+        // Failure detection.
+        for i in 0..n {
+            if shared.stopping.load(Ordering::Acquire) {
+                return;
+            }
+            let (dead, expired, incarnation) = {
+                let mut slots = shared.slots.lock();
+                let slot = &mut slots[i];
+                let exited = match slot.child.as_mut() {
+                    Some(child) => child.try_wait().ok().flatten().is_some(),
+                    None => false,
+                };
+                let lease = plane.lease(i as u32);
+                let expired = !exited
+                    && slot.seen_hello
+                    && match &lease {
+                        Some(l) => {
+                            l.epoch == slot.incarnation
+                                && l.last_beat.elapsed() > spec.lease_timeout
+                        }
+                        // Lease evicted (e.g. fenced) without a newer
+                        // incarnation of ours: treat as expired once the
+                        // process has had time to re-Hello.
+                        None => slot.spawned_at.elapsed() > spec.lease_timeout * 4,
+                    };
+                (exited, expired, slot.incarnation)
+            };
+            if !(dead || expired) {
+                continue;
+            }
+            if shared.stopping.load(Ordering::Acquire) {
+                return;
+            }
+            if dead {
+                shared.counters.crash_detected.incr();
+                shared.counters.crashes.fetch_add(1, Ordering::AcqRel);
+            } else {
+                shared.counters.lease_expired.incr();
+                shared.counters.expiries.fetch_add(1, Ordering::AcqRel);
+            }
+            let next = incarnation + 1;
+            // Fence first: anything still claiming the old incarnation
+            // must not survive alongside the replacement.
+            plane.expect_epoch(i as u32, next);
+            {
+                let mut slots = shared.slots.lock();
+                let slot = &mut slots[i];
+                if let Some(child) = slot.child.as_mut() {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                match spawn_worker(&spec, i, next, plane.local_addr()) {
+                    Ok(child) => {
+                        slot.child = Some(child);
+                        slot.incarnation = next;
+                        slot.spawned_at = Instant::now();
+                        slot.seen_hello = false;
+                    }
+                    Err(e) => {
+                        eprintln!("cluster: respawn of worker {i} failed: {e}");
+                        slot.child = None;
+                    }
+                }
+            }
+            shared.addrs.lock()[i] = None;
+            if i == 0 {
+                // Dialing the dead address is pointless; the bridge waits
+                // for the replacement's Hello.
+                *src_slot.lock() = None;
+            }
+            shared.counters.restarts.incr();
+            shared.counters.total_restarts.fetch_add(1, Ordering::AcqRel);
+        }
+
+        std::thread::sleep(spec.poll);
+    }
+}

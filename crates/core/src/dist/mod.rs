@@ -1,0 +1,38 @@
+//! The distributed runtime: real processes, real sockets, same outputs.
+//!
+//! Everything below this module moves the engine across process
+//! boundaries without changing its correctness story:
+//!
+//! * [`wire`] — the codec'd frames of the data lane (per-edge
+//!   connections) and the control lane (leases, wiring, faults);
+//! * [`spec`] — the serialized per-process topology slice
+//!   ([`WorkerSpec`]), handed down via an environment variable;
+//! * `bridge` — per-edge bridges: the dialing sender side (capped
+//!   exponential reconnect, resend-from-ack on session
+//!   re-establishment) and the accepting receiver side (a
+//!   connection-surviving edge cursor that powers both dedup and the
+//!   restarted sender's output suppression);
+//! * `control` — the parent's lease table with epoch fencing and the
+//!   worker's heartbeat client;
+//! * [`worker`] — the per-process node runtime behind [`worker_main`];
+//! * [`launcher`] — the multi-process [`Cluster`]: spawn, monitor
+//!   (crash + lease-expiry detection), restart, rewire.
+//!
+//! The protocol invariant carried end to end: every data frame keeps the
+//! link sequence its sender's retained link assigned, receivers consume
+//! strictly in order from a per-edge cursor, and a (re)connecting sender
+//! learns from the handshake exactly which suffix to resend — so process
+//! kills, dropped listeners and one-way partitions delay output but
+//! never duplicate or reorder it.
+
+pub mod launcher;
+pub mod spec;
+pub mod wire;
+pub mod worker;
+
+mod bridge;
+mod control;
+
+pub use launcher::{Cluster, ClusterSpec, NodeSpec};
+pub use spec::{WorkerSpec, SPEC_ENV};
+pub use worker::{worker_main, OperatorRegistry};

@@ -1,0 +1,329 @@
+//! The worker process runtime: one operator node behind real sockets.
+//!
+//! A worker binary calls [`worker_main`] with an [`OperatorRegistry`]. The
+//! runtime decodes its [`super::WorkerSpec`] from the environment, binds a
+//! data listener, dials the parent's control plane, waits to be wired,
+//! handshakes every out-edge (applying the receiver cursors to its link
+//! counters **before** the node starts, so a restarted incarnation
+//! suppresses exactly the outputs already on the wire), and then runs the
+//! node until the parent says otherwise.
+//!
+//! Workers are deliberately **checkpoint-free**: recovery is a full
+//! upstream replay plus handshake-driven resend suppression. Nothing the
+//! process loses on SIGKILL is needed for correctness — the deterministic
+//! RNG re-derives every decision from the fixed per-slot seed and the
+//! replayed input order, and non-checkpointing nodes never ack (and
+//! therefore never trim) upstream retention.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use streammine_common::clock::{shared, SystemClock};
+use streammine_net::{link, LinkConfig, ResilientSender, TcpTransport, Transport};
+use streammine_obs::{Obs, TransportMetrics};
+
+use crate::config::{LoggingConfig, OperatorConfig};
+use crate::dist::bridge::{Acceptor, InEdge, OutBridge};
+use crate::dist::control::{CtrlClient, CtrlIdentity};
+use crate::dist::spec::{WorkerSpec, SPEC_ENV};
+use crate::dist::wire::{CtrlMsg, FaultCmd};
+use streammine_storage::log::{LogObs, StableLog};
+
+use crate::message::{Control, Message};
+use crate::node::{Node, NodeSeed};
+use crate::operator::Operator;
+use crate::plumbing::{Intake, IntakeHandle, UpEdge};
+use crate::supervisor::NodeHealth;
+use streammine_common::ids::OperatorId;
+
+/// How long a worker waits for its first `Wire` and for every out-edge
+/// handshake before giving up.
+const WIRING_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Worker exit codes (the launcher's monitor treats any non-zero exit it
+/// did not cause as a crash).
+pub mod exit {
+    /// Clean shutdown, ordered by the parent.
+    pub const OK: i32 = 0;
+    /// The spec was missing, truncated, or corrupted.
+    pub const BAD_SPEC: i32 = 2;
+    /// A newer incarnation holds this worker's lease.
+    pub const FENCED: i32 = 3;
+    /// Wiring or the control plane never came up.
+    pub const WIRING: i32 = 4;
+}
+
+/// Maps operator names (as carried in [`WorkerSpec::operator`]) to
+/// factories. The worker *binary* owns the registry, so the core crate
+/// stays ignorant of concrete operator crates.
+#[derive(Default)]
+pub struct OperatorRegistry {
+    factories: HashMap<String, Box<dyn Fn() -> Arc<dyn Operator> + Send + Sync>>,
+}
+
+impl std::fmt::Debug for OperatorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OperatorRegistry")
+            .field("operators", &self.factories.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl OperatorRegistry {
+    /// An empty registry.
+    pub fn new() -> OperatorRegistry {
+        OperatorRegistry::default()
+    }
+
+    /// Registers a factory under `name`.
+    #[must_use]
+    pub fn with<F>(mut self, name: &str, factory: F) -> OperatorRegistry
+    where
+        F: Fn() -> Arc<dyn Operator> + Send + Sync + 'static,
+    {
+        self.factories.insert(name.to_string(), Box::new(factory));
+        self
+    }
+
+    /// Instantiates the operator registered under `name`.
+    pub fn build(&self, name: &str) -> Option<Arc<dyn Operator>> {
+        self.factories.get(name).map(|f| f())
+    }
+}
+
+/// Entry point of a worker binary: runs one node per the spec in
+/// [`SPEC_ENV`], returns the process exit code.
+pub fn worker_main(registry: &OperatorRegistry) -> i32 {
+    let Ok(hex) = std::env::var(SPEC_ENV) else {
+        eprintln!("worker: {SPEC_ENV} not set");
+        return exit::BAD_SPEC;
+    };
+    let spec = match WorkerSpec::from_hex(&hex) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("worker: bad spec: {e}");
+            return exit::BAD_SPEC;
+        }
+    };
+    let Some(operator) = registry.build(&spec.operator) else {
+        eprintln!("worker: unknown operator {:?}", spec.operator);
+        return exit::BAD_SPEC;
+    };
+    let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
+    run_worker(spec, operator, transport)
+}
+
+/// The transport-generic body of [`worker_main`] (unit-testable over the
+/// in-memory transport).
+pub(crate) fn run_worker(
+    spec: WorkerSpec,
+    operator: Arc<dyn Operator>,
+    transport: Arc<dyn Transport>,
+) -> i32 {
+    let obs = Obs::new();
+    let clock = shared(SystemClock::new());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let config = OperatorConfig::logged(LoggingConfig::simulated_n(
+        spec.disks as usize,
+        Duration::from_micros(spec.log_micros),
+    ));
+    let intake = IntakeHandle::new(config.node.intake_capacity);
+
+    // In-edges: the acceptor delivers in-order frames straight into the
+    // node's intake; each edge's upstream control link is pumped back over
+    // the edge's current connection.
+    let mut up = Vec::new();
+    let mut in_edges = Vec::new();
+    for (port, edge) in spec.in_edges.iter().copied().enumerate() {
+        let (ctrl_tx, ctrl_rx) = link::<Control>(LinkConfig::instant());
+        up.push(UpEdge { ctrl_tx: ResilientSender::new(ctrl_tx), _data_pump: None });
+        let intake_data = intake.data_tx.clone();
+        let port = port as u32;
+        in_edges.push(InEdge {
+            edge,
+            deliver: Box::new(move |link_seq, msg| {
+                // Blocking on a full intake lane is the backpressure that
+                // stalls the socket read.
+                let _ = intake_data.send(Intake::Upstream { port, link_seq, msg });
+            }),
+            ctrl_rx,
+            metrics: TransportMetrics::registered(&obs.registry, spec.worker, edge),
+        });
+    }
+    let acceptor =
+        match Acceptor::start(transport.clone(), "127.0.0.1:0", in_edges, shutdown.clone()) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("worker {}: data listener failed: {e}", spec.worker);
+                return exit::WIRING;
+            }
+        };
+
+    // Control lane: claim the lease, then wait to be wired.
+    let (ctrl_events_tx, ctrl_events) = crossbeam_channel::unbounded();
+    let ctrl = match CtrlClient::connect(
+        transport.clone(),
+        spec.ctrl_addr.clone(),
+        CtrlIdentity {
+            worker: spec.worker,
+            incarnation: spec.incarnation,
+            data_addr: acceptor.local_addr().to_string(),
+            beat: Duration::from_millis(spec.beat_millis),
+        },
+        ctrl_events_tx,
+        shutdown.clone(),
+    ) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("worker {}: control plane unreachable: {e}", spec.worker);
+            return exit::WIRING;
+        }
+    };
+
+    // Out-edges: links + bridges now, addresses when the Wire arrives.
+    let mut down_data = Vec::new();
+    let mut down_raw = Vec::new();
+    let mut down_sent: Vec<Arc<AtomicU64>> = Vec::new();
+    let mut addr_slots: HashMap<u32, Arc<Mutex<Option<String>>>> = HashMap::new();
+    let mut gates = Vec::new();
+    for (out, edge) in spec.out_edges.iter().copied().enumerate() {
+        let (data_tx, data_rx) = link::<Message>(LinkConfig::instant());
+        let sent = Arc::new(AtomicU64::new(0));
+        let slot: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        let (gate_tx, gate_rx) = crossbeam_channel::bounded(1);
+        let replay_tx = data_tx.clone();
+        let intake_ctrl = intake.ctrl_tx.clone();
+        let out = out as u32;
+        OutBridge {
+            edge,
+            incarnation: spec.incarnation,
+            transport: transport.clone(),
+            addr: slot.clone(),
+            data_rx,
+            replay: Box::new(move |from| replay_tx.replay_from(from)),
+            ctrl_sink: Box::new(move |ctrl| {
+                let _ = intake_ctrl.send(Intake::Downstream { out, ctrl });
+            }),
+            metrics: TransportMetrics::registered(&obs.registry, spec.worker, edge),
+            shutdown: shutdown.clone(),
+            first_welcome: Some(gate_tx),
+        }
+        .start();
+        addr_slots.insert(edge, slot);
+        down_raw.push(data_tx.clone());
+        down_data.push(ResilientSender::new(data_tx));
+        down_sent.push(sent);
+        gates.push(gate_rx);
+    }
+
+    // First Wire: fill the dial slots.
+    let deadline = std::time::Instant::now() + WIRING_TIMEOUT;
+    'wired: loop {
+        let left = deadline.saturating_duration_since(std::time::Instant::now());
+        match ctrl_events.recv_timeout(left) {
+            Ok(CtrlMsg::Wire { outs }) => {
+                for (edge, addr) in outs {
+                    if let Some(slot) = addr_slots.get(&edge) {
+                        *slot.lock() = Some(addr);
+                    }
+                }
+                break 'wired;
+            }
+            Ok(CtrlMsg::Fence) => return exit::FENCED,
+            Ok(CtrlMsg::Shutdown) => return exit::OK,
+            Ok(_) => continue,
+            Err(_) => {
+                if spec.out_edges.is_empty() {
+                    break 'wired; // nothing to wire
+                }
+                eprintln!("worker {}: never wired", spec.worker);
+                return exit::WIRING;
+            }
+        }
+    }
+
+    // Handshake gates: the receiver cursors, applied to the link counters
+    // before the node runs. `next_seq` re-bases fresh output frames;
+    // `events_sent` is the count of re-derived outputs to suppress.
+    for ((gate, raw), sent) in gates.iter().zip(&down_raw).zip(&down_sent) {
+        match gate.recv_timeout(WIRING_TIMEOUT) {
+            Ok((next_seq, events_received)) => {
+                raw.set_next_seq(next_seq);
+                sent.store(events_received, Ordering::Release);
+            }
+            Err(_) => {
+                eprintln!("worker {}: out-edge handshake timed out", spec.worker);
+                return exit::WIRING;
+            }
+        }
+    }
+
+    let log = StableLog::new(config.logging.as_ref().expect("logged config").disks.clone());
+    log.attach_obs(LogObs::registered(&obs, spec.worker));
+    let down = down_data
+        .iter()
+        .zip(&down_sent)
+        .map(|(d, sent)| crate::plumbing::DownEdge {
+            data_tx: d.clone(),
+            events_sent: sent.clone(),
+            _ctrl_pump: None,
+        })
+        .collect();
+    let seed = NodeSeed {
+        id: OperatorId::new(spec.worker),
+        operator,
+        config,
+        clock,
+        intake,
+        up,
+        down,
+        log: Some(log),
+        checkpoints: None,
+        rng_seed: spec.rng_seed,
+        obs,
+        health: Arc::new(NodeHealth::new()),
+        recovering: spec.incarnation > 0,
+        incarnation: spec.incarnation,
+    };
+    let _node = Node::start(seed);
+
+    // Steady state: obey the parent until told to stop.
+    loop {
+        match ctrl_events.recv() {
+            Ok(CtrlMsg::Wire { outs }) => {
+                // A downstream neighbor restarted at a new address; the
+                // bridge picks the slot up on its next dial attempt.
+                for (edge, addr) in outs {
+                    if let Some(slot) = addr_slots.get(&edge) {
+                        *slot.lock() = Some(addr);
+                    }
+                }
+            }
+            Ok(CtrlMsg::Fault(cmd)) => match cmd {
+                FaultCmd::ListenerDrop { millis } => {
+                    acceptor.drop_listener(Duration::from_millis(millis));
+                }
+                FaultCmd::PauseInbound { edge, millis } => {
+                    acceptor.pause_inbound(edge, Duration::from_millis(millis));
+                }
+                FaultCmd::PauseBeats { millis } => {
+                    ctrl.pause_beats(Duration::from_millis(millis));
+                }
+            },
+            Ok(CtrlMsg::Fence) => {
+                shutdown.store(true, Ordering::Release);
+                return exit::FENCED;
+            }
+            Ok(CtrlMsg::Shutdown) | Err(_) => {
+                shutdown.store(true, Ordering::Release);
+                ctrl.stop();
+                acceptor.poke();
+                return exit::OK;
+            }
+            Ok(_) => {}
+        }
+    }
+}

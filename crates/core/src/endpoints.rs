@@ -61,10 +61,21 @@ impl SourceHandle {
             std::thread::Builder::new()
                 .name(format!("source-{}-ctrl", id))
                 .spawn(move || {
+                    // Last `(token, from)` served with at least one
+                    // re-delivered frame: a watchdog retry of the same
+                    // request over a slow lane is dropped instead of
+                    // doubling the replay (same discipline as the node's
+                    // downstream-replay dedup).
+                    let mut served: Option<(u64, u64)> = None;
                     while let Ok((_seq, ctrl)) = ctrl_rx.recv() {
                         match ctrl {
-                            Control::ReplayRequest { from } => {
-                                tx.replay_from(from);
+                            Control::ReplayRequest { from, token } => {
+                                if served == Some((token, from)) {
+                                    continue;
+                                }
+                                if tx.replay_from(from) > 0 {
+                                    served = Some((token, from));
+                                }
                             }
                             Control::Ack { upto } => tx.ack_upto(upto),
                             _ => {}
@@ -624,7 +635,7 @@ mod tests {
         let b = data_rx.recv().unwrap();
         assert_eq!(a.0, 0);
         assert_eq!(b.0, 1);
-        ctrl_tx.send(Control::ReplayRequest { from: 0 }).unwrap();
+        ctrl_tx.send(Control::ReplayRequest { from: 0, token: 1 }).unwrap();
         let a2 = data_rx.recv().unwrap();
         assert_eq!(a2.0, 0, "replayed with original link sequence");
         assert_eq!(source.pushed(), 2);

@@ -249,6 +249,9 @@ pub(crate) struct NodePersist {
     clock: SharedClock,
     health: Arc<NodeHealth>,
     obs: Obs,
+    /// Restart count: 0 until the first supervised restart. Becomes the
+    /// node's incarnation (replay-request dedup token / lease epoch).
+    restarts: AtomicU64,
 }
 
 impl NodePersist {
@@ -280,6 +283,7 @@ impl NodePersist {
             obs: self.obs.clone(),
             health: self.health.clone(),
             recovering,
+            incarnation: self.restarts.load(Ordering::Acquire),
         }
     }
 
@@ -305,6 +309,7 @@ impl NodePersist {
         }
         self.intake.drain();
         self.health.reset();
+        self.restarts.fetch_add(1, Ordering::AcqRel);
         *self.join.lock() = Some(Node::start(self.seed(true)));
     }
 }
@@ -417,6 +422,7 @@ impl Graph {
                 clock: clock.clone(),
                 health: Arc::new(NodeHealth::new()),
                 obs: obs.clone(),
+                restarts: AtomicU64::new(0),
             };
             *persist.join.lock() = Some(Node::start(persist.seed(false)));
             nodes.push(persist);
@@ -630,6 +636,14 @@ impl Running {
     /// Panics on an out-of-range edge index.
     pub fn delay_spike_edge(&self, i: usize, extra: Duration, window: Duration) {
         self.edges[i].data.delay_spike(extra, window);
+    }
+
+    /// Injects a transient delivery-delay spike on an inter-operator
+    /// *control* lane: acks and replay requests within the window arrive
+    /// `extra` late, modeling real socket latency on the control path
+    /// without touching data delivery.
+    pub fn delay_spike_edge_ctrl(&self, i: usize, extra: Duration, window: Duration) {
+        self.edges[i].ctrl.delay_spike(extra, window);
     }
 
     /// Sets the transient write-fault probability on every storage device

@@ -57,6 +57,7 @@
 
 pub mod config;
 pub mod determinant;
+pub mod dist;
 pub mod endpoints;
 pub mod graph;
 pub mod message;

@@ -41,6 +41,14 @@ pub enum Control {
     ReplayRequest {
         /// First link sequence to re-deliver.
         from: u64,
+        /// Receiver incarnation that issued the request. A watchdog
+        /// retry carries the same token as the original request, so a
+        /// sender that already served `(token, from)` — and actually
+        /// re-delivered frames — can drop the duplicate instead of
+        /// resending the same range twice over a slow control lane. A
+        /// restarted receiver bumps its token, which un-dedups exactly
+        /// when re-delivery is needed again.
+        token: u64,
     },
     /// No more data will be sent on this link.
     Eof,
@@ -52,7 +60,7 @@ impl fmt::Display for Control {
             Control::Finalize { id, version } => write!(f, "finalize {id} v{version}"),
             Control::Revoke { id } => write!(f, "revoke {id}"),
             Control::Ack { upto } => write!(f, "ack <{upto}"),
-            Control::ReplayRequest { from } => write!(f, "replay from {from}"),
+            Control::ReplayRequest { from, token } => write!(f, "replay from {from} (t{token})"),
             Control::Eof => write!(f, "eof"),
         }
     }
@@ -118,9 +126,10 @@ impl Encode for Control {
                 enc.put_u8(2);
                 enc.put_u64(*upto);
             }
-            Control::ReplayRequest { from } => {
+            Control::ReplayRequest { from, token } => {
                 enc.put_u8(3);
                 enc.put_u64(*from);
+                enc.put_u64(*token);
             }
             Control::Eof => enc.put_u8(4),
         }
@@ -133,7 +142,7 @@ impl Decode for Control {
             0 => Control::Finalize { id: EventId::decode(dec)?, version: dec.get_u32()? },
             1 => Control::Revoke { id: EventId::decode(dec)? },
             2 => Control::Ack { upto: dec.get_u64()? },
-            3 => Control::ReplayRequest { from: dec.get_u64()? },
+            3 => Control::ReplayRequest { from: dec.get_u64()?, token: dec.get_u64()? },
             4 => Control::Eof,
             tag => return Err(DecodeError::InvalidTag { type_name: "Control", tag }),
         })
@@ -187,7 +196,7 @@ mod tests {
             Control::Finalize { id: id(), version: 3 },
             Control::Revoke { id: id() },
             Control::Ack { upto: 99 },
-            Control::ReplayRequest { from: 7 },
+            Control::ReplayRequest { from: 7, token: 2 },
             Control::Eof,
         ];
         for c in cases {

@@ -84,6 +84,10 @@ pub(crate) const BATCH_MAX_EVENTS: usize = 32;
 /// delay instead of a recovery deadlock.
 const REPLAY_RETRY: Duration = Duration::from_millis(50);
 
+/// Ceiling on the watchdog's exponential retry backoff: even a badly
+/// stalled replay is re-requested at least this often.
+const REPLAY_RETRY_CAP: Duration = Duration::from_millis(800);
+
 /// The current view of a pending event's input (revisions replace it).
 #[derive(Clone)]
 struct InputView {
@@ -144,7 +148,10 @@ struct HeldOutput {
 
 /// Watches one input port for replay progress: while a recovery replay
 /// request is outstanding, or a sequence gap persists, the port re-requests
-/// replay after [`REPLAY_RETRY`] without progress.
+/// replay after [`REPLAY_RETRY`] without progress — with exponential
+/// backoff between retries, so a merely *slow* control lane (tens to
+/// hundreds of milliseconds of real socket latency) is given time to
+/// deliver the in-flight answer instead of being piled with duplicates.
 struct ReplayWatch {
     /// Position of an unanswered recovery replay request (cleared once the
     /// reorder buffer advances past it).
@@ -153,11 +160,20 @@ struct ReplayWatch {
     last_next: u64,
     /// Last time the port made progress (or was re-requested).
     last_progress: Instant,
+    /// Current quiet period before the next re-request. Doubles on every
+    /// retry up to [`REPLAY_RETRY_CAP`]; resets to [`REPLAY_RETRY`] when
+    /// the port makes progress.
+    retry_interval: Duration,
 }
 
 impl ReplayWatch {
     fn new() -> Self {
-        ReplayWatch { outstanding: None, last_next: 0, last_progress: Instant::now() }
+        ReplayWatch {
+            outstanding: None,
+            last_next: 0,
+            last_progress: Instant::now(),
+            retry_interval: REPLAY_RETRY,
+        }
     }
 }
 
@@ -283,6 +299,10 @@ pub(crate) struct NodeSeed {
     pub health: Arc<NodeHealth>,
     /// True when this node restarts after a crash (triggers replay).
     pub recovering: bool,
+    /// Monotonic restart count of this node (0 for the first start).
+    /// Stamped into outgoing replay requests as the dedup token and used
+    /// by the distributed control plane as the lease epoch.
+    pub incarnation: u64,
 }
 
 /// The running state of one operator.
@@ -342,6 +362,15 @@ pub(crate) struct Node {
     /// duplicate copies at fresh link sequences, which a *later* downstream
     /// crash would then replay and re-process as new events.
     suppress_sent: Vec<u64>,
+    /// Per-down-edge `(token, from)` of the last replay request served
+    /// with at least one re-delivered frame. A watchdog retry of the same
+    /// request (same token, same position) is dropped instead of resent:
+    /// the answer is already in flight on a slow lane. Zero-frame serves
+    /// never dedup — deduping one would wedge the peer if its request
+    /// raced ahead of the data it asked for.
+    served_replays: Vec<Option<(u64, u64)>>,
+    /// This node's restart count, stamped into outgoing replay requests.
+    incarnation: u64,
     events_since_checkpoint: u64,
     eof_count: usize,
     recovering: bool,
@@ -475,6 +504,8 @@ impl Node {
             hold_queue: VecDeque::new(),
             out_batch: (0..outputs).map(|_| Vec::new()).collect(),
             suppress_sent: vec![0; outputs],
+            served_replays: vec![None; outputs],
+            incarnation: seed.incarnation,
             events_since_checkpoint: 0,
             eof_count: 0,
             recovering,
@@ -581,7 +612,10 @@ impl Node {
                 }
             }
             for (port, edge) in self.up.iter().enumerate() {
-                edge.ctrl_tx.send(Control::ReplayRequest { from: from_positions[port] });
+                edge.ctrl_tx.send(Control::ReplayRequest {
+                    from: from_positions[port],
+                    token: self.incarnation,
+                });
                 self.metrics.replay_requests.incr();
                 self.obs.journal.record(
                     Some(self.id.index()),
@@ -594,6 +628,7 @@ impl Node {
                     outstanding: Some(from_positions[port]),
                     last_next: from_positions[port],
                     last_progress: Instant::now(),
+                    retry_interval: REPLAY_RETRY,
                 };
             }
         }
@@ -786,20 +821,27 @@ impl Node {
             if next != watch.last_next {
                 watch.last_next = next;
                 watch.last_progress = now;
+                watch.retry_interval = REPLAY_RETRY;
                 if watch.outstanding.is_some_and(|from| next > from) {
                     watch.outstanding = None;
                 }
                 continue;
             }
             let stuck = watch.outstanding.is_some() || self.reorder[port].has_held();
-            if stuck && now.duration_since(watch.last_progress) >= REPLAY_RETRY {
-                self.up[port].ctrl_tx.send(Control::ReplayRequest { from: next });
+            if stuck && now.duration_since(watch.last_progress) >= watch.retry_interval {
+                self.up[port]
+                    .ctrl_tx
+                    .send(Control::ReplayRequest { from: next, token: self.incarnation });
                 self.metrics.replay_requests.incr();
                 self.obs.journal.record(
                     Some(self.id.index()),
                     JournalKind::ReplayRequest { port: port as u32, from: next },
                 );
                 watch.last_progress = now;
+                // Back off: over a real socket the previous answer may
+                // simply still be in flight. Without this, a 500 ms lane
+                // collects ten duplicate requests per lost one.
+                watch.retry_interval = (watch.retry_interval * 2).min(REPLAY_RETRY_CAP);
             }
         }
     }
@@ -871,12 +913,25 @@ impl Node {
     fn handle_downstream(&mut self, out: u32, ctrl: Control) {
         match ctrl {
             Control::Ack { upto } => self.down[out as usize].data_tx.ack_upto(upto),
-            Control::ReplayRequest { from } => {
+            Control::ReplayRequest { from, token } => {
+                // Same incarnation asking for the same position again is
+                // the watchdog retrying over a slow lane: the first serve
+                // already put the frames in flight, so a second serve
+                // would deliver every one of them twice. Only a serve
+                // that actually re-sent frames dedups — an empty serve
+                // means the data wasn't retained-behind yet, and the
+                // retry must stay answerable.
+                if self.served_replays[out as usize] == Some((token, from)) {
+                    return;
+                }
                 self.metrics.replay_served.incr();
                 self.obs
                     .journal
                     .record(Some(self.id.index()), JournalKind::ReplayServe { edge: out, from });
-                self.down[out as usize].data_tx.replay_from(from);
+                let sent = self.down[out as usize].data_tx.replay_from(from);
+                if sent > 0 {
+                    self.served_replays[out as usize] = Some((token, from));
+                }
             }
             other => debug_assert!(false, "unexpected downstream control {other}"),
         }

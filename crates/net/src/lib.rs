@@ -46,8 +46,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod resilient;
+pub mod tcp;
+pub mod transport;
 
 pub use resilient::{BackoffConfig, EdgeMetrics, ResilientSender, SendOutcome, SenderLimits};
+pub use tcp::TcpTransport;
+pub use transport::{
+    FrameConn, FrameError, FrameListener, FrameRx, FrameTx, MemTransport, Transport, MAX_FRAME,
+};
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -404,6 +410,17 @@ impl<T: Clone + Send + 'static> LinkSender<T> {
     /// Total messages ever sent.
     pub fn sent(&self) -> u64 {
         self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Overrides the next link sequence number.
+    ///
+    /// Used when a fresh process incarnation adopts a surviving peer's
+    /// delivery state: the reconnect handshake reports how many frames
+    /// the receiver already consumed, and the sender continues numbering
+    /// from there so the receiver's reorder buffer sees neither a gap
+    /// nor stale duplicates. Only meaningful before the first send.
+    pub fn set_next_seq(&self, next: u64) {
+        self.next_seq.store(next, Ordering::Relaxed);
     }
 
     /// Normal-class credits currently available.

@@ -31,6 +31,7 @@ pub mod http;
 pub mod journal;
 pub mod registry;
 pub mod trace;
+pub mod transport;
 
 pub use export::{json, prometheus_text, sanitize_name, validate_prometheus};
 pub use http::{serve, HttpServer};
@@ -46,6 +47,7 @@ pub use trace::{
     span_key, trace_key, validate_chrome_trace, BackpressureRecord, CriticalPath, RollbackRecord,
     Span, TraceSummary, Tracer, DEFAULT_SAMPLE_ONE_IN,
 };
+pub use transport::TransportMetrics;
 
 use std::sync::Arc;
 

@@ -203,6 +203,31 @@ impl Operator for StampedRelay {
     }
 }
 
+/// Non-deterministic relay emitting `[input, random-tag]`: like
+/// [`StampedRelay`] but the drawn decision is *visible in the output*, so
+/// chains of these make sink bytes depend on every hop's RNG stream.
+/// Byte-identical recovery then requires bit-exact determinant replay and
+/// RNG continuity across every crash — the chaos suites' workhorse.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RandomTagger;
+
+impl RandomTagger {
+    /// The registry name used by distributed worker binaries.
+    pub const NAME: &'static str = "random-tagger";
+}
+
+impl Operator for RandomTagger {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn process(&self, ctx: &mut OpCtx<'_, '_>, event: &Event) -> Result<(), StmAbort> {
+        let tag = ctx.random_u64();
+        ctx.emit(Value::record(vec![event.payload.clone(), Value::Int(tag as i64)]));
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,6 +16,7 @@
 //! | classifier (§3.1 example) | stateful, fine-grained | deterministic | [`Classifier`] |
 //! | count-sketch top-k (§4) | stateful, fine-grained, costly | deterministic | [`SketchOp`] |
 //! | relay with logged decision (Fig. 2/3 workload) | stateless | random non-deterministic | [`StampedRelay`] |
+//! | relay with *output-visible* random tag (chaos workload) | stateless | random non-deterministic | [`RandomTagger`] |
 //! | Bernoulli sample / Monte-Carlo (§1's random class) | stateless/stateful | random non-deterministic | [`Sample`], [`MonteCarloPi`] |
 //! | sliding count window (extension) | stateful | order-sensitive | [`SlidingWindow`] |
 //!
@@ -32,7 +33,7 @@ mod sketch_op;
 mod sliding;
 mod window;
 
-pub use basic::{busy_work, Enrich, Filter, Map, Split, StampedRelay, Union};
+pub use basic::{busy_work, Enrich, Filter, Map, RandomTagger, Split, StampedRelay, Union};
 pub use classifier::Classifier;
 pub use join::Join;
 pub use sample::{MonteCarloPi, Sample};

@@ -1,0 +1,111 @@
+//! Multi-process kill-recovery demo.
+//!
+//! Launches a three-hop `random-tagger` chain as three real OS processes
+//! joined by the TCP transport, SIGKILLs the middle worker mid-stream,
+//! and shows the control plane detect the crash, fence the dead
+//! incarnation, respawn, and replay — with sink output byte-identical to
+//! the same chain run in-process with no faults.
+//!
+//! ```sh
+//! cargo build --bin streammine_worker
+//! cargo run --example distributed_pipeline
+//! ```
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use streammine::common::event::Value;
+use streammine::core::dist::{Cluster, ClusterSpec, NodeSpec};
+use streammine::core::{GraphBuilder, LoggingConfig, OperatorConfig};
+use streammine::operators::RandomTagger;
+
+const HOPS: usize = 3;
+const EVENTS: i64 = 40;
+const LOG_MICROS: u64 = 200;
+
+/// The worker binary lives next to this example's parent directory
+/// (`target/<profile>/streammine_worker`); examples are one level deeper.
+fn worker_bin() -> PathBuf {
+    let exe = std::env::current_exe().expect("current_exe");
+    let profile_dir = exe
+        .parent() // target/<profile>/examples
+        .and_then(|p| p.parent()) // target/<profile>
+        .expect("example binary has no parent directory");
+    let bin = profile_dir.join("streammine_worker");
+    assert!(
+        bin.exists(),
+        "worker binary not found at {} — run `cargo build --bin streammine_worker` first",
+        bin.display()
+    );
+    bin
+}
+
+/// The ground truth: the same chain, in one process, no faults.
+fn reference() -> Vec<Value> {
+    let mut b = GraphBuilder::new();
+    let cfg =
+        || OperatorConfig::logged(LoggingConfig::simulated(Duration::from_micros(LOG_MICROS)));
+    let ids: Vec<_> = (0..HOPS).map(|_| b.add_operator(RandomTagger, cfg())).collect();
+    for pair in ids.windows(2) {
+        b.connect(pair[0], pair[1]).unwrap();
+    }
+    let src = b.source_into(ids[0]).unwrap();
+    let sink = b.sink_from(*ids.last().unwrap()).unwrap();
+    let running = b.build().unwrap().start();
+    for i in 0..EVENTS {
+        running.source(src).push(Value::Int(i));
+    }
+    assert!(running.sink(sink).wait_final(EVENTS as usize, Duration::from_secs(30)));
+    let out: Vec<Value> =
+        running.sink(sink).final_events().into_iter().map(|e| e.payload).collect();
+    running.shutdown();
+    out
+}
+
+fn main() {
+    println!("== in-process reference (no faults) ==");
+    let expected = reference();
+    println!("   {} events, e.g. {} ... {}", expected.len(), expected[0], expected[39]);
+
+    println!("\n== distributed: {HOPS} worker processes over TCP ==");
+    let spec = ClusterSpec::new(
+        vec![NodeSpec { operator: "random-tagger".into(), log_micros: LOG_MICROS, disks: 1 }; HOPS],
+        worker_bin(),
+    );
+    let cluster = Cluster::launch(spec).expect("cluster launch");
+    assert!(cluster.wait_connected(Duration::from_secs(20)), "cluster never wired up");
+    println!("   all {HOPS} workers up, chain wired end to end");
+
+    let kill_at = EVENTS / 2;
+    let started = Instant::now();
+    for i in 0..EVENTS {
+        if i == kill_at {
+            println!("   >>> SIGKILL worker 1 (mid-chain) after {} events", kill_at);
+            cluster.kill_worker(1);
+        }
+        cluster.source().push(Value::Int(i));
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    assert!(
+        cluster.sink().wait_final(EVENTS as usize, Duration::from_secs(60)),
+        "sink only saw {}/{EVENTS} events",
+        cluster.sink().final_count()
+    );
+    let out: Vec<Value> = cluster.sink().final_events().into_iter().map(|e| e.payload).collect();
+    println!(
+        "   stream complete in {:?}: {} crash detected, {} restart",
+        started.elapsed(),
+        cluster.crashes_detected(),
+        cluster.restarts()
+    );
+    cluster.shutdown();
+
+    assert_eq!(out, expected, "recovery changed the output bytes");
+    println!(
+        "\n== verdict: {} sink events byte-identical to the failure-free reference ==",
+        out.len()
+    );
+    println!("   (every event carries each hop's random tag: identical bytes means every");
+    println!("    worker's RNG stream was replayed bit-exactly across a real process kill)");
+}

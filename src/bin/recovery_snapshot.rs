@@ -1,0 +1,145 @@
+//! Distributed recovery-time extraction: SIGKILL a mid-chain worker under
+//! a live stream and measure, per trial, how long the control plane takes
+//! to notice (detect), how long until the sink sees its first post-kill
+//! output (first_output), and how long until the stream fully drains
+//! (complete). Writes `BENCH_recovery.json` for the CI artifact and exits
+//! non-zero if any trial blows the wall-clock budget — a recovery-latency
+//! smoke gate, not a micro-benchmark.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use streammine::common::event::Value;
+use streammine::core::dist::{Cluster, ClusterSpec, NodeSpec};
+
+const HOPS: usize = 3;
+const PRE_KILL: usize = 50;
+const POST_KILL: usize = 50;
+const PACE: Duration = Duration::from_millis(2);
+const TRIALS: usize = 5;
+/// Per-trial budget: detection is lease-bounded (250 ms) and replay is
+/// ~100 events over loopback; anything near this ceiling is a hang.
+const TRIAL_BUDGET: Duration = Duration::from_secs(30);
+
+struct Trial {
+    detect_ms: f64,
+    first_output_ms: f64,
+    complete_ms: f64,
+}
+
+fn worker_bin() -> PathBuf {
+    let exe = std::env::current_exe().expect("current_exe");
+    let bin = exe.parent().expect("bin dir").join("streammine_worker");
+    assert!(
+        bin.exists(),
+        "worker binary not found at {} — run `cargo build --release --bin streammine_worker`",
+        bin.display()
+    );
+    bin
+}
+
+fn run_trial(bin: PathBuf) -> Result<Trial, String> {
+    let spec = ClusterSpec::new(
+        vec![NodeSpec { operator: "random-tagger".into(), log_micros: 200, disks: 1 }; HOPS],
+        bin,
+    );
+    let cluster = Cluster::launch(spec)?;
+    if !cluster.wait_connected(Duration::from_secs(20)) {
+        return Err("cluster never wired up".into());
+    }
+
+    for i in 0..PRE_KILL {
+        cluster.source().push(Value::Int(i as i64));
+        std::thread::sleep(PACE);
+    }
+    if !cluster.sink().wait_final(PRE_KILL, TRIAL_BUDGET) {
+        return Err(format!("pre-kill stream stuck at {}", cluster.sink().final_count()));
+    }
+    let at_kill = cluster.sink().final_count();
+
+    let killed = Instant::now();
+    cluster.kill_worker(1);
+    let mut detect_ms = None;
+    let mut first_output_ms = None;
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for i in PRE_KILL..PRE_KILL + POST_KILL {
+                cluster.source().push(Value::Int(i as i64));
+                std::thread::sleep(PACE);
+            }
+        });
+        let deadline = killed + TRIAL_BUDGET;
+        while Instant::now() < deadline && (detect_ms.is_none() || first_output_ms.is_none()) {
+            if detect_ms.is_none() && cluster.crashes_detected() > 0 {
+                detect_ms = Some(killed.elapsed().as_secs_f64() * 1e3);
+            }
+            if first_output_ms.is_none() && cluster.sink().final_count() > at_kill {
+                first_output_ms = Some(killed.elapsed().as_secs_f64() * 1e3);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    });
+    let complete = cluster.sink().wait_final(PRE_KILL + POST_KILL, TRIAL_BUDGET);
+    let complete_ms = killed.elapsed().as_secs_f64() * 1e3;
+    cluster.shutdown();
+
+    match (detect_ms, first_output_ms, complete) {
+        (Some(detect_ms), Some(first_output_ms), true) => {
+            Ok(Trial { detect_ms, first_output_ms, complete_ms })
+        }
+        (None, _, _) => Err("kill never detected within budget".into()),
+        (_, None, _) => Err("no post-kill output within budget".into()),
+        (_, _, false) => Err(format!("stream never drained (gave up after {complete_ms:.0} ms)")),
+    }
+}
+
+fn stat(values: &mut [f64], q: f64) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+    let idx = ((values.len() - 1) as f64 * q).round() as usize;
+    values[idx]
+}
+
+fn main() {
+    let bin = worker_bin();
+    let mut trials = Vec::new();
+    for t in 0..TRIALS {
+        match run_trial(bin.clone()) {
+            Ok(trial) => {
+                println!(
+                    "trial {t}: detect {:.1} ms, first output {:.1} ms, complete {:.1} ms",
+                    trial.detect_ms, trial.first_output_ms, trial.complete_ms
+                );
+                trials.push(trial);
+            }
+            Err(e) => {
+                eprintln!("trial {t} FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let mut detect: Vec<f64> = trials.iter().map(|t| t.detect_ms).collect();
+    let mut first: Vec<f64> = trials.iter().map(|t| t.first_output_ms).collect();
+    let mut complete: Vec<f64> = trials.iter().map(|t| t.complete_ms).collect();
+    let mut json = String::from(
+        "{\n  \"scenario\": \"sigkill worker 1 of 3, 100-event stream, 2 ms pacing\",\n",
+    );
+    json.push_str(&format!("  \"trials\": {},\n", trials.len()));
+    json.push_str(&format!(
+        "  \"detect_ms\": {{\"p50\": {:.2}, \"max\": {:.2}}},\n",
+        stat(&mut detect, 0.5),
+        stat(&mut detect, 1.0)
+    ));
+    json.push_str(&format!(
+        "  \"first_output_ms\": {{\"p50\": {:.2}, \"max\": {:.2}}},\n",
+        stat(&mut first, 0.5),
+        stat(&mut first, 1.0)
+    ));
+    json.push_str(&format!(
+        "  \"complete_ms\": {{\"p50\": {:.2}, \"max\": {:.2}}}\n}}\n",
+        stat(&mut complete, 0.5),
+        stat(&mut complete, 1.0)
+    ));
+    std::fs::write("BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
+    println!("\nwrote BENCH_recovery.json:\n{json}");
+}

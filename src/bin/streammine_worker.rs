@@ -1,0 +1,20 @@
+//! The distributed worker binary: one operator node per OS process.
+//!
+//! Launched by `streammine::core::dist::Cluster` with its topology slice
+//! in the `STREAMMINE_WORKER_SPEC` environment variable (see
+//! `WorkerSpec`). The registry below maps the spec's operator names onto
+//! the standard operator library; binaries embedding custom operators
+//! build their own registry and call `worker_main` the same way.
+
+use std::sync::Arc;
+
+use streammine::core::dist::{worker_main, OperatorRegistry};
+use streammine::operators::{Map, RandomTagger, StampedRelay};
+
+fn main() {
+    let registry = OperatorRegistry::new()
+        .with(RandomTagger::NAME, || Arc::new(RandomTagger))
+        .with("stamped-relay", || Arc::new(StampedRelay::new()))
+        .with("identity", || Arc::new(Map::new(|v| v.clone())));
+    std::process::exit(worker_main(&registry));
+}

@@ -11,31 +11,13 @@ use streammine::chaos::{FaultPlan, FaultScheduler, Topology};
 use streammine::common::event::{Event, Value};
 use streammine::common::ids::OperatorId;
 use streammine::core::{
-    GraphBuilder, LoggingConfig, OpCtx, Operator, OperatorConfig, Running, SinkId, SourceId,
-    SupervisorConfig,
+    GraphBuilder, LoggingConfig, OperatorConfig, Running, SinkId, SourceId, SupervisorConfig,
 };
-use streammine::stm::StmAbort;
+use streammine::operators::RandomTagger;
 
 const FAST_LOG: Duration = Duration::from_micros(200);
 const SEEDS: u64 = 16;
 const STEPS: u64 = 36;
-
-/// Non-deterministic relay: emits `[input, random-tag]`. Three of these in
-/// a row make the sink outputs depend on every operator's RNG stream —
-/// byte-identical outputs require bit-exact determinant replay *and* RNG
-/// continuity across every crash.
-struct RandomTagger;
-
-impl Operator for RandomTagger {
-    fn name(&self) -> &str {
-        "random-tagger"
-    }
-    fn process(&self, ctx: &mut OpCtx<'_, '_>, event: &Event) -> Result<(), StmAbort> {
-        let tag = ctx.random_u64();
-        ctx.emit(Value::record(vec![event.payload.clone(), Value::Int(tag as i64)]));
-        Ok(())
-    }
-}
 
 /// src → tagger → tagger → tagger → sink: three hops, all logged
 /// non-speculative with checkpoints (so chaos exercises checkpoint restore,

@@ -1,0 +1,134 @@
+//! The replay-request retry watchdog under slow control lanes.
+//!
+//! A recovering node sends one `ReplayRequest` upstream and watches for
+//! progress; if the request (or its answer) is lost it retries with
+//! exponential backoff, and the upstream dedups retries it has already
+//! answered. These tests pin the protocol's two failure modes under
+//! 10–500 ms control-lane delays:
+//!
+//! * **no premature re-request** — a lane that is merely slow (well under
+//!   the 50 ms retry interval) must not trigger a retry at all, and
+//! * **no duplicate resends** — when the lane is slow enough that retries
+//!   *do* fire, the upstream serves the replay exactly once; answering a
+//!   watchdog retry again would deliver every retained frame twice.
+//!
+//! Output bytes must be identical to a failure-free run either way.
+
+use std::time::Duration;
+
+use streammine::common::event::{Event, Value};
+use streammine::common::ids::OperatorId;
+use streammine::core::{GraphBuilder, LoggingConfig, OperatorConfig, Running, SinkId, SourceId};
+use streammine::obs::Labels;
+use streammine::operators::RandomTagger;
+
+const FAST_LOG: Duration = Duration::from_micros(200);
+const BEFORE_CRASH: usize = 12;
+const AFTER_CRASH: usize = 4;
+const TOTAL: usize = BEFORE_CRASH + AFTER_CRASH;
+
+/// src → tagger → tagger → sink, logged, *no checkpoints*: a crashed node
+/// replays its whole input from the upstream's retention buffer.
+fn pipeline() -> (Running, SourceId, SinkId) {
+    let mut b = GraphBuilder::new();
+    let cfg = || OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG));
+    let op0 = b.add_operator(RandomTagger, cfg());
+    let op1 = b.add_operator(RandomTagger, cfg());
+    b.connect(op0, op1).unwrap();
+    let src = b.source_into(op0).unwrap();
+    let sink = b.sink_from(op1).unwrap();
+    (b.build().unwrap().start(), src, sink)
+}
+
+fn payloads(events: &[Event]) -> Vec<Value> {
+    events.iter().map(|e| e.payload.clone()).collect()
+}
+
+fn reference() -> Vec<Value> {
+    let (running, src, sink) = pipeline();
+    for i in 0..TOTAL {
+        running.source(src).push(Value::Int(i as i64));
+    }
+    assert!(running.sink(sink).wait_final(TOTAL, Duration::from_secs(30)));
+    let out = payloads(&running.sink(sink).final_events());
+    running.shutdown();
+    out
+}
+
+/// Crashes op1 behind a control lane that delays every delivery by
+/// `ctrl_delay`, recovers it, finishes the stream, and returns
+/// `(sink payloads, replay.requests by op1, replay.served by op0)`.
+fn run_with_ctrl_delay(ctrl_delay: Duration) -> (Vec<Value>, u64, u64) {
+    let (running, src, sink) = pipeline();
+    for i in 0..BEFORE_CRASH {
+        running.source(src).push(Value::Int(i as i64));
+    }
+    assert!(running.sink(sink).wait_final(BEFORE_CRASH, Duration::from_secs(30)));
+
+    let op1 = OperatorId::new(1);
+    // Window long enough to cover the request and every watchdog retry.
+    running.delay_spike_edge_ctrl(0, ctrl_delay, Duration::from_secs(2));
+    running.crash(op1);
+    running.recover(op1);
+
+    for i in BEFORE_CRASH..TOTAL {
+        running.source(src).push(Value::Int(i as i64));
+    }
+    assert!(
+        running.sink(sink).wait_final(TOTAL, Duration::from_secs(60)),
+        "recovery stuck at {}/{TOTAL} with {ctrl_delay:?} ctrl lane\n{}",
+        running.sink(sink).final_count(),
+        running.journal_dump()
+    );
+    // Let any straggling watchdog retry (already in flight) land before
+    // counting, so the dedup assertion sees the complete picture.
+    std::thread::sleep(2 * ctrl_delay);
+    let snap = running.metrics();
+    let requests = snap.counter("replay.requests", Labels::op(1)).unwrap_or(0);
+    let served = snap.counter("replay.served", Labels::op(0)).unwrap_or(0);
+    let out = payloads(&running.sink(sink).final_events());
+    running.shutdown();
+    (out, requests, served)
+}
+
+#[test]
+fn slow_but_sub_retry_lane_causes_no_premature_re_request() {
+    let expected = reference();
+    let (out, requests, served) = run_with_ctrl_delay(Duration::from_millis(10));
+    assert_eq!(
+        requests, 1,
+        "a 10 ms ctrl lane is far below the 50 ms retry interval: the watchdog re-requested"
+    );
+    assert_eq!(served, 1, "one request must be served exactly once");
+    assert_eq!(out, expected, "recovery changed output bytes");
+}
+
+#[test]
+fn mid_range_lane_retries_but_upstream_dedups() {
+    let expected = reference();
+    // 120 ms: the original request is still in flight when the 50 ms
+    // watchdog fires, so at least one retry reaches the upstream after
+    // the original was already served.
+    let (out, requests, served) = run_with_ctrl_delay(Duration::from_millis(120));
+    assert!(requests >= 2, "a 120 ms ctrl lane must trip the 50 ms watchdog (got {requests})");
+    assert_eq!(
+        served, 1,
+        "watchdog retries were re-served — duplicate resend ({requests} requests)"
+    );
+    assert_eq!(out, expected, "recovery changed output bytes");
+}
+
+#[test]
+fn severely_delayed_lane_backs_off_and_never_duplicates() {
+    let expected = reference();
+    let (out, requests, served) = run_with_ctrl_delay(Duration::from_millis(500));
+    assert!(requests >= 2, "a 500 ms ctrl lane must trip the watchdog (got {requests})");
+    // Exponential backoff bounds the retry storm: 50+100+200+400 ms of
+    // intervals cover the 500 ms lane with at most 4 retries in flight.
+    assert!(requests <= 5, "backoff failed: {requests} requests for a 500 ms lane");
+    assert_eq!(
+        served, 1,
+        "watchdog retries were re-served — duplicate resend ({requests} requests)"
+    );
+    assert_eq!(out, expected, "recovery changed output bytes");
+}
