@@ -23,7 +23,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use streammine_bench::{drive_and_measure, union_sketch, union_sketch_obs, LOG_LATENCY};
+use streammine_bench::{drive_and_measure, git_rev, union_sketch, union_sketch_obs, LOG_LATENCY};
 use streammine_obs::{
     validate_chrome_trace, validate_prometheus, HistogramSnapshot, Labels, Obs, RegistrySnapshot,
 };
@@ -111,6 +111,13 @@ fn to_json(reports: &[ConfigReport]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"snapshot\": \"obs_fig6\",");
+    let _ = writeln!(out, "  \"git_rev\": \"{}\",", git_rev());
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"events\": {EVENTS}, \"gap_us\": {}, \"log_latency_us\": {}}},",
+        GAP.as_micros(),
+        LOG_LATENCY.as_micros()
+    );
     let _ = writeln!(
         out,
         "  \"caption\": \"per-stage latency decomposition (p50 us, log2-bucket bounds) of the \

@@ -135,6 +135,14 @@ fn to_json(r: &SoakReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"snapshot\": \"overload_soak\",");
+    let _ = writeln!(out, "  \"git_rev\": \"{}\",", streammine_bench::git_rev());
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"link_capacity\": {LINK_CAPACITY}, \"pending_cap\": {PENDING_CAP}, \
+         \"intake_capacity\": {INTAKE_CAPACITY}, \"events_per_cycle\": {EVENTS_PER_CYCLE}, \
+         \"fast_log_us\": {}}},",
+        FAST_LOG.as_micros()
+    );
     let _ = writeln!(out, "  \"soak_secs\": {},", r.soak_secs);
     let _ = writeln!(out, "  \"cycles\": {},", r.cycles);
     let _ = writeln!(out, "  \"events_pushed\": {},", r.pushed);

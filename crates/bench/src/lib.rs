@@ -32,6 +32,21 @@ pub const LOG_LATENCY: Duration = Duration::from_millis(2);
 /// rate, so the figures measure the engine rather than a device queue.
 pub const LOG_DISKS: usize = 3;
 
+/// Short git revision of the checkout producing a snapshot, or
+/// `"unknown"` outside a git work tree. Stamped into snapshot JSON
+/// headers so an archived CI artifact is traceable to its commit.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
 /// Prints a figure header.
 pub fn banner(figure: &str, caption: &str) {
     println!("\n=== {figure} — {caption} ===");

@@ -13,7 +13,12 @@
 use std::collections::HashMap;
 
 use streammine_core::RecoveryEvent;
-use streammine_obs::{JournalEvent, JournalKind, Labels, RegistrySnapshot, Tracer};
+use streammine_obs::FaultKind as TimelineFaultKind;
+use streammine_obs::{
+    JournalEvent, JournalKind, Labels, RecoveryTimeline, RegistrySnapshot, Tracer,
+};
+
+use crate::proc_plan::ProcFaultPlan;
 
 /// Checks that the registry's recovery counters match the supervisor's
 /// event trail and that the journal's backpressure episodes reconcile
@@ -105,6 +110,94 @@ pub fn verify_recovery_counters(
                  only {counted}"
             ));
         }
+    }
+    Ok(())
+}
+
+/// Reconciles a distributed chaos run's recovery timelines with the
+/// fault schedule that produced them and with the cluster-level metrics
+/// the telemetry plane aggregated:
+///
+/// * every [`RecoveryTimeline`] has monotonically ordered phases
+///   (detect ≤ fence ≤ respawn ≤ handshake ≤ first output ≤ drain);
+/// * crash-kind timelines match the plan's [`kill_count`] exactly — one
+///   reconstructed recovery per injected SIGKILL, no more, no fewer;
+/// * timeline kinds agree with the launcher's crash/expiry counters, and
+///   their total equals the restart count;
+/// * the cluster snapshot's launcher-side counters
+///   (`control.crash_detected`, `control.lease_expired`,
+///   `recovery.restarts`) say the same thing;
+/// * the worker-labeled `recovery.restarts{worker=w}` series synthesized
+///   from telemetry incarnations sum to the restart total — a worker
+///   restart that never reported telemetry would undercount here.
+///
+/// [`kill_count`]: ProcFaultPlan::kill_count
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch found.
+pub fn verify_cluster_recovery(
+    plan: &ProcFaultPlan,
+    timelines: &[RecoveryTimeline],
+    crashes_detected: u64,
+    leases_expired: u64,
+    restarts: u64,
+    cluster: &RegistrySnapshot,
+) -> Result<(), String> {
+    for t in timelines {
+        if !t.monotonic() {
+            return Err(format!(
+                "w{}#{}: non-monotonic recovery timeline: {}",
+                t.worker,
+                t.incarnation,
+                t.to_json()
+            ));
+        }
+    }
+    let crash_timelines =
+        timelines.iter().filter(|t| t.kind == TimelineFaultKind::Crash).count() as u64;
+    let lease_timelines = timelines.len() as u64 - crash_timelines;
+    if crash_timelines != plan.kill_count() as u64 {
+        return Err(format!(
+            "plan injected {} kills but {} crash timelines were reconstructed",
+            plan.kill_count(),
+            crash_timelines
+        ));
+    }
+    if crash_timelines != crashes_detected {
+        return Err(format!(
+            "{crash_timelines} crash timelines vs {crashes_detected} crashes detected"
+        ));
+    }
+    if lease_timelines != leases_expired {
+        return Err(format!(
+            "{lease_timelines} lease-expiry timelines vs {leases_expired} leases expired"
+        ));
+    }
+    if timelines.len() as u64 != restarts {
+        return Err(format!("{} timelines for {restarts} restarts", timelines.len()));
+    }
+    for (name, expected) in [
+        ("control.crash_detected", crashes_detected),
+        ("control.lease_expired", leases_expired),
+        ("recovery.restarts", restarts),
+    ] {
+        let counted = cluster.counter(name, Labels::NONE).unwrap_or(0);
+        if counted != expected {
+            return Err(format!("cluster {name} counted {counted}, launcher saw {expected}"));
+        }
+    }
+    let telemetry_restarts: u64 = cluster
+        .samples
+        .iter()
+        .filter(|s| s.name == "recovery.restarts" && s.labels.worker.is_some())
+        .filter_map(|s| cluster.counter("recovery.restarts", s.labels))
+        .sum();
+    if telemetry_restarts != restarts {
+        return Err(format!(
+            "worker-labeled recovery.restarts sum to {telemetry_restarts}, launcher saw \
+             {restarts} — a restarted incarnation never reported telemetry"
+        ));
     }
     Ok(())
 }
@@ -245,6 +338,86 @@ mod tests {
         let journal = journal_events(0, vec![JournalKind::BackpressureStall { edge: 1 }]);
         let err = verify_recovery_counters(&r.snapshot(), &[], &journal).unwrap_err();
         assert!(err.contains("counted only 0"), "{err}");
+    }
+
+    fn timeline(worker: u32, kind: TimelineFaultKind) -> RecoveryTimeline {
+        RecoveryTimeline {
+            worker,
+            incarnation: 1,
+            kind,
+            detect_us: 100,
+            fence_us: 150,
+            respawn_us: 400,
+            handshake_us: Some(900),
+            first_output_us: Some(1_500),
+            drain_us: Some(9_000),
+        }
+    }
+
+    fn cluster_snapshot(
+        crashes: u64,
+        expiries: u64,
+        per_worker: &[(u32, u64)],
+    ) -> RegistrySnapshot {
+        let r = Registry::new();
+        r.counter("control.crash_detected", Labels::NONE).add(crashes);
+        r.counter("control.lease_expired", Labels::NONE).add(expiries);
+        r.counter("recovery.restarts", Labels::NONE).add(crashes + expiries);
+        for &(w, n) in per_worker {
+            r.counter("recovery.restarts", Labels::NONE.with_worker(w)).add(n);
+        }
+        r.snapshot()
+    }
+
+    fn kill_plan(kills: usize) -> ProcFaultPlan {
+        ProcFaultPlan::scripted(
+            (0..kills)
+                .map(|i| crate::ProcFaultEvent {
+                    step: i as u64 * 20,
+                    kind: crate::ProcFaultKind::KillWorker { worker: i as u32 },
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn reconciled_cluster_recovery_passes() {
+        let plan = kill_plan(2);
+        let timelines = vec![
+            timeline(0, TimelineFaultKind::Crash),
+            timeline(1, TimelineFaultKind::Crash),
+            timeline(2, TimelineFaultKind::LeaseExpiry),
+        ];
+        let snap = cluster_snapshot(2, 1, &[(0, 1), (1, 1), (2, 1)]);
+        assert!(verify_cluster_recovery(&plan, &timelines, 2, 1, 3, &snap).is_ok());
+    }
+
+    #[test]
+    fn non_monotonic_timeline_fails() {
+        let mut t = timeline(0, TimelineFaultKind::Crash);
+        t.fence_us = 50; // before detect
+        let snap = cluster_snapshot(1, 0, &[(0, 1)]);
+        let err = verify_cluster_recovery(&kill_plan(1), &[t], 1, 0, 1, &snap).unwrap_err();
+        assert!(err.contains("non-monotonic"), "{err}");
+    }
+
+    #[test]
+    fn missing_crash_timeline_fails() {
+        let snap = cluster_snapshot(2, 0, &[(0, 2)]);
+        let t = vec![timeline(0, TimelineFaultKind::Crash)];
+        let err = verify_cluster_recovery(&kill_plan(2), &t, 2, 0, 2, &snap).unwrap_err();
+        assert!(err.contains("2 kills"), "{err}");
+    }
+
+    #[test]
+    fn undercounted_worker_telemetry_fails() {
+        let plan = kill_plan(2);
+        let timelines =
+            vec![timeline(0, TimelineFaultKind::Crash), timeline(1, TimelineFaultKind::Crash)];
+        // Worker 1's replacement incarnation never reported telemetry.
+        let snap = cluster_snapshot(2, 0, &[(0, 1)]);
+        let err = verify_cluster_recovery(&plan, &timelines, 2, 0, 2, &snap).unwrap_err();
+        assert!(err.contains("never reported telemetry"), "{err}");
     }
 
     #[test]

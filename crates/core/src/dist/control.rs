@@ -23,7 +23,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use streammine_common::codec::{decode_from_slice, Encode};
-use streammine_net::{FrameError, FrameTx, Transport};
+use streammine_net::{FrameError, SharedFrameTx, Transport};
+use streammine_obs::TelemetryReport;
 
 use crate::dist::wire::CtrlMsg;
 
@@ -31,8 +32,6 @@ use crate::dist::wire::CtrlMsg;
 const CTRL_DIAL_TIMEOUT: Duration = Duration::from_secs(10);
 /// Worker-side redial backoff cap for the control connection.
 const CTRL_REDIAL_CAP: Duration = Duration::from_millis(200);
-
-type SharedTx = Arc<Mutex<Option<Box<dyn FrameTx>>>>;
 
 /// A live lease: the newest incarnation seen for a worker slot and when
 /// it last proved liveness.
@@ -48,7 +47,7 @@ pub(crate) struct LeaseView {
 
 struct Lease {
     view: LeaseView,
-    tx: SharedTx,
+    tx: SharedFrameTx,
 }
 
 /// Events the control plane surfaces to the launcher.
@@ -64,6 +63,10 @@ pub(crate) enum CtrlEvent {
         /// The worker's data listener address.
         data_addr: String,
     },
+    /// A worker pushed a telemetry report. Surfaced regardless of lease
+    /// state: a fenced or superseded incarnation's history is still valid
+    /// history, and the aggregator's merge is idempotent anyway.
+    Telemetry(TelemetryReport),
 }
 
 struct PlaneShared {
@@ -140,9 +143,7 @@ impl ControlPlane {
         let mut leases = self.shared.leases.lock();
         if let Some(lease) = leases.get(&worker) {
             if lease.view.epoch < epoch {
-                if let Some(tx) = lease.tx.lock().as_mut() {
-                    let _ = tx.send(&CtrlMsg::Fence.encode_to_vec());
-                }
+                lease.tx.send(&CtrlMsg::Fence.encode_to_vec());
                 leases.remove(&worker);
             }
         }
@@ -160,17 +161,7 @@ impl ControlPlane {
             Some(lease) => lease.tx.clone(),
             None => return false,
         };
-        let mut tx = tx.lock();
-        match tx.as_mut() {
-            Some(conn) => match conn.send(&msg.encode_to_vec()) {
-                Ok(()) => true,
-                Err(_) => {
-                    *tx = None;
-                    false
-                }
-            },
-            None => false,
-        }
+        tx.send(&msg.encode_to_vec())
     }
 
     /// Unblocks the accept loop so it can observe shutdown.
@@ -181,12 +172,11 @@ impl ControlPlane {
 
 /// Handles one worker's control connection on the parent side.
 fn serve_worker(conn: Box<dyn streammine_net::FrameConn>, shared: Arc<PlaneShared>) {
-    let (tx, mut rx) = conn.split();
-    let tx: SharedTx = Arc::new(Mutex::new(Some(tx)));
-    let fence = |tx: &SharedTx| {
-        if let Some(t) = tx.lock().as_mut() {
-            let _ = t.send(&CtrlMsg::Fence.encode_to_vec());
-        }
+    let (raw_tx, mut rx) = conn.split();
+    let tx = SharedFrameTx::new();
+    tx.install(raw_tx);
+    let fence = |tx: &SharedFrameTx| {
+        tx.send(&CtrlMsg::Fence.encode_to_vec());
     };
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
@@ -230,6 +220,9 @@ fn serve_worker(conn: Box<dyn streammine_net::FrameConn>, shared: Arc<PlaneShare
                     }
                 }
             }
+            CtrlMsg::Telemetry(report) => {
+                let _ = shared.events.send(CtrlEvent::Telemetry(report));
+            }
             // Parent-bound lanes only; anything else is a protocol error
             // from a confused peer — drop the connection.
             _ => return,
@@ -256,6 +249,10 @@ pub(crate) struct CtrlIdentity {
 pub(crate) struct CtrlClient {
     pause_until: Arc<Mutex<Option<Instant>>>,
     shutdown: Arc<AtomicBool>,
+    /// The live sending half, shared with the beat writer (which owns
+    /// redialing). Lets other worker threads — the telemetry reporter —
+    /// push parent-bound messages on the same connection.
+    tx: SharedFrameTx,
 }
 
 impl CtrlClient {
@@ -270,7 +267,12 @@ impl CtrlClient {
     ) -> Result<CtrlClient, FrameError> {
         let CtrlIdentity { worker, incarnation, data_addr, beat } = identity;
         let pause_until = Arc::new(Mutex::new(None));
-        let client = CtrlClient { pause_until: pause_until.clone(), shutdown: shutdown.clone() };
+        let shared_tx = SharedFrameTx::new();
+        let client = CtrlClient {
+            pause_until: pause_until.clone(),
+            shutdown: shutdown.clone(),
+            tx: shared_tx.clone(),
+        };
         let (ready_tx, ready_rx) = crossbeam_channel::bounded(1);
         std::thread::Builder::new()
             .name(format!("ctrl-client-w{worker}"))
@@ -288,10 +290,11 @@ impl CtrlClient {
                             return;
                         }
                     };
-                    let (mut tx, mut rx) = conn.split();
+                    let (raw_tx, mut rx) = conn.split();
+                    shared_tx.install(raw_tx);
                     let hello =
                         CtrlMsg::Hello { worker, incarnation, data_addr: data_addr.clone() };
-                    if tx.send(&hello.encode_to_vec()).is_err() {
+                    if !shared_tx.send(&hello.encode_to_vec()) {
                         continue;
                     }
                     if let Some(r) = ready.take() {
@@ -335,7 +338,7 @@ impl CtrlClient {
                                 .unwrap_or(false);
                             if !paused {
                                 let beat_msg = CtrlMsg::Beat { worker, incarnation };
-                                if tx.send(&beat_msg.encode_to_vec()).is_err() {
+                                if !shared_tx.send(&beat_msg.encode_to_vec()) {
                                     conn_dead.store(true, Ordering::Release);
                                     break; // redial + re-Hello
                                 }
@@ -351,6 +354,14 @@ impl CtrlClient {
             Ok(Err(e)) => Err(e),
             Err(_) => Err(FrameError::Timeout),
         }
+    }
+
+    /// Pushes a parent-bound message on the live control connection.
+    /// Returns `false` when the connection is currently down (the beat
+    /// writer is redialing) or the send fails — callers just retry on
+    /// their next period; reports are idempotent at the aggregator.
+    pub fn send(&self, msg: &CtrlMsg) -> bool {
+        self.tx.send(&msg.encode_to_vec())
     }
 
     /// Applies the pause-beats fault: no beats for `window`.
@@ -446,6 +457,54 @@ mod tests {
         let fault = CtrlMsg::Fault(FaultCmd::PauseBeats { millis: 50 });
         assert!(plane.send_to(2, &fault));
 
+        client.stop();
+        shutdown.store(true, Ordering::Release);
+        plane.poke();
+    }
+
+    #[test]
+    fn telemetry_pushes_surface_to_the_launcher() {
+        let t = mem();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let plane = ControlPlane::start(t.clone(), "mem-telemetry:0", shutdown.clone()).unwrap();
+        let (ev_tx, _ev_rx) = crossbeam_channel::unbounded();
+        let client = CtrlClient::connect(
+            t,
+            plane.local_addr().to_string(),
+            CtrlIdentity {
+                worker: 7,
+                incarnation: 0,
+                data_addr: "mem:data-w7".into(),
+                beat: Duration::from_millis(10),
+            },
+            ev_tx,
+            shutdown.clone(),
+        )
+        .unwrap();
+        let up = plane.events().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(up, CtrlEvent::WorkerUp { worker: 7, .. }));
+
+        let report = TelemetryReport {
+            worker: 7,
+            incarnation: 0,
+            seq: 1,
+            fin: false,
+            metrics: vec![],
+            journal: vec![],
+            spans: vec![],
+        };
+        assert!(client.send(&CtrlMsg::Telemetry(report.clone())));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match plane.events().recv_timeout(deadline - Instant::now()) {
+                Ok(CtrlEvent::Telemetry(r)) => {
+                    assert_eq!(r, report);
+                    break;
+                }
+                Ok(_) => continue,
+                Err(e) => panic!("telemetry never arrived: {e}"),
+            }
+        }
         client.stop();
         shutdown.store(true, Ordering::Release);
         plane.poke();

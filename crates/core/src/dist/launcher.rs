@@ -28,7 +28,10 @@ use parking_lot::Mutex;
 use streammine_common::clock::{shared, SystemClock};
 use streammine_common::ids::OperatorId;
 use streammine_net::{link, LinkConfig, LinkError, TcpTransport, Transport};
-use streammine_obs::{Counter, Labels, Obs, TransportMetrics};
+use streammine_obs::{
+    prometheus_text, timelines_json, ClusterObs, Counter, FaultKind, HttpServer, Labels, Obs,
+    RecoveryTimeline, RegistrySnapshot, TransportMetrics,
+};
 
 use crate::dist::bridge::{Acceptor, InEdge, OutBridge};
 use crate::dist::control::{ControlPlane, CtrlEvent};
@@ -65,6 +68,14 @@ pub struct ClusterSpec {
     /// in-process graph's convention so a single-process run of the same
     /// chain is the byte-identical reference.
     pub rng_seed_base: u64,
+    /// Causal-tracer sampling rate for the whole cluster: trace one source
+    /// event in this many (`0` = tracing off). Applied to the parent's
+    /// endpoints and every worker, so sampled trace ids line up across
+    /// processes and stitch into one timeline.
+    pub trace_one_in: u64,
+    /// How often each worker pushes a telemetry report up the control
+    /// lane, milliseconds (`0` = only the final flush on clean shutdown).
+    pub telemetry_millis: u64,
 }
 
 impl ClusterSpec {
@@ -78,6 +89,8 @@ impl ClusterSpec {
             lease_timeout: Duration::from_millis(250),
             poll: Duration::from_millis(25),
             rng_seed_base: 0xABCD_0000,
+            trace_one_in: 0,
+            telemetry_millis: 50,
         }
     }
 }
@@ -101,11 +114,93 @@ struct Counters {
     total_restarts: AtomicU64,
 }
 
+/// A recovery timeline under assembly: the launcher-side phases are
+/// stamped synchronously by the monitor; the worker-side phases fill in
+/// as the replacement handshakes and the sink cursor moves again.
+struct PendingTimeline {
+    timeline: RecoveryTimeline,
+    /// Sink event cursor at detection: output beyond this proves the
+    /// replacement's replayed deliveries reached the end of the chain.
+    cursor_at_detect: u64,
+}
+
+struct TimelineState {
+    pending: Vec<PendingTimeline>,
+    last_cursor: u64,
+    last_advance_us: u64,
+}
+
 struct MonitorShared {
     slots: Mutex<Vec<WorkerSlot>>,
     addrs: Mutex<Vec<Option<String>>>,
     counters: Counters,
     stopping: AtomicBool,
+    /// Cluster-level aggregation of worker telemetry reports.
+    telemetry: ClusterObs,
+    timelines: Mutex<TimelineState>,
+    /// Zero of the cluster clock all timeline stamps use.
+    epoch: Instant,
+}
+
+impl MonitorShared {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Tracks sink-cursor movement and stamps `first_output` on pending
+    /// timelines whose replacement has handshaked and whose backlog the
+    /// cursor has now passed.
+    fn observe_cursor(&self, cursor_events: u64) {
+        let now = self.now_us();
+        let mut st = self.timelines.lock();
+        if cursor_events <= st.last_cursor && st.last_advance_us != 0 {
+            return;
+        }
+        st.last_cursor = cursor_events;
+        st.last_advance_us = now;
+        for p in st.pending.iter_mut() {
+            if p.timeline.handshake_us.is_some()
+                && p.timeline.first_output_us.is_none()
+                && cursor_events > p.cursor_at_detect
+            {
+                p.timeline.first_output_us = Some(now);
+            }
+        }
+    }
+
+    /// Stamps `handshake` on the pending timeline waiting for this
+    /// worker incarnation's `Hello`.
+    fn stamp_handshake(&self, worker: u32, incarnation: u64) {
+        let now = self.now_us();
+        let mut st = self.timelines.lock();
+        for p in st.pending.iter_mut() {
+            if p.timeline.worker == worker
+                && p.timeline.incarnation == incarnation
+                && p.timeline.handshake_us.is_none()
+            {
+                p.timeline.handshake_us = Some(now);
+            }
+        }
+    }
+
+    /// The timelines assembled so far. `drain` resolves lazily to the
+    /// last observed sink-cursor advance, so it settles once the run has
+    /// drained and the cursor stops moving.
+    fn recovery_timelines(&self) -> Vec<RecoveryTimeline> {
+        let st = self.timelines.lock();
+        st.pending
+            .iter()
+            .map(|p| {
+                let mut t = p.timeline.clone();
+                if t.drain_us.is_none() {
+                    if let Some(first) = t.first_output_us {
+                        t.drain_us = Some(st.last_advance_us.max(first));
+                    }
+                }
+                t
+            })
+            .collect()
+    }
 }
 
 /// A running multi-process cluster: endpoints, nemesis handles, and the
@@ -117,7 +212,7 @@ pub struct Cluster {
     plane: Arc<ControlPlane>,
     shared: Arc<MonitorShared>,
     shutdown: Arc<AtomicBool>,
-    sink_acceptor: Acceptor,
+    sink_acceptor: Arc<Acceptor>,
     n: usize,
 }
 
@@ -142,7 +237,7 @@ impl Cluster {
         if n == 0 {
             return Err("cluster needs at least one operator".into());
         }
-        let obs = Obs::new();
+        let obs = if spec.trace_one_in > 0 { Obs::sampled(spec.trace_one_in) } else { Obs::new() };
         let clock = shared(SystemClock::new());
         let transport: Arc<dyn Transport> = Arc::new(TcpTransport::new());
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -160,23 +255,25 @@ impl Cluster {
         let (sink_ctrl_tx, sink_ctrl_rx) = link::<Control>(LinkConfig::instant());
         let sink =
             SinkHandle::new(sink_data_rx, sink_ctrl_tx, clock.clone(), &obs, (n - 1) as u32, 0);
-        let sink_acceptor = Acceptor::start(
-            transport.clone(),
-            "127.0.0.1:0",
-            vec![InEdge {
-                edge: n as u32,
-                deliver: Box::new(move |_seq, msg| loop {
-                    match sink_data_tx.send(msg.clone()) {
-                        Ok(_) | Err(LinkError::Disconnected) => return,
-                        Err(_) => std::thread::sleep(Duration::from_micros(100)),
-                    }
-                }),
-                ctrl_rx: sink_ctrl_rx,
-                metrics: TransportMetrics::registered(&obs.registry, (n - 1) as u32, n as u32),
-            }],
-            shutdown.clone(),
-        )
-        .map_err(|e| format!("sink listener: {e}"))?;
+        let sink_acceptor = Arc::new(
+            Acceptor::start(
+                transport.clone(),
+                "127.0.0.1:0",
+                vec![InEdge {
+                    edge: n as u32,
+                    deliver: Box::new(move |_seq, msg| loop {
+                        match sink_data_tx.send(msg.clone()) {
+                            Ok(_) | Err(LinkError::Disconnected) => return,
+                            Err(_) => std::thread::sleep(Duration::from_micros(100)),
+                        }
+                    }),
+                    ctrl_rx: sink_ctrl_rx,
+                    metrics: TransportMetrics::registered(&obs.registry, (n - 1) as u32, n as u32),
+                }],
+                shutdown.clone(),
+            )
+            .map_err(|e| format!("sink listener: {e}"))?,
+        );
 
         // Source: real SourceHandle on a local link; its consumer side is
         // a bridge dialing worker 0 (edge 0). The source's responder
@@ -223,6 +320,13 @@ impl Cluster {
             addrs: Mutex::new(vec![None; n]),
             counters,
             stopping: AtomicBool::new(false),
+            telemetry: ClusterObs::new(),
+            timelines: Mutex::new(TimelineState {
+                pending: Vec::new(),
+                last_cursor: 0,
+                last_advance_us: 0,
+            }),
+            epoch: Instant::now(),
         });
 
         // First generation of children.
@@ -246,9 +350,10 @@ impl Cluster {
             let spec = spec.clone();
             let src_slot = src_slot.clone();
             let sink_addr = sink_acceptor.local_addr().to_string();
+            let sink_acceptor = sink_acceptor.clone();
             std::thread::Builder::new()
                 .name("cluster-monitor".into())
-                .spawn(move || monitor(shared, plane, spec, src_slot, sink_addr))
+                .spawn(move || monitor(shared, plane, spec, src_slot, sink_addr, sink_acceptor))
                 .expect("spawn cluster monitor");
         }
 
@@ -344,6 +449,84 @@ impl Cluster {
         self.shared.counters.expiries.load(Ordering::Acquire)
     }
 
+    /// Microseconds elapsed on the cluster clock — the time base of every
+    /// [`RecoveryTimeline`] stamp.
+    pub fn now_us(&self) -> u64 {
+        self.shared.now_us()
+    }
+
+    /// The launcher-side telemetry aggregator merging worker reports.
+    pub fn telemetry(&self) -> &ClusterObs {
+        &self.shared.telemetry
+    }
+
+    /// Structured per-fault recovery timelines assembled so far.
+    pub fn recovery_timelines(&self) -> Vec<RecoveryTimeline> {
+        self.shared.recovery_timelines()
+    }
+
+    /// Cluster-wide metrics snapshot: the parent's own samples plus the
+    /// worker-labeled aggregates from telemetry reports.
+    pub fn cluster_snapshot(&self) -> RegistrySnapshot {
+        self.shared.telemetry.merged_snapshot(&self.obs.snapshot())
+    }
+
+    /// The cluster snapshot in Prometheus text exposition format.
+    pub fn cluster_prometheus(&self) -> String {
+        prometheus_text(&self.cluster_snapshot())
+    }
+
+    /// The cluster snapshot as JSON.
+    pub fn cluster_json(&self) -> String {
+        streammine_obs::json(&self.cluster_snapshot())
+    }
+
+    /// Chrome trace of every worker span pushed so far, stitched across
+    /// processes (pid = worker incarnation).
+    pub fn cluster_chrome_trace(&self) -> String {
+        self.shared.telemetry.chrome_trace()
+    }
+
+    /// Serves the cluster telemetry endpoints over HTTP:
+    /// `/cluster/metrics`, `/cluster/metrics.json`, `/cluster/journal`,
+    /// `/cluster/traces`, and `/cluster/recovery`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when `addr` is unavailable.
+    pub fn serve_http(&self, addr: &str) -> std::io::Result<HttpServer> {
+        let shared = self.shared.clone();
+        let obs = self.obs.clone();
+        streammine_obs::serve_with(
+            addr,
+            Box::new(move |path| {
+                let (ct, body) = match path {
+                    "/cluster/metrics" => (
+                        "text/plain; version=0.0.4",
+                        prometheus_text(&shared.telemetry.merged_snapshot(&obs.snapshot())),
+                    ),
+                    "/cluster/metrics.json" => (
+                        "application/json",
+                        streammine_obs::json(&shared.telemetry.merged_snapshot(&obs.snapshot())),
+                    ),
+                    "/cluster/journal" => ("text/plain", shared.telemetry.journal_render()),
+                    "/cluster/traces" => ("application/json", shared.telemetry.chrome_trace()),
+                    "/cluster/recovery" => {
+                        ("application/json", timelines_json(&shared.recovery_timelines()))
+                    }
+                    "/" => (
+                        "text/plain",
+                        "streammine cluster: /cluster/metrics /cluster/metrics.json \
+                         /cluster/journal /cluster/traces /cluster/recovery\n"
+                            .to_string(),
+                    ),
+                    _ => return None,
+                };
+                Some((ct.to_string(), body))
+            }),
+        )
+    }
+
     /// Stops every worker and the parent-side machinery.
     pub fn shutdown(&self) {
         self.shared.stopping.store(true, Ordering::Release);
@@ -368,6 +551,18 @@ impl Cluster {
                 slot.child = None;
             }
         }
+        // The monitor has stopped draining events, but each worker sent a
+        // final telemetry flush on its way out; give the control-lane
+        // reader threads a beat to forward them, then merge here.
+        for _ in 0..2 {
+            while let Ok(ev) = self.plane.events().try_recv() {
+                if let CtrlEvent::Telemetry(report) = ev {
+                    self.shared.telemetry.merge(&report);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        self.shared.observe_cursor(self.sink_cursor().1);
         self.shutdown.store(true, Ordering::Release);
         self.plane.poke();
         self.sink_acceptor.poke();
@@ -400,6 +595,8 @@ fn spawn_worker(
         in_edges: vec![i as u32],
         out_edges: vec![(i + 1) as u32],
         beat_millis: spec.beat.as_millis() as u64,
+        trace_one_in: spec.trace_one_in,
+        telemetry_millis: spec.telemetry_millis,
     };
     Command::new(&spec.worker_bin)
         .env(SPEC_ENV, wspec.to_hex())
@@ -418,6 +615,7 @@ fn monitor(
     spec: ClusterSpec,
     src_slot: Arc<Mutex<Option<String>>>,
     sink_addr: String,
+    sink_acceptor: Arc<Acceptor>,
 ) {
     let n = spec.operators.len();
     loop {
@@ -425,9 +623,18 @@ fn monitor(
             return;
         }
 
-        // Drain control-plane events: record addresses, push wiring.
+        // Drain control-plane events: merge telemetry, record addresses,
+        // push wiring.
         while let Ok(ev) = plane.events().try_recv() {
-            let CtrlEvent::WorkerUp { worker, incarnation, data_addr } = ev;
+            let (worker, incarnation, data_addr) = match ev {
+                CtrlEvent::Telemetry(report) => {
+                    shared.telemetry.merge(&report);
+                    continue;
+                }
+                CtrlEvent::WorkerUp { worker, incarnation, data_addr } => {
+                    (worker, incarnation, data_addr)
+                }
+            };
             let i = worker as usize;
             if i >= n {
                 continue;
@@ -439,6 +646,7 @@ fn monitor(
                 }
                 slots[i].seen_hello = true;
             }
+            shared.stamp_handshake(worker, incarnation);
             shared.addrs.lock()[i] = Some(data_addr.clone());
             if i == 0 {
                 *src_slot.lock() = Some(data_addr.clone());
@@ -457,6 +665,9 @@ fn monitor(
                 plane.send_to((i - 1) as u32, &CtrlMsg::Wire { outs: vec![(worker, data_addr)] });
             }
         }
+
+        // Track end-to-end progress for the recovery timelines.
+        shared.observe_cursor(sink_acceptor.cursor(n as u32).1);
 
         // Failure detection.
         for i in 0..n {
@@ -491,6 +702,8 @@ fn monitor(
             if shared.stopping.load(Ordering::Acquire) {
                 return;
             }
+            let detect_us = shared.now_us();
+            let cursor_at_detect = sink_acceptor.cursor(n as u32).1;
             if dead {
                 shared.counters.crash_detected.incr();
                 shared.counters.crashes.fetch_add(1, Ordering::AcqRel);
@@ -502,6 +715,7 @@ fn monitor(
             // Fence first: anything still claiming the old incarnation
             // must not survive alongside the replacement.
             plane.expect_epoch(i as u32, next);
+            let fence_us = shared.now_us();
             {
                 let mut slots = shared.slots.lock();
                 let slot = &mut slots[i];
@@ -530,6 +744,20 @@ fn monitor(
             }
             shared.counters.restarts.incr();
             shared.counters.total_restarts.fetch_add(1, Ordering::AcqRel);
+            shared.timelines.lock().pending.push(PendingTimeline {
+                timeline: RecoveryTimeline {
+                    worker: i as u32,
+                    incarnation: next,
+                    kind: if dead { FaultKind::Crash } else { FaultKind::LeaseExpiry },
+                    detect_us,
+                    fence_us,
+                    respawn_us: shared.now_us(),
+                    handshake_us: None,
+                    first_output_us: None,
+                    drain_us: None,
+                },
+                cursor_at_detect,
+            });
         }
 
         std::thread::sleep(spec.poll);

@@ -39,6 +39,13 @@ pub struct WorkerSpec {
     pub out_edges: Vec<u32>,
     /// Heartbeat interval in milliseconds.
     pub beat_millis: u64,
+    /// Causal-tracer sampling rate: trace one source event in this many
+    /// (`0` = tracer disabled). Fixed per cluster so every worker samples
+    /// the same deterministic trace ids.
+    pub trace_one_in: u64,
+    /// Telemetry report period in milliseconds (`0` = only the final
+    /// flush on clean shutdown).
+    pub telemetry_millis: u64,
 }
 
 impl Encode for WorkerSpec {
@@ -53,6 +60,8 @@ impl Encode for WorkerSpec {
         self.in_edges.encode(enc);
         self.out_edges.encode(enc);
         enc.put_u64(self.beat_millis);
+        enc.put_u64(self.trace_one_in);
+        enc.put_u64(self.telemetry_millis);
     }
 }
 
@@ -69,6 +78,8 @@ impl Decode for WorkerSpec {
             in_edges: Vec::<u32>::decode(dec)?,
             out_edges: Vec::<u32>::decode(dec)?,
             beat_millis: dec.get_u64()?,
+            trace_one_in: dec.get_u64()?,
+            telemetry_millis: dec.get_u64()?,
         })
     }
 }
@@ -119,6 +130,8 @@ mod tests {
             in_edges: vec![1],
             out_edges: vec![2],
             beat_millis: 20,
+            trace_one_in: 8,
+            telemetry_millis: 50,
         }
     }
 

@@ -20,6 +20,7 @@
 //!   and fencing ([`CtrlMsg::Fence`]) for stale incarnations.
 
 use streammine_common::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+use streammine_obs::TelemetryReport;
 
 use crate::message::{Control, Message};
 
@@ -191,6 +192,10 @@ pub enum CtrlMsg {
     Fault(FaultCmd),
     /// Parent → worker: exit cleanly.
     Shutdown,
+    /// Worker → parent: a telemetry push — the worker's metrics snapshot,
+    /// fresh journal records, and completed trace spans, merged by the
+    /// launcher's cluster aggregator.
+    Telemetry(TelemetryReport),
 }
 
 impl Encode for CtrlMsg {
@@ -217,6 +222,10 @@ impl Encode for CtrlMsg {
                 cmd.encode(enc);
             }
             CtrlMsg::Shutdown => enc.put_u8(5),
+            CtrlMsg::Telemetry(report) => {
+                enc.put_u8(6);
+                report.encode(enc);
+            }
         }
     }
 }
@@ -234,6 +243,7 @@ impl Decode for CtrlMsg {
             3 => CtrlMsg::Fence,
             4 => CtrlMsg::Fault(FaultCmd::decode(dec)?),
             5 => CtrlMsg::Shutdown,
+            6 => CtrlMsg::Telemetry(TelemetryReport::decode(dec)?),
             tag => return Err(DecodeError::InvalidTag { type_name: "CtrlMsg", tag }),
         })
     }
@@ -274,6 +284,19 @@ mod tests {
             CtrlMsg::Fault(FaultCmd::PauseInbound { edge: 1, millis: 300 }),
             CtrlMsg::Fault(FaultCmd::PauseBeats { millis: 500 }),
             CtrlMsg::Shutdown,
+            CtrlMsg::Telemetry(TelemetryReport {
+                worker: 1,
+                incarnation: 2,
+                seq: 3,
+                fin: true,
+                metrics: vec![streammine_obs::Sample {
+                    name: "events.in".into(),
+                    labels: streammine_obs::Labels::op_port(1, 0),
+                    value: streammine_obs::SampleValue::Counter(7),
+                }],
+                journal: vec![],
+                spans: vec![],
+            }),
         ];
         for c in cases {
             assert_eq!(roundtrip(&c).unwrap(), c);

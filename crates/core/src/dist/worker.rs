@@ -123,7 +123,22 @@ pub(crate) fn run_worker(
     operator: Arc<dyn Operator>,
     transport: Arc<dyn Transport>,
 ) -> i32 {
-    let obs = Obs::new();
+    // Tracing is a cluster-wide decision: every worker must sample the
+    // same deterministic trace ids or stitched traces have holes.
+    let obs = if spec.trace_one_in > 0 { Obs::sampled(spec.trace_one_in) } else { Obs::new() };
+    if spec.incarnation > 0 {
+        // First record of a replacement incarnation. Restart records are
+        // pinned and Warn-level, so the telemetry report of even a
+        // default-verbosity worker carries it — the cluster-side restart
+        // count never undercounts.
+        obs.journal.record(
+            Some(spec.worker),
+            streammine_obs::JournalKind::Restart {
+                attempt: spec.incarnation as u32,
+                backoff_us: 0,
+            },
+        );
+    }
     let clock = shared(SystemClock::new());
     let shutdown = Arc::new(AtomicBool::new(false));
     let config = OperatorConfig::logged(LoggingConfig::simulated_n(
@@ -176,7 +191,7 @@ pub(crate) fn run_worker(
         ctrl_events_tx,
         shutdown.clone(),
     ) {
-        Ok(c) => c,
+        Ok(c) => Arc::new(c),
         Err(e) => {
             eprintln!("worker {}: control plane unreachable: {e}", spec.worker);
             return exit::WIRING;
@@ -272,6 +287,7 @@ pub(crate) fn run_worker(
             _ctrl_pump: None,
         })
         .collect();
+    let reporter_obs = obs.clone();
     let seed = NodeSeed {
         id: OperatorId::new(spec.worker),
         operator,
@@ -289,6 +305,46 @@ pub(crate) fn run_worker(
         incarnation: spec.incarnation,
     };
     let _node = Node::start(seed);
+
+    // Telemetry reporter: push a full snapshot + fresh journal records +
+    // all spans up the control lane every `telemetry_millis`. A failed
+    // send (connection mid-redial) just skips a period — the next report
+    // supersedes it, and the journal watermark only advances on success
+    // so no record is lost. `0` disables the periodic push; the final
+    // flush below still runs.
+    let report_seq = Arc::new(AtomicU64::new(0));
+    if spec.telemetry_millis > 0 {
+        let obs = reporter_obs.clone();
+        let ctrl = ctrl.clone();
+        let shutdown = shutdown.clone();
+        let report_seq = report_seq.clone();
+        let (worker, incarnation) = (spec.worker, spec.incarnation);
+        let period = Duration::from_millis(spec.telemetry_millis);
+        std::thread::Builder::new()
+            .name(format!("telemetry-w{worker}"))
+            .spawn(move || {
+                let mut journal_mark = 0u64;
+                loop {
+                    std::thread::sleep(period);
+                    if shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let seq = report_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                    let (report, mark) = streammine_obs::TelemetryReport::gather(
+                        worker,
+                        incarnation,
+                        seq,
+                        false,
+                        &obs,
+                        journal_mark,
+                    );
+                    if ctrl.send(&CtrlMsg::Telemetry(report)) {
+                        journal_mark = mark;
+                    }
+                }
+            })
+            .expect("spawn telemetry reporter");
+    }
 
     // Steady state: obey the parent until told to stop.
     loop {
@@ -318,6 +374,20 @@ pub(crate) fn run_worker(
                 return exit::FENCED;
             }
             Ok(CtrlMsg::Shutdown) | Err(_) => {
+                // Final telemetry flush: the whole journal (watermark 0 —
+                // the aggregator dedups) plus the closing snapshot, so a
+                // clean shutdown never strands the tail of this
+                // incarnation's history.
+                let seq = report_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                let (report, _) = streammine_obs::TelemetryReport::gather(
+                    spec.worker,
+                    spec.incarnation,
+                    seq,
+                    true,
+                    &reporter_obs,
+                    0,
+                );
+                let _ = ctrl.send(&CtrlMsg::Telemetry(report));
                 shutdown.store(true, Ordering::Release);
                 ctrl.stop();
                 acceptor.poke();

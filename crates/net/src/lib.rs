@@ -52,7 +52,8 @@ pub mod transport;
 pub use resilient::{BackoffConfig, EdgeMetrics, ResilientSender, SendOutcome, SenderLimits};
 pub use tcp::TcpTransport;
 pub use transport::{
-    FrameConn, FrameError, FrameListener, FrameRx, FrameTx, MemTransport, Transport, MAX_FRAME,
+    FrameConn, FrameError, FrameListener, FrameRx, FrameTx, MemTransport, SharedFrameTx, Transport,
+    MAX_FRAME,
 };
 
 use std::collections::VecDeque;

@@ -143,6 +143,71 @@ pub trait Transport: Send + Sync {
     fn dial(&self, addr: &str) -> Result<Box<dyn FrameConn>, FrameError>;
 }
 
+/// A cloneable, reconnect-aware handle to the sending half of a split
+/// connection.
+///
+/// Bridges that redial keep the live [`FrameTx`] inside their writer loop,
+/// which makes it single-owner — no other thread can opportunistically
+/// send a frame on the same connection. `SharedFrameTx` is the shared
+/// slot for that pattern: the writer [`install`](SharedFrameTx::install)s
+/// each freshly dialed half (and owns redialing), while any thread may
+/// [`send`](SharedFrameTx::send) through the current one. A send on a
+/// dead or empty slot reports `false` and clears the slot; senders treat
+/// that as "retry after the next reconnect", never as an error.
+#[derive(Clone, Default)]
+pub struct SharedFrameTx {
+    slot: Arc<Mutex<Option<Box<dyn FrameTx>>>>,
+}
+
+impl fmt::Debug for SharedFrameTx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedFrameTx").field("connected", &self.is_connected()).finish()
+    }
+}
+
+impl SharedFrameTx {
+    /// An empty (disconnected) slot.
+    pub fn new() -> SharedFrameTx {
+        SharedFrameTx::default()
+    }
+
+    /// Installs a freshly dialed sending half, replacing whatever was
+    /// there.
+    pub fn install(&self, tx: Box<dyn FrameTx>) {
+        *self.slot.lock() = Some(tx);
+    }
+
+    /// Drops the current sending half; subsequent sends report `false`
+    /// until a new one is installed.
+    pub fn disconnect(&self) {
+        *self.slot.lock() = None;
+    }
+
+    /// Whether a sending half is currently installed.
+    pub fn is_connected(&self) -> bool {
+        self.slot.lock().is_some()
+    }
+
+    /// Sends one frame through the installed half. Returns `false` — and
+    /// clears the slot on a fatal error, so the owning writer redials —
+    /// when the slot is empty or the send fails.
+    pub fn send(&self, payload: &[u8]) -> bool {
+        let mut slot = self.slot.lock();
+        match slot.as_mut() {
+            None => false,
+            Some(tx) => match tx.send(payload) {
+                Ok(()) => true,
+                Err(e) => {
+                    if e.is_fatal() {
+                        *slot = None;
+                    }
+                    false
+                }
+            },
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // In-memory backend
 // ---------------------------------------------------------------------------

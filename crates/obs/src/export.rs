@@ -30,6 +30,9 @@ fn prom_labels(labels: Labels, extra: Option<(&str, String)>) -> String {
     if let Some(port) = labels.port {
         pairs.push(format!("port=\"{port}\""));
     }
+    if let Some(worker) = labels.worker {
+        pairs.push(format!("worker=\"{worker}\""));
+    }
     if let Some((k, v)) = extra {
         pairs.push(format!("{k}=\"{v}\""));
     }
@@ -94,6 +97,9 @@ fn json_sample(out: &mut String, sample: &Sample) {
     }
     if let Some(port) = sample.labels.port {
         let _ = write!(out, ",\"port\":{port}");
+    }
+    if let Some(worker) = sample.labels.worker {
+        let _ = write!(out, ",\"worker\":{worker}");
     }
     match &sample.value {
         SampleValue::Counter(v) => {

@@ -65,19 +65,25 @@ impl Drop for HttpServer {
     }
 }
 
-/// Starts the scrape endpoint on `addr` (e.g. `"127.0.0.1:0"` for an
-/// ephemeral port) serving the given bundle. The server runs on one
-/// background thread until the returned handle is stopped or dropped.
+/// A route table: maps a request path to `(content type, body)`, or `None`
+/// for a 404. Rendering runs on the server thread per request, so routes
+/// serve live state, not a capture from start time.
+pub type Routes = dyn Fn(&str) -> Option<(String, String)> + Send + Sync;
+
+/// Starts a scrape endpoint on `addr` (e.g. `"127.0.0.1:0"` for an
+/// ephemeral port) serving an arbitrary route table. The single-process
+/// [`serve`] and the cluster-level endpoint are both built on this. The
+/// server runs on one background thread until the returned handle is
+/// stopped or dropped; method and 404 handling are shared here.
 ///
 /// # Errors
 ///
 /// Returns the bind error if the address is unavailable.
-pub fn serve(obs: &Obs, addr: &str) -> std::io::Result<HttpServer> {
+pub fn serve_with(addr: &str, routes: Box<Routes>) -> std::io::Result<HttpServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
-    let obs = obs.clone();
     let thread = std::thread::Builder::new()
         .name("obs-http".into())
         .spawn(move || {
@@ -86,14 +92,38 @@ pub fn serve(obs: &Obs, addr: &str) -> std::io::Result<HttpServer> {
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                let _ = handle(stream, &obs);
+                let _ = handle(stream, &routes);
             }
         })
         .expect("spawn obs-http thread");
     Ok(HttpServer { addr: local, stop, thread: Some(thread) })
 }
 
-fn handle(mut stream: TcpStream, obs: &Obs) -> std::io::Result<()> {
+/// Starts the scrape endpoint for one process's bundle (routes listed in
+/// the module docs). See [`serve_with`] for lifecycle and errors.
+pub fn serve(obs: &Obs, addr: &str) -> std::io::Result<HttpServer> {
+    let obs = obs.clone();
+    serve_with(
+        addr,
+        Box::new(move |path| {
+            let (content_type, body) = match path {
+                "/metrics" => ("text/plain; version=0.0.4", obs.prometheus()),
+                "/metrics.json" => ("application/json", obs.json()),
+                "/journal" => ("text/plain", obs.journal.render()),
+                "/traces" => ("application/json", obs.tracer.chrome_trace()),
+                "/" => (
+                    "text/plain",
+                    "streammine obs endpoints: /metrics /metrics.json /journal /traces\n"
+                        .to_string(),
+                ),
+                _ => return None,
+            };
+            Some((content_type.to_string(), body))
+        }),
+    )
+}
+
+fn handle(mut stream: TcpStream, routes: &Routes) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     // Read up to the end of the request head; the request line is all we
     // route on, so a partial read past the first line is fine.
@@ -114,19 +144,11 @@ fn handle(mut stream: TcpStream, obs: &Obs) -> std::io::Result<()> {
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
     let (status, content_type, body) = if method != "GET" {
-        ("405 Method Not Allowed", "text/plain", "only GET is supported\n".to_string())
+        ("405 Method Not Allowed", "text/plain".to_string(), "only GET is supported\n".to_string())
     } else {
-        match path {
-            "/metrics" => ("200 OK", "text/plain; version=0.0.4", obs.prometheus()),
-            "/metrics.json" => ("200 OK", "application/json", obs.json()),
-            "/journal" => ("200 OK", "text/plain", obs.journal.render()),
-            "/traces" => ("200 OK", "application/json", obs.tracer.chrome_trace()),
-            "/" => (
-                "200 OK",
-                "text/plain",
-                "streammine obs endpoints: /metrics /metrics.json /journal /traces\n".to_string(),
-            ),
-            _ => ("404 Not Found", "text/plain", format!("no route for {path}\n")),
+        match routes(path) {
+            Some((content_type, body)) => ("200 OK", content_type, body),
+            None => ("404 Not Found", "text/plain".to_string(), format!("no route for {path}\n")),
         }
     };
     let response = format!(

@@ -20,12 +20,19 @@
 //!   exported as Chrome trace-event JSON for Perfetto.
 //! * [`http`] — a minimal blocking scrape endpoint serving all of the
 //!   above live (`/metrics`, `/metrics.json`, `/journal`, `/traces`).
+//! * [`cluster`] — the multi-process telemetry plane: the
+//!   [`TelemetryReport`] wire codec workers push up the control lane and
+//!   the [`ClusterObs`] aggregator that merges reports — idempotently
+//!   across duplicates, reorders, and incarnations — into worker-labeled
+//!   cluster metrics, stitched cross-process Chrome traces, and the typed
+//!   [`RecoveryTimeline`] fault phase breakdown.
 //!
 //! [`Obs`] bundles one registry + one journal + one tracer; a graph
 //! creates one bundle and threads it everywhere.
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod export;
 pub mod http;
 pub mod journal;
@@ -33,8 +40,11 @@ pub mod registry;
 pub mod trace;
 pub mod transport;
 
+pub use cluster::{
+    timelines_json, ClusterJournalEvent, ClusterObs, FaultKind, RecoveryTimeline, TelemetryReport,
+};
 pub use export::{json, prometheus_text, sanitize_name, validate_prometheus};
-pub use http::{serve, HttpServer};
+pub use http::{serve, serve_with, HttpServer, Routes};
 pub use journal::{
     Journal, JournalEvent, JournalKind, Verbosity, DEFAULT_JOURNAL_CAPACITY,
     PINNED_JOURNAL_CAPACITY,

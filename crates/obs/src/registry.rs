@@ -28,39 +28,62 @@ pub const HISTOGRAM_BUCKETS: usize = 65;
 ///
 /// Every engine metric is keyed by at most an operator (node) index and a
 /// port/edge index relative to that operator, matching how the paper's
-/// figures slice latency (per stage, per input). Keeping labels a fixed
-/// `Copy` struct keeps registration allocation-free and lookup `Ord`-able.
+/// figures slice latency (per stage, per input); cluster-level aggregates
+/// additionally carry the worker (process) index the sample came from.
+/// Keeping labels a fixed `Copy` struct keeps registration allocation-free
+/// and lookup `Ord`-able.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Labels {
     /// Operator (node) index in the graph, if operator-scoped.
     pub op: Option<u32>,
     /// Port or edge index relative to the operator, if port-scoped.
     pub port: Option<u32>,
+    /// Worker (process) index a cluster-aggregated sample originated
+    /// from. `None` for single-process registries.
+    pub worker: Option<u32>,
 }
 
 impl Labels {
     /// No labels: a process- or graph-wide metric.
-    pub const NONE: Labels = Labels { op: None, port: None };
+    pub const NONE: Labels = Labels { op: None, port: None, worker: None };
 
     /// Labels for an operator-scoped metric.
     pub fn op(op: u32) -> Labels {
-        Labels { op: Some(op), port: None }
+        Labels { op: Some(op), port: None, worker: None }
     }
 
     /// Labels for a per-port (or per-edge) metric of one operator.
     pub fn op_port(op: u32, port: u32) -> Labels {
-        Labels { op: Some(op), port: Some(port) }
+        Labels { op: Some(op), port: Some(port), worker: None }
+    }
+
+    /// The same labels, additionally scoped to a worker process — how a
+    /// cluster aggregator re-keys every sample it merges.
+    #[must_use]
+    pub fn with_worker(mut self, worker: u32) -> Labels {
+        self.worker = Some(worker);
+        self
     }
 }
 
 impl fmt::Display for Labels {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match (self.op, self.port) {
-            (None, None) => Ok(()),
-            (Some(op), None) => write!(f, "{{op=\"{op}\"}}"),
-            (Some(op), Some(port)) => write!(f, "{{op=\"{op}\",port=\"{port}\"}}"),
-            (None, Some(port)) => write!(f, "{{port=\"{port}\"}}"),
+        if self.op.is_none() && self.port.is_none() && self.worker.is_none() {
+            return Ok(());
         }
+        let mut sep = "{";
+        if let Some(op) = self.op {
+            write!(f, "{sep}op=\"{op}\"")?;
+            sep = ",";
+        }
+        if let Some(port) = self.port {
+            write!(f, "{sep}port=\"{port}\"")?;
+            sep = ",";
+        }
+        if let Some(worker) = self.worker {
+            write!(f, "{sep}worker=\"{worker}\"")?;
+        }
+        write!(f, "}}")
     }
 }
 

@@ -6,17 +6,27 @@
 //! incarnation, respawn, and replay — with sink output byte-identical to
 //! the same chain run in-process with no faults.
 //!
+//! The run also exercises the cluster telemetry plane: workers push
+//! metrics/journal/span reports up the control lane, the launcher serves
+//! them at `/cluster/*`, and the demo scrapes its own endpoint mid-run,
+//! then writes `OBS_cluster.json`, `OBS_cluster.prom`,
+//! `OBS_cluster.trace.json` (the stitched cross-process Chrome trace),
+//! and `OBS_cluster.recovery.json` (the structured recovery timeline).
+//!
 //! ```sh
 //! cargo build --bin streammine_worker
 //! cargo run --example distributed_pipeline
 //! ```
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use streammine::common::event::Value;
 use streammine::core::dist::{Cluster, ClusterSpec, NodeSpec};
 use streammine::core::{GraphBuilder, LoggingConfig, OperatorConfig};
+use streammine::obs::{timelines_json, validate_chrome_trace, validate_prometheus};
 use streammine::operators::RandomTagger;
 
 const HOPS: usize = 3;
@@ -62,19 +72,33 @@ fn reference() -> Vec<Value> {
     out
 }
 
+/// Minimal HTTP GET against the cluster's own telemetry server.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect telemetry http");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: cluster\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read http response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("malformed http response");
+    assert!(head.starts_with("HTTP/1.1 200"), "GET {path}: {head}");
+    body.to_string()
+}
+
 fn main() {
     println!("== in-process reference (no faults) ==");
     let expected = reference();
     println!("   {} events, e.g. {} ... {}", expected.len(), expected[0], expected[39]);
 
     println!("\n== distributed: {HOPS} worker processes over TCP ==");
-    let spec = ClusterSpec::new(
+    let mut spec = ClusterSpec::new(
         vec![NodeSpec { operator: "random-tagger".into(), log_micros: LOG_MICROS, disks: 1 }; HOPS],
         worker_bin(),
     );
+    spec.trace_one_in = 1; // trace every event: the stitched-trace demo
     let cluster = Cluster::launch(spec).expect("cluster launch");
     assert!(cluster.wait_connected(Duration::from_secs(20)), "cluster never wired up");
     println!("   all {HOPS} workers up, chain wired end to end");
+    let server = cluster.serve_http("127.0.0.1:0").expect("telemetry http bind");
+    println!("   cluster telemetry at http://{}/cluster/metrics", server.local_addr());
 
     let kill_at = EVENTS / 2;
     let started = Instant::now();
@@ -99,7 +123,35 @@ fn main() {
         cluster.crashes_detected(),
         cluster.restarts()
     );
+
+    // Scrape our own cluster endpoint while the run is live, the way an
+    // external Prometheus would.
+    println!("\n== scraping /cluster/metrics mid-run ==");
+    let scraped = http_get(server.local_addr(), "/cluster/metrics");
+    let samples = validate_prometheus(&scraped).expect("scraped exposition invalid");
+    println!("   scrape ok: {samples} samples, {} bytes", scraped.len());
+
     cluster.shutdown();
+    server.stop();
+
+    // Export the post-run cluster artifacts (final flushes included).
+    let prom = cluster.cluster_prometheus();
+    validate_prometheus(&prom).expect("cluster prometheus invalid");
+    let trace = cluster.cluster_chrome_trace();
+    let span_count = validate_chrome_trace(&trace).expect("stitched trace invalid");
+    let stitched = cluster.telemetry().cross_process_traces();
+    let timelines = cluster.recovery_timelines();
+    std::fs::write("OBS_cluster.json", cluster.cluster_json()).expect("write OBS_cluster.json");
+    std::fs::write("OBS_cluster.prom", &prom).expect("write OBS_cluster.prom");
+    std::fs::write("OBS_cluster.trace.json", &trace).expect("write OBS_cluster.trace.json");
+    std::fs::write("OBS_cluster.recovery.json", timelines_json(&timelines))
+        .expect("write OBS_cluster.recovery.json");
+    println!(
+        "   wrote OBS_cluster.{{json,prom,trace.json,recovery.json}}: {span_count} trace \
+         events, {} cross-process trace ids, {} recovery timeline(s)",
+        stitched.len(),
+        timelines.len()
+    );
 
     assert_eq!(out, expected, "recovery changed the output bytes");
     println!(

@@ -5,12 +5,18 @@
 //! (complete). Writes `BENCH_recovery.json` for the CI artifact and exits
 //! non-zero if any trial blows the wall-clock budget — a recovery-latency
 //! smoke gate, not a micro-benchmark.
+//!
+//! With `--timeline`, each trial additionally captures the launcher's
+//! structured [`RecoveryTimeline`] and the JSON gains a per-phase
+//! breakdown (detect → fence → respawn → handshake → first output →
+//! drain) plus the raw timelines.
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use streammine::common::event::Value;
 use streammine::core::dist::{Cluster, ClusterSpec, NodeSpec};
+use streammine::obs::RecoveryTimeline;
 
 const HOPS: usize = 3;
 const PRE_KILL: usize = 50;
@@ -25,6 +31,7 @@ struct Trial {
     detect_ms: f64,
     first_output_ms: f64,
     complete_ms: f64,
+    timeline: Option<RecoveryTimeline>,
 }
 
 fn worker_bin() -> PathBuf {
@@ -82,10 +89,11 @@ fn run_trial(bin: PathBuf) -> Result<Trial, String> {
     let complete = cluster.sink().wait_final(PRE_KILL + POST_KILL, TRIAL_BUDGET);
     let complete_ms = killed.elapsed().as_secs_f64() * 1e3;
     cluster.shutdown();
+    let timeline = cluster.recovery_timelines().into_iter().next();
 
     match (detect_ms, first_output_ms, complete) {
         (Some(detect_ms), Some(first_output_ms), true) => {
-            Ok(Trial { detect_ms, first_output_ms, complete_ms })
+            Ok(Trial { detect_ms, first_output_ms, complete_ms, timeline })
         }
         (None, _, _) => Err("kill never detected within budget".into()),
         (_, None, _) => Err("no post-kill output within budget".into()),
@@ -99,7 +107,30 @@ fn stat(values: &mut [f64], q: f64) -> f64 {
     values[idx]
 }
 
+/// Extracts one phase's µs-delta from a timeline, `None` if either
+/// endpoint was never stamped.
+type PhaseDelta = fn(&RecoveryTimeline) -> Option<u64>;
+
+/// `(p50, max)` of the µs-delta between two timeline phases, in ms,
+/// across every trial that stamped both phases.
+fn phase_stats(
+    trials: &[Trial],
+    delta: impl Fn(&RecoveryTimeline) -> Option<u64>,
+) -> Option<(f64, f64)> {
+    let mut values: Vec<f64> = trials
+        .iter()
+        .filter_map(|t| t.timeline.as_ref())
+        .filter_map(&delta)
+        .map(|us| us as f64 / 1e3)
+        .collect();
+    if values.is_empty() {
+        return None;
+    }
+    Some((stat(&mut values, 0.5), stat(&mut values, 1.0)))
+}
+
 fn main() {
+    let timeline_mode = std::env::args().any(|a| a == "--timeline");
     let bin = worker_bin();
     let mut trials = Vec::new();
     for t in 0..TRIALS {
@@ -136,10 +167,45 @@ fn main() {
         stat(&mut first, 1.0)
     ));
     json.push_str(&format!(
-        "  \"complete_ms\": {{\"p50\": {:.2}, \"max\": {:.2}}}\n}}\n",
+        "  \"complete_ms\": {{\"p50\": {:.2}, \"max\": {:.2}}}{}\n",
         stat(&mut complete, 0.5),
-        stat(&mut complete, 1.0)
+        stat(&mut complete, 1.0),
+        if timeline_mode { "," } else { "" }
     ));
+    if timeline_mode {
+        if trials.iter().any(|t| t.timeline.is_none()) {
+            eprintln!("--timeline: a trial produced no recovery timeline");
+            std::process::exit(1);
+        }
+        let phases: [(&str, PhaseDelta); 5] = [
+            ("detect_to_fence_ms", |t| Some(t.fence_us - t.detect_us)),
+            ("fence_to_respawn_ms", |t| Some(t.respawn_us - t.fence_us)),
+            ("respawn_to_handshake_ms", |t| t.handshake_us.map(|h| h - t.respawn_us)),
+            ("handshake_to_first_output_ms", |t| {
+                t.handshake_us.zip(t.first_output_us).map(|(h, f)| f - h)
+            }),
+            ("first_output_to_drain_ms", |t| t.first_output_us.zip(t.drain_us).map(|(f, d)| d - f)),
+        ];
+        json.push_str("  \"phases\": {\n");
+        let lines: Vec<String> = phases
+            .iter()
+            .filter_map(|(name, delta)| {
+                phase_stats(&trials, delta).map(|(p50, max)| {
+                    format!("    \"{name}\": {{\"p50\": {p50:.2}, \"max\": {max:.2}}}")
+                })
+            })
+            .collect();
+        json.push_str(&lines.join(",\n"));
+        json.push_str("\n  },\n");
+        let raw: Vec<String> = trials
+            .iter()
+            .filter_map(|t| t.timeline.as_ref())
+            .map(|t| format!("    {}", t.to_json()))
+            .collect();
+        json.push_str(&format!("  \"timelines\": [\n{}\n  ]\n}}\n", raw.join(",\n")));
+    } else {
+        json.push_str("}\n");
+    }
     std::fs::write("BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
     println!("\nwrote BENCH_recovery.json:\n{json}");
 }

@@ -8,13 +8,18 @@
 //! bytes, the processes hold no checkpoints, and recovery crosses real
 //! process and socket boundaries.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use streammine::chaos::{ProcFaultEvent, ProcFaultKind, ProcFaultPlan};
+use streammine::chaos::{verify_cluster_recovery, ProcFaultEvent, ProcFaultKind, ProcFaultPlan};
 use streammine::common::event::{Event, Value};
 use streammine::core::dist::{Cluster, ClusterSpec, NodeSpec};
 use streammine::core::{GraphBuilder, LoggingConfig, OperatorConfig};
+use streammine::obs::{
+    validate_chrome_trace, validate_prometheus, FaultKind, RecoveryTimeline, RegistrySnapshot,
+};
 use streammine::operators::RandomTagger;
 
 /// Simulated stable-log write latency (µs) — fast, so runs stay short.
@@ -80,14 +85,21 @@ fn apply(cluster: &Cluster, kind: ProcFaultKind) {
     }
 }
 
+/// Everything a chaos run leaves behind: output bytes, recovery counters,
+/// the assembled recovery timelines, and the cluster metrics aggregate
+/// (snapshotted after shutdown, so final telemetry flushes are merged).
+struct RunOutcome {
+    out: Vec<Value>,
+    restarts: u64,
+    crashes: u64,
+    expiries: u64,
+    timelines: Vec<RecoveryTimeline>,
+    snapshot: RegistrySnapshot,
+}
+
 /// Runs the distributed chain, injecting `plan` step by step while
-/// feeding, and returns the sink payloads plus recovery counters.
-fn cluster_run(
-    hops: usize,
-    input: &[Value],
-    plan: &ProcFaultPlan,
-    pace: Duration,
-) -> (Vec<Value>, u64, u64, u64) {
+/// feeding, and returns the run's [`RunOutcome`].
+fn cluster_run(hops: usize, input: &[Value], plan: &ProcFaultPlan, pace: Duration) -> RunOutcome {
     let cluster = Cluster::launch(tagger_chain(hops)).expect("cluster launch");
     assert!(cluster.wait_connected(Duration::from_secs(30)), "cluster never wired up");
     let mut pending = plan.events.iter().peekable();
@@ -113,17 +125,35 @@ fn cluster_run(
     let out = payloads(&cluster.sink().final_events());
     let stats = (cluster.restarts(), cluster.crashes_detected(), cluster.leases_expired());
     cluster.shutdown();
-    (out, stats.0, stats.1, stats.2)
+    RunOutcome {
+        out,
+        restarts: stats.0,
+        crashes: stats.1,
+        expiries: stats.2,
+        timelines: cluster.recovery_timelines(),
+        snapshot: cluster.cluster_snapshot(),
+    }
+}
+
+/// Minimal HTTP GET against the cluster telemetry server.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect telemetry http");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: cluster\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read http response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("malformed http response");
+    assert!(head.starts_with("HTTP/1.1 200"), "GET {path}: {head}");
+    body.to_string()
 }
 
 #[test]
 fn two_process_chain_matches_in_process_reference() {
     let input = inputs(12);
     let expected = reference(2, &input);
-    let (got, restarts, _, _) =
-        cluster_run(2, &input, &ProcFaultPlan::scripted(vec![]), Duration::from_millis(2));
-    assert_eq!(got, expected, "fault-free distributed run diverged from in-process reference");
-    assert_eq!(restarts, 0, "fault-free run should not restart anyone");
+    let r = cluster_run(2, &input, &ProcFaultPlan::scripted(vec![]), Duration::from_millis(2));
+    assert_eq!(r.out, expected, "fault-free distributed run diverged from in-process reference");
+    assert_eq!(r.restarts, 0, "fault-free run should not restart anyone");
+    assert!(r.timelines.is_empty(), "fault-free run fabricated a recovery timeline");
 }
 
 #[test]
@@ -134,10 +164,22 @@ fn sigkill_mid_stream_recovers_byte_identical() {
         step: 6,
         kind: ProcFaultKind::KillWorker { worker: 1 },
     }]);
-    let (got, restarts, crashes, _) = cluster_run(3, &input, &plan, Duration::from_millis(10));
-    assert!(crashes >= 1, "the SIGKILL was never detected as a crash");
-    assert!(restarts >= 1, "the killed worker was never restarted");
-    assert_eq!(got, expected, "recovery after SIGKILL changed the output bytes");
+    let r = cluster_run(3, &input, &plan, Duration::from_millis(10));
+    assert!(r.crashes >= 1, "the SIGKILL was never detected as a crash");
+    assert!(r.restarts >= 1, "the killed worker was never restarted");
+    assert_eq!(r.out, expected, "recovery after SIGKILL changed the output bytes");
+    // The fault is reconstructed as a structured timeline with every
+    // phase stamped: the chain drained, so the replacement handshaked and
+    // produced output.
+    let t = r
+        .timelines
+        .iter()
+        .find(|t| t.kind == FaultKind::Crash && t.worker == 1)
+        .expect("no crash timeline for the killed worker");
+    assert!(t.monotonic(), "non-monotonic timeline: {}", t.to_json());
+    assert!(t.handshake_us.is_some(), "replacement handshake never stamped");
+    assert!(t.first_output_us.is_some(), "post-recovery output never stamped");
+    assert!(t.drain_us.is_some(), "drain never stamped");
 }
 
 #[test]
@@ -153,10 +195,14 @@ fn lease_expiry_fences_a_silent_worker_and_recovers() {
         step: 5,
         kind: ProcFaultKind::PauseBeats { worker: 2, millis: 900 },
     }]);
-    let (got, restarts, _, expiries) = cluster_run(3, &input, &plan, Duration::from_millis(10));
-    assert!(expiries >= 1, "the silent worker's lease never expired");
-    assert!(restarts >= 1, "the fenced worker was never restarted");
-    assert_eq!(got, expected, "lease-expiry recovery changed the output bytes");
+    let r = cluster_run(3, &input, &plan, Duration::from_millis(10));
+    assert!(r.expiries >= 1, "the silent worker's lease never expired");
+    assert!(r.restarts >= 1, "the fenced worker was never restarted");
+    assert_eq!(r.out, expected, "lease-expiry recovery changed the output bytes");
+    assert!(
+        r.timelines.iter().any(|t| t.kind == FaultKind::LeaseExpiry && t.worker == 2),
+        "no lease-expiry timeline for the silent worker"
+    );
 }
 
 #[test]
@@ -171,16 +217,101 @@ fn chaos_grid_16_seeds_byte_identical_under_real_faults() {
     for seed in 0..SEEDS {
         let plan = ProcFaultPlan::random(seed, STEPS, HOPS as u32);
         total_events += plan.events.len();
-        let (got, restarts, _, _) = cluster_run(HOPS, &input, &plan, Duration::from_millis(20));
+        let r = cluster_run(HOPS, &input, &plan, Duration::from_millis(20));
         assert_eq!(
-            got, expected,
+            r.out, expected,
             "seed {seed}: distributed output diverged from reference under {plan}"
         );
-        total_restarts += restarts;
+        // Telemetry reconciliation: timelines vs the injected schedule vs
+        // the cluster-level counters the workers reported.
+        verify_cluster_recovery(
+            &plan,
+            &r.timelines,
+            r.crashes,
+            r.expiries,
+            r.restarts,
+            &r.snapshot,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: {e} (plan {plan})"));
+        total_restarts += r.restarts;
     }
     assert!(total_events > 0, "the grid injected no faults at all");
     assert!(
         total_restarts > 0,
         "the grid never exercised process restart ({total_events} faults injected)"
+    );
+}
+
+#[test]
+fn cluster_telemetry_aggregates_metrics_traces_and_timelines() {
+    let input = inputs(24);
+    let expected = reference(2, &input);
+    let mut spec = tagger_chain(2);
+    spec.trace_one_in = 1; // trace every source event
+    spec.telemetry_millis = 20;
+    let cluster = Cluster::launch(spec).expect("cluster launch");
+    assert!(cluster.wait_connected(Duration::from_secs(30)), "cluster never wired up");
+    let server = cluster.serve_http("127.0.0.1:0").expect("telemetry http bind");
+
+    for (step, v) in input.iter().enumerate() {
+        if step == 8 {
+            cluster.kill_worker(1);
+        }
+        cluster.source().push(v.clone());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        cluster.sink().wait_final(input.len(), Duration::from_secs(120)),
+        "sink saw {}/{} final events",
+        cluster.sink().final_count(),
+        input.len(),
+    );
+    assert_eq!(payloads(&cluster.sink().final_events()), expected, "output bytes diverged");
+
+    // Scrape the live endpoints over real HTTP mid-run (pre-shutdown).
+    let live = http_get(server.local_addr(), "/cluster/metrics");
+    validate_prometheus(&live).expect("live /cluster/metrics fails the linter");
+    let recovery_body = http_get(server.local_addr(), "/cluster/recovery");
+    assert!(recovery_body.starts_with("{\"recoveries\":"), "unexpected recovery JSON");
+
+    cluster.shutdown();
+    server.stop();
+
+    // Worker edge metrics reached the aggregate with worker labels — the
+    // detached-transport-metrics regression this plane exists to catch.
+    let snap = cluster.cluster_snapshot();
+    let worker_transport: u64 = snap
+        .samples
+        .iter()
+        .filter(|s| s.name == "transport.frames_out" && s.labels.worker.is_some())
+        .filter_map(|s| snap.counter("transport.frames_out", s.labels))
+        .sum();
+    assert!(worker_transport > 0, "no worker-labeled transport.frames_out in the aggregate");
+    validate_prometheus(&cluster.cluster_prometheus()).expect("cluster prometheus lint");
+
+    // Stitched Chrome trace: spans from both workers (distinct pids) for
+    // shared trace ids, and the export passes the format validator.
+    let trace = cluster.cluster_chrome_trace();
+    let events = validate_chrome_trace(&trace).expect("stitched chrome trace invalid");
+    assert!(events > 0, "stitched trace is empty");
+    let stitched = cluster.telemetry().cross_process_traces();
+    assert!(!stitched.is_empty(), "no trace id spans more than one worker");
+    assert!(
+        stitched.iter().any(|&t| cluster.telemetry().trace_pid_count(t) >= 2),
+        "stitched traces never cover two worker pids"
+    );
+
+    // The kill shows up as one crash timeline with monotonic phases, and
+    // telemetry-synthesized restarts match the launcher's counter.
+    let timelines = cluster.recovery_timelines();
+    assert_eq!(cluster.restarts(), 1, "expected exactly one restart");
+    assert_eq!(timelines.len(), 1, "expected exactly one recovery timeline");
+    assert_eq!(timelines[0].kind, FaultKind::Crash);
+    assert_eq!(timelines[0].worker, 1);
+    assert!(timelines[0].monotonic(), "non-monotonic: {}", timelines[0].to_json());
+    assert_eq!(
+        snap.counter("recovery.restarts", streammine::obs::Labels::NONE.with_worker(1)),
+        Some(1),
+        "telemetry undercounted worker 1's restart"
     );
 }
