@@ -218,9 +218,52 @@ fn gate_figure(
     }
 }
 
+/// Folds the approximate-recovery snapshot (written by `approx_snapshot`
+/// in the chaos-approx job) into the report when present: the recovery
+/// trade-off — approximate-vs-precise time to first output, measured
+/// deviation, remaining budget — rides along with the latency scenarios
+/// in one machine-readable artifact. Absent file (the gate running
+/// stand-alone) yields `null`.
+fn approx_section() -> String {
+    let Ok(text) = std::fs::read_to_string("BENCH_approx.json") else {
+        return "null".into();
+    };
+    let mut precise_first = None;
+    let mut approx_first = None;
+    let mut deviation = None;
+    let mut allowed = None;
+    let mut remaining = None;
+    let mut speedup = None;
+    for line in text.lines() {
+        if line.contains("\"precise\"") {
+            precise_first = json_num(line, "first_output_ms");
+        } else if line.contains("\"approximate\"") {
+            approx_first = json_num(line, "first_output_ms");
+            deviation = json_num(line, "deviation");
+            allowed = json_num(line, "allowed");
+            remaining = json_num(line, "budget_remaining");
+        } else if line.contains("first_output_speedup") {
+            speedup = json_num(line, "first_output_speedup");
+        }
+    }
+    match (precise_first, approx_first) {
+        (Some(p), Some(a)) => format!(
+            "{{\"precise_first_output_ms\": {p}, \"approximate_first_output_ms\": {a}, \
+             \"first_output_speedup\": {}, \"deviation\": {}, \"allowed\": {}, \
+             \"budget_remaining\": {}}}",
+            speedup.unwrap_or(p / a),
+            deviation.unwrap_or(-1.0),
+            allowed.unwrap_or(-1.0),
+            remaining.unwrap_or(-1.0),
+        ),
+        _ => "null".into(),
+    }
+}
+
 fn write_report(path: &str, comparisons: &[Comparison]) {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"approx_recovery\": {},", approx_section());
     let _ = writeln!(
         out,
         "  \"tolerances\": {{\"p50\": {}, \"p99\": {}, \"rate\": {}}},",

@@ -35,4 +35,7 @@ pub use plan::{FaultEvent, FaultKind, FaultPlan, Topology};
 pub use proc_plan::{ProcFaultEvent, ProcFaultKind, ProcFaultPlan};
 pub use scheduler::FaultScheduler;
 pub use target::ChaosTarget;
-pub use verify::{verify_cluster_recovery, verify_recovery_counters, verify_rollback_traces};
+pub use verify::{
+    verify_bounded_divergence, verify_cluster_recovery, verify_recovery_counters,
+    verify_rollback_traces, DivergenceReport,
+};

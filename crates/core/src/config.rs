@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use streammine_common::error::{Error, Result};
+use streammine_sketch::ErrorBound;
 use streammine_stm::StmConfig;
 use streammine_storage::disk::DiskSpec;
 
@@ -55,6 +56,24 @@ impl Default for NodeConfig {
     }
 }
 
+/// How an operator's state is brought back after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RecoveryMode {
+    /// Byte-identical recovery: determinant logging (when configured)
+    /// plus full deterministic re-execution from the last checkpoint.
+    /// This is the paper's protocol and the default.
+    #[default]
+    Precise,
+    /// Bounded-error recovery for operators whose state is a mergeable
+    /// sketch: per-event determinant logging is skipped for bound-covered
+    /// state, checkpoints are taken lazily, and recovery resumes from the
+    /// *stale* snapshot, dropping the lost delta instead of re-executing
+    /// it. The dropped updates are charged against an error budget
+    /// derived from the declared [`ErrorBound`]; when a recovery would
+    /// exceed the budget the node escalates to a precise replay cycle.
+    Approximate(ErrorBound),
+}
+
 /// Configuration of one operator instance (§2.3: "each operator can be
 /// configured as being speculative or not").
 #[derive(Debug, Clone)]
@@ -75,6 +94,9 @@ pub struct OperatorConfig {
     pub stm: StmConfig,
     /// Overload robustness: intake sizing and speculation admission caps.
     pub node: NodeConfig,
+    /// Crash-recovery contract: precise (byte-identical, the default) or
+    /// approximate (bounded error, sketch state only).
+    pub recovery: RecoveryMode,
 }
 
 impl Default for OperatorConfig {
@@ -86,6 +108,7 @@ impl Default for OperatorConfig {
             checkpoint_every: None,
             stm: StmConfig::default(),
             node: NodeConfig::default(),
+            recovery: RecoveryMode::Precise,
         }
     }
 }
@@ -126,6 +149,16 @@ impl OperatorConfig {
     #[must_use]
     pub fn with_checkpoint_every(mut self, events: u64) -> Self {
         self.checkpoint_every = Some(events);
+        self
+    }
+
+    /// Switches the operator to approximate recovery under the given
+    /// declared bound. Approximate mode skips determinant logging for
+    /// bound-covered sketch state and requires a checkpoint interval
+    /// (set via [`with_checkpoint_every`](Self::with_checkpoint_every)).
+    #[must_use]
+    pub fn with_approximate_recovery(mut self, bound: ErrorBound) -> Self {
+        self.recovery = RecoveryMode::Approximate(bound);
         self
     }
 
@@ -177,6 +210,18 @@ impl OperatorConfig {
                 "max retained speculative outputs must be at least 1".into(),
             ));
         }
+        if matches!(self.recovery, RecoveryMode::Approximate(_)) {
+            if self.speculative {
+                return Err(Error::Config(
+                    "approximate recovery requires non-speculative mode".into(),
+                ));
+            }
+            if self.checkpoint_every.is_none() {
+                return Err(Error::Config(
+                    "approximate recovery requires a checkpoint interval".into(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -223,6 +268,27 @@ mod tests {
 
         let c = OperatorConfig::plain()
             .with_node(NodeConfig { max_retained_spec_outputs: 0, ..NodeConfig::default() });
+        assert!(matches!(c.validate(), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn approximate_recovery_validation() {
+        let bound = ErrorBound::new(0.01, 0.05);
+        OperatorConfig::plain()
+            .with_approximate_recovery(bound)
+            .with_checkpoint_every(64)
+            .validate()
+            .unwrap();
+
+        // No checkpoint interval: the stale-snapshot resume has nothing
+        // to resume from.
+        let c = OperatorConfig::plain().with_approximate_recovery(bound);
+        assert!(matches!(c.validate(), Err(Error::Config(_))));
+
+        // Speculative operators keep the precise protocol.
+        let c = OperatorConfig::speculative_unlogged()
+            .with_approximate_recovery(bound)
+            .with_checkpoint_every(64);
         assert!(matches!(c.validate(), Err(Error::Config(_))));
     }
 

@@ -61,8 +61,15 @@ pub(crate) struct EdgeCursor {
 }
 
 impl EdgeCursor {
-    pub fn new() -> EdgeCursor {
-        EdgeCursor { rb: ReorderBuffer::new(0), events: 0, scratch: Vec::new() }
+    /// A cursor resuming at link sequence `seq` — the respawn case, primed
+    /// from the worker's persisted checkpoint so a reconnecting upstream
+    /// is asked to replay from the checkpoint position instead of 0
+    /// (everything below was acked away and is unreplayable; asking for it
+    /// parks the retained suffix behind a gap that can never fill). The
+    /// event count is primed to `seq` too: on unbatched edges frames carry
+    /// one event each, and only a *freshly restarted* sender consults it.
+    pub fn starting_at(seq: u64) -> EdgeCursor {
+        EdgeCursor { rb: ReorderBuffer::new(seq), events: seq, scratch: Vec::new() }
     }
 
     /// Next expected link sequence.
@@ -267,6 +274,12 @@ pub(crate) struct InEdge {
     /// The node's upstream control link (acks, replay requests), pumped
     /// to the current connection's reverse direction.
     pub ctrl_rx: LinkReceiver<Control>,
+    /// Link sequence this edge resumes at — 0 for a fresh worker, the
+    /// checkpoint's input position for a respawn. Earlier checkpoint acks
+    /// trimmed the upstream's retention below this point, so welcoming a
+    /// reconnecting sender with anything smaller would park the retained
+    /// suffix behind a gap that can never fill.
+    pub start: u64,
     pub metrics: TransportMetrics,
 }
 
@@ -310,7 +323,7 @@ impl Acceptor {
         let mut pumps = Vec::new();
         for e in edges {
             let state = Arc::new(EdgeState {
-                cursor: Mutex::new(EdgeCursor::new()),
+                cursor: Mutex::new(EdgeCursor::starting_at(e.start)),
                 deliver: e.deliver,
                 writer: Mutex::new(None),
                 pause_until: Mutex::new(None),
@@ -544,7 +557,7 @@ mod tests {
 
     #[test]
     fn edge_cursor_counts_in_order_events_through_gaps() {
-        let mut c = EdgeCursor::new();
+        let mut c = EdgeCursor::starting_at(0);
         assert_eq!(c.offer(0, ev(0)).len(), 1);
         // Gap: seq 2 held, not counted yet.
         assert_eq!(c.offer(2, ev(2)).len(), 0);
@@ -588,6 +601,7 @@ mod tests {
                     got_tx.send((seq, msg)).unwrap();
                 }),
                 ctrl_rx: up_ctrl_rx,
+                start: 0,
                 metrics: TransportMetrics::detached(),
             }],
             shutdown.clone(),
@@ -667,6 +681,7 @@ mod tests {
                     got_tx.send((seq, msg)).unwrap();
                 }),
                 ctrl_rx: up_ctrl_rx,
+                start: 0,
                 metrics: TransportMetrics::detached(),
             }],
             shutdown.clone(),

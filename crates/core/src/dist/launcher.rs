@@ -30,9 +30,12 @@ use streammine_common::ids::OperatorId;
 use streammine_net::{link, LinkConfig, LinkError, TcpTransport, Transport};
 use streammine_obs::{
     prometheus_text, timelines_json, ClusterObs, Counter, FaultKind, HttpServer, Labels, Obs,
-    RecoveryTimeline, RegistrySnapshot, TransportMetrics,
+    RecoveryModeTag, RecoveryTimeline, RegistrySnapshot, TransportMetrics,
 };
 
+use streammine_sketch::ErrorBound;
+
+use crate::config::RecoveryMode;
 use crate::dist::bridge::{Acceptor, InEdge, OutBridge};
 use crate::dist::control::{ControlPlane, CtrlEvent};
 use crate::dist::spec::{WorkerSpec, SPEC_ENV};
@@ -49,6 +52,46 @@ pub struct NodeSpec {
     pub log_micros: u64,
     /// Replicated decision-log disks.
     pub disks: u32,
+    /// Crash-recovery contract: precise (the default) or approximate
+    /// under a declared bound. Approximate slots also need
+    /// `checkpoint_every` and a `checkpoint_dir` so the respawned
+    /// process finds its predecessor's snapshot.
+    pub recovery: RecoveryMode,
+    /// Checkpoint interval in processed events (`None` = no
+    /// checkpointing; recovery is full upstream replay).
+    pub checkpoint_every: Option<u64>,
+    /// Directory for the worker's persisted checkpoint image (`None` =
+    /// checkpoints stay in process memory and die with the process).
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl NodeSpec {
+    /// A precise, checkpoint-free logged slot — the classic worker.
+    pub fn logged(operator: &str, log_micros: u64, disks: u32) -> NodeSpec {
+        NodeSpec {
+            operator: operator.into(),
+            log_micros,
+            disks,
+            recovery: RecoveryMode::Precise,
+            checkpoint_every: None,
+            checkpoint_dir: None,
+        }
+    }
+
+    /// Switches the slot to approximate recovery: checkpoints every
+    /// `every` events into `dir`, resumes stale within `bound`.
+    #[must_use]
+    pub fn with_approximate_recovery(
+        mut self,
+        bound: ErrorBound,
+        every: u64,
+        dir: PathBuf,
+    ) -> NodeSpec {
+        self.recovery = RecoveryMode::Approximate(bound);
+        self.checkpoint_every = Some(every);
+        self.checkpoint_dir = Some(dir);
+        self
+    }
 }
 
 /// Configuration of a [`Cluster`].
@@ -268,6 +311,7 @@ impl Cluster {
                         }
                     }),
                     ctrl_rx: sink_ctrl_rx,
+                    start: 0,
                     metrics: TransportMetrics::registered(&obs.registry, (n - 1) as u32, n as u32),
                 }],
                 shutdown.clone(),
@@ -597,6 +641,20 @@ fn spawn_worker(
         beat_millis: spec.beat.as_millis() as u64,
         trace_one_in: spec.trace_one_in,
         telemetry_millis: spec.telemetry_millis,
+        checkpoint_every: op.checkpoint_every.unwrap_or(0),
+        checkpoint_dir: op
+            .checkpoint_dir
+            .as_ref()
+            .map(|d| d.to_string_lossy().into_owned())
+            .unwrap_or_default(),
+        approx_eps_ppm: match op.recovery {
+            RecoveryMode::Approximate(b) => b.epsilon_ppm(),
+            RecoveryMode::Precise => 0,
+        },
+        approx_delta_ppm: match op.recovery {
+            RecoveryMode::Approximate(b) => b.delta_ppm(),
+            RecoveryMode::Precise => 0,
+        },
     };
     Command::new(&spec.worker_bin)
         .env(SPEC_ENV, wspec.to_hex())
@@ -749,6 +807,10 @@ fn monitor(
                     worker: i as u32,
                     incarnation: next,
                     kind: if dead { FaultKind::Crash } else { FaultKind::LeaseExpiry },
+                    mode: match spec.operators[i].recovery {
+                        RecoveryMode::Approximate(_) => RecoveryModeTag::Approximate,
+                        RecoveryMode::Precise => RecoveryModeTag::Precise,
+                    },
                     detect_us,
                     fence_us,
                     respawn_us: shared.now_us(),

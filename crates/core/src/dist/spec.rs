@@ -46,6 +46,17 @@ pub struct WorkerSpec {
     /// Telemetry report period in milliseconds (`0` = only the final
     /// flush on clean shutdown).
     pub telemetry_millis: u64,
+    /// Checkpoint interval in processed events (`0` = no checkpointing —
+    /// the worker recovers by full upstream replay).
+    pub checkpoint_every: u64,
+    /// Directory holding the worker's persisted checkpoint image (empty =
+    /// checkpoints stay in process memory and die with it).
+    pub checkpoint_dir: String,
+    /// Approximate-recovery ε in parts-per-million (`0` = precise
+    /// recovery; the ppm pair is only meaningful together).
+    pub approx_eps_ppm: u64,
+    /// Approximate-recovery δ in parts-per-million.
+    pub approx_delta_ppm: u64,
 }
 
 impl Encode for WorkerSpec {
@@ -62,6 +73,10 @@ impl Encode for WorkerSpec {
         enc.put_u64(self.beat_millis);
         enc.put_u64(self.trace_one_in);
         enc.put_u64(self.telemetry_millis);
+        enc.put_u64(self.checkpoint_every);
+        self.checkpoint_dir.encode(enc);
+        enc.put_u64(self.approx_eps_ppm);
+        enc.put_u64(self.approx_delta_ppm);
     }
 }
 
@@ -80,6 +95,10 @@ impl Decode for WorkerSpec {
             beat_millis: dec.get_u64()?,
             trace_one_in: dec.get_u64()?,
             telemetry_millis: dec.get_u64()?,
+            checkpoint_every: dec.get_u64()?,
+            checkpoint_dir: String::decode(dec)?,
+            approx_eps_ppm: dec.get_u64()?,
+            approx_delta_ppm: dec.get_u64()?,
         })
     }
 }
@@ -132,6 +151,10 @@ mod tests {
             beat_millis: 20,
             trace_one_in: 8,
             telemetry_millis: 50,
+            checkpoint_every: 32,
+            checkpoint_dir: "/tmp/streammine-ckpt".into(),
+            approx_eps_ppm: 10_000,
+            approx_delta_ppm: 50_000,
         }
     }
 

@@ -8,12 +8,18 @@
 //! suppresses exactly the outputs already on the wire), and then runs the
 //! node until the parent says otherwise.
 //!
-//! Workers are deliberately **checkpoint-free**: recovery is a full
+//! By default workers are **checkpoint-free**: recovery is a full
 //! upstream replay plus handshake-driven resend suppression. Nothing the
 //! process loses on SIGKILL is needed for correctness — the deterministic
 //! RNG re-derives every decision from the fixed per-slot seed and the
 //! replayed input order, and non-checkpointing nodes never ack (and
-//! therefore never trim) upstream retention.
+//! therefore never trim) upstream retention. A spec with
+//! `checkpoint_every > 0` opts into checkpointing; pointing
+//! `checkpoint_dir` at a directory makes the image durable across the
+//! process boundary so a respawned incarnation resumes from its
+//! predecessor's snapshot — the substrate of approximate recovery
+//! (`approx_eps_ppm > 0`), which trades a bounded sketch error for
+//! replaying only the un-delivered suffix.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -30,7 +36,9 @@ use crate::dist::bridge::{Acceptor, InEdge, OutBridge};
 use crate::dist::control::{CtrlClient, CtrlIdentity};
 use crate::dist::spec::{WorkerSpec, SPEC_ENV};
 use crate::dist::wire::{CtrlMsg, FaultCmd};
+use streammine_sketch::ErrorBound;
 use streammine_storage::log::{LogObs, StableLog};
+use streammine_storage::{CheckpointObs, CheckpointStore, DiskSpec};
 
 use crate::message::{Control, Message};
 use crate::node::{Node, NodeSeed};
@@ -141,11 +149,65 @@ pub(crate) fn run_worker(
     }
     let clock = shared(SystemClock::new());
     let shutdown = Arc::new(AtomicBool::new(false));
-    let config = OperatorConfig::logged(LoggingConfig::simulated_n(
-        spec.disks as usize,
-        Duration::from_micros(spec.log_micros),
-    ));
+    let config = {
+        let mut c = OperatorConfig::logged(LoggingConfig::simulated_n(
+            spec.disks as usize,
+            Duration::from_micros(spec.log_micros),
+        ));
+        if spec.checkpoint_every > 0 {
+            c = c.with_checkpoint_every(spec.checkpoint_every);
+        }
+        if spec.approx_eps_ppm > 0 {
+            // Range-check before `from_ppm`, which panics on garbage.
+            if spec.approx_eps_ppm > 1_000_000
+                || spec.approx_delta_ppm == 0
+                || spec.approx_delta_ppm >= 1_000_000
+            {
+                eprintln!("worker {}: approximate bound ppm out of range", spec.worker);
+                return exit::BAD_SPEC;
+            }
+            c = c.with_approximate_recovery(ErrorBound::from_ppm(
+                spec.approx_eps_ppm,
+                spec.approx_delta_ppm,
+            ));
+        }
+        if let Err(e) = c.validate() {
+            eprintln!("worker {}: invalid config from spec: {e}", spec.worker);
+            return exit::BAD_SPEC;
+        }
+        c
+    };
     let intake = IntakeHandle::new(config.node.intake_capacity);
+
+    // Checkpoint store, when the spec asks for one — created before the
+    // in-edges so a respawn can prime its receive cursors from the image.
+    // Attaching a file under `checkpoint_dir` makes the image durable
+    // across SIGKILL: the respawned incarnation preloads its
+    // predecessor's snapshot (and, in approximate mode, the baked
+    // error-budget loss) before recovering.
+    let checkpoints = if spec.checkpoint_every > 0 {
+        let store = Arc::new(CheckpointStore::new(DiskSpec::simulated(Duration::from_micros(
+            spec.log_micros,
+        ))));
+        store.attach_obs(CheckpointObs::registered(&obs, spec.worker));
+        if !spec.checkpoint_dir.is_empty() {
+            let dir = std::path::PathBuf::from(&spec.checkpoint_dir);
+            let _ = std::fs::create_dir_all(&dir);
+            store.attach_file(dir.join(format!("worker{}.ckpt", spec.worker)));
+        }
+        Some(store)
+    } else {
+        None
+    };
+    // A respawn resumes each in-edge at the checkpoint's input position:
+    // every pre-crash checkpoint acked the upstream up to that position,
+    // trimming its retention, so a cursor welcoming the reconnect from 0
+    // would wait forever for frames nobody can replay.
+    let resume_positions: Vec<u64> = checkpoints
+        .as_ref()
+        .and_then(|s| s.latest())
+        .map(|cp| cp.input_positions.clone())
+        .unwrap_or_default();
 
     // In-edges: the acceptor delivers in-order frames straight into the
     // node's intake; each edge's upstream control link is pumped back over
@@ -156,6 +218,7 @@ pub(crate) fn run_worker(
         let (ctrl_tx, ctrl_rx) = link::<Control>(LinkConfig::instant());
         up.push(UpEdge { ctrl_tx: ResilientSender::new(ctrl_tx), _data_pump: None });
         let intake_data = intake.data_tx.clone();
+        let start = resume_positions.get(port).copied().unwrap_or(0);
         let port = port as u32;
         in_edges.push(InEdge {
             edge,
@@ -165,6 +228,7 @@ pub(crate) fn run_worker(
                 let _ = intake_data.send(Intake::Upstream { port, link_seq, msg });
             }),
             ctrl_rx,
+            start,
             metrics: TransportMetrics::registered(&obs.registry, spec.worker, edge),
         });
     }
@@ -297,7 +361,7 @@ pub(crate) fn run_worker(
         up,
         down,
         log: Some(log),
-        checkpoints: None,
+        checkpoints,
         rng_seed: spec.rng_seed,
         obs,
         health: Arc::new(NodeHealth::new()),

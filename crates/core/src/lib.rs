@@ -67,7 +67,7 @@ pub mod plumbing;
 pub mod state;
 pub mod supervisor;
 
-pub use config::{LoggingConfig, NodeConfig, OperatorConfig};
+pub use config::{LoggingConfig, NodeConfig, OperatorConfig, RecoveryMode};
 pub use determinant::{DecisionRecord, Determinant};
 pub use endpoints::{SinkHandle, SinkRecord, SourceHandle};
 pub use graph::{Graph, GraphBuilder, Running, SinkId, SourceId};

@@ -54,11 +54,12 @@ use streammine_common::rng::DetRng;
 use streammine_obs::{
     span_key, Counter, Gauge, Histogram, Journal, JournalKind, Labels, Obs, Tracer,
 };
+use streammine_sketch::{ErrorBound, ErrorBudget};
 use streammine_stm::{Serial, StatsSnapshot, StmAbort, StmRuntime, TxnHandle, TxnId};
 use streammine_storage::checkpoint::CheckpointStore;
 use streammine_storage::log::{LogSeq, LogTicket, StableLog};
 
-use crate::config::OperatorConfig;
+use crate::config::{OperatorConfig, RecoveryMode};
 use crate::determinant::{DecisionRecord, Determinant, ReplayCursor};
 use crate::message::{Control, Message};
 use crate::operator::{OpCtx, Operator, PortId, SetupCtx};
@@ -87,6 +88,18 @@ const REPLAY_RETRY: Duration = Duration::from_millis(50);
 /// Ceiling on the watchdog's exponential retry backoff: even a badly
 /// stalled replay is re-requested at least this often.
 const REPLAY_RETRY_CAP: Duration = Duration::from_millis(800);
+
+/// Capped retries a recovery replay request may fire without progress and
+/// without held frames before the watchdog disarms it. An upstream that
+/// recovered its node at the stream tail legitimately has nothing to
+/// replay (a checkpoint ack trimmed its retention): every retry is served
+/// with zero frames, `outstanding` never clears through progress, and
+/// without this the port retries forever at the cap — so a *second* fault
+/// on the same edge minutes later is first detected at 800 ms instead of
+/// 50 ms. Any live upstream answers within the ~2.4 s the disarm
+/// tolerates; a sequence gap appearing later re-arms detection via the
+/// reorder buffer's held frames at the fresh 50 ms interval.
+const REPLAY_DISARM_RETRIES: u32 = 2;
 
 /// The current view of a pending event's input (revisions replace it).
 #[derive(Clone)]
@@ -164,6 +177,9 @@ struct ReplayWatch {
     /// retry up to [`REPLAY_RETRY_CAP`]; resets to [`REPLAY_RETRY`] when
     /// the port makes progress.
     retry_interval: Duration,
+    /// Consecutive retries fired at the backoff cap without progress;
+    /// feeds the vacuous-request disarm ([`REPLAY_DISARM_RETRIES`]).
+    capped_retries: u32,
 }
 
 impl ReplayWatch {
@@ -173,7 +189,60 @@ impl ReplayWatch {
             last_next: 0,
             last_progress: Instant::now(),
             retry_interval: REPLAY_RETRY,
+            capped_retries: 0,
         }
+    }
+}
+
+/// Runtime state of approximate recovery
+/// ([`RecoveryMode::Approximate`]): the declared bound, the current
+/// resume window, and the error-budget gauges.
+struct ApproxState {
+    /// The declared (ε, δ) accuracy contract.
+    bound: ErrorBound,
+    /// Replayed inputs still to drop in the current resume window. Each
+    /// dropped input consumes a serial without running the operator, so
+    /// later output ids stay aligned with the fault-free run; its state
+    /// update is the loss the budget charged.
+    skip_remaining: u64,
+    /// Updates dropped by the current resume window, not yet permanent:
+    /// baked into the store's durable loss counter when the next
+    /// checkpoint makes the stale lineage the only lineage. A crash
+    /// before that save re-derives a superset window from the same
+    /// baseline, so baking earlier would double-charge.
+    window_loss: u64,
+    /// `recovery.error_budget.lost` — updates lost across all recoveries.
+    lost_gauge: Gauge,
+    /// `recovery.error_budget.allowed` — current loss allowance (ε·N).
+    allowed_gauge: Gauge,
+    /// `recovery.error_budget.remaining` — allowance minus realized loss.
+    remaining_gauge: Gauge,
+    /// `recovery.escalations` — precise cycles forced by budget
+    /// exhaustion.
+    escalations: Counter,
+}
+
+impl ApproxState {
+    fn registered(bound: ErrorBound, obs: &Obs, op: u32) -> ApproxState {
+        let r = &obs.registry;
+        ApproxState {
+            bound,
+            skip_remaining: 0,
+            window_loss: 0,
+            lost_gauge: r.gauge("recovery.error_budget.lost", Labels::op(op)),
+            allowed_gauge: r.gauge("recovery.error_budget.allowed", Labels::op(op)),
+            remaining_gauge: r.gauge("recovery.error_budget.remaining", Labels::op(op)),
+            escalations: r.counter("recovery.escalations", Labels::op(op)),
+        }
+    }
+
+    /// Refreshes the budget gauges for `delivered` events and `lost`
+    /// realized losses.
+    fn set_gauges(&self, lost: u64, delivered: u64) {
+        let allowed = self.bound.allowed_loss(delivered);
+        self.lost_gauge.set(lost as i64);
+        self.allowed_gauge.set(allowed as i64);
+        self.remaining_gauge.set(allowed.saturating_sub(lost) as i64);
     }
 }
 
@@ -371,6 +440,9 @@ pub(crate) struct Node {
     served_replays: Vec<Option<(u64, u64)>>,
     /// This node's restart count, stamped into outgoing replay requests.
     incarnation: u64,
+    /// Approximate-recovery state (`Some` iff the config declares
+    /// [`RecoveryMode::Approximate`]).
+    approx: Option<ApproxState>,
     events_since_checkpoint: u64,
     eof_count: usize,
     recovering: bool,
@@ -472,6 +544,12 @@ impl Node {
         let outputs = seed.down.len();
         let metrics =
             NodeMetrics::registered(&seed.obs, seed.id.index(), inputs, seed.config.speculative);
+        let approx = match seed.config.recovery {
+            RecoveryMode::Approximate(bound) => {
+                Some(ApproxState::registered(bound, &seed.obs, seed.id.index()))
+            }
+            RecoveryMode::Precise => None,
+        };
         Node {
             id: seed.id,
             operator: seed.operator,
@@ -506,6 +584,7 @@ impl Node {
             suppress_sent: vec![0; outputs],
             served_replays: vec![None; outputs],
             incarnation: seed.incarnation,
+            approx,
             events_since_checkpoint: 0,
             eof_count: 0,
             recovering,
@@ -590,24 +669,42 @@ impl Node {
         // down and retransmits on heal — recovery is delayed, never lost.
         if self.recovering {
             if !self.config.speculative {
-                // Replay regenerates the post-checkpoint output stream in
-                // its original send order (sends are a serial-order
-                // prefix), so the first `events_sent - baseline`
-                // regenerated events per edge are byte-identical to what
-                // the link already carries. Swallow them; the link's
-                // retained buffer serves any downstream replay of that
-                // range.
-                for (out, edge) in self.down.iter().enumerate() {
-                    self.suppress_sent[out] =
-                        edge.events_sent.load(Ordering::Acquire).saturating_sub(sent_baseline[out]);
-                    if self.suppress_sent[out] > 0 {
-                        self.obs.journal.record(
-                            Some(self.id.index()),
-                            JournalKind::ResendSuppressed {
-                                edge: out as u32,
-                                count: self.suppress_sent[out],
-                            },
-                        );
+                // Per-edge count of regenerated outputs already on the
+                // wire: the link's live send counter minus the
+                // checkpoint's baseline.
+                let excess: Vec<u64> = self
+                    .down
+                    .iter()
+                    .enumerate()
+                    .map(|(out, edge)| {
+                        edge.events_sent.load(Ordering::Acquire).saturating_sub(sent_baseline[out])
+                    })
+                    .collect();
+                // Approximate mode first tries a stale-snapshot resume:
+                // instead of re-executing the suffix (and suppressing its
+                // re-sent outputs), drop the replayed inputs whose outputs
+                // are already downstream, charging their lost state
+                // updates to the error budget. Falls back to the precise
+                // path when the budget refuses.
+                if !self.try_approx_resume(&excess, covered_serials) {
+                    // Replay regenerates the post-checkpoint output stream
+                    // in its original send order (sends are a serial-order
+                    // prefix), so the first `events_sent - baseline`
+                    // regenerated events per edge are byte-identical to
+                    // what the link already carries. Swallow them; the
+                    // link's retained buffer serves any downstream replay
+                    // of that range.
+                    for (out, count) in excess.iter().enumerate() {
+                        self.suppress_sent[out] = *count;
+                        if self.suppress_sent[out] > 0 {
+                            self.obs.journal.record(
+                                Some(self.id.index()),
+                                JournalKind::ResendSuppressed {
+                                    edge: out as u32,
+                                    count: self.suppress_sent[out],
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -629,8 +726,60 @@ impl Node {
                     last_next: from_positions[port],
                     last_progress: Instant::now(),
                     retry_interval: REPLAY_RETRY,
+                    capped_retries: 0,
                 };
             }
+        }
+    }
+
+    /// Attempts a stale-snapshot resume under the approximate recovery
+    /// budget. `excess` holds, per output edge, how many regenerated
+    /// outputs are already on the wire past the checkpoint baseline;
+    /// `covered_serials` is the checkpoint's input position.
+    ///
+    /// The resume window is the per-edge maximum of `excess`: that many
+    /// replayed inputs produced outputs that already reached downstream,
+    /// so instead of re-executing them (the precise path) the node drops
+    /// them, charging one lost state update each to the error budget.
+    /// Returns `false` — escalate to precise checkpoint+replay — when the
+    /// node is not in approximate mode or when baked loss plus this
+    /// window would exceed the ε·N allowance.
+    fn try_approx_resume(&mut self, excess: &[u64], covered_serials: u64) -> bool {
+        let Some(approx) = &mut self.approx else { return false };
+        let Some(store) = &self.checkpoints else { return false };
+        // Operators are 1:1 (one output per input), so the on-wire output
+        // excess equals the count of replayed inputs to drop. Edges may
+        // disagree only if the crash interrupted a fan-out mid-event;
+        // taking the max never re-emits a delivered output (at-most-once
+        // on the divergent edge is within the approximate contract).
+        let skip = excess.iter().copied().max().unwrap_or(0);
+        let baked = store.approx_loss();
+        let delivered = covered_serials + skip;
+        let mut budget = ErrorBudget { bound: approx.bound, lost: baked, escalations: 0 };
+        if budget.admit(skip, delivered) {
+            approx.skip_remaining = skip;
+            // The whole window is provisional: a crash before the next
+            // save re-derives a superset window from the same baseline.
+            approx.window_loss = skip;
+            let remaining = budget.remaining(delivered);
+            approx.set_gauges(baked + skip, delivered);
+            self.obs.journal.record(
+                Some(self.id.index()),
+                JournalKind::ApproxResume { skipped: skip, lost: baked + skip, remaining },
+            );
+            true
+        } else {
+            store.note_escalation();
+            approx.escalations.incr();
+            approx.set_gauges(baked, delivered);
+            self.obs.journal.record(
+                Some(self.id.index()),
+                JournalKind::ApproxEscalate {
+                    lost: baked + skip,
+                    allowed: approx.bound.allowed_loss(delivered),
+                },
+            );
+            false
         }
     }
 
@@ -822,6 +971,7 @@ impl Node {
                 watch.last_next = next;
                 watch.last_progress = now;
                 watch.retry_interval = REPLAY_RETRY;
+                watch.capped_retries = 0;
                 if watch.outstanding.is_some_and(|from| next > from) {
                     watch.outstanding = None;
                 }
@@ -829,6 +979,29 @@ impl Node {
             }
             let stuck = watch.outstanding.is_some() || self.reorder[port].has_held();
             if stuck && now.duration_since(watch.last_progress) >= watch.retry_interval {
+                // Vacuous-request disarm: a recovery request that survived
+                // the whole backoff ramp plus capped retries, with nothing
+                // held behind a gap, is asking for data nobody retains —
+                // recovery happened at the stream tail. Stand down so the
+                // next fault on this edge is detected at the fresh 50 ms
+                // interval, not the 800 ms cap.
+                if watch.outstanding.is_some()
+                    && !self.reorder[port].has_held()
+                    && watch.capped_retries >= REPLAY_DISARM_RETRIES
+                {
+                    watch.outstanding = None;
+                    watch.retry_interval = REPLAY_RETRY;
+                    watch.capped_retries = 0;
+                    self.obs.journal.warn(
+                        Some(self.id.index()),
+                        "replay-watch-disarmed",
+                        format!(
+                            "port {port}: recovery replay from {next} unanswered and \
+                                 unanswerable; backoff reset"
+                        ),
+                    );
+                    continue;
+                }
                 self.up[port]
                     .ctrl_tx
                     .send(Control::ReplayRequest { from: next, token: self.incarnation });
@@ -838,6 +1011,9 @@ impl Node {
                     JournalKind::ReplayRequest { port: port as u32, from: next },
                 );
                 watch.last_progress = now;
+                if watch.retry_interval >= REPLAY_RETRY_CAP {
+                    watch.capped_retries += 1;
+                }
                 // Back off: over a real socket the previous answer may
                 // simply still be in flight. Without this, a 500 ms lane
                 // collects ten duplicate requests per lost one.
@@ -1052,6 +1228,20 @@ impl Node {
         replayed: Option<DecisionRecord>,
         queue_wait: Duration,
     ) {
+        if let Some(approx) = &mut self.approx {
+            if approx.skip_remaining > 0 {
+                // Approximate resume window: this replayed input's output
+                // is already on the wire downstream. Consume its serial
+                // without running the operator so later output ids stay
+                // aligned with the fault-free run; its dropped state
+                // update is the loss the budget charged at resume.
+                approx.skip_remaining -= 1;
+                self.next_serial += 1;
+                self.processed.insert(event.id, ProcessedInfo { version: event.version });
+                self.note_event_consumed(port);
+                return;
+            }
+        }
         let serial = self.next_serial;
         self.next_serial += 1;
         let trace_id = event.trace.map(|c| c.id);
@@ -1124,7 +1314,12 @@ impl Node {
         self.processed.insert(event.id, ProcessedInfo { version: event.version });
         self.note_event_consumed(port);
 
-        match (&self.log, replaying) {
+        // Approximate mode trades the determinant log for the error
+        // budget: bound-covered state never needs deterministic
+        // re-execution (a budget refusal escalates to full replay, which
+        // re-derives determinants live off the checkpointed RNG), so the
+        // per-event stable-log wait disappears from the hot path.
+        match (&self.log, replaying || self.approx.is_some()) {
             (Some(log), false) if !decisions.is_empty() => {
                 // Hold outputs until the decision record is stable (§2.4).
                 let appended_at = Instant::now();
@@ -1560,6 +1755,16 @@ impl Node {
         if self.events_since_checkpoint < interval {
             return;
         }
+        // Never save mid-resume-window: the save would pin mid-window
+        // input positions against pre-crash output counters, corrupting
+        // the skip computation of any later crash. The window's loss is
+        // baked into the durable budget only at the first save after the
+        // window drains — a crash before that re-derives a superset
+        // window from the same baseline, so baking earlier would
+        // double-charge.
+        if self.approx.as_ref().is_some_and(|a| a.skip_remaining > 0) {
+            return;
+        }
         // A checkpoint may only cover fully settled work: no in-flight
         // transactions, no outputs still held for log stability, no parked
         // speculative inputs. Otherwise the covered events' effects would
@@ -1613,6 +1818,16 @@ impl Node {
             Some(self.id.index()),
             JournalKind::CheckpointSaved { id: cp.id, covers_log: covers_log.0 },
         );
+        // The save made the stale lineage the only lineage: the resume
+        // window's provisional loss is now permanent. Bake it into the
+        // store's durable counter so later recoveries charge against it.
+        if let Some(approx) = &mut self.approx {
+            if approx.window_loss > 0 {
+                store.add_approx_loss(approx.window_loss);
+                approx.window_loss = 0;
+            }
+            approx.set_gauges(store.approx_loss(), self.next_serial);
+        }
         if let Some(log) = &self.log {
             log.truncate_below(covers_log);
         }

@@ -223,6 +223,17 @@ impl Encode for JournalKind {
                 code.encode(enc);
                 detail.encode(enc);
             }
+            JournalKind::ApproxResume { skipped, lost, remaining } => {
+                enc.put_u8(14);
+                enc.put_u64(*skipped);
+                enc.put_u64(*lost);
+                enc.put_u64(*remaining);
+            }
+            JournalKind::ApproxEscalate { lost, allowed } => {
+                enc.put_u8(15);
+                enc.put_u64(*lost);
+                enc.put_u64(*allowed);
+            }
         }
     }
 }
@@ -248,6 +259,12 @@ impl Decode for JournalKind {
                 let detail = String::decode(dec)?;
                 JournalKind::Warn { code: intern_code(&code), detail }
             }
+            14 => JournalKind::ApproxResume {
+                skipped: dec.get_u64()?,
+                lost: dec.get_u64()?,
+                remaining: dec.get_u64()?,
+            },
+            15 => JournalKind::ApproxEscalate { lost: dec.get_u64()?, allowed: dec.get_u64()? },
             tag => return Err(DecodeError::InvalidTag { type_name: "JournalKind", tag }),
         })
     }
@@ -750,6 +767,28 @@ impl FaultKind {
     }
 }
 
+/// Which recovery protocol the failed worker runs, stamped by the
+/// launcher from the worker's operator spec so trajectory data can
+/// distinguish approximate from precise recoveries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RecoveryModeTag {
+    /// Byte-identical checkpoint+replay recovery.
+    #[default]
+    Precise,
+    /// Bounded-error stale-snapshot recovery.
+    Approximate,
+}
+
+impl RecoveryModeTag {
+    /// Stable lower-case name, used in the JSON export.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RecoveryModeTag::Precise => "precise",
+            RecoveryModeTag::Approximate => "approximate",
+        }
+    }
+}
+
 /// One fault's recovery, decomposed into the phases the paper's
 /// kill-to-first-output latency is made of. All stamps are microseconds
 /// on the launcher's cluster clock (µs since launch), so phases are
@@ -762,6 +801,8 @@ pub struct RecoveryTimeline {
     pub incarnation: u64,
     /// How the fault was detected.
     pub kind: FaultKind,
+    /// Recovery protocol of the failed worker (precise or approximate).
+    pub mode: RecoveryModeTag,
     /// The monitor noticed the fault (exit reaped or lease declared dead).
     pub detect_us: u64,
     /// The expected epoch was raised — zombies of the old incarnation are
@@ -803,12 +844,13 @@ impl RecoveryTimeline {
     pub fn to_json(&self) -> String {
         let opt = |v: Option<u64>| v.map_or("null".to_string(), |v| v.to_string());
         format!(
-            "{{\"worker\":{},\"incarnation\":{},\"kind\":\"{}\",\"detect_us\":{},\
+            "{{\"worker\":{},\"incarnation\":{},\"kind\":\"{}\",\"mode\":\"{}\",\"detect_us\":{},\
              \"fence_us\":{},\"respawn_us\":{},\"handshake_us\":{},\"first_output_us\":{},\
              \"drain_us\":{}}}",
             self.worker,
             self.incarnation,
             self.kind.as_str(),
+            self.mode.as_str(),
             self.detect_us,
             self.fence_us,
             self.respawn_us,
@@ -1048,6 +1090,7 @@ mod tests {
             worker: 1,
             incarnation: 1,
             kind: FaultKind::Crash,
+            mode: RecoveryModeTag::Precise,
             detect_us: 100,
             fence_us: 110,
             respawn_us: 150,
@@ -1058,6 +1101,9 @@ mod tests {
         assert!(t.monotonic());
         let json = t.to_json();
         assert!(json.contains("\"kind\":\"crash\""), "{json}");
+        assert!(json.contains("\"mode\":\"precise\""), "{json}");
+        let approx = RecoveryTimeline { mode: RecoveryModeTag::Approximate, ..t.clone() };
+        assert!(approx.to_json().contains("\"mode\":\"approximate\""));
         assert!(json.contains("\"first_output_us\":74000"), "{json}");
         let doc = timelines_json(&[t.clone(), t.clone()]);
         assert!(doc.starts_with("{\"recoveries\":["), "{doc}");

@@ -146,6 +146,25 @@ pub enum JournalKind {
         /// Human-readable detail.
         detail: String,
     },
+    /// An approximate-mode recovery resumed from a stale snapshot,
+    /// dropping `skipped` replayed updates instead of re-executing them.
+    ApproxResume {
+        /// Replayed updates dropped by this resume.
+        skipped: u64,
+        /// Cumulative updates lost across all recoveries so far.
+        lost: u64,
+        /// Updates still droppable under the declared bound.
+        remaining: u64,
+    },
+    /// An approximate-mode recovery would have exceeded its error budget
+    /// and escalated to a precise checkpoint+replay cycle instead.
+    ApproxEscalate {
+        /// Cumulative loss admitting would have left: updates already
+        /// baked by earlier recoveries plus this resume's refused drop.
+        lost: u64,
+        /// Total loss allowance under the declared bound.
+        allowed: u64,
+    },
 }
 
 impl JournalKind {
@@ -159,7 +178,11 @@ impl JournalKind {
             | JournalKind::Restart { .. }
             | JournalKind::BackpressureStall { .. }
             | JournalKind::BackpressureResume { .. }
-            | JournalKind::SpecCapHit { .. } => Verbosity::Warn,
+            | JournalKind::SpecCapHit { .. }
+            // Approximate-recovery decisions are rare (one per recovery)
+            // and change the output contract; a post-mortem needs them.
+            | JournalKind::ApproxResume { .. }
+            | JournalKind::ApproxEscalate { .. } => Verbosity::Warn,
             _ => Verbosity::Trace,
         }
     }
@@ -168,7 +191,13 @@ impl JournalKind {
     /// the ring never evicts, so a long chaos run cannot truncate the
     /// restart/checkpoint history a post-mortem needs.
     pub fn pinned(&self) -> bool {
-        matches!(self, JournalKind::Restart { .. } | JournalKind::CheckpointSaved { .. })
+        matches!(
+            self,
+            JournalKind::Restart { .. }
+                | JournalKind::CheckpointSaved { .. }
+                | JournalKind::ApproxResume { .. }
+                | JournalKind::ApproxEscalate { .. }
+        )
     }
 }
 
@@ -233,6 +262,12 @@ impl fmt::Display for JournalEvent {
                 write!(f, " spec-cap-hit open={open} retained={retained}")
             }
             JournalKind::Warn { code, detail } => write!(f, " WARN {code}: {detail}"),
+            JournalKind::ApproxResume { skipped, lost, remaining } => {
+                write!(f, " approx-resume skipped={skipped} lost={lost} remaining={remaining}")
+            }
+            JournalKind::ApproxEscalate { lost, allowed } => {
+                write!(f, " approx-escalate lost={lost} allowed={allowed}")
+            }
         }?;
         if let Some(trace) = self.trace {
             write!(f, " trace={trace}")?;

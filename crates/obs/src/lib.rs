@@ -41,7 +41,8 @@ pub mod trace;
 pub mod transport;
 
 pub use cluster::{
-    timelines_json, ClusterJournalEvent, ClusterObs, FaultKind, RecoveryTimeline, TelemetryReport,
+    timelines_json, ClusterJournalEvent, ClusterObs, FaultKind, RecoveryModeTag, RecoveryTimeline,
+    TelemetryReport,
 };
 pub use export::{json, prometheus_text, sanitize_name, validate_prometheus};
 pub use http::{serve, serve_with, HttpServer, Routes};

@@ -430,6 +430,14 @@ impl RegistrySnapshot {
         }
     }
 
+    /// Gauge value for one label set, if present.
+    pub fn gauge(&self, name: &str, labels: Labels) -> Option<i64> {
+        match self.get(name, labels) {
+            Some(SampleValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
     /// Sum of a counter across all label sets.
     pub fn counter_total(&self, name: &str) -> u64 {
         self.samples

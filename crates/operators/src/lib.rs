@@ -15,6 +15,7 @@
 //! | join | stateful | order non-deterministic | [`Join`] |
 //! | classifier (§3.1 example) | stateful, fine-grained | deterministic | [`Classifier`] |
 //! | count-sketch top-k (§4) | stateful, fine-grained, costly | deterministic | [`SketchOp`] |
+//! | count-min (approximate-recovery workload) | stateful, mergeable, bounded-error | deterministic | [`CountMinOp`] |
 //! | relay with logged decision (Fig. 2/3 workload) | stateless | random non-deterministic | [`StampedRelay`] |
 //! | relay with *output-visible* random tag (chaos workload) | stateless | random non-deterministic | [`RandomTagger`] |
 //! | Bernoulli sample / Monte-Carlo (§1's random class) | stateless/stateful | random non-deterministic | [`Sample`], [`MonteCarloPi`] |
@@ -37,6 +38,6 @@ pub use basic::{busy_work, Enrich, Filter, Map, RandomTagger, Split, StampedRela
 pub use classifier::Classifier;
 pub use join::Join;
 pub use sample::{MonteCarloPi, Sample};
-pub use sketch_op::SketchOp;
+pub use sketch_op::{CountMinOp, SketchOp};
 pub use sliding::SlidingWindow;
 pub use window::{CountWindow, SystemTimeWindow, TimeWindow, WindowAgg};

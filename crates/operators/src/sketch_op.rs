@@ -104,6 +104,85 @@ impl Operator for SketchOp {
     }
 }
 
+/// Count-min update + estimate operator — the approximate-recovery
+/// reference workload.
+///
+/// Each input event (keyed by its integer payload or stable hash)
+/// increments one non-negative counter per row and emits
+/// `Record[key, estimate]` with the count-min estimate (the row
+/// minimum). Counters only ever grow, so dropping `L` updates — the
+/// loss a stale-snapshot resume charges to its error budget — lowers
+/// any later estimate by at most `L` and never raises one. That
+/// monotone-deficit invariant is exactly what the divergence-bounded
+/// chaos grid verifies against the declared `ε·N` allowance.
+pub struct CountMinOp {
+    width: usize,
+    depth: usize,
+    hashes: Vec<PairwiseHash>,
+    cost: Duration,
+    stamped: bool,
+    cells: Mutex<Vec<StateHandle<i64>>>,
+}
+
+impl CountMinOp {
+    /// Creates a count-min operator with `width × depth` counters and a
+    /// fixed per-event processing cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `depth` is zero.
+    pub fn new(width: usize, depth: usize, seed: u64, cost: Duration) -> Self {
+        assert!(width > 0 && depth > 0, "width and depth must be positive");
+        let mut rng = DetRng::seed_from(seed);
+        let hashes = (0..depth).map(|_| PairwiseHash::sample(&mut rng)).collect();
+        CountMinOp { width, depth, hashes, cost, stamped: false, cells: Mutex::new(Vec::new()) }
+    }
+
+    /// Makes the operator draw one logged random decision per event, so
+    /// precise mode pays the determinant-log wait that approximate mode
+    /// trades away for the error budget.
+    #[must_use]
+    pub fn stamped(mut self) -> Self {
+        self.stamped = true;
+        self
+    }
+
+    fn key_of(event: &Event) -> u64 {
+        event.payload.as_i64().map(|v| v as u64).unwrap_or_else(|| event.payload.stable_hash())
+    }
+}
+
+impl Operator for CountMinOp {
+    fn name(&self) -> &str {
+        "count-min"
+    }
+
+    fn setup(&self, ctx: &mut SetupCtx<'_>) {
+        let mut cells = self.cells.lock();
+        cells.clear();
+        for _ in 0..self.width * self.depth {
+            cells.push(ctx.state(0i64));
+        }
+    }
+
+    fn process(&self, ctx: &mut OpCtx<'_, '_>, event: &Event) -> Result<(), StmAbort> {
+        if self.stamped {
+            let _decision = ctx.random_u64();
+        }
+        busy_work(self.cost);
+        let key = Self::key_of(event);
+        let cells = self.cells.lock().clone();
+        let mut est = i64::MAX;
+        for (r, h) in self.hashes.iter().enumerate() {
+            let cell = cells[r * self.width + h.bucket(key, self.width)];
+            ctx.update(cell, |v| v + 1)?;
+            est = est.min(*ctx.get(cell)?);
+        }
+        ctx.emit(Value::record(vec![Value::Int(key as i64), Value::Int(est)]));
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +240,52 @@ mod tests {
     #[should_panic(expected = "width and depth must be positive")]
     fn zero_dims_panic() {
         let _ = SketchOp::new(0, 3, 1, Duration::ZERO);
+    }
+
+    #[test]
+    fn countmin_estimates_are_exact_without_collisions() {
+        let mut b = GraphBuilder::new();
+        let s =
+            b.add_operator(CountMinOp::new(256, 4, 11, Duration::ZERO), OperatorConfig::plain());
+        let src = b.source_into(s).unwrap();
+        let sink = b.sink_from(s).unwrap();
+        let running = b.build().unwrap().start();
+        for _ in 0..6 {
+            running.source(src).push(Value::Int(5));
+        }
+        assert!(running.sink(sink).wait_final(6, Duration::from_secs(5)));
+        let estimates: Vec<i64> = running
+            .sink(sink)
+            .final_events()
+            .iter()
+            .filter_map(|e| e.payload.field(1).and_then(Value::as_i64))
+            .collect();
+        assert_eq!(estimates, vec![1, 2, 3, 4, 5, 6]);
+        running.shutdown();
+    }
+
+    #[test]
+    fn countmin_never_underestimates() {
+        let mut b = GraphBuilder::new();
+        // A deliberately tiny sketch forces collisions: estimates may
+        // exceed the true count but must never fall below it.
+        let s = b.add_operator(CountMinOp::new(4, 2, 3, Duration::ZERO), OperatorConfig::plain());
+        let src = b.source_into(s).unwrap();
+        let sink = b.sink_from(s).unwrap();
+        let running = b.build().unwrap().start();
+        let n = 60;
+        for i in 0..n {
+            running.source(src).push(Value::Int(i % 9));
+        }
+        assert!(running.sink(sink).wait_final(n as usize, Duration::from_secs(5)));
+        let mut true_counts = std::collections::HashMap::new();
+        for e in running.sink(sink).final_events_by_id() {
+            let key = e.payload.field(0).and_then(Value::as_i64).unwrap();
+            let est = e.payload.field(1).and_then(Value::as_i64).unwrap();
+            let seen = true_counts.entry(key).or_insert(0i64);
+            *seen += 1;
+            assert!(est >= *seen, "key {key}: estimate {est} below true count {seen}");
+        }
+        running.shutdown();
     }
 }

@@ -31,6 +31,7 @@ pub mod protocols;
 pub mod reference;
 
 pub use protocols::{
-    evaluate, ActiveStandby, Amnesia, HaStrategy, PassiveStandby, RecoveryReport, UpstreamBackup,
+    evaluate, ActiveStandby, Amnesia, ApproximateCheckpoint, HaStrategy, PassiveStandby,
+    RecoveryReport, UpstreamBackup,
 };
 pub use reference::{RefEvent, RefOperator};

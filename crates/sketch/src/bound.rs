@@ -1,0 +1,260 @@
+//! Declared accuracy bounds and error-budget accounting for approximate
+//! fault tolerance.
+//!
+//! A sketch operator that is willing to lose updates during recovery
+//! declares an [`ErrorBound`]: the familiar (ε, δ) pair of the count-min
+//! guarantee, reinterpreted as a *recovery* contract. Losing at most
+//! `L` point updates from a count-min sketch lowers every estimate by at
+//! most `L` and never raises one (each counter is a non-negative sum of
+//! the updates that hashed into it), so a run that drops `L ≤ ε·N`
+//! updates across all recoveries still answers within `ε·N` of the
+//! fault-free run — the same additive slack the sketch already grants
+//! itself against the true frequencies.
+//!
+//! The runtime tracks the realized loss in an [`ErrorBudget`]. Budgets
+//! obey the sketches' merge algebra: losses from successive recoveries
+//! (or from merged shards) *add*, exactly as the underlying counter
+//! deltas would have. When a prospective recovery would push the
+//! cumulative loss past the declared allowance, [`ErrorBudget::admit`]
+//! refuses and the node must escalate to a precise replay cycle instead
+//! of silently violating the bound.
+
+use streammine_common::codec::{Decode, DecodeError, Decoder, Encode, Encoder};
+
+/// Parts-per-million denominator used for the wire encoding of ε and δ.
+const PPM: f64 = 1_000_000.0;
+
+/// A declared (ε, δ)-style accuracy bound covering an operator's sketch
+/// state during approximate recovery.
+///
+/// `epsilon` is the additive error the operator tolerates as a fraction
+/// of the events delivered so far: after recovering from any number of
+/// faults, every estimate must be within `ε · N` of the fault-free
+/// run's, where `N` is the delivered-event count at the *latest* crash.
+/// `delta` is carried for sketch sizing symmetry (confidence of the
+/// underlying sketch); the recovery-loss bound itself is deterministic,
+/// so `delta` does not enter budget admission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBound {
+    /// Tolerated additive error as a fraction of delivered events.
+    pub epsilon: f64,
+    /// Confidence parameter of the covered sketch (sizing only).
+    pub delta: f64,
+}
+
+impl ErrorBound {
+    /// A bound with the given ε and δ.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < epsilon ≤ 1` and `0 < delta < 1`.
+    #[must_use]
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0, 1]");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        ErrorBound { epsilon, delta }
+    }
+
+    /// Maximum number of updates that may be lost, in total, once
+    /// `delivered` events have been delivered: `⌊ε · delivered⌋`.
+    #[must_use]
+    pub fn allowed_loss(&self, delivered: u64) -> u64 {
+        (self.epsilon * delivered as f64).floor() as u64
+    }
+
+    /// ε as parts-per-million, for integer wire encodings.
+    #[must_use]
+    pub fn epsilon_ppm(&self) -> u64 {
+        (self.epsilon * PPM).round() as u64
+    }
+
+    /// δ as parts-per-million, for integer wire encodings.
+    #[must_use]
+    pub fn delta_ppm(&self) -> u64 {
+        (self.delta * PPM).round() as u64
+    }
+
+    /// Rebuilds a bound from its parts-per-million wire form.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the ppm values decode to an invalid bound.
+    #[must_use]
+    pub fn from_ppm(epsilon_ppm: u64, delta_ppm: u64) -> Self {
+        Self::new(epsilon_ppm as f64 / PPM, delta_ppm as f64 / PPM)
+    }
+}
+
+impl Encode for ErrorBound {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.epsilon_ppm());
+        enc.put_u64(self.delta_ppm());
+    }
+}
+
+impl Decode for ErrorBound {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let eps = dec.get_u64()?;
+        let delta = dec.get_u64()?;
+        if eps == 0 || eps > 1_000_000 || delta == 0 || delta >= 1_000_000 {
+            return Err(DecodeError::InvalidTag { type_name: "ErrorBound", tag: 0 });
+        }
+        Ok(ErrorBound::from_ppm(eps, delta))
+    }
+}
+
+/// Realized approximation loss accumulated across recoveries, checked
+/// against a declared [`ErrorBound`].
+///
+/// The budget is *mergeable*: recovering twice (or merging two recovered
+/// shards) sums the losses, mirroring how the dropped counter deltas
+/// would have summed inside the sketch. The admission rule is
+/// conservative — a prospective loss is only accepted if the cumulative
+/// total stays within the allowance — so the declared bound can never be
+/// exceeded silently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBudget {
+    /// The declared bound this budget is accounted against.
+    pub bound: ErrorBound,
+    /// Updates lost so far, summed across all recoveries.
+    pub lost: u64,
+    /// Precise recovery cycles forced by budget exhaustion.
+    pub escalations: u64,
+}
+
+impl ErrorBudget {
+    /// A fresh budget with zero realized loss.
+    #[must_use]
+    pub fn new(bound: ErrorBound) -> Self {
+        ErrorBudget { bound, lost: 0, escalations: 0 }
+    }
+
+    /// Updates still droppable once `delivered` events have been
+    /// delivered: `allowed_loss(delivered) - lost`, saturating at zero.
+    #[must_use]
+    pub fn remaining(&self, delivered: u64) -> u64 {
+        self.bound.allowed_loss(delivered).saturating_sub(self.lost)
+    }
+
+    /// Tries to charge a prospective recovery that would drop `loss`
+    /// updates at delivered-count `delivered`. Returns `true` and
+    /// records the loss if the cumulative total stays within the
+    /// allowance; returns `false` untouched otherwise — the caller must
+    /// then escalate to precise recovery (which loses nothing).
+    #[must_use]
+    pub fn admit(&mut self, loss: u64, delivered: u64) -> bool {
+        if loss <= self.remaining(delivered) {
+            self.lost += loss;
+            true
+        } else {
+            self.escalations += 1;
+            false
+        }
+    }
+
+    /// Merges another budget's realized loss into this one (the sum
+    /// algebra of sketch merges: dropped deltas add).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two budgets declare different bounds — merging
+    /// across bounds has no sound single allowance.
+    pub fn merge(&mut self, other: &ErrorBudget) {
+        assert_eq!(self.bound, other.bound, "cannot merge budgets with different bounds");
+        self.lost += other.lost;
+        self.escalations += other.escalations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CountMinSketch;
+    use streammine_common::codec::decode_from_slice;
+
+    #[test]
+    fn bound_roundtrips_through_codec() {
+        let b = ErrorBound::new(0.01, 0.05);
+        let bytes = b.encode_to_vec();
+        assert_eq!(decode_from_slice::<ErrorBound>(&bytes).unwrap(), b);
+    }
+
+    #[test]
+    fn invalid_wire_bounds_are_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u64(0); // ε = 0
+        enc.put_u64(50_000);
+        assert!(decode_from_slice::<ErrorBound>(&enc.into_vec()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn zero_epsilon_is_rejected() {
+        let _ = ErrorBound::new(0.0, 0.1);
+    }
+
+    #[test]
+    fn allowance_scales_with_delivered_count() {
+        let b = ErrorBound::new(0.05, 0.01);
+        assert_eq!(b.allowed_loss(0), 0);
+        assert_eq!(b.allowed_loss(100), 5);
+        assert_eq!(b.allowed_loss(1000), 50);
+    }
+
+    #[test]
+    fn budget_admits_until_exhausted_then_escalates() {
+        let mut budget = ErrorBudget::new(ErrorBound::new(0.05, 0.01));
+        assert!(budget.admit(3, 100)); // 3 ≤ 5
+        assert!(budget.admit(2, 100)); // 3 + 2 ≤ 5
+        assert_eq!(budget.remaining(100), 0);
+        assert!(!budget.admit(1, 100)); // exhausted
+        assert_eq!(budget.lost, 5, "refused charge must not count as loss");
+        assert_eq!(budget.escalations, 1);
+        // More delivered events re-open the allowance.
+        assert!(budget.admit(4, 200)); // allowance now 10
+        assert_eq!(budget.lost, 9);
+    }
+
+    #[test]
+    fn budgets_merge_by_summing_losses() {
+        let bound = ErrorBound::new(0.1, 0.01);
+        let mut a = ErrorBudget::new(bound);
+        let mut b = ErrorBudget::new(bound);
+        assert!(a.admit(4, 100));
+        assert!(b.admit(3, 100));
+        a.merge(&b);
+        assert_eq!(a.lost, 7);
+        assert_eq!(a.remaining(100), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn merging_across_bounds_panics() {
+        let mut a = ErrorBudget::new(ErrorBound::new(0.1, 0.01));
+        a.merge(&ErrorBudget::new(ErrorBound::new(0.2, 0.01)));
+    }
+
+    /// The invariant the whole mode rests on: dropping L updates from a
+    /// count-min sketch lowers any estimate by at most L and never
+    /// raises one.
+    #[test]
+    fn lost_updates_bound_countmin_deviation() {
+        let mut full = CountMinSketch::with_error(0.01, 0.01, 7);
+        let mut lossy = CountMinSketch::with_error(0.01, 0.01, 7);
+        let keys: Vec<u64> = (0..500).map(|i| i % 37).collect();
+        let lost = 20;
+        for (i, &k) in keys.iter().enumerate() {
+            full.update(k, 1);
+            // The lossy run misses a window of `lost` updates.
+            if !(100..100 + lost).contains(&i) {
+                lossy.update(k, 1);
+            }
+        }
+        for k in 0..37 {
+            let f = full.estimate(k);
+            let l = lossy.estimate(k);
+            assert!(l <= f, "loss must never raise an estimate");
+            assert!(f - l <= lost as u64, "deviation exceeds lost-update count");
+        }
+    }
+}

@@ -17,16 +17,22 @@
 //! * [`TCountSketch`] — the transactional variant whose counters are
 //!   individual [`TVar`](streammine_stm::TVar)s, used by the parallelized
 //!   sketch operator.
+//!
+//! [`ErrorBound`] and [`ErrorBudget`] declare and account the (ε, δ)
+//! accuracy contract a sketch operator offers the recovery layer in
+//! approximate fault-tolerance mode.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bound;
 pub mod countmin;
 pub mod countsketch;
 pub mod hashing;
 pub mod topk;
 pub mod txn_sketch;
 
+pub use bound::{ErrorBound, ErrorBudget};
 pub use countmin::CountMinSketch;
 pub use countsketch::CountSketch;
 pub use topk::TopK;

@@ -12,6 +12,7 @@
 //! to the previous one instead of panicking.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -126,6 +127,17 @@ pub struct CheckpointStore {
     next_id: Mutex<u64>,
     corrupt_skipped: AtomicU64,
     save_retries: AtomicU64,
+    /// Approximate-recovery error budget, durable with the checkpoints:
+    /// updates permanently missing from the persisted state lineage
+    /// (baked in when a checkpoint whose window dropped them is saved).
+    approx_loss: AtomicU64,
+    /// Precise recovery cycles forced by budget exhaustion.
+    approx_escalations: AtomicU64,
+    /// When set, every save atomically rewrites this file with the kept
+    /// frames and budget counters, and a store built by a respawned
+    /// process preloads it — checkpoint durability across real process
+    /// crashes, not just in-process restarts.
+    persist_path: Mutex<Option<PathBuf>>,
     obs: Mutex<Option<CheckpointObs>>,
 }
 
@@ -149,8 +161,102 @@ impl CheckpointStore {
             next_id: Mutex::new(0),
             corrupt_skipped: AtomicU64::new(0),
             save_retries: AtomicU64::new(0),
+            approx_loss: AtomicU64::new(0),
+            approx_escalations: AtomicU64::new(0),
+            persist_path: Mutex::new(None),
             obs: Mutex::new(None),
         }
+    }
+
+    /// Binds the store to a filesystem path: an existing image at `path`
+    /// is loaded first (checkpoints, id counter, and error-budget
+    /// counters — the respawn case), then every save atomically rewrites
+    /// the file. Returns `true` when a previous image was restored.
+    pub fn attach_file(&self, path: PathBuf) -> bool {
+        let loaded = self.load_image(&path);
+        *self.persist_path.lock() = Some(path);
+        loaded
+    }
+
+    fn load_image(&self, path: &Path) -> bool {
+        let Ok(bytes) = std::fs::read(path) else { return false };
+        let Some(payload) = crc32::unframe(&bytes) else {
+            self.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        let mut dec = Decoder::new(payload);
+        let image = (|| -> Result<_, DecodeError> {
+            let next_id = dec.get_u64()?;
+            let loss = dec.get_u64()?;
+            let escalations = dec.get_u64()?;
+            let frames = dec.get_u32()? as usize;
+            if frames > 2 {
+                return Err(DecodeError::InvalidTag { type_name: "CheckpointImage", tag: 0 });
+            }
+            let mut kept = Vec::with_capacity(frames);
+            for _ in 0..frames {
+                kept.push(dec.get_bytes()?);
+            }
+            Ok((next_id, loss, escalations, kept))
+        })();
+        let Ok((next_id, loss, escalations, kept)) = image else {
+            self.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        };
+        *self.next_id.lock() = next_id;
+        self.approx_loss.store(loss, Ordering::Relaxed);
+        self.approx_escalations.store(escalations, Ordering::Relaxed);
+        *self.kept.lock() = kept;
+        true
+    }
+
+    /// Rewrites the persist file (when bound) from the current kept
+    /// frames and counters: temp file + rename, so a crash mid-write
+    /// leaves the previous image intact.
+    fn persist(&self, kept: &[Vec<u8>]) {
+        let Some(path) = self.persist_path.lock().clone() else { return };
+        let mut enc = Encoder::new();
+        enc.put_u64(*self.next_id.lock());
+        enc.put_u64(self.approx_loss.load(Ordering::Relaxed));
+        enc.put_u64(self.approx_escalations.load(Ordering::Relaxed));
+        enc.put_u32(kept.len() as u32);
+        for frame in kept {
+            enc.put_bytes(frame);
+        }
+        let framed = crc32::frame(enc.into_vec());
+        let tmp = path.with_extension("tmp");
+        let wrote = std::fs::write(&tmp, &framed).and_then(|()| std::fs::rename(&tmp, &path));
+        if let Err(e) = wrote {
+            if let Some(obs) = self.obs.lock().clone() {
+                obs.journal.warn(
+                    Some(obs.op),
+                    "checkpoint-persist-failed",
+                    format!("could not persist checkpoint image to {}: {e}", path.display()),
+                );
+            }
+        }
+    }
+
+    /// Updates permanently missing from the persisted state lineage
+    /// (approximate recovery's realized loss, baked at checkpoint time).
+    pub fn approx_loss(&self) -> u64 {
+        self.approx_loss.load(Ordering::Relaxed)
+    }
+
+    /// Bakes `n` dropped updates into the durable loss counter: the
+    /// state lineage saved from here on is missing them forever.
+    pub fn add_approx_loss(&self, n: u64) {
+        self.approx_loss.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Precise recovery cycles forced by budget exhaustion.
+    pub fn approx_escalations(&self) -> u64 {
+        self.approx_escalations.load(Ordering::Relaxed)
+    }
+
+    /// Records a budget-exhaustion escalation.
+    pub fn note_escalation(&self) {
+        self.approx_escalations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Attaches observability hooks (save timing, degradation counters,
@@ -224,6 +330,7 @@ impl CheckpointStore {
         if excess > 0 {
             kept.drain(..excess);
         }
+        self.persist(&kept);
         cp
     }
 
@@ -384,6 +491,54 @@ mod tests {
                 && e.op == Some(5)
         });
         assert_eq!(warned, 1);
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        use std::sync::atomic::AtomicU32;
+        static UNIQ: AtomicU32 = AtomicU32::new(0);
+        let n = UNIQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("streammine-ckpt-{}-{tag}-{n}.ckpt", std::process::id()))
+    }
+
+    #[test]
+    fn persisted_image_survives_a_new_store() {
+        let path = temp_path("roundtrip");
+        let store = instant_store();
+        assert!(!store.attach_file(path.clone()), "no image yet");
+        store.save(LogSeq(3), 9, vec![2], vec![4], b"alpha".to_vec(), vec![]);
+        store.save(LogSeq(6), 18, vec![5], vec![8], b"beta".to_vec(), b"rng".to_vec());
+        store.add_approx_loss(7);
+        store.note_escalation();
+        // Counters changed after the last save land with the next one.
+        store.save(LogSeq(9), 27, vec![9], vec![12], b"gamma".to_vec(), vec![]);
+
+        let respawned = instant_store();
+        assert!(respawned.attach_file(path.clone()), "image must load");
+        let latest = respawned.latest().unwrap();
+        assert_eq!(latest.state, b"gamma".to_vec());
+        assert_eq!(latest.events_processed, 27);
+        assert_eq!(respawned.retained(), 2, "both kept frames persist");
+        assert_eq!(respawned.approx_loss(), 7);
+        assert_eq!(respawned.approx_escalations(), 1);
+        // The id counter continues instead of colliding.
+        let cp = respawned.save(LogSeq(12), 36, vec![], vec![], b"delta".to_vec(), vec![]);
+        assert_eq!(cp.id, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_persist_file_is_ignored() {
+        let path = temp_path("torn");
+        let store = instant_store();
+        store.attach_file(path.clone());
+        store.save(LogSeq(1), 1, vec![], vec![], b"x".to_vec(), vec![]);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let respawned = instant_store();
+        assert!(!respawned.attach_file(path.clone()), "torn image must not load");
+        assert!(respawned.latest().is_none());
+        assert_eq!(respawned.corrupt_skipped(), 1);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

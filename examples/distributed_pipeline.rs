@@ -90,7 +90,7 @@ fn main() {
 
     println!("\n== distributed: {HOPS} worker processes over TCP ==");
     let mut spec = ClusterSpec::new(
-        vec![NodeSpec { operator: "random-tagger".into(), log_micros: LOG_MICROS, disks: 1 }; HOPS],
+        vec![NodeSpec::logged("random-tagger", LOG_MICROS, 1); HOPS],
         worker_bin(),
     );
     spec.trace_one_in = 1; // trace every event: the stitched-trace demo

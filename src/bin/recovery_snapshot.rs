@@ -46,10 +46,7 @@ fn worker_bin() -> PathBuf {
 }
 
 fn run_trial(bin: PathBuf) -> Result<Trial, String> {
-    let spec = ClusterSpec::new(
-        vec![NodeSpec { operator: "random-tagger".into(), log_micros: 200, disks: 1 }; HOPS],
-        bin,
-    );
+    let spec = ClusterSpec::new(vec![NodeSpec::logged("random-tagger", 200, 1); HOPS], bin);
     let cluster = Cluster::launch(spec)?;
     if !cluster.wait_connected(Duration::from_secs(20)) {
         return Err("cluster never wired up".into());

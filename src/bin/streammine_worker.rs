@@ -9,12 +9,17 @@
 use std::sync::Arc;
 
 use streammine::core::dist::{worker_main, OperatorRegistry};
-use streammine::operators::{Map, RandomTagger, StampedRelay};
+use streammine::operators::{CountMinOp, Map, RandomTagger, StampedRelay};
 
 fn main() {
     let registry = OperatorRegistry::new()
         .with(RandomTagger::NAME, || Arc::new(RandomTagger))
         .with("stamped-relay", || Arc::new(StampedRelay::new()))
-        .with("identity", || Arc::new(Map::new(|v| v.clone())));
+        .with("identity", || Arc::new(Map::new(|v| v.clone())))
+        // Fixed hash seed: every incarnation (and the fault-free
+        // baseline) must place keys in the same counters.
+        .with("count-min", || {
+            Arc::new(CountMinOp::new(256, 4, 11, std::time::Duration::ZERO).stamped())
+        });
     std::process::exit(worker_main(&registry));
 }

@@ -13,14 +13,19 @@ use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use streammine::chaos::{verify_cluster_recovery, ProcFaultEvent, ProcFaultKind, ProcFaultPlan};
+use streammine::chaos::{
+    verify_bounded_divergence, verify_cluster_recovery, ProcFaultEvent, ProcFaultKind,
+    ProcFaultPlan,
+};
 use streammine::common::event::{Event, Value};
 use streammine::core::dist::{Cluster, ClusterSpec, NodeSpec};
 use streammine::core::{GraphBuilder, LoggingConfig, OperatorConfig};
 use streammine::obs::{
-    validate_chrome_trace, validate_prometheus, FaultKind, RecoveryTimeline, RegistrySnapshot,
+    validate_chrome_trace, validate_prometheus, FaultKind, RecoveryModeTag, RecoveryTimeline,
+    RegistrySnapshot,
 };
 use streammine::operators::RandomTagger;
+use streammine::sketch::ErrorBound;
 
 /// Simulated stable-log write latency (µs) — fast, so runs stay short.
 const FAST_LOG_US: u64 = 200;
@@ -62,10 +67,7 @@ fn reference(hops: usize, input: &[Value]) -> Vec<Value> {
 
 fn tagger_chain(hops: usize) -> ClusterSpec {
     ClusterSpec::new(
-        vec![
-            NodeSpec { operator: "random-tagger".into(), log_micros: FAST_LOG_US, disks: 1 };
-            hops
-        ],
+        vec![NodeSpec::logged("random-tagger", FAST_LOG_US, 1); hops],
         PathBuf::from(env!("CARGO_BIN_EXE_streammine_worker")),
     )
 }
@@ -240,6 +242,96 @@ fn chaos_grid_16_seeds_byte_identical_under_real_faults() {
         total_restarts > 0,
         "the grid never exercised process restart ({total_events} faults injected)"
     );
+}
+
+/// Approximate recovery across real process boundaries: an identity hop
+/// feeds a count-min worker declared approximate (ε = 0.25), which
+/// checkpoints every 3 events into a directory the replacement process
+/// reads after a real SIGKILL. The replacement resumes from the *stale*
+/// snapshot — replayed inputs whose outputs already reached the sink are
+/// dropped against the error budget instead of re-executed — so sink
+/// estimates may run below the fault-free run's, but never above and
+/// never by more than the declared `ε·N`. The recovery timeline must
+/// carry the approximate mode tag.
+#[test]
+fn sigkill_approximate_recovery_stays_within_declared_bound() {
+    let bound = ErrorBound::new(0.25, 0.05);
+    let n: u64 = 48;
+    let input: Vec<Value> = (0..n).map(|i| Value::Int((i % 9) as i64)).collect();
+
+    let base = std::env::temp_dir().join(format!("streammine-approx-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let spec_for = |tag: &str| {
+        ClusterSpec::new(
+            vec![
+                NodeSpec::logged("identity", FAST_LOG_US, 1),
+                NodeSpec::logged("count-min", FAST_LOG_US, 1).with_approximate_recovery(
+                    bound,
+                    3,
+                    base.join(tag),
+                ),
+            ],
+            PathBuf::from(env!("CARGO_BIN_EXE_streammine_worker")),
+        )
+    };
+
+    let run = |spec: ClusterSpec, plan: &ProcFaultPlan| {
+        let cluster = Cluster::launch(spec).expect("cluster launch");
+        assert!(cluster.wait_connected(Duration::from_secs(30)), "cluster never wired up");
+        let mut pending = plan.events.iter().peekable();
+        for (step, v) in input.iter().enumerate() {
+            while let Some(ev) = pending.peek() {
+                if ev.step <= step as u64 {
+                    apply(&cluster, ev.kind);
+                    pending.next();
+                } else {
+                    break;
+                }
+            }
+            cluster.source().push(v.clone());
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            cluster.sink().wait_final(input.len(), Duration::from_secs(120)),
+            "sink saw {}/{} final events",
+            cluster.sink().final_count(),
+            input.len(),
+        );
+        let estimates: Vec<u64> = cluster
+            .sink()
+            .final_events_by_id()
+            .iter()
+            .map(|e| e.payload.field(1).and_then(Value::as_i64).expect("Record[key, est]") as u64)
+            .collect();
+        let restarts = cluster.restarts();
+        cluster.shutdown();
+        (estimates, cluster.recovery_timelines(), restarts)
+    };
+
+    let (baseline, clean_timelines, _) =
+        run(spec_for("baseline"), &ProcFaultPlan::scripted(vec![]));
+    assert!(clean_timelines.is_empty(), "fault-free run fabricated a recovery timeline");
+
+    let plan = ProcFaultPlan::scripted(vec![ProcFaultEvent {
+        step: 30,
+        kind: ProcFaultKind::KillWorker { worker: 1 },
+    }]);
+    let (recovered, timelines, restarts) = run(spec_for("faulty"), &plan);
+    assert!(restarts >= 1, "the killed worker was never restarted");
+
+    let report = verify_bounded_divergence(bound, n, &baseline, &recovered)
+        .unwrap_or_else(|e| panic!("SIGKILL divergence check: {e}"));
+    eprintln!(
+        "sigkill approx: deviation {}/{} allowed, budget remaining {}",
+        report.max_deviation, report.allowed, report.remaining
+    );
+    let t = timelines
+        .iter()
+        .find(|t| t.kind == FaultKind::Crash && t.worker == 1)
+        .expect("no crash timeline for the killed worker");
+    assert_eq!(t.mode, RecoveryModeTag::Approximate, "timeline missed the recovery mode");
+    assert!(t.monotonic(), "non-monotonic timeline: {}", t.to_json());
+    let _ = std::fs::remove_dir_all(&base);
 }
 
 #[test]

@@ -1,12 +1,19 @@
-//! Property-based precise recovery: for randomized workloads and crash
-//! points, the outputs after crash + recovery equal the failure-free ones.
+//! Property-based recovery: for randomized workloads and crash points,
+//! precise recovery reproduces the failure-free outputs exactly, and
+//! approximate (stale-snapshot) recovery keeps count-min estimates
+//! within the declared `ε·N` allowance — escalating to a precise
+//! checkpoint+replay cycle when the error budget refuses the loss.
 
 use std::time::Duration;
 
 use proptest::prelude::*;
+use streammine::chaos::verify_bounded_divergence;
 use streammine::common::event::{Event, Value};
 use streammine::common::ids::OperatorId;
 use streammine::core::{GraphBuilder, LoggingConfig, OpCtx, Operator, OperatorConfig};
+use streammine::obs::Labels;
+use streammine::operators::CountMinOp;
+use streammine::sketch::ErrorBound;
 use streammine::stm::StmAbort;
 
 /// Stateful + non-deterministic: running sum plus a logged random draw.
@@ -150,4 +157,94 @@ proptest! {
         }
         running.shutdown();
     }
+}
+
+/// One checkpointed count-min operator in approximate mode, crashed after
+/// `crash_at` events (`None` = fault-free). Returns the estimates in
+/// event-id order plus the `recovery.escalations` counter.
+fn countmin_run(
+    keys: &[i64],
+    crash_at: Option<usize>,
+    every: u64,
+    bound: ErrorBound,
+) -> (Vec<u64>, u64) {
+    let mut b = GraphBuilder::new();
+    let cfg = OperatorConfig::logged(LoggingConfig::simulated(Duration::from_micros(200)))
+        .with_checkpoint_every(every)
+        .with_approximate_recovery(bound);
+    // Fixed hash seed: the faulty run and its baseline must agree on
+    // counter placement for estimates to be comparable.
+    let op = b.add_operator(CountMinOp::new(32, 4, 7, Duration::ZERO).stamped(), cfg);
+    let src = b.source_into(op).unwrap();
+    let sink = b.sink_from(op).unwrap();
+    let running = b.build().unwrap().start();
+
+    let crash = crash_at.unwrap_or(keys.len());
+    for k in &keys[..crash] {
+        running.source(src).push(Value::Int(*k));
+    }
+    assert!(running.sink(sink).wait_final(crash, Duration::from_secs(15)));
+    if crash_at.is_some() {
+        let opid = OperatorId::new(0);
+        running.crash(opid);
+        running.recover(opid);
+        for k in &keys[crash..] {
+            running.source(src).push(Value::Int(*k));
+        }
+        assert!(
+            running.sink(sink).wait_final(keys.len(), Duration::from_secs(30)),
+            "stalled at {}/{}\n{}",
+            running.sink(sink).final_count(),
+            keys.len(),
+            running.journal_dump()
+        );
+    }
+    let finals = running.sink(sink).final_events_by_id();
+    assert_eq!(finals.len(), keys.len(), "duplicate or missing outputs");
+    let estimates = finals
+        .iter()
+        .map(|e| e.payload.field(1).and_then(Value::as_i64).expect("Record[key, est]") as u64)
+        .collect();
+    let escalations = running.metrics().counter("recovery.escalations", Labels::op(0)).unwrap_or(0);
+    running.shutdown();
+    (estimates, escalations)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Stale-snapshot resume: for an arbitrary checkpoint lag and crash
+    /// point, recovered count-min estimates never exceed the fault-free
+    /// run's and fall below it by at most `ε·N` — whether the budget
+    /// admitted the loss or escalated to a precise cycle.
+    #[test]
+    fn approximate_recovery_stays_within_declared_bound(
+        keys in proptest::collection::vec(0i64..12, 30..70),
+        crash_frac in 0.3f64..0.9,
+        every in 2u64..8,
+    ) {
+        let bound = ErrorBound::new(0.25, 0.05);
+        let crash_at = ((keys.len() as f64) * crash_frac) as usize;
+        let (baseline, _) = countmin_run(&keys, None, every, bound);
+        let (recovered, _) = countmin_run(&keys, Some(crash_at), every, bound);
+        let report = verify_bounded_divergence(bound, keys.len() as u64, &baseline, &recovered);
+        prop_assert!(
+            report.is_ok(),
+            "crash at {} (checkpoint every {}): {}", crash_at, every, report.unwrap_err()
+        );
+    }
+}
+
+/// A bound too tight to absorb any loss (ε = 1 ppm allows zero lost
+/// updates below a million deliveries) must refuse the stale-snapshot
+/// resume and escalate: the `recovery.escalations` counter fires and the
+/// precise cycle reproduces the fault-free estimates exactly.
+#[test]
+fn exhausted_budget_escalates_to_precise_recovery() {
+    let keys: Vec<i64> = (0..20).map(|i| i % 5).collect();
+    let bound = ErrorBound::new(0.000_001, 0.05);
+    let (baseline, _) = countmin_run(&keys, None, 6, bound);
+    let (recovered, escalations) = countmin_run(&keys, Some(10), 6, bound);
+    assert!(escalations >= 1, "zero-allowance budget admitted a stale-snapshot resume");
+    assert_eq!(recovered, baseline, "escalated (precise) recovery changed the estimates");
 }

@@ -10,7 +10,11 @@
 //!   the 50 ms retry interval) must not trigger a retry at all, and
 //! * **no duplicate resends** — when the lane is slow enough that retries
 //!   *do* fire, the upstream serves the replay exactly once; answering a
-//!   watchdog retry again would deliver every retained frame twice.
+//!   watchdog retry again would deliver every retained frame twice, and
+//! * **no stuck backoff** — a recovery request nobody can answer (crash at
+//!   the stream tail, checkpoint covering every retained frame) must
+//!   disarm after the backoff ramp and reset to the 50 ms interval, so a
+//!   second fault on the same edge is detected fresh.
 //!
 //! Output bytes must be identical to a failure-free run either way.
 
@@ -40,12 +44,26 @@ fn pipeline() -> (Running, SourceId, SinkId) {
     (b.build().unwrap().start(), src, sink)
 }
 
+/// Like [`pipeline`] but op1 checkpoints every 4 events, so a crash at
+/// the stream tail recovers to a position past everything the upstream
+/// retains — the replay request is unanswerable.
+fn checkpointed_pipeline() -> (Running, SourceId, SinkId) {
+    let mut b = GraphBuilder::new();
+    let cfg = || OperatorConfig::logged(LoggingConfig::simulated(FAST_LOG));
+    let op0 = b.add_operator(RandomTagger, cfg());
+    let op1 = b.add_operator(RandomTagger, cfg().with_checkpoint_every(4));
+    b.connect(op0, op1).unwrap();
+    let src = b.source_into(op0).unwrap();
+    let sink = b.sink_from(op1).unwrap();
+    (b.build().unwrap().start(), src, sink)
+}
+
 fn payloads(events: &[Event]) -> Vec<Value> {
     events.iter().map(|e| e.payload.clone()).collect()
 }
 
-fn reference() -> Vec<Value> {
-    let (running, src, sink) = pipeline();
+fn reference_on(make: fn() -> (Running, SourceId, SinkId)) -> Vec<Value> {
+    let (running, src, sink) = make();
     for i in 0..TOTAL {
         running.source(src).push(Value::Int(i as i64));
     }
@@ -53,6 +71,10 @@ fn reference() -> Vec<Value> {
     let out = payloads(&running.sink(sink).final_events());
     running.shutdown();
     out
+}
+
+fn reference() -> Vec<Value> {
+    reference_on(pipeline)
 }
 
 /// Crashes op1 behind a control lane that delays every delivery by
@@ -131,4 +153,77 @@ fn severely_delayed_lane_backs_off_and_never_duplicates() {
         "watchdog retries were re-served — duplicate resend ({requests} requests)"
     );
     assert_eq!(out, expected, "recovery changed output bytes");
+}
+
+/// Two faults on the same edge, the first at the stream tail. Tail
+/// recovery restores a checkpoint that covers everything the upstream
+/// ever sent, so the recovery `ReplayRequest` asks for frames nobody
+/// retains: the watchdog must ride its backoff ramp, then *stand down*
+/// (journal: `replay-watch-disarmed`) with the interval reset — not
+/// retry at the 800 ms cap forever. A second, ordinary fault afterwards
+/// must be detected at the fresh 50 ms interval and recover
+/// byte-identically.
+#[test]
+fn at_tail_recovery_disarms_watchdog_then_second_fault_detects_fresh() {
+    let expected = reference_on(checkpointed_pipeline);
+    let (running, src, sink) = checkpointed_pipeline();
+    let op1 = OperatorId::new(1);
+
+    // Fault one: crash exactly on a checkpoint boundary (every 4, after
+    // 12 events) once the save has had a moment to land.
+    for i in 0..BEFORE_CRASH {
+        running.source(src).push(Value::Int(i as i64));
+    }
+    assert!(running.sink(sink).wait_final(BEFORE_CRASH, Duration::from_secs(30)));
+    std::thread::sleep(Duration::from_millis(100));
+    running.crash(op1);
+    running.recover(op1);
+
+    // No new traffic: nothing can answer the request, so only the disarm
+    // stops the ramp (50+100+200+400 ms, then capped 800 ms retries trip
+    // the stand-down at ~3.2 s).
+    std::thread::sleep(Duration::from_millis(4200));
+    assert!(
+        running.journal_dump().contains("replay-watch-disarmed"),
+        "vacuous at-tail replay never disarmed:\n{}",
+        running.journal_dump()
+    );
+    let after_disarm = running.metrics().counter("replay.requests", Labels::op(1)).unwrap_or(0);
+    std::thread::sleep(Duration::from_millis(1800));
+    let settled = running.metrics().counter("replay.requests", Labels::op(1)).unwrap_or(0);
+    assert_eq!(
+        settled, after_disarm,
+        "watchdog kept retrying an unanswerable replay after the disarm"
+    );
+
+    // Fault two: ordinary mid-stream fault on the same edge behind a slow
+    // ctrl lane. Frames 12..14 are retained (no checkpoint since), so the
+    // replay is answerable — and a reset watch re-detects at 50 ms.
+    for i in BEFORE_CRASH..BEFORE_CRASH + 2 {
+        running.source(src).push(Value::Int(i as i64));
+    }
+    assert!(running.sink(sink).wait_final(BEFORE_CRASH + 2, Duration::from_secs(30)));
+    let delay = Duration::from_millis(120);
+    running.delay_spike_edge_ctrl(0, delay, Duration::from_secs(2));
+    running.crash(op1);
+    running.recover(op1);
+    for i in BEFORE_CRASH + 2..TOTAL {
+        running.source(src).push(Value::Int(i as i64));
+    }
+    assert!(
+        running.sink(sink).wait_final(TOTAL, Duration::from_secs(60)),
+        "second recovery stuck at {}/{TOTAL}\n{}",
+        running.sink(sink).final_count(),
+        running.journal_dump()
+    );
+    std::thread::sleep(2 * delay);
+    let second = running.metrics().counter("replay.requests", Labels::op(1)).unwrap_or(0) - settled;
+    assert!(
+        second >= 2,
+        "second fault behind a 120 ms lane sent {second} request(s): the watchdog \
+         did not re-arm at the fresh 50 ms interval after the disarm"
+    );
+    let out = payloads(&running.sink(sink).final_events());
+    assert_eq!(out, expected, "double-fault recovery changed output bytes");
+    running.shutdown();
 }
